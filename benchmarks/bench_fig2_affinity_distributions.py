@@ -1,0 +1,37 @@
+"""Figure 2: same-class vs different-class affinity score distributions.
+
+The paper plots three CUB affinity functions: f1 separates the classes
+well, f2 weakly, f3 not at all.  We quantify each function's separation
+with the AUC of same-class vs different-class pair scores and check the
+same spread exists: some functions are strongly discriminative, many
+are noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_affinity_score_distributions(benchmark, settings, record_result):
+    result = benchmark.pedantic(lambda: run_fig2(settings, "cub"), rounds=1, iterations=1)
+    best, median, worst = result["best"], result["median"], result["worst"]
+    lines = [
+        "Figure 2: affinity score separation on CUB (AUC of same vs diff pairs)",
+        f"  f1-like (best)  : f{best.function_index:02d}  AUC={best.auc:.3f}  "
+        f"same-mean={best.same_mean:.3f}  diff-mean={best.diff_mean:.3f}",
+        f"  f2-like (median): f{median.function_index:02d}  AUC={median.auc:.3f}  "
+        f"same-mean={median.same_mean:.3f}  diff-mean={median.diff_mean:.3f}",
+        f"  f3-like (worst) : f{worst.function_index:02d}  AUC={worst.auc:.3f}  "
+        f"same-mean={worst.same_mean:.3f}  diff-mean={worst.diff_mean:.3f}",
+        f"  functions with AUC > 0.6: {result['n_discriminative']} / {len(result['all'])}",
+        "paper shape: a few functions separate the classes strongly; many are pure noise",
+    ]
+    record_result("\n".join(lines))
+
+    assert best.auc > 0.75, "at least one affinity function must separate classes well"
+    assert worst.auc < 0.6, "some affinity functions must be uninformative noise"
+    assert best.separation > 0, "same-class pairs must score higher under the best function"
+    assert 1 <= result["n_discriminative"] < len(result["all"]), "discriminative functions are a strict subset"

@@ -1,0 +1,32 @@
+"""Figure 7: theoretical dev-set size needed for a correct mapping.
+
+The paper plots the Theorem-1 lower bound on P(correct cluster-to-class
+mapping) against dev-set size for K=2: "when eta = 0.8, only about 20
+examples are required to produce the correct cluster-class mapping with
+a probability close to 1".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inference.theory import min_dev_set_size
+from repro.eval.harness import run_fig7
+from repro.eval.tables import format_curve
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_theory_curves(benchmark, record_result):
+    curves = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    pieces = []
+    for eta, values in curves.items():
+        points = {2 * (i + 1): float(v) for i, v in enumerate(values)}  # total dev size, K=2
+        pieces.append(format_curve(points, f"Theorem 1 bound, eta={eta}", "dev size", "P(correct)"))
+    m_star = min_dev_set_size(0.95, 2, 0.8)
+    pieces.append(f"m* for P>=0.95 at eta=0.8: {m_star} examples (paper: 'about 20')")
+    record_result("\n".join(pieces))
+
+    # Shape checks: higher eta converges faster; curves approach 1.
+    assert curves[0.95][-1] > curves[0.8][-1] > curves[0.6][-1]
+    assert curves[0.8][-1] > 0.99, "eta=0.8 bound must be ~1 by d=25"
+    assert 10 <= m_star <= 30, "paper says ~20 dev examples at eta=0.8"

@@ -1,0 +1,49 @@
+"""Figure 8: labeling accuracy vs development-set size.
+
+Paper shape: "As the development set size increases, the accuracy
+increases initially, but finally converges ... A development set with
+5 examples per class [is] enough for all datasets", and easier datasets
+converge at smaller dev sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import run_fig8
+from repro.eval.tables import format_curve
+
+DEV_SIZES = (0, 2, 4, 8, 12, 20, 30, 40)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_accuracy_vs_dev_set_size(benchmark, settings, record_result):
+    def sweep():
+        curves = {}
+        for dataset in ("cub", "gtsrb", "surface", "tbxray", "pnxray"):
+            per_seed = [
+                run_fig8(settings, dataset, dev_sizes=DEV_SIZES, run_seed=s)
+                for s in range(settings.n_seeds)
+            ]
+            curves[dataset] = {
+                size: float(np.mean([run[size] for run in per_seed])) for size in DEV_SIZES
+            }
+        return curves
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    pieces = []
+    for dataset, curve in curves.items():
+        pieces.append(format_curve(curve, f"Figure 8 — {dataset}", "dev size", "accuracy %"))
+    pieces.append("paper shape: rises from ~chance at size 0, saturates by ~10 examples")
+    record_result("\n".join(pieces))
+
+    for dataset, curve in curves.items():
+        small = curve[0]
+        converged = np.mean([curve[20], curve[30], curve[40]])
+        assert converged >= small - 1e-9, f"{dataset}: accuracy must not degrade with more dev labels"
+        late_spread = max(curve[20], curve[30], curve[40]) - min(curve[20], curve[30], curve[40])
+        assert late_spread < 15, f"{dataset}: accuracy must saturate for large dev sets"
+    assert np.mean([c[40] for c in curves.values()]) > np.mean([c[0] for c in curves.values()]) + 5, (
+        "dev labels must add substantial accuracy on average"
+    )

@@ -1,0 +1,43 @@
+"""Figure 9: labeling accuracy vs number of affinity functions.
+
+Paper shape: "Accuracy increases as the number of affinity functions
+increases for all datasets ... more affinity functions brings more
+information that the inference module can exploit."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import run_fig9
+from repro.eval.tables import format_curve
+
+FUNCTION_COUNTS = (5, 10, 20, 30, 40, 50)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_accuracy_vs_function_count(benchmark, settings, record_result):
+    def sweep():
+        curves = {}
+        for dataset in ("cub", "gtsrb", "surface", "tbxray", "pnxray"):
+            per_seed = [
+                run_fig9(settings, dataset, function_counts=FUNCTION_COUNTS, run_seed=s)
+                for s in range(settings.n_seeds)
+            ]
+            curves[dataset] = {
+                count: float(np.mean([run[count] for run in per_seed])) for count in FUNCTION_COUNTS
+            }
+        return curves
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    pieces = []
+    for dataset, curve in curves.items():
+        pieces.append(format_curve(curve, f"Figure 9 — {dataset}", "alpha", "accuracy %"))
+    pieces.append("paper shape: accuracy increases with the number of affinity functions")
+    record_result("\n".join(pieces))
+
+    # Shape: the full library should beat the small library on average.
+    small = np.mean([curve[5] for curve in curves.values()])
+    full = np.mean([curve[50] for curve in curves.values()])
+    assert full >= small, "average accuracy must not decrease with more affinity functions"

@@ -1,0 +1,69 @@
+"""Runtime scaling of the hierarchical model (§5.3's running-time note).
+
+The paper: "without parallelization, our generative model is α (the
+number of base models) slower than the GMM model ... in practice we can
+parallelize all of the base models".  We measure inference wall time vs
+the number of affinity functions and vs the number of instances, and
+check the α-linearity claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.inference.hierarchical import HierarchicalConfig, HierarchicalModel
+from repro.datasets import make_dataset
+from repro.eval.harness import shared_model
+from repro.core.affinity import compute_affinity_matrix
+from repro.eval.tables import format_curve
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_runtime_scales_linearly_with_functions(benchmark, settings, record_result):
+    model = shared_model(settings)
+    dataset = make_dataset("cub", n_per_class=settings.n_per_class, seed=0, pair_seed=0)
+    affinity = compute_affinity_matrix(model, dataset.images, top_z=10)
+
+    def measure():
+        timings = {}
+        for alpha in (5, 10, 25, 50):
+            subset = affinity.subset_functions(np.arange(alpha))
+            start = time.perf_counter()
+            HierarchicalModel(HierarchicalConfig(n_classes=2, seed=0)).fit(subset)
+            timings[alpha] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_result(
+        format_curve({k: round(v, 3) for k, v in timings.items()},
+                     "Inference wall time vs alpha (seconds)", "alpha", "seconds")
+        + "\npaper claim: hierarchical cost is ~alpha x one base GMM (base models parallelisable)"
+    )
+    # Linearity check with generous tolerance: 50 functions should cost
+    # clearly more than 5, but not super-linearly more.
+    ratio = timings[50] / max(timings[5], 1e-9)
+    assert 2 <= ratio <= 40, f"cost should grow roughly linearly in alpha, got ratio {ratio:.1f}"
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_affinity_construction_scaling(benchmark, settings, record_result):
+    model = shared_model(settings)
+
+    def measure():
+        timings = {}
+        for n in (10, 20, 40):
+            dataset = make_dataset("surface", n_per_class=n, seed=0)
+            start = time.perf_counter()
+            compute_affinity_matrix(model, dataset.images, top_z=10)
+            timings[2 * n] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_result(
+        format_curve({k: round(v, 3) for k, v in timings.items()},
+                     "Affinity matrix construction vs N (seconds)", "N", "seconds")
+    )
+    assert timings[80] > timings[20], "larger datasets must cost more"

@@ -1,0 +1,35 @@
+"""Table 2: end-model test accuracy trained on each system's labels.
+
+Paper reference (Table 2): upper bound 89.14% > GOGGLES 82.03% >
+FSL 77.23% > Snuba 60.60% on average; GOGGLES lands within ~7 points of
+the fully supervised bound while using only 5 labels per class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import run_table2
+from repro.eval.paper import TABLE2_METHODS, TABLE2_PAPER
+from repro.eval.tables import format_comparison_table
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_endmodel_accuracy(benchmark, settings, record_result):
+    table = benchmark.pedantic(lambda: run_table2(settings), rounds=1, iterations=1)
+    record_result(
+        format_comparison_table(
+            table, TABLE2_PAPER, TABLE2_METHODS, "Table 2: end-model accuracy (%) on the held-out test split"
+        )
+    )
+
+    def mean_of(method: str) -> float:
+        values = [row[method] for row in table.values() if row.get(method) is not None]
+        return float(np.mean(values))
+
+    upper = mean_of("upper_bound")
+    goggles = mean_of("goggles")
+    assert upper >= goggles, "supervision should upper-bound GOGGLES-trained end models"
+    assert goggles > mean_of("snuba"), "GOGGLES end models should beat Snuba end models"
+    assert upper - goggles < 25, "GOGGLES should stay within striking distance of the bound"

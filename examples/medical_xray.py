@@ -1,0 +1,49 @@
+"""Medical image triage with zero domain engineering (TB/PN X-ray tasks).
+
+The paper's motivating contrast: data programming needs radiologists to
+pre-extract primitives (Example 1), while GOGGLES labels raw X-rays
+directly.  This example runs both chest X-ray tasks and compares
+GOGGLES against Snuba on auto-extracted primitives and against the
+few-shot baseline, using the same 10 labeled images for each system.
+
+Run:  python examples/medical_xray.py
+"""
+
+from __future__ import annotations
+
+from repro import Goggles, GogglesConfig, make_dataset
+from repro.eval.harness import ExperimentSettings, shared_model
+from repro.eval.metrics import labeling_accuracy
+from repro.fsl import FSLBaseline, FSLConfig
+from repro.labeling import Snuba
+from repro.labeling.primitives import extract_snuba_primitives
+
+
+def main() -> None:
+    model = shared_model(ExperimentSettings())
+    for name in ("tbxray", "pnxray"):
+        dataset = make_dataset(name, n_per_class=40, seed=11)
+        dev = dataset.sample_dev_set(per_class=5, seed=0)
+        print(f"\n=== {dataset.name}: {dataset.n_examples} studies, classes {dataset.class_names} ===")
+
+        goggles = Goggles(GogglesConfig(n_classes=2, seed=0), model=model)
+        goggles_result = goggles.label(dataset.images, dev)
+        print(f"GOGGLES      : {100 * goggles_result.accuracy(dataset.labels, exclude=dev.indices):5.1f}%")
+
+        primitives = extract_snuba_primitives(model, dataset.images)
+        snuba_result = Snuba(seed=0).fit(primitives, dev.indices, dev.labels)
+        snuba_accuracy = labeling_accuracy(
+            snuba_result.probabilistic_labels, dataset.labels, exclude=dev.indices
+        )
+        print(f"Snuba        : {100 * snuba_accuracy:5.1f}%  "
+              f"({len(snuba_result.heuristics)} synthesised heuristics)")
+
+        fsl = FSLBaseline(model, 2, FSLConfig(seed=0)).fit(dataset.images, dev)
+        predictions = fsl.predict(dataset.images)
+        mask = [i for i in range(dataset.n_examples) if i not in set(dev.indices.tolist())]
+        fsl_accuracy = (predictions[mask] == dataset.labels[mask]).mean()
+        print(f"FSL baseline : {100 * fsl_accuracy:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

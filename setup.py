@@ -1,0 +1,10 @@
+"""Thin setup.py kept so editable installs work offline (no `wheel` pkg).
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy `pip install -e . --no-use-pep517` path in environments without
+network access or the `wheel` package.
+"""
+
+from setuptools import setup
+
+setup()

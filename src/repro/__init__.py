@@ -1,0 +1,38 @@
+"""repro — a from-scratch reproduction of GOGGLES (SIGMOD 2020).
+
+GOGGLES labels unlabeled image collections via *affinity coding*: a
+library of reusable VGG-16 prototype affinity functions scores every
+pair of images, and a hierarchical generative model clusters the
+resulting affinity matrix, with a tiny labeled development set mapping
+clusters to classes.
+
+Quickstart::
+
+    from repro import Goggles, GogglesConfig, make_dataset
+
+    dataset = make_dataset("cub", n_per_class=40)
+    dev = dataset.sample_dev_set(per_class=5, seed=0)
+    result = Goggles(GogglesConfig(seed=0)).label(dataset.images, dev)
+    print("labeling accuracy:", result.accuracy(dataset.labels, exclude=dev.indices))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import Goggles, GogglesConfig, GogglesResult
+from repro.datasets import DATASET_NAMES, LabeledImageDataset, make_dataset
+from repro.nn import VGG16, VGGConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Goggles",
+    "GogglesConfig",
+    "GogglesResult",
+    "DATASET_NAMES",
+    "LabeledImageDataset",
+    "make_dataset",
+    "VGG16",
+    "VGGConfig",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    goggles-repro label --dataset cub --n-per-class 40
+    goggles-repro table1 --seeds 3
+    goggles-repro fig8 --dataset surface
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import Goggles, GogglesConfig
+from repro.datasets import DATASET_NAMES, make_dataset
+from repro.eval.harness import (
+    ExperimentSettings,
+    run_fig2,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+    run_table2,
+)
+from repro.eval.paper import TABLE1_METHODS, TABLE1_PAPER, TABLE2_METHODS, TABLE2_PAPER
+from repro.eval.tables import format_comparison_table, format_curve
+
+__all__ = ["main"]
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        n_per_class=args.n_per_class,
+        n_seeds=args.seeds,
+        dev_per_class=args.dev_per_class,
+        seed=args.seed,
+    )
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    dataset = make_dataset(args.dataset, n_per_class=args.n_per_class, seed=args.seed)
+    dev = dataset.sample_dev_set(args.dev_per_class, seed=args.seed)
+    goggles = Goggles(GogglesConfig(n_classes=dataset.n_classes, seed=args.seed))
+    result = goggles.label(dataset.images, dev)
+    accuracy = result.accuracy(dataset.labels, exclude=dev.indices)
+    print(f"dataset: {dataset.name}")
+    print(f"instances: {dataset.n_examples} (dev {dev.size})")
+    print(f"labeling accuracy (dev excluded): {100 * accuracy:.2f}%")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    table = run_table1(_settings(args))
+    print(format_comparison_table(table, TABLE1_PAPER, TABLE1_METHODS, "Table 1: labeling accuracy (%)"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    table = run_table2(_settings(args))
+    print(format_comparison_table(table, TABLE2_PAPER, TABLE2_METHODS, "Table 2: end-model accuracy (%)"))
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    result = run_fig2(_settings(args), dataset_name=args.dataset)
+    print(f"Figure 2 analogue on {args.dataset}: per-function separation (AUC)")
+    for name in ("best", "median", "worst"):
+        stat = result[name]
+        print(
+            f"  {name:>6}: f{stat.function_index:02d}  AUC={stat.auc:.3f}  "
+            f"same={stat.same_mean:.3f}  diff={stat.diff_mean:.3f}"
+        )
+    print(f"  functions with AUC > 0.6: {result['n_discriminative']} / {len(result['all'])}")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    curves = run_fig7()
+    for eta, values in curves.items():
+        points = {d + 1: v for d, v in enumerate(values)}
+        print(format_curve(points, f"Figure 7: P(correct mapping) bound, eta={eta}", "d/class", "P"))
+        print()
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    curve = run_fig8(_settings(args), args.dataset)
+    print(format_curve(curve, f"Figure 8: accuracy vs dev-set size ({args.dataset})", "dev size", "acc %"))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    curve = run_fig9(_settings(args), args.dataset)
+    print(format_curve(curve, f"Figure 9: accuracy vs #affinity functions ({args.dataset})", "alpha", "acc %"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="goggles-repro", description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n-per-class", type=int, default=40)
+    parser.add_argument("--dev-per-class", type=int, default=5)
+    parser.add_argument("--seeds", type=int, default=3, help="runs averaged per experiment cell")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    label = sub.add_parser("label", help="label one dataset with GOGGLES")
+    label.add_argument("--dataset", choices=DATASET_NAMES, default="cub")
+    label.set_defaults(fn=_cmd_label)
+
+    sub.add_parser("table1", help="reproduce Table 1").set_defaults(fn=_cmd_table1)
+    sub.add_parser("table2", help="reproduce Table 2").set_defaults(fn=_cmd_table2)
+
+    fig2 = sub.add_parser("fig2", help="reproduce Figure 2 statistics")
+    fig2.add_argument("--dataset", choices=DATASET_NAMES, default="cub")
+    fig2.set_defaults(fn=_cmd_fig2)
+
+    sub.add_parser("fig7", help="reproduce Figure 7 theory curves").set_defaults(fn=_cmd_fig7)
+
+    fig8 = sub.add_parser("fig8", help="reproduce Figure 8 sweep")
+    fig8.add_argument("--dataset", choices=DATASET_NAMES, default="cub")
+    fig8.set_defaults(fn=_cmd_fig8)
+
+    fig9 = sub.add_parser("fig9", help="reproduce Figure 9 sweep")
+    fig9.add_argument("--dataset", choices=DATASET_NAMES, default="cub")
+    fig9.set_defaults(fn=_cmd_fig9)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Baseline clustering methods for the class-inference ablation."""
+
+from repro.clustering.gmm import FullCovarianceGMM, FullGMMResult
+from repro.clustering.kmeans import KMeans, KMeansResult
+from repro.clustering.mapping import contingency_table, optimal_mapping_accuracy
+from repro.clustering.spectral import SpectralCoclustering, SpectralResult
+
+__all__ = [
+    "FullCovarianceGMM",
+    "FullGMMResult",
+    "KMeans",
+    "KMeansResult",
+    "contingency_table",
+    "optimal_mapping_accuracy",
+    "SpectralCoclustering",
+    "SpectralResult",
+]

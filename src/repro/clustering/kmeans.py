@@ -1,0 +1,94 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Table 1 ablation baseline: "We compare our proposed hierarchical model
+for clustering with other baseline methods, including K-means ..."
+(§5.1.6).  The baselines consume the concatenated affinity features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inference.base_gmm import kmeans_plusplus_init
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_array
+
+__all__ = ["KMeans", "KMeansResult"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering outcome: hard labels, centroids, and inertia."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iterations: int
+
+
+class KMeans:
+    """Standard K-means with multiple seeded restarts.
+
+    Parameters:
+        n_clusters: K.
+        n_init: restarts (best inertia wins).
+        max_iter: Lloyd iterations per restart.
+        tol: stop when inertia improves less than this.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-7,
+        seed: int = 0,
+    ):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+
+    def _run(self, x: np.ndarray, rng: np.random.Generator) -> KMeansResult:
+        n = x.shape[0]
+        centers = kmeans_plusplus_init(x, self.n_clusters, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        previous_inertia = np.inf
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            distances = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = distances.argmin(axis=1)
+            inertia = float(distances[np.arange(n), labels].sum())
+            for k in range(self.n_clusters):
+                members = x[labels == k]
+                if members.shape[0] == 0:
+                    # Re-seed empty cluster at the point farthest from its centre.
+                    farthest = int(distances[np.arange(n), labels].argmax())
+                    centers[k] = x[farthest]
+                else:
+                    centers[k] = members.mean(axis=0)
+            if previous_inertia - inertia < self.tol:
+                previous_inertia = inertia
+                break
+            previous_inertia = inertia
+        return KMeansResult(labels=labels, centers=centers, inertia=previous_inertia, n_iterations=iteration)
+
+    def fit_predict(self, x: np.ndarray) -> KMeansResult:
+        """Cluster rows of ``x``; returns the best of ``n_init`` restarts."""
+        x = check_array(np.asarray(x, dtype=np.float64), name="x", ndim=2)
+        if x.shape[0] < self.n_clusters:
+            raise ValueError(f"need at least {self.n_clusters} points, got {x.shape[0]}")
+        rng = spawn_rng(self.seed, "kmeans")
+        best: KMeansResult | None = None
+        for restart in range(self.n_init):
+            result = self._run(x, spawn_rng(rng, "restart", restart))
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best

@@ -1,0 +1,142 @@
+"""End-to-end GOGGLES system facade (paper Figure 3).
+
+Step 1: build the affinity matrix of all instances (unlabeled + dev)
+under the library of VGG-16 prototype affinity functions.
+Step 2: run the hierarchical generative model, then map clusters to
+classes with the development set.
+
+Typical usage::
+
+    from repro.core import Goggles, GogglesConfig
+    from repro.datasets import make_cub
+
+    dataset = make_cub(n_per_class=50)
+    dev = dataset.sample_dev_set(per_class=5, seed=0)
+    result = Goggles(GogglesConfig(seed=0)).label(dataset.images, dev)
+    accuracy = (result.predictions == dataset.labels).mean()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.affinity import AffinityMatrix, compute_affinity_matrix
+from repro.core.inference.hierarchical import (
+    HierarchicalConfig,
+    HierarchicalModel,
+    HierarchicalResult,
+)
+from repro.core.inference.mapping import ClusterMapping, apply_mapping, map_clusters_to_classes
+from repro.datasets.base import DevSet
+from repro.nn.vgg import VGG16, VGGConfig
+from repro.utils.validation import check_images
+
+__all__ = ["GogglesConfig", "GogglesResult", "Goggles"]
+
+
+@dataclass(frozen=True)
+class GogglesConfig:
+    """Configuration of the full GOGGLES pipeline.
+
+    Attributes:
+        n_classes: K, number of classes in the labeling task.
+        top_z: prototypes per max-pool layer (paper: 10).
+        layers: which of the 5 max-pool layers to use (paper: all).
+        seed: root seed for inference initialisation.
+        vgg: configuration of the surrogate-pretrained backbone.
+        inference: hierarchical-model hyper-parameters (n_classes and
+            seed fields here take precedence).
+    """
+
+    n_classes: int = 2
+    top_z: int = 10
+    layers: tuple[int, ...] = (0, 1, 2, 3, 4)
+    seed: int = 0
+    vgg: VGGConfig = field(default_factory=VGGConfig)
+    inference: HierarchicalConfig = field(default_factory=HierarchicalConfig)
+
+    def hierarchical_config(self) -> HierarchicalConfig:
+        """The inference config with n_classes/seed overridden."""
+        base = self.inference
+        return HierarchicalConfig(
+            n_classes=self.n_classes,
+            base_max_iter=base.base_max_iter,
+            base_tol=base.base_tol,
+            ensemble_max_iter=base.ensemble_max_iter,
+            ensemble_tol=base.ensemble_tol,
+            ensemble_n_init=base.ensemble_n_init,
+            variance_floor=base.variance_floor,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class GogglesResult:
+    """Output of one GOGGLES labeling run.
+
+    Attributes:
+        probabilistic_labels: ``(N, K)`` class-aligned probabilistic
+            labels ỹ (§2.1) for *all* N instances, dev set included.
+        affinity: the affinity matrix built in step 1.
+        hierarchical: the raw inference result (cluster space).
+        mapping: the dev-set cluster→class mapping used.
+    """
+
+    probabilistic_labels: np.ndarray
+    affinity: AffinityMatrix
+    hierarchical: HierarchicalResult
+    mapping: ClusterMapping
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """Hard labels: argmax of the probabilistic labels."""
+        return self.probabilistic_labels.argmax(axis=1)
+
+    def accuracy(self, true_labels: np.ndarray, exclude: np.ndarray | None = None) -> float:
+        """Labeling accuracy, optionally excluding dev-set indices.
+
+        The paper "reports the performance of GOGGLES on the remaining
+        images from each dataset" (§5.1.1), i.e. dev images excluded.
+        """
+        true_labels = np.asarray(true_labels)
+        mask = np.ones(true_labels.shape[0], dtype=bool)
+        if exclude is not None and np.asarray(exclude).size:
+            mask[np.asarray(exclude, dtype=np.int64)] = False
+        return float((self.predictions[mask] == true_labels[mask]).mean())
+
+
+class Goggles:
+    """The GOGGLES automatic image-labeling system."""
+
+    def __init__(self, config: GogglesConfig | None = None, model: VGG16 | None = None):
+        self.config = config or GogglesConfig()
+        self.model = model if model is not None else VGG16(self.config.vgg)
+
+    def build_affinity_matrix(self, images: np.ndarray) -> AffinityMatrix:
+        """Step 1 (Figure 3): affinity matrix construction."""
+        images = check_images(images)
+        return compute_affinity_matrix(
+            self.model, images, top_z=self.config.top_z, layers=self.config.layers
+        )
+
+    def infer_labels(self, affinity: AffinityMatrix, dev_set: DevSet) -> GogglesResult:
+        """Step 2 (Figure 3): class inference on a prebuilt matrix."""
+        if dev_set.indices.size and dev_set.indices.max() >= affinity.n_examples:
+            raise ValueError("dev-set indices exceed the number of instances")
+        model = HierarchicalModel(self.config.hierarchical_config())
+        hierarchical = model.fit(affinity)
+        mapping = map_clusters_to_classes(hierarchical.posterior, dev_set, self.config.n_classes)
+        probabilistic_labels = apply_mapping(hierarchical.posterior, mapping)
+        return GogglesResult(
+            probabilistic_labels=probabilistic_labels,
+            affinity=affinity,
+            hierarchical=hierarchical,
+            mapping=mapping,
+        )
+
+    def label(self, images: np.ndarray, dev_set: DevSet) -> GogglesResult:
+        """Run the full pipeline: images + tiny dev set -> probabilistic labels."""
+        affinity = self.build_affinity_matrix(images)
+        return self.infer_labels(affinity, dev_set)

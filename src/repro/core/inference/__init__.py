@@ -1,0 +1,51 @@
+"""Class-inference module: hierarchical generative model + mapping + theory."""
+
+from repro.core.inference.base_gmm import DiagonalGMM, GMMFitResult, kmeans_plusplus_init
+from repro.core.inference.bernoulli import BernoulliFitResult, BernoulliMixture, one_hot_encode_lp
+from repro.core.inference.hierarchical import (
+    HierarchicalConfig,
+    HierarchicalModel,
+    HierarchicalResult,
+    hierarchical_parameter_count,
+    naive_parameter_count,
+)
+from repro.core.inference.mapping import (
+    ClusterMapping,
+    apply_mapping,
+    brute_force_mapping,
+    dev_set_weights,
+    map_clusters_to_classes,
+)
+from repro.core.inference.theory import (
+    min_dev_set_size,
+    off_cluster_probability,
+    p_class_correct,
+    p_class_correct_bruteforce,
+    p_mapping_correct_lower_bound,
+    theory_curve,
+)
+
+__all__ = [
+    "DiagonalGMM",
+    "GMMFitResult",
+    "kmeans_plusplus_init",
+    "BernoulliFitResult",
+    "BernoulliMixture",
+    "one_hot_encode_lp",
+    "HierarchicalConfig",
+    "HierarchicalModel",
+    "HierarchicalResult",
+    "hierarchical_parameter_count",
+    "naive_parameter_count",
+    "ClusterMapping",
+    "apply_mapping",
+    "brute_force_mapping",
+    "dev_set_weights",
+    "map_clusters_to_classes",
+    "min_dev_set_size",
+    "off_cluster_probability",
+    "p_class_correct",
+    "p_class_correct_bruteforce",
+    "p_mapping_correct_lower_bound",
+    "theory_curve",
+]

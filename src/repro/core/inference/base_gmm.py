@@ -1,0 +1,172 @@
+"""Diagonal-covariance Gaussian mixture base model (paper §4.1–4.2).
+
+Each base model fits one affinity function's block ``A_f ∈ R^{N×N}``
+with a K-component GMM whose covariances are **diagonal** — the key
+simplification that reduces parameters from O(N²) to O(N) per class
+("Instead of using the full covariance matrix Σ_k ... we use the
+diagonal covariance matrix", §4.1).  EM updates follow Eq. 8/10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_array
+
+__all__ = ["DiagonalGMM", "GMMFitResult", "kmeans_plusplus_init"]
+
+_LOG_2PI = np.log(2.0 * np.pi)
+
+
+@dataclass(frozen=True)
+class GMMFitResult:
+    """Outcome of one EM run.
+
+    Attributes:
+        responsibilities: ``(N, K)`` posterior P(y_i = k | s_i) (Eq. 8).
+        log_likelihood: final data log-likelihood (Eq. 5).
+        n_iterations: EM iterations executed.
+        converged: whether the tolerance was reached before max_iter.
+    """
+
+    responsibilities: np.ndarray
+    log_likelihood: float
+    n_iterations: int
+    converged: bool
+
+
+def kmeans_plusplus_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: returns ``(K, D)`` initial means."""
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = x[first]
+    closest_sq = ((x - centers[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 1e-12:
+            centers[j] = x[int(rng.integers(n))]
+            continue
+        probs = closest_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centers[j] = x[choice]
+        closest_sq = np.minimum(closest_sq, ((x - centers[j]) ** 2).sum(axis=1))
+    return centers
+
+
+class DiagonalGMM:
+    """K-component Gaussian mixture with diagonal covariances.
+
+    Parameters:
+        n_components: K, the number of classes/clusters.
+        max_iter: EM iteration cap.
+        tol: convergence threshold on the log-likelihood increase.
+        variance_floor: lower bound applied to every variance, guarding
+            against singular components on (near-)duplicated columns.
+        seed: RNG seed for the k-means++ initialisation.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        variance_floor: float = 1e-6,
+        seed: int | np.random.Generator = 0,
+    ):
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.variance_floor = variance_floor
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _log_prob(self, x: np.ndarray) -> np.ndarray:
+        """Per-component joint log density: log π_k + log N(x | μ_k, Σ_k)."""
+        assert self.means_ is not None and self.variances_ is not None and self.weights_ is not None
+        n, d = x.shape
+        log_probs = np.empty((n, self.n_components))
+        for k in range(self.n_components):
+            diff_sq = (x - self.means_[k]) ** 2
+            log_det = np.log(self.variances_[k]).sum()
+            quad = (diff_sq / self.variances_[k]).sum(axis=1)
+            log_probs[:, k] = -0.5 * (d * _LOG_2PI + log_det + quad)
+        return log_probs + np.log(np.maximum(self.weights_, 1e-300))
+
+    def _e_step(self, x: np.ndarray) -> tuple[np.ndarray, float]:
+        log_joint = self._log_prob(x)
+        log_norm = logsumexp(log_joint, axis=1, keepdims=True)
+        responsibilities = np.exp(log_joint - log_norm)
+        return responsibilities, float(log_norm.sum())
+
+    def _m_step(self, x: np.ndarray, responsibilities: np.ndarray, rng: np.random.Generator) -> None:
+        n, d = x.shape
+        nk = responsibilities.sum(axis=0)
+        for k in range(self.n_components):
+            if nk[k] < 1e-10:
+                # Re-seed an empty component at a random data point.
+                idx = int(rng.integers(n))
+                self.means_[k] = x[idx]
+                self.variances_[k] = np.maximum(x.var(axis=0), self.variance_floor)
+                self.weights_[k] = 1.0 / n
+                continue
+            self.weights_[k] = nk[k] / n
+            self.means_[k] = responsibilities[:, k] @ x / nk[k]
+            diff_sq = (x - self.means_[k]) ** 2
+            self.variances_[k] = np.maximum(
+                responsibilities[:, k] @ diff_sq / nk[k], self.variance_floor
+            )
+        self.weights_ /= self.weights_.sum()
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> GMMFitResult:
+        """Run EM on ``x`` of shape ``(N, D)`` and return the fit result."""
+        x = check_array(np.asarray(x, dtype=np.float64), name="x", ndim=2)
+        n = x.shape[0]
+        if n < self.n_components:
+            raise ValueError(f"need at least {self.n_components} examples, got {n}")
+        rng = spawn_rng(self.seed, "diag-gmm")
+        self.means_ = kmeans_plusplus_init(x, self.n_components, rng)
+        global_var = np.maximum(x.var(axis=0), self.variance_floor)
+        self.variances_ = np.tile(global_var, (self.n_components, 1))
+        self.weights_ = np.full(self.n_components, 1.0 / self.n_components)
+
+        previous_ll = -np.inf
+        responsibilities = np.full((n, self.n_components), 1.0 / self.n_components)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            responsibilities, log_likelihood = self._e_step(x)
+            self._m_step(x, responsibilities, rng)
+            if log_likelihood - previous_ll < self.tol and iteration > 1:
+                converged = True
+                previous_ll = log_likelihood
+                break
+            previous_ll = log_likelihood
+        # Final E-step so responsibilities match the last parameters.
+        responsibilities, log_likelihood = self._e_step(x)
+        return GMMFitResult(
+            responsibilities=responsibilities,
+            log_likelihood=log_likelihood,
+            n_iterations=iteration,
+            converged=converged,
+        )
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Posterior P(y = k | x) for new rows under the fitted model."""
+        if self.means_ is None:
+            raise RuntimeError("DiagonalGMM must be fitted before predict_proba")
+        x = check_array(np.asarray(x, dtype=np.float64), name="x", ndim=2)
+        log_joint = self._log_prob(x)
+        return np.exp(log_joint - logsumexp(log_joint, axis=1, keepdims=True))

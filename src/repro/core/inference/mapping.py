@@ -1,0 +1,116 @@
+"""Cluster-to-class mapping from the development set (paper §4.3).
+
+The hierarchical model clusters instances; the development set decides
+which cluster is which class.  The "goodness" of a one-to-one mapping
+``g: cluster -> class`` is
+
+    L_g = Σ_k Σ_{l ∈ LS_{g(k)}} γ_{l,k}                       (Eq. 12)
+
+and the chosen mapping maximises L_g (Eq. 14).  With
+``w_{k,k'} = Σ_{l ∈ LS_{k'}} γ_{l,k}`` this is the linear assignment
+problem (Eq. 16), solved in O(K³) — the paper cites Jonker-Volgenant;
+we use scipy's implementation of the same optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.datasets.base import DevSet
+from repro.utils.validation import check_labels, check_probabilities
+
+__all__ = ["ClusterMapping", "dev_set_weights", "map_clusters_to_classes", "brute_force_mapping", "apply_mapping"]
+
+
+@dataclass(frozen=True)
+class ClusterMapping:
+    """A one-to-one cluster→class mapping and its goodness L_g.
+
+    ``cluster_to_class[k]`` is the class assigned to cluster k.
+    """
+
+    cluster_to_class: np.ndarray
+    goodness: float
+
+    def __post_init__(self) -> None:
+        mapping = np.asarray(self.cluster_to_class, dtype=np.int64)
+        if sorted(mapping.tolist()) != list(range(mapping.size)):
+            raise ValueError(f"mapping must be a permutation, got {mapping}")
+        object.__setattr__(self, "cluster_to_class", mapping)
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.cluster_to_class.size)
+
+    def inverse(self) -> np.ndarray:
+        """``class_to_cluster``: the inverse permutation g⁻¹."""
+        inverse = np.empty_like(self.cluster_to_class)
+        inverse[self.cluster_to_class] = np.arange(self.cluster_to_class.size)
+        return inverse
+
+
+def dev_set_weights(responsibilities: np.ndarray, dev_set: DevSet, n_classes: int) -> np.ndarray:
+    """``w_{k,k'} = Σ_{l ∈ LS_{k'}} γ_{l,k}`` — Eq. 16's weight matrix."""
+    responsibilities = check_probabilities(responsibilities, axis=1, name="responsibilities")
+    labels = check_labels(dev_set.labels, n_classes=n_classes, name="dev labels")
+    weights = np.zeros((n_classes, n_classes))
+    for index, label in zip(dev_set.indices, labels):
+        weights[:, label] += responsibilities[index]
+    return weights
+
+
+def map_clusters_to_classes(
+    responsibilities: np.ndarray, dev_set: DevSet, n_classes: int
+) -> ClusterMapping:
+    """Solve Eq. 14 via the assignment problem.
+
+    With an empty development set the mapping degenerates to identity
+    (the system can cluster but cannot name the clusters — the Figure 8
+    sweep's size-0 point).
+    """
+    if dev_set.size == 0:
+        return ClusterMapping(cluster_to_class=np.arange(n_classes), goodness=0.0)
+    weights = dev_set_weights(responsibilities, dev_set, n_classes)
+    rows, cols = linear_sum_assignment(weights, maximize=True)
+    mapping = np.empty(n_classes, dtype=np.int64)
+    mapping[rows] = cols
+    return ClusterMapping(cluster_to_class=mapping, goodness=float(weights[rows, cols].sum()))
+
+
+def brute_force_mapping(
+    responsibilities: np.ndarray, dev_set: DevSet, n_classes: int
+) -> ClusterMapping:
+    """O(K!) reference implementation of Eq. 14 (used in tests)."""
+    if dev_set.size == 0:
+        return ClusterMapping(cluster_to_class=np.arange(n_classes), goodness=0.0)
+    weights = dev_set_weights(responsibilities, dev_set, n_classes)
+    best_perm: tuple[int, ...] | None = None
+    best_value = -np.inf
+    for perm in permutations(range(n_classes)):
+        value = sum(weights[k, perm[k]] for k in range(n_classes))
+        if value > best_value:
+            best_value = value
+            best_perm = perm
+    assert best_perm is not None
+    return ClusterMapping(cluster_to_class=np.asarray(best_perm, dtype=np.int64), goodness=float(best_value))
+
+
+def apply_mapping(responsibilities: np.ndarray, mapping: ClusterMapping) -> np.ndarray:
+    """Rearrange posterior columns so column k' is class k' (§4.3).
+
+    ``out[:, g(k)] = γ[:, k]`` — after this, argmax over columns yields
+    class labels directly.
+    """
+    responsibilities = np.asarray(responsibilities, dtype=np.float64)
+    if responsibilities.shape[1] != mapping.n_classes:
+        raise ValueError(
+            f"responsibilities have {responsibilities.shape[1]} columns, "
+            f"mapping covers {mapping.n_classes} clusters"
+        )
+    out = np.empty_like(responsibilities)
+    out[:, mapping.cluster_to_class] = responsibilities
+    return out

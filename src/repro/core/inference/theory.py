@@ -1,0 +1,133 @@
+"""Development-set size theory (paper §4.4, Theorem 1).
+
+Given a labeling accuracy η, how many labeled dev examples per class
+(d) are needed for the cluster→class mapping of Eq. 14 to be correct
+with probability ≥ p?  The paper lower-bounds the success probability
+by assuming per-class independence and hard assignments: class k' maps
+correctly when the majority of its d dev examples land in its true
+cluster, with counts multinomial (Eq. 20).
+
+The inner probability P(d_true > max_j d_j) is computed exactly with a
+dynamic program in O(K·d²) (Eq. 22–23), checked against a brute-force
+enumeration in the tests.
+
+Note on Eq. 20: the paper writes the off-cluster probability as
+ρ = η/(K−1); probabilities must sum to one, so we implement
+ρ = (1−η)/(K−1) (see DESIGN.md, "Known deviations").
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+from scipy.special import gammaln
+from scipy.stats import binom
+
+__all__ = [
+    "off_cluster_probability",
+    "p_class_correct",
+    "p_class_correct_bruteforce",
+    "p_mapping_correct_lower_bound",
+    "min_dev_set_size",
+    "theory_curve",
+]
+
+
+def off_cluster_probability(eta: float, n_classes: int) -> float:
+    """ρ: probability an example lands in one specific wrong cluster."""
+    _validate(1, n_classes, eta)
+    return (1.0 - eta) / (n_classes - 1)
+
+
+def _validate(d: int, n_classes: int, eta: float) -> None:
+    if d < 1:
+        raise ValueError(f"d (dev examples per class) must be >= 1, got {d}")
+    if n_classes < 2:
+        raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+    if not 0.0 < eta < 1.0:
+        raise ValueError(f"eta must be in (0, 1), got {eta}")
+
+
+def _p_all_below(total: int, n_cells: int, cap: int) -> float:
+    """P(every cell < cap) for ``total`` balls in ``n_cells`` uniform cells.
+
+    Computed as (total)! · [x^total] (Σ_{c=0}^{cap-1} x^c / c!)^{n_cells}
+    / n_cells^total via truncated polynomial powers — the DP of Eq. 23.
+    """
+    if total == 0:
+        return 1.0
+    if cap <= 0 or total > n_cells * (cap - 1):
+        return 0.0
+    # Coefficients of the truncated exponential series, degree < cap.
+    degrees = np.arange(min(cap, total + 1))
+    base = np.exp(-gammaln(degrees + 1))
+    poly = np.array([1.0])
+    for _ in range(n_cells):
+        poly = np.convolve(poly, base)[: total + 1]
+    if poly.size <= total:
+        return 0.0
+    coeff = poly[total]
+    log_value = np.log(max(coeff, 1e-300)) + gammaln(total + 1) - total * np.log(n_cells)
+    return float(min(1.0, np.exp(log_value)))
+
+
+def p_class_correct(d: int, n_classes: int, eta: float) -> float:
+    """P^l_{k'}: probability one class maps to its correct cluster (Eq. 18).
+
+    Strict-majority criterion: the count in the true cluster must exceed
+    the count in every other cluster (ties are excluded — the paper's
+    lower bound breaks ties pessimistically).
+    """
+    _validate(d, n_classes, eta)
+    outer = binom.pmf(np.arange(d + 1), d, eta)
+    total = 0.0
+    for t in range(1, d + 1):
+        inner = _p_all_below(d - t, n_classes - 1, t)
+        total += float(outer[t]) * inner
+    return min(1.0, total)
+
+
+def p_class_correct_bruteforce(d: int, n_classes: int, eta: float) -> float:
+    """O(K^d) enumeration of Eq. 18 (reference implementation for tests)."""
+    _validate(d, n_classes, eta)
+    rho = off_cluster_probability(eta, n_classes)
+    probs = np.array([eta] + [rho] * (n_classes - 1))
+    total = 0.0
+    for assignment in product(range(n_classes), repeat=d):
+        counts = np.bincount(np.asarray(assignment), minlength=n_classes)
+        if counts[0] > counts[1:].max(initial=-1):
+            log_p = np.log(probs[list(assignment)]).sum()
+            total += float(np.exp(log_p))
+    return total
+
+
+def p_mapping_correct_lower_bound(d: int, n_classes: int, eta: float) -> float:
+    """Theorem 1: P(correct full mapping) > Π_{k'} P^l_{k'} = (P^l)^K.
+
+    All classes share the same marginal distribution, so the product is
+    a K-th power.
+    """
+    return p_class_correct(d, n_classes, eta) ** n_classes
+
+
+def min_dev_set_size(p: float, n_classes: int, eta: float, max_per_class: int = 500) -> int:
+    """m* = K·d*: smallest dev-set size whose bound reaches probability p.
+
+    Raises ``ValueError`` if the bound cannot reach ``p`` within
+    ``max_per_class`` examples per class (e.g. η too close to chance).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    for d in range(1, max_per_class + 1):
+        if p_mapping_correct_lower_bound(d, n_classes, eta) >= p:
+            return n_classes * d
+    raise ValueError(
+        f"bound does not reach p={p} within {max_per_class} examples/class "
+        f"(eta={eta}, K={n_classes})"
+    )
+
+
+def theory_curve(eta: float, d_values: np.ndarray | list[int], n_classes: int = 2) -> np.ndarray:
+    """Figure 7 series: the Theorem-1 bound for each dev size per class."""
+    return np.array([p_mapping_correct_lower_bound(int(d), n_classes, eta) for d in d_values])

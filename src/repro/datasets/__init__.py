@@ -1,0 +1,28 @@
+"""Synthetic stand-ins for the paper's five image-labeling datasets.
+
+Each generator reproduces the *structure* of its real counterpart
+(class-conditional visual features, nuisance variation, metadata
+availability) so every code path of GOGGLES and its baselines is
+exercised; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.base import DevSet, LabeledImageDataset
+from repro.datasets.cub import make_cub
+from repro.datasets.gtsrb import make_gtsrb
+from repro.datasets.registry import DATASET_NAMES, make_dataset
+from repro.datasets.shapes import make_shapes
+from repro.datasets.surface import make_surface
+from repro.datasets.xray import make_pnxray, make_tbxray
+
+__all__ = [
+    "DevSet",
+    "LabeledImageDataset",
+    "make_cub",
+    "make_gtsrb",
+    "make_shapes",
+    "make_surface",
+    "make_tbxray",
+    "make_pnxray",
+    "make_dataset",
+    "DATASET_NAMES",
+]

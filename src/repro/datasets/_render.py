@@ -1,0 +1,53 @@
+"""Shared rendering helpers for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.image import clip01, gaussian_blur
+from repro.vision.texture import speckle
+
+__all__ = ["new_canvas", "finish_image", "jitter_colour"]
+
+
+def new_canvas(channels: int, height: int, width: int, fill: float | np.ndarray = 0.0) -> np.ndarray:
+    """Create a ``(C, H, W)`` canvas filled with a scalar or per-channel colour."""
+    canvas = np.empty((channels, height, width), dtype=np.float64)
+    fill_arr = np.asarray(fill, dtype=np.float64).reshape(-1)
+    if fill_arr.size == 1:
+        canvas[:] = fill_arr[0]
+    elif fill_arr.size == channels:
+        canvas[:] = fill_arr[:, None, None]
+    else:
+        raise ValueError(f"fill must be scalar or length-{channels}, got {fill_arr.size}")
+    return canvas
+
+
+def finish_image(
+    canvas: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    brightness_range: tuple[float, float] = (1.0, 1.0),
+    blur_sigma_range: tuple[float, float] = (0.0, 0.0),
+    pixel_noise: float = 0.0,
+    grain: float = 0.0,
+) -> np.ndarray:
+    """Apply shared photometric nuisance: brightness, blur, noise, grain."""
+    lo, hi = brightness_range
+    if lo > hi:
+        raise ValueError(f"brightness_range must be (lo <= hi), got {brightness_range}")
+    image = canvas * rng.uniform(lo, hi)
+    sigma = rng.uniform(*blur_sigma_range)
+    if sigma > 1e-3:
+        image = gaussian_blur(image[None], sigma)[0]
+    if grain > 0:
+        image = image * speckle(image.shape[1], image.shape[2], rng, grain=grain)
+    if pixel_noise > 0:
+        image = image + rng.normal(0.0, pixel_noise, size=image.shape)
+    return clip01(image)
+
+
+def jitter_colour(colour: np.ndarray | tuple, rng: np.random.Generator, amount: float = 0.05) -> np.ndarray:
+    """Perturb an RGB colour by uniform noise, staying in [0, 1]."""
+    base = np.asarray(colour, dtype=np.float64)
+    return np.clip(base + rng.uniform(-amount, amount, size=base.shape), 0.0, 1.0)

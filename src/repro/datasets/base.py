@@ -1,0 +1,162 @@
+"""Dataset container and split/dev-set utilities.
+
+The GOGGLES evaluation protocol (§5.1) needs, per dataset: a train split
+whose *labels are hidden* (the system must produce them), a held-out
+test split for end-model evaluation, and a tiny labeled development set
+(default 5 images per class) drawn from the train split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_images, check_labels
+
+__all__ = ["LabeledImageDataset", "DevSet"]
+
+
+@dataclass(frozen=True)
+class DevSet:
+    """A small labeled development set: indices into a dataset plus labels."""
+
+    indices: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.indices.shape != self.labels.shape:
+            raise ValueError(
+                f"indices and labels must align, got {self.indices.shape} vs {self.labels.shape}"
+            )
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.size)
+
+    def per_class_counts(self, n_classes: int) -> np.ndarray:
+        return np.bincount(self.labels, minlength=n_classes)
+
+
+@dataclass(frozen=True)
+class LabeledImageDataset:
+    """An image classification dataset with optional attribute metadata.
+
+    Attributes:
+        name: dataset identifier (e.g. ``"cub"``).
+        images: ``(N, C, H, W)`` float array in [0, 1].
+        labels: ``(N,)`` int ground-truth labels (hidden from GOGGLES;
+            used only for the dev set and for evaluation).
+        class_names: human-readable class names, length K.
+        attributes: optional ``(N, A)`` binary per-image annotations
+            (the CUB generator emits these; they feed Snorkel's LFs).
+        attribute_names: names for the A attribute columns.
+        class_attributes: optional ``(K, A)`` binary class-level table
+            ("class A has white head" — §5.1.2).
+    """
+
+    name: str
+    images: np.ndarray
+    labels: np.ndarray
+    class_names: tuple[str, ...]
+    attributes: np.ndarray | None = None
+    attribute_names: tuple[str, ...] = field(default_factory=tuple)
+    class_attributes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        images = check_images(self.images)
+        labels = check_labels(self.labels, n_classes=len(self.class_names))
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"images ({images.shape[0]}) and labels ({labels.shape[0]}) disagree on N"
+            )
+        if self.attributes is not None:
+            if self.attributes.shape[0] != images.shape[0]:
+                raise ValueError("attributes must have one row per image")
+            if self.class_attributes is not None and (
+                self.class_attributes.shape != (len(self.class_names), self.attributes.shape[1])
+            ):
+                raise ValueError(
+                    "class_attributes must be (n_classes, n_attributes), got "
+                    f"{self.class_attributes.shape}"
+                )
+        object.__setattr__(self, "images", images)
+        object.__setattr__(self, "labels", labels)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_examples(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    def subset(self, indices: np.ndarray, name_suffix: str = "") -> "LabeledImageDataset":
+        """A new dataset restricted to ``indices`` (order preserved)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise ValueError("cannot take an empty subset")
+        if indices.min() < 0 or indices.max() >= self.n_examples:
+            raise ValueError("subset indices out of range")
+        return replace(
+            self,
+            name=self.name + name_suffix,
+            images=self.images[indices],
+            labels=self.labels[indices],
+            attributes=None if self.attributes is None else self.attributes[indices],
+        )
+
+    def split(
+        self, train_fraction: float = 0.6, seed: int | np.random.Generator = 0
+    ) -> tuple["LabeledImageDataset", "LabeledImageDataset"]:
+        """Stratified train/test split (per-class proportional)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        rng = spawn_rng(seed, "split", self.name)
+        train_idx: list[np.ndarray] = []
+        test_idx: list[np.ndarray] = []
+        for k in range(self.n_classes):
+            members = np.flatnonzero(self.labels == k)
+            members = rng.permutation(members)
+            n_train = max(1, int(round(train_fraction * members.size)))
+            n_train = min(n_train, members.size - 1) if members.size > 1 else 1
+            train_idx.append(members[:n_train])
+            test_idx.append(members[n_train:])
+        train = np.sort(np.concatenate(train_idx))
+        test = np.sort(np.concatenate([t for t in test_idx if t.size]))
+        if test.size == 0:
+            raise ValueError("split produced an empty test set; use more examples")
+        return self.subset(train, ":train"), self.subset(test, ":test")
+
+    def sample_dev_set(self, per_class: int, seed: int | np.random.Generator = 0) -> DevSet:
+        """Sample ``per_class`` labeled examples per class (§5.1.1).
+
+        The paper uses "5 label annotations arbitrarily chosen from each
+        class".  ``per_class=0`` returns an empty dev set (used by the
+        Figure 8 sweep, where the mapping falls back to identity).
+        """
+        if per_class < 0:
+            raise ValueError(f"per_class must be >= 0, got {per_class}")
+        if per_class == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return DevSet(indices=empty, labels=empty)
+        rng = spawn_rng(seed, "dev-set", self.name)
+        chosen: list[np.ndarray] = []
+        for k in range(self.n_classes):
+            members = np.flatnonzero(self.labels == k)
+            if members.size < per_class:
+                raise ValueError(
+                    f"class {k} has only {members.size} examples, need {per_class} for the dev set"
+                )
+            chosen.append(rng.choice(members, size=per_class, replace=False))
+        indices = np.concatenate(chosen)
+        return DevSet(indices=indices, labels=self.labels[indices])
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.n_classes)

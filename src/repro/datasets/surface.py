@@ -1,0 +1,125 @@
+"""Synthetic stand-in for the surface-finish inspection dataset.
+
+The original dataset (Louhichi, 2019) contains photographs of machined
+metallic parts labeled "good" (smooth finish) or "bad" (rough finish);
+the two classes "look very similar to the untrained eye" (§5.1.1).
+
+This generator renders brushed-metal patches.  Both classes share the
+base appearance (grey tone, brushing grating, uneven illumination); the
+"bad" class adds high-frequency speckle, scratches, and pits whose
+strength is the difficulty knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets._render import finish_image, new_canvas
+from repro.datasets.base import LabeledImageDataset
+from repro.utils.rng import spawn_rng
+from repro.vision.draw import draw_line, fill_disk
+from repro.vision.texture import fractal_noise, grating, speckle
+
+__all__ = ["make_surface"]
+
+
+def _render_surface(rough: bool, size: int, rng: np.random.Generator, roughness: float) -> np.ndarray:
+    h = w = size
+    base = rng.uniform(0.45, 0.68)
+    canvas = new_canvas(1, h, w, fill=base)
+
+    # Brushing: a fine near-horizontal grating, present in both classes.
+    angle = rng.uniform(-0.12, 0.12)
+    wavelength = rng.uniform(2.5, 5.0)
+    brush = grating(h, w, wavelength, angle, phase=rng.uniform(0, 2 * np.pi))
+    canvas[0] += 0.05 * (brush - 0.5)
+
+    # Uneven illumination shared by both classes.
+    lighting = fractal_noise(h, w, rng, octaves=2, base_cells=2)
+    canvas[0] *= 0.88 + 0.24 * lighting
+
+    if rough:
+        # High-frequency machining speckle.
+        canvas[0] *= speckle(h, w, rng, grain=roughness)
+        # Scratch/pit prominence scales with the defect level, so
+        # borderline parts are genuinely borderline.
+        prominence = float(np.clip(roughness / 0.5, 0.2, 1.0))
+        n_scratches = max(1, int(rng.integers(3, 9) * prominence))
+        for _ in range(n_scratches):
+            y0, x0 = rng.uniform(0, h), rng.uniform(0, w)
+            length = rng.uniform(6, 22)
+            theta = rng.uniform(0, np.pi)
+            shade = base + rng.choice([-1.0, 1.0]) * rng.uniform(0.15, 0.3) * prominence
+            draw_line(
+                canvas,
+                y0,
+                x0,
+                y0 + length * np.sin(theta),
+                x0 + length * np.cos(theta),
+                rng.uniform(0.8, 1.6),
+                float(np.clip(shade, 0.0, 1.0)),
+                opacity=0.8 * prominence,
+            )
+        # Pits: small dark craters.
+        for _ in range(rng.integers(1, 5)):
+            fill_disk(
+                canvas,
+                rng.uniform(0, h),
+                rng.uniform(0, w),
+                rng.uniform(0.8, 2.0),
+                float(np.clip(base - 0.25 * prominence, 0.0, 1.0)),
+                opacity=0.85 * prominence,
+            )
+    else:
+        # Smooth finish still has faint fine grain.
+        canvas[0] *= speckle(h, w, rng, grain=0.25 * roughness)
+
+    mono = finish_image(
+        canvas,
+        rng,
+        brightness_range=(0.9, 1.08),
+        blur_sigma_range=(0.0, 0.4),
+        pixel_noise=0.01,
+    )
+    return np.repeat(mono, 3, axis=0)
+
+
+def make_surface(
+    n_per_class: int = 60,
+    image_size: int = 64,
+    seed: int = 0,
+    pair_seed: int = 0,
+    roughness: float = 0.5,
+    ambiguity: float = 0.17,
+) -> LabeledImageDataset:
+    """Generate the binary good/bad surface-finish task.
+
+    ``pair_seed`` only reseeds the renderer (the task has a single fixed
+    class pair, like the original dataset); ``roughness`` scales the
+    defect strength of the "bad" class; ``ambiguity`` is the fraction of
+    borderline parts — bad parts with only mild defects and good parts
+    with incipient ones — which "look very similar to the untrained
+    eye" (§5.1.1) and bound the achievable accuracy.
+    """
+    if n_per_class < 1:
+        raise ValueError(f"n_per_class must be >= 1, got {n_per_class}")
+    if not 0.0 <= ambiguity <= 1.0:
+        raise ValueError(f"ambiguity must be in [0, 1], got {ambiguity}")
+    rng = spawn_rng(seed, "surface-render", pair_seed)
+    images: list[np.ndarray] = []
+    labels: list[int] = []
+    for label, rough in enumerate((False, True)):
+        for _ in range(n_per_class):
+            strength = roughness
+            if rng.random() < ambiguity:
+                # Borderline part: defect level near the class boundary.
+                strength = roughness * (0.45 if rough else 1.6)
+            images.append(_render_surface(rough, image_size, rng, strength))
+            labels.append(label)
+    order = spawn_rng(seed, "surface-shuffle", pair_seed).permutation(len(images))
+    return LabeledImageDataset(
+        name="surface",
+        images=np.stack(images)[order],
+        labels=np.asarray(labels, dtype=np.int64)[order],
+        class_names=("good", "bad"),
+    )

@@ -1,0 +1,236 @@
+"""Synthetic stand-ins for the two chest X-ray datasets.
+
+* **TB-Xray** (Shenzhen Hospital set): normal lungs vs. manifestations
+  of tuberculosis — typically *focal* findings (nodular opacities and
+  cavities, predominantly in the upper lung zones).
+* **PN-Xray** (pediatric pneumonia set): normal vs. pneumonia —
+  typically *diffuse* findings (hazy consolidations in the mid/lower
+  zones), which are subtler; the paper reports lower accuracy on
+  PN-Xray than TB-Xray.
+
+Both generators share a chest-radiograph renderer (dark background,
+bright mediastinum/torso, dark lung fields, rib shadows, heart shadow,
+film grain) and differ in the pathology overlay, mirroring the relative
+difficulty of the two real datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets._render import finish_image, new_canvas
+from repro.datasets.base import LabeledImageDataset
+from repro.utils.rng import spawn_rng
+from repro.vision.draw import draw_line, fill_disk, fill_ellipse, fill_ring
+from repro.vision.image import gaussian_blur
+from repro.vision.texture import speckle, vignette
+
+__all__ = ["make_tbxray", "make_pnxray"]
+
+
+def _render_chest(size: int, rng: np.random.Generator) -> tuple[np.ndarray, dict]:
+    """Render a normal chest radiograph; return canvas + lung geometry."""
+    h = w = size
+    canvas = new_canvas(1, h, w, fill=0.04)
+    scale = size / 64.0
+    cx = w / 2 + rng.uniform(-2, 2) * scale
+    torso_cy = h * 0.55
+    # Soft-tissue torso.
+    fill_ellipse(canvas, torso_cy, cx, h * 0.46, w * 0.40, 0.42, opacity=0.95)
+    # Mediastinum: bright central band.
+    fill_ellipse(canvas, torso_cy, cx, h * 0.40, w * rng.uniform(0.07, 0.10), 0.62, opacity=0.9)
+    # Lung fields: darker air-filled regions.
+    lung_ry = h * rng.uniform(0.24, 0.28)
+    lung_rx = w * rng.uniform(0.13, 0.16)
+    lung_cy = h * rng.uniform(0.44, 0.50)
+    lung_dx = w * rng.uniform(0.17, 0.21)
+    lungs = {"cy": lung_cy, "dx": lung_dx, "cx": cx, "ry": lung_ry, "rx": lung_rx}
+    for side in (-1, 1):
+        fill_ellipse(
+            canvas,
+            lung_cy,
+            cx + side * lung_dx,
+            lung_ry,
+            lung_rx,
+            0.16,
+            angle=side * rng.uniform(-0.05, 0.12),
+            opacity=0.92,
+        )
+    # Rib shadows: faint bright near-horizontal arcs across the lungs.
+    n_ribs = 5
+    for i in range(n_ribs):
+        y = lung_cy - lung_ry + (2 * lung_ry) * (i + 0.5) / n_ribs
+        sag = rng.uniform(2.0, 4.5) * scale
+        for side in (-1, 1):
+            x0 = cx + side * (lung_dx - lung_rx)
+            x1 = cx + side * (lung_dx + lung_rx)
+            draw_line(canvas, y + sag, x0, y - sag, x1, 1.6 * scale, 0.34, opacity=0.45)
+    # Heart shadow: bright blob at the lower-left lung border.
+    fill_ellipse(
+        canvas,
+        torso_cy + h * 0.06,
+        cx - w * 0.06,
+        h * 0.12,
+        w * 0.11,
+        0.55,
+        opacity=0.8,
+    )
+    # Clavicles.
+    for side in (-1, 1):
+        draw_line(
+            canvas,
+            h * 0.22,
+            cx + side * w * 0.05,
+            h * 0.18,
+            cx + side * w * 0.32,
+            1.8 * scale,
+            0.5,
+            opacity=0.5,
+        )
+    canvas[0] *= vignette(h, w, strength=rng.uniform(0.15, 0.3))
+    return canvas, lungs
+
+
+def _finish_xray(canvas: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    mono = finish_image(
+        canvas,
+        rng,
+        brightness_range=(0.92, 1.08),
+        blur_sigma_range=(0.1, 0.3),
+        pixel_noise=0.02,
+        grain=0.1,
+    )
+    return np.repeat(mono, 3, axis=0)
+
+
+def _add_tb_findings(canvas: np.ndarray, lungs: dict, rng: np.random.Generator, severity: float) -> None:
+    """Focal TB findings: clustered upper-zone nodules, occasionally a cavity.
+
+    Real TB produces *many* nodular opacities that change the texture of
+    entire upper lung zones; we render a dense cluster per affected side
+    so the finding registers at feature-map resolution.
+    """
+    size = canvas.shape[1]
+    scale = size / 64.0
+    affected_sides = [-1, 1] if rng.random() < 0.5 else [(-1 if rng.random() < 0.5 else 1)]
+    for side in affected_sides:
+        n_nodules = rng.integers(6, 14)
+        for _ in range(n_nodules):
+            # Upper lung zone bias.
+            y = lungs["cy"] - lungs["ry"] * rng.uniform(0.1, 0.9)
+            x = lungs["cx"] + side * (lungs["dx"] + lungs["rx"] * rng.uniform(-0.75, 0.75))
+            fill_disk(
+                canvas, y, x, rng.uniform(1.2, 3.0) * scale, 0.58, opacity=severity * rng.uniform(0.55, 0.95)
+            )
+        if rng.random() < 0.4:
+            y = lungs["cy"] - lungs["ry"] * rng.uniform(0.3, 0.7)
+            x = lungs["cx"] + side * lungs["dx"]
+            fill_ring(canvas, y, x, rng.uniform(3.0, 5.0) * scale, 1.4 * scale, 0.55, opacity=severity * 0.85)
+
+
+def _add_pneumonia_findings(canvas: np.ndarray, lungs: dict, rng: np.random.Generator, severity: float) -> None:
+    """Diffuse pneumonia findings: interstitial infiltrates over the lungs.
+
+    Pediatric pneumonia typically shows widespread hazy/patchy
+    infiltrates rather than a single focal lesion; we brighten the lung
+    interiors with a patchy texture field, stronger toward the bases.
+    """
+    size = canvas.shape[1]
+    scale = size / 64.0
+    affected_sides = [-1, 1] if rng.random() < 0.7 else [(-1 if rng.random() < 0.5 else 1)]
+    overlay = new_canvas(1, size, size, fill=0.0)
+    for side in affected_sides:
+        # Patchy alveolar consolidations: many soft mid-size blobs
+        # scattered over the mid/lower lung, denser toward the base.
+        n_blobs = rng.integers(8, 16)
+        for _ in range(n_blobs):
+            # Basal bias: blobs concentrate in the lower two thirds.
+            frac = np.sqrt(rng.random())
+            y = lungs["cy"] - lungs["ry"] * (1 - 2 * frac) * 0.9
+            x = lungs["cx"] + side * (lungs["dx"] + lungs["rx"] * rng.uniform(-0.8, 0.8))
+            fill_disk(overlay, y, x, rng.uniform(2.0, 4.5) * scale, 1.0, opacity=rng.uniform(0.5, 1.0))
+    hazy = gaussian_blur(overlay[None], sigma=0.8 * scale)[0]
+    # Air bronchograms give consolidations a patchy texture, which is
+    # what distinguishes them from a globally brighter exposure.
+    patchiness = speckle(size, size, rng, grain=1.0, sigma=1.0 * scale)
+    canvas += hazy * patchiness * severity * rng.uniform(0.35, 0.55)
+
+
+def _make_xray_dataset(
+    name: str,
+    class_names: tuple[str, str],
+    add_findings,
+    n_per_class: int,
+    image_size: int,
+    seed: int,
+    pair_seed: int,
+    severity: float,
+    confuser_rate: float,
+) -> LabeledImageDataset:
+    if n_per_class < 1:
+        raise ValueError(f"n_per_class must be >= 1, got {n_per_class}")
+    rng = spawn_rng(seed, f"{name}-render", pair_seed)
+    images: list[np.ndarray] = []
+    labels: list[int] = []
+    for label in (0, 1):
+        for _ in range(n_per_class):
+            canvas, lungs = _render_chest(image_size, rng)
+            if label == 1:
+                add_findings(canvas, lungs, rng, severity)
+            elif rng.random() < confuser_rate:
+                # Normals occasionally show borderline shadows, making
+                # the boundary fuzzy like in real radiographs.
+                add_findings(canvas, lungs, rng, severity * 0.35)
+            images.append(_finish_xray(canvas, rng))
+            labels.append(label)
+    order = spawn_rng(seed, f"{name}-shuffle", pair_seed).permutation(len(images))
+    return LabeledImageDataset(
+        name=name,
+        images=np.stack(images)[order],
+        labels=np.asarray(labels, dtype=np.int64)[order],
+        class_names=class_names,
+    )
+
+
+def make_tbxray(
+    n_per_class: int = 60,
+    image_size: int = 64,
+    seed: int = 0,
+    pair_seed: int = 0,
+    severity: float = 0.95,
+    confuser_rate: float = 0.15,
+) -> LabeledImageDataset:
+    """Binary normal-vs-tuberculosis chest X-ray task (focal findings)."""
+    return _make_xray_dataset(
+        "tbxray",
+        ("normal", "tuberculosis"),
+        _add_tb_findings,
+        n_per_class,
+        image_size,
+        seed,
+        pair_seed,
+        severity,
+        confuser_rate,
+    )
+
+
+def make_pnxray(
+    n_per_class: int = 60,
+    image_size: int = 64,
+    seed: int = 0,
+    pair_seed: int = 0,
+    severity: float = 1.4,
+    confuser_rate: float = 0.35,
+) -> LabeledImageDataset:
+    """Binary normal-vs-pneumonia chest X-ray task (diffuse findings)."""
+    return _make_xray_dataset(
+        "pnxray",
+        ("normal", "pneumonia"),
+        _add_pneumonia_findings,
+        n_per_class,
+        image_size,
+        seed,
+        pair_seed,
+        severity,
+        confuser_rate,
+    )

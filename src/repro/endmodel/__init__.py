@@ -1,0 +1,17 @@
+"""Downstream discriminative models trained on (probabilistic) labels."""
+
+from repro.endmodel.head import LinearHead, MLPHead, softmax_cross_entropy
+from repro.endmodel.optim import SGD, Adam
+from repro.endmodel.train import TrainConfig, TrainResult, one_hot, train_head
+
+__all__ = [
+    "LinearHead",
+    "MLPHead",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "TrainConfig",
+    "TrainResult",
+    "one_hot",
+    "train_head",
+]

@@ -1,0 +1,134 @@
+"""Trainable classification heads over frozen backbone features.
+
+The paper's end models "use the VGG-16 as the downstream ML model
+architecture, and tune the weights of the last fully connected layers"
+(§5.5).  We freeze the (surrogate-pretrained) backbone and train a new
+fully connected head with analytic gradients; the MLP variant mirrors
+"the fully connected layers", the linear variant is the FSL Baseline's
+classifier.
+
+Training minimises the expected cross-entropy under probabilistic
+labels, θ̂ = argmin Σ_i E_{y~ỹ_i}[l(h_θ(x_i), y)] (§2.1) — for one-hot
+labels this reduces to ordinary cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import check_array, check_probabilities
+
+__all__ = ["LinearHead", "MLPHead", "softmax_cross_entropy"]
+
+
+def softmax_cross_entropy(logits: np.ndarray, soft_labels: np.ndarray) -> float:
+    """Mean expected cross-entropy of ``logits`` against soft labels."""
+    log_probs = F.log_softmax(logits, axis=1)
+    return float(-(soft_labels * log_probs).sum(axis=1).mean())
+
+
+class LinearHead:
+    """Single affine layer + softmax with closed-form gradients."""
+
+    def __init__(self, in_features: int, n_classes: int, seed: int = 0, weight_scale: float = 0.01):
+        if in_features < 1 or n_classes < 2:
+            raise ValueError(f"invalid head shape ({in_features}, {n_classes})")
+        rng = spawn_rng(seed, "linear-head")
+        self.weight = weight_scale * rng.standard_normal((n_classes, in_features))
+        self.bias = np.zeros(n_classes)
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight.T + self.bias
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return F.softmax(self.logits(x), axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.logits(x).argmax(axis=1)
+
+    def loss_and_grads(
+        self, x: np.ndarray, soft_labels: np.ndarray, l2: float = 0.0
+    ) -> tuple[float, list[np.ndarray]]:
+        """Expected CE loss and gradients w.r.t. (weight, bias).
+
+        d/dz of softmax-CE with soft targets is ``softmax(z) - target``.
+        """
+        x = check_array(x, name="features", ndim=2)
+        soft_labels = check_probabilities(soft_labels, axis=1, name="soft_labels")
+        n = x.shape[0]
+        logits = self.logits(x)
+        probs = F.softmax(logits, axis=1)
+        loss = softmax_cross_entropy(logits, soft_labels)
+        delta = (probs - soft_labels) / n
+        grad_w = delta.T @ x
+        grad_b = delta.sum(axis=0)
+        if l2 > 0:
+            loss += 0.5 * l2 * float((self.weight**2).sum())
+            grad_w = grad_w + l2 * self.weight
+        return loss, [grad_w, grad_b]
+
+
+class MLPHead:
+    """Two-layer (hidden ReLU) head, mirroring VGG's fc6/fc7-style stack."""
+
+    def __init__(
+        self,
+        in_features: int,
+        n_classes: int,
+        hidden: int = 64,
+        seed: int = 0,
+    ):
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        rng = spawn_rng(seed, "mlp-head")
+        scale1 = np.sqrt(2.0 / in_features)
+        scale2 = np.sqrt(2.0 / hidden)
+        self.w1 = scale1 * rng.standard_normal((hidden, in_features))
+        self.b1 = np.zeros(hidden)
+        self.w2 = scale2 * rng.standard_normal((n_classes, hidden))
+        self.b2 = np.zeros(n_classes)
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.w1, self.b1, self.w2, self.b2]
+
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        hidden = F.relu(x @ self.w1.T + self.b1)
+        return hidden, hidden @ self.w2.T + self.b2
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        return self._forward(x)[1]
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return F.softmax(self.logits(x), axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.logits(x).argmax(axis=1)
+
+    def loss_and_grads(
+        self, x: np.ndarray, soft_labels: np.ndarray, l2: float = 0.0
+    ) -> tuple[float, list[np.ndarray]]:
+        """Expected CE loss and gradients w.r.t. all four parameters."""
+        x = check_array(x, name="features", ndim=2)
+        soft_labels = check_probabilities(soft_labels, axis=1, name="soft_labels")
+        n = x.shape[0]
+        hidden, logits = self._forward(x)
+        probs = F.softmax(logits, axis=1)
+        loss = softmax_cross_entropy(logits, soft_labels)
+        delta2 = (probs - soft_labels) / n
+        grad_w2 = delta2.T @ hidden
+        grad_b2 = delta2.sum(axis=0)
+        delta1 = (delta2 @ self.w2) * (hidden > 0)
+        grad_w1 = delta1.T @ x
+        grad_b1 = delta1.sum(axis=0)
+        if l2 > 0:
+            loss += 0.5 * l2 * float((self.w1**2).sum() + (self.w2**2).sum())
+            grad_w1 = grad_w1 + l2 * self.w1
+            grad_w2 = grad_w2 + l2 * self.w2
+        return loss, [grad_w1, grad_b1, grad_w2, grad_b2]

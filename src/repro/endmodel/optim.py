@@ -1,0 +1,79 @@
+"""Optimisers for the trainable heads (closed-form-gradient training).
+
+The paper trains FSL models and end models "with the Adam optimizer
+with a learning rate of 10^-3" (§5.1.3); this module provides that Adam
+plus plain SGD for comparison.  There is no autograd in this repo —
+gradients are computed analytically by the heads — so optimisers just
+consume (param, grad) pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam", "SGD"]
+
+
+class SGD:
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update ``params`` in place given aligned ``grads``."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            if self.momentum > 0:
+                velocity = self._velocity.setdefault(i, np.zeros_like(param))
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1/beta2 must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Update ``params`` in place given aligned ``grads``."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            m = self._m.setdefault(i, np.zeros_like(param))
+            v = self._v.setdefault(i, np.zeros_like(param))
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            param -= self.learning_rate * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

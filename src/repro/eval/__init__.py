@@ -1,0 +1,61 @@
+"""Experiment harness, metrics, and the paper's reference numbers."""
+
+from repro.eval.harness import (
+    ExperimentSettings,
+    run_fig2,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_inference_ablation,
+    run_table1,
+    run_table1_row,
+    run_table2,
+    run_table2_row,
+    shared_model,
+)
+from repro.eval.metrics import (
+    accuracy,
+    brier_score,
+    confusion_matrix,
+    labeling_accuracy,
+    roc_auc,
+)
+from repro.eval.paper import (
+    DATASETS,
+    PAPER_CLAIMS,
+    TABLE1_METHODS,
+    TABLE1_PAPER,
+    TABLE2_METHODS,
+    TABLE2_PAPER,
+)
+from repro.eval.tables import format_comparison_table, format_curve, format_matrix
+
+__all__ = [
+    "ExperimentSettings",
+    "run_fig2",
+    "run_fig5",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_inference_ablation",
+    "run_table1",
+    "run_table1_row",
+    "run_table2",
+    "run_table2_row",
+    "shared_model",
+    "accuracy",
+    "brier_score",
+    "confusion_matrix",
+    "labeling_accuracy",
+    "roc_auc",
+    "DATASETS",
+    "PAPER_CLAIMS",
+    "TABLE1_METHODS",
+    "TABLE1_PAPER",
+    "TABLE2_METHODS",
+    "TABLE2_PAPER",
+    "format_comparison_table",
+    "format_curve",
+    "format_matrix",
+]

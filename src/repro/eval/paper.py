@@ -1,0 +1,79 @@
+"""Every number the paper's evaluation reports, for paper-vs-measured output.
+
+Sources: Table 1 (labeling accuracy on the training split), Table 2
+(end-model accuracy on the held-out test split), and the prose of §5.
+``None`` marks the cells the paper leaves empty ("the '-' symbol
+represents cases where evaluation was not possible" — Snorkel needs
+attribute metadata that only CUB has).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DATASETS",
+    "TABLE1_PAPER",
+    "TABLE1_METHODS",
+    "TABLE2_PAPER",
+    "TABLE2_METHODS",
+    "PAPER_CLAIMS",
+]
+
+DATASETS: tuple[str, ...] = ("cub", "gtsrb", "surface", "tbxray", "pnxray")
+
+TABLE1_METHODS: tuple[str, ...] = (
+    "goggles",
+    "snorkel",
+    "snuba",
+    "hog",
+    "logits",
+    "kmeans",
+    "gmm",
+    "spectral",
+)
+
+# Table 1: labeling accuracy (%) on the training set.
+TABLE1_PAPER: dict[str, dict[str, float | None]] = {
+    "cub": {
+        "goggles": 97.83, "snorkel": 89.17, "snuba": 58.83, "hog": 62.93,
+        "logits": 96.35, "kmeans": 98.67, "gmm": 97.62, "spectral": 72.08,
+    },
+    "gtsrb": {
+        "goggles": 70.51, "snorkel": None, "snuba": 62.74, "hog": 75.48,
+        "logits": 64.77, "kmeans": 70.74, "gmm": 69.64, "spectral": 62.40,
+    },
+    "surface": {
+        "goggles": 89.18, "snorkel": None, "snuba": 57.86, "hog": 85.82,
+        "logits": 54.08, "kmeans": 69.08, "gmm": 69.14, "spectral": 60.82,
+    },
+    "tbxray": {
+        "goggles": 76.89, "snorkel": None, "snuba": 59.47, "hog": 69.13,
+        "logits": 67.16, "kmeans": 76.33, "gmm": 76.70, "spectral": 75.00,
+    },
+    "pnxray": {
+        "goggles": 74.39, "snorkel": None, "snuba": 55.50, "hog": 53.11,
+        "logits": 71.18, "kmeans": 50.66, "gmm": 68.66, "spectral": 75.90,
+    },
+}
+
+TABLE2_METHODS: tuple[str, ...] = ("fsl", "snorkel", "snuba", "goggles", "upper_bound")
+
+# Table 2: end-model accuracy (%) on the held-out test set.
+TABLE2_PAPER: dict[str, dict[str, float | None]] = {
+    "cub": {"fsl": 84.74, "snorkel": 87.85, "snuba": 56.32, "goggles": 95.30, "upper_bound": 98.44},
+    "gtsrb": {"fsl": 90.72, "snorkel": None, "snuba": 70.11, "goggles": 91.54, "upper_bound": 98.94},
+    "surface": {"fsl": 76.00, "snorkel": None, "snuba": 51.67, "goggles": 83.33, "upper_bound": 92.00},
+    "tbxray": {"fsl": 66.42, "snorkel": None, "snuba": 62.71, "goggles": 70.90, "upper_bound": 82.09},
+    "pnxray": {"fsl": 68.28, "snorkel": None, "snuba": 62.19, "goggles": 69.06, "upper_bound": 74.22},
+}
+
+# Headline qualitative claims of §5 that the reproduction must preserve.
+PAPER_CLAIMS: tuple[str, ...] = (
+    "GOGGLES labeling accuracy ranges from ~71% to ~98% across datasets",
+    "GOGGLES beats Snuba by ~20+ points on average (labeling, Table 1)",
+    "GOGGLES beats the clustering baselines on average (Table 1)",
+    "prototype affinities beat HOG and Logits representations on average (Table 1)",
+    "end-to-end: upper bound > GOGGLES > FSL > Snuba on average (Table 2)",
+    "accuracy rises then saturates with development-set size (Figure 8)",
+    "accuracy rises with the number of affinity functions (Figure 9)",
+    "P(correct mapping) approaches 1 with dev size, faster for higher eta (Figure 7)",
+)

@@ -1,0 +1,73 @@
+"""ASCII rendering of paper-vs-measured tables and curves."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_comparison_table", "format_curve", "format_matrix"]
+
+
+def _cell(value: float | None) -> str:
+    return "    -" if value is None else f"{value:5.1f}"
+
+
+def format_comparison_table(
+    measured: dict[str, dict[str, float | None]],
+    paper: dict[str, dict[str, float | None]],
+    methods: tuple[str, ...],
+    title: str,
+) -> str:
+    """Render dataset-by-method measured values with paper references.
+
+    Each cell shows ``measured (paper)``; the final row averages the
+    columns over datasets where both values exist.
+    """
+    header = ["dataset".ljust(9)] + [m[:14].rjust(16) for m in methods]
+    lines = [title, "  ".join(header)]
+    sums: dict[str, list[float]] = {m: [] for m in methods}
+    paper_sums: dict[str, list[float]] = {m: [] for m in methods}
+    for dataset, row in measured.items():
+        cells = [dataset.ljust(9)]
+        for method in methods:
+            value = row.get(method)
+            reference = paper.get(dataset, {}).get(method)
+            cells.append(f"{_cell(value)} ({_cell(reference).strip()})".rjust(16))
+            if value is not None:
+                sums[method].append(value)
+            if reference is not None:
+                paper_sums[method].append(reference)
+        lines.append("  ".join(cells))
+    average_cells = ["average".ljust(9)]
+    for method in methods:
+        value = float(np.mean(sums[method])) if sums[method] else None
+        reference = float(np.mean(paper_sums[method])) if paper_sums[method] else None
+        ref_text = _cell(reference).strip() if reference is not None else "-"
+        average_cells.append(f"{_cell(value)} ({ref_text})".rjust(16))
+    lines.append("  ".join(average_cells))
+    lines.append("cells: measured (paper)")
+    return "\n".join(lines)
+
+
+def format_curve(points: dict, title: str, x_label: str = "x", y_label: str = "y", width: int = 40) -> str:
+    """Render an x->y mapping as an aligned list with a unit-scaled bar."""
+    lines = [title, f"{x_label:>8}  {y_label}"]
+    values = [float(v) for v in points.values()]
+    low, high = min(values), max(values)
+    span = max(high - low, 1e-9)
+    for x, y in points.items():
+        bar = "#" * int(round((float(y) - low) / span * width))
+        lines.append(f"{x!s:>8}  {float(y):7.2f}  {bar}")
+    return "\n".join(lines)
+
+
+def format_matrix(matrix: np.ndarray, title: str, labels: tuple[str, ...] | None = None) -> str:
+    """Render a small matrix with optional row/column labels."""
+    matrix = np.asarray(matrix)
+    n_rows, n_cols = matrix.shape
+    if labels is None:
+        labels = tuple(str(i) for i in range(max(n_rows, n_cols)))
+    lines = [title, "         " + "  ".join(f"{labels[j]:>8}" for j in range(n_cols))]
+    for i in range(n_rows):
+        cells = "  ".join(f"{matrix[i, j]:8.3f}" for j in range(n_cols))
+        lines.append(f"{labels[i]:>8} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Few-shot learning baseline (Chen et al. 2019 "Baseline")."""
+
+from repro.fsl.baseline import FSLBaseline, FSLConfig
+
+__all__ = ["FSLBaseline", "FSLConfig"]

@@ -1,0 +1,75 @@
+"""Few-shot learning Baseline (Chen et al., ICLR 2019) — paper §5.1.3.
+
+The "Baseline" method the paper compares against: take a network
+pretrained on a source domain, freeze the feature extractor, and train
+a new linear classifier on the few labeled support examples (here the
+same 5-per-class development set GOGGLES uses), with Adam at lr 1e-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import DevSet
+from repro.endmodel.head import LinearHead
+from repro.endmodel.optim import Adam
+from repro.endmodel.train import one_hot
+from repro.nn.vgg import VGG16
+from repro.utils.validation import check_images
+
+__all__ = ["FSLConfig", "FSLBaseline"]
+
+
+@dataclass(frozen=True)
+class FSLConfig:
+    """Hyper-parameters of the FSL Baseline fine-tuning stage.
+
+    Attributes:
+        epochs: full-batch gradient steps on the support set (tiny, so
+            full batch is the natural choice).
+        learning_rate: Adam step size (paper: 1e-3).
+        l2: weight decay on the linear classifier.
+        seed: classifier initialisation seed.
+    """
+
+    epochs: int = 300
+    learning_rate: float = 1e-3
+    l2: float = 1e-3
+    seed: int = 0
+
+
+class FSLBaseline:
+    """Frozen backbone + linear classifier trained on the support set."""
+
+    def __init__(self, model: VGG16, n_classes: int, config: FSLConfig | None = None):
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.model = model
+        self.n_classes = n_classes
+        self.config = config or FSLConfig()
+        self._head: LinearHead | None = None
+
+    def fit(self, images: np.ndarray, dev_set: DevSet) -> "FSLBaseline":
+        """Fine-tune the classifier on the dev (support) examples."""
+        images = check_images(images)
+        if dev_set.size == 0:
+            raise ValueError("FSL Baseline needs a non-empty support set")
+        support = self.model.embed(images[dev_set.indices])
+        targets = one_hot(dev_set.labels, self.n_classes)
+        head = LinearHead(support.shape[1], self.n_classes, seed=self.config.seed)
+        optimiser = Adam(learning_rate=self.config.learning_rate)
+        for _ in range(self.config.epochs):
+            _, grads = head.loss_and_grads(support, targets, l2=self.config.l2)
+            optimiser.step(head.parameters, grads)
+        self._head = head
+        return self
+
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        if self._head is None:
+            raise RuntimeError("FSLBaseline must be fitted before predicting")
+        return self._head.predict_proba(self.model.embed(check_images(images)))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return self.predict_proba(images).argmax(axis=1)

@@ -1,0 +1,27 @@
+"""Data-programming substrate: labeling functions, Snorkel, Snuba."""
+
+from repro.labeling.label_model import LabelModel, LabelModelResult, majority_vote
+from repro.labeling.lf import (
+    ABSTAIN,
+    LabelingFunction,
+    apply_labeling_functions,
+    attribute_lfs_from_dataset,
+    lf_summary,
+)
+from repro.labeling.primitives import extract_snuba_primitives
+from repro.labeling.snuba import DecisionStump, Snuba, SnubaResult
+
+__all__ = [
+    "LabelModel",
+    "LabelModelResult",
+    "majority_vote",
+    "ABSTAIN",
+    "LabelingFunction",
+    "apply_labeling_functions",
+    "attribute_lfs_from_dataset",
+    "lf_summary",
+    "extract_snuba_primitives",
+    "DecisionStump",
+    "Snuba",
+    "SnubaResult",
+]

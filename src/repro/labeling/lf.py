@@ -1,0 +1,105 @@
+"""Labeling-function abstraction (data programming substrate).
+
+A labeling function (LF) maps an instance to a class vote in
+``{0..K-1}`` or abstains (``ABSTAIN = -1``).  Data programming systems
+aggregate many noisy LFs into probabilistic labels.  For the CUB task,
+LFs are built from the dataset's per-image attribute annotations crossed
+with the class-attribute table, exactly as §5.1.2 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.datasets.base import LabeledImageDataset
+
+__all__ = ["ABSTAIN", "LabelingFunction", "apply_labeling_functions", "attribute_lfs_from_dataset", "lf_summary"]
+
+ABSTAIN = -1
+
+
+@dataclass(frozen=True)
+class LabelingFunction:
+    """A named labeling function over instance indices.
+
+    The callable receives the instance index and returns a vote; state
+    (e.g. the attribute matrix) is captured by closure.  Index-based
+    dispatch keeps LFs decoupled from the feature modality (metadata,
+    primitives, pixels).
+    """
+
+    name: str
+    fn: Callable[[int], int]
+
+    def __call__(self, index: int) -> int:
+        vote = self.fn(index)
+        if vote != ABSTAIN and vote < 0:
+            raise ValueError(f"LF {self.name!r} returned invalid vote {vote}")
+        return vote
+
+
+def apply_labeling_functions(lfs: list[LabelingFunction], n: int) -> np.ndarray:
+    """Vote matrix Λ of shape ``(n, len(lfs))`` with ABSTAIN = -1."""
+    if not lfs:
+        raise ValueError("need at least one labeling function")
+    votes = np.empty((n, len(lfs)), dtype=np.int64)
+    for j, lf in enumerate(lfs):
+        for i in range(n):
+            votes[i, j] = lf(i)
+    return votes
+
+
+def attribute_lfs_from_dataset(dataset: LabeledImageDataset) -> list[LabelingFunction]:
+    """Build Snorkel-style LFs from attribute annotations (§5.1.2).
+
+    "each attribute annotation in the union of the class-specific
+    attributes acts as a labeling function which outputs a binary label
+    corresponding to the class that the attribute belongs to.  If an
+    attribute belongs to both classes ... the labeling function
+    abstains."  An image that lacks the attribute also abstains.
+    """
+    if dataset.attributes is None or dataset.class_attributes is None:
+        raise ValueError(
+            f"dataset {dataset.name!r} has no attribute metadata; "
+            "only CUB-style datasets support attribute LFs"
+        )
+    attributes = dataset.attributes
+    class_attributes = dataset.class_attributes
+    lfs: list[LabelingFunction] = []
+    for a in range(class_attributes.shape[1]):
+        owners = np.flatnonzero(class_attributes[:, a] == 1)
+        if owners.size != 1:
+            # Attribute absent from the task, or shared by both classes:
+            # not usable as a discriminating LF.
+            continue
+        owner = int(owners[0])
+        name = (
+            dataset.attribute_names[a]
+            if a < len(dataset.attribute_names)
+            else f"attribute_{a}"
+        )
+
+        def vote(index: int, column: int = a, klass: int = owner) -> int:
+            return klass if attributes[index, column] == 1 else ABSTAIN
+
+        lfs.append(LabelingFunction(name=f"lf[{name}->{owner}]", fn=vote))
+    if not lfs:
+        raise ValueError("no discriminating attributes found for this class pair")
+    return lfs
+
+
+def lf_summary(votes: np.ndarray, true_labels: np.ndarray | None = None) -> dict[str, np.ndarray]:
+    """Per-LF coverage (non-abstain rate) and, if labels given, accuracy."""
+    coverage = (votes != ABSTAIN).mean(axis=0)
+    summary: dict[str, np.ndarray] = {"coverage": coverage}
+    if true_labels is not None:
+        true_labels = np.asarray(true_labels)
+        accuracy = np.empty(votes.shape[1])
+        for j in range(votes.shape[1]):
+            active = votes[:, j] != ABSTAIN
+            accuracy[j] = (votes[active, j] == true_labels[active]).mean() if active.any() else np.nan
+        summary["accuracy"] = accuracy
+    return summary

@@ -1,0 +1,26 @@
+"""Automatic primitive extraction for Snuba (paper §5.1.2).
+
+Snuba needs per-instance *primitives*.  None of the datasets ship
+user-provided primitives, so — following the Snuba authors' suggestion
+quoted in the paper — we use "the logits layer of the pre-trained
+VGG-16 model ... project[ed] onto a feature space of the top-10
+principal components".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.vgg import VGG16
+from repro.vision.pca import PCA
+
+__all__ = ["extract_snuba_primitives"]
+
+
+def extract_snuba_primitives(
+    model: VGG16, images: np.ndarray, n_components: int = 10
+) -> np.ndarray:
+    """Logits -> top-``n_components`` PCA projection, shape ``(N, n_components)``."""
+    logits = model.logits(images)
+    pca = PCA(n_components=n_components)
+    return pca.fit_transform(logits)

@@ -1,0 +1,261 @@
+"""Snuba: automatic labeling-function synthesis (Varma & Ré, VLDB'19).
+
+Snuba removes the human from data programming: given a small labeled
+development set and per-instance primitives, it repeatedly
+
+1. *generates* candidate heuristics (here: decision stumps over single
+   primitives, the 1-D special case of Snuba's shallow models);
+2. *prunes* to the candidate maximising a weighted combination of
+   dev-set F1 and diversity (low coverage overlap with the committed
+   set, measured by Jaccard distance);
+3. *verifies*: each heuristic abstains outside a confidence band β
+   chosen to maximise dev F1, and iteration stops when the newest
+   heuristic no longer improves the committed ensemble.
+
+The committed heuristics' votes are aggregated by the generative label
+model (``repro.labeling.label_model``) into probabilistic labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.labeling.label_model import LabelModel, LabelModelResult
+from repro.labeling.lf import ABSTAIN
+from repro.utils.validation import check_array, check_labels
+
+__all__ = ["DecisionStump", "Snuba", "SnubaResult"]
+
+
+@dataclass(frozen=True)
+class DecisionStump:
+    """A thresholded 1-D heuristic with a confidence band.
+
+    Votes ``high_class`` when ``x[feature] >= threshold + beta``,
+    ``low_class`` when ``x[feature] <= threshold - beta`` and abstains
+    inside the band — Snuba's confidence-based abstain mechanism.
+    """
+
+    feature: int
+    threshold: float
+    low_class: int
+    high_class: int
+    beta: float
+
+    def vote(self, primitives: np.ndarray) -> np.ndarray:
+        values = primitives[:, self.feature]
+        out = np.full(values.shape[0], ABSTAIN, dtype=np.int64)
+        out[values >= self.threshold + self.beta] = self.high_class
+        out[values <= self.threshold - self.beta] = self.low_class
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"stump(x[{self.feature}] >= {self.threshold + self.beta:.3f} -> {self.high_class}; "
+            f"x[{self.feature}] <= {self.threshold - self.beta:.3f} -> {self.low_class})"
+        )
+
+
+@dataclass(frozen=True)
+class SnubaResult:
+    """Output of a Snuba run.
+
+    Attributes:
+        probabilistic_labels: ``(N, K)`` labels for the unlabeled set.
+        heuristics: committed decision stumps, in commit order.
+        label_model: the aggregation model's fit result.
+        dev_f1_history: committed-ensemble dev F1 after each iteration.
+    """
+
+    probabilistic_labels: np.ndarray
+    heuristics: tuple[DecisionStump, ...]
+    label_model: LabelModelResult
+    dev_f1_history: tuple[float, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of unlabeled instances with at least one vote."""
+        return float((self.probabilistic_labels.max(axis=1) > 0.5).mean())
+
+
+def _f1_binary(predictions: np.ndarray, labels: np.ndarray, positive: int = 1) -> float:
+    """F1 over non-abstaining predictions (abstains count against recall)."""
+    predicted_pos = predictions == positive
+    actual_pos = labels == positive
+    tp = float((predicted_pos & actual_pos).sum())
+    fp = float((predicted_pos & ~actual_pos).sum())
+    fn = float((~predicted_pos & actual_pos).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+class Snuba:
+    """Automatic LF synthesis over primitives.
+
+    Parameters:
+        n_classes: K (the published system targets binary tasks; we
+            support K=2 which covers all five paper datasets).
+        max_heuristics: cap on committed heuristics.
+        n_thresholds: candidate thresholds per feature (midpoints of the
+            dev-set value grid).
+        beta_grid: candidate half-widths of the abstain band, as
+            fractions of the feature's dev-set spread.
+        diversity_weight: trade-off between dev F1 and Jaccard diversity
+            when pruning candidates.
+        min_improvement: stop when dev F1 improves less than this.
+        seed: seed for the aggregation label model.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 2,
+        max_heuristics: int = 10,
+        n_thresholds: int = 12,
+        beta_grid: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5),
+        diversity_weight: float = 0.3,
+        min_improvement: float = 1e-3,
+        seed: int = 0,
+    ):
+        if n_classes != 2:
+            raise ValueError("this Snuba implementation supports binary tasks (K=2)")
+        self.n_classes = n_classes
+        self.max_heuristics = max_heuristics
+        self.n_thresholds = n_thresholds
+        self.beta_grid = beta_grid
+        self.diversity_weight = diversity_weight
+        self.min_improvement = min_improvement
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _candidate_stumps(self, dev_x: np.ndarray, dev_y: np.ndarray) -> list[DecisionStump]:
+        """Generate stump candidates on every primitive dimension."""
+        candidates: list[DecisionStump] = []
+        for feature in range(dev_x.shape[1]):
+            values = np.unique(dev_x[:, feature])
+            if values.size < 2:
+                continue
+            spread = float(values.max() - values.min())
+            midpoints = (values[1:] + values[:-1]) / 2.0
+            if midpoints.size > self.n_thresholds:
+                picks = np.linspace(0, midpoints.size - 1, self.n_thresholds).astype(np.int64)
+                midpoints = midpoints[picks]
+            for threshold in midpoints:
+                above = dev_y[dev_x[:, feature] >= threshold]
+                if above.size in (0, dev_y.size):
+                    continue
+                # Orient the stump by the dev-set majority above the cut.
+                high = int(np.bincount(above, minlength=2).argmax())
+                for beta_frac in self.beta_grid:
+                    candidates.append(
+                        DecisionStump(
+                            feature=feature,
+                            threshold=float(threshold),
+                            low_class=1 - high,
+                            high_class=high,
+                            beta=beta_frac * spread,
+                        )
+                    )
+        return candidates
+
+    def _ensemble_dev_f1(self, stumps: list[DecisionStump], dev_x: np.ndarray, dev_y: np.ndarray) -> float:
+        """Mean of per-class F1 of the majority vote of the committed set."""
+        votes = np.stack([s.vote(dev_x) for s in stumps], axis=1)
+        predictions = np.full(dev_y.size, ABSTAIN, dtype=np.int64)
+        for i in range(dev_y.size):
+            active = votes[i][votes[i] != ABSTAIN]
+            if active.size:
+                predictions[i] = np.bincount(active, minlength=2).argmax()
+        return 0.5 * (_f1_binary(predictions, dev_y, 1) + _f1_binary(predictions, dev_y, 0))
+
+    def fit(
+        self,
+        primitives: np.ndarray,
+        dev_indices: np.ndarray,
+        dev_labels: np.ndarray,
+    ) -> SnubaResult:
+        """Synthesise heuristics and label all ``primitives`` rows.
+
+        ``dev_indices`` locate the development examples inside
+        ``primitives``; their labels are ``dev_labels``.
+        """
+        primitives = check_array(np.asarray(primitives, dtype=np.float64), name="primitives", ndim=2)
+        dev_indices = np.asarray(dev_indices, dtype=np.int64)
+        dev_labels = check_labels(dev_labels, n_classes=self.n_classes, name="dev_labels")
+        if dev_indices.size < 2 or np.unique(dev_labels).size < 2:
+            raise ValueError("Snuba needs a dev set containing both classes")
+        dev_x = primitives[dev_indices]
+
+        committed: list[DecisionStump] = []
+        committed_coverage: list[np.ndarray] = []
+        f1_history: list[float] = []
+        best_f1 = 0.0
+        # Iterative generate / prune / verify loop.  Each round focuses
+        # the candidate score on dev examples the committed set still
+        # gets wrong or leaves uncovered (Snuba's feedback step).
+        weights = np.ones(dev_x.shape[0])
+        for _ in range(self.max_heuristics):
+            candidates = self._candidate_stumps(dev_x, dev_labels)
+            if not candidates:
+                break
+            best_candidate = None
+            best_score = -np.inf
+            for stump in candidates:
+                votes = stump.vote(dev_x)
+                active = votes != ABSTAIN
+                if not active.any():
+                    continue
+                correct = (votes == dev_labels) & active
+                # Weighted F1 on the dev set: precision over active
+                # votes, recall over all (weighted) dev examples — so a
+                # heuristic cannot game the score by abstaining widely.
+                precision = float((weights * correct).sum() / max(weights[active].sum(), 1e-9))
+                recall = float((weights * correct).sum() / max(weights.sum(), 1e-9))
+                weighted_f1 = (
+                    2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+                )
+                if committed_coverage:
+                    union = active.copy()
+                    intersection = active.copy()
+                    for cov in committed_coverage:
+                        union |= cov
+                        intersection &= cov
+                    jaccard = intersection.sum() / max(union.sum(), 1)
+                    diversity = 1.0 - jaccard
+                else:
+                    diversity = 1.0
+                score = (1 - self.diversity_weight) * weighted_f1 + self.diversity_weight * diversity
+                if score > best_score:
+                    best_score = score
+                    best_candidate = stump
+            if best_candidate is None:
+                break
+            trial = committed + [best_candidate]
+            trial_f1 = self._ensemble_dev_f1(trial, dev_x, dev_labels)
+            if committed and trial_f1 < best_f1 + self.min_improvement:
+                break
+            committed = trial
+            votes = best_candidate.vote(dev_x)
+            committed_coverage.append(votes != ABSTAIN)
+            best_f1 = max(best_f1, trial_f1)
+            f1_history.append(trial_f1)
+            # Re-weight dev examples: covered-and-correct examples count
+            # less next round.
+            correct = (votes == dev_labels) & (votes != ABSTAIN)
+            weights = np.where(correct, weights * 0.5, weights)
+
+        if not committed:
+            raise RuntimeError("Snuba committed no heuristics; dev set may be degenerate")
+
+        vote_matrix = np.stack([s.vote(primitives) for s in committed], axis=1)
+        label_model = LabelModel(n_classes=self.n_classes, seed=self.seed).fit(vote_matrix)
+        return SnubaResult(
+            probabilistic_labels=label_model.probabilistic_labels,
+            heuristics=tuple(committed),
+            label_model=label_model,
+            dev_f1_history=tuple(f1_history),
+        )

@@ -1,0 +1,103 @@
+"""Activation-sparsity calibration — the "pretraining" surrogate.
+
+Trained CNNs produce *sparse, selective* activations: after ReLU, most
+units are zero and a channel fires only on its preferred stimulus.
+Randomly initialised networks instead produce dense non-negative
+activations, so cosine similarity between any two deep feature vectors
+saturates near 1 and carries no information (measured ≈ 0.98 ± 0.01
+before this fix) — which would break the affinity premise.
+
+We therefore calibrate each convolution's per-channel bias so that its
+post-ReLU activations match a target sparsity on a *fixed procedural
+calibration batch* (textures, gratings and shapes generated from the
+model seed).  The calibration set plays the role of generic natural
+image statistics; after construction the network is frozen, exactly
+like a pretrained backbone.  See DESIGN.md ("Substitutions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+from repro.vision.draw import fill_disk, fill_polygon, fill_rectangle
+from repro.vision.texture import fractal_noise, grating
+
+__all__ = ["calibration_batch", "calibrate_conv_biases"]
+
+
+def calibration_batch(n_images: int, size: int, channels: int, seed: int) -> np.ndarray:
+    """Procedural stand-in for natural-image statistics.
+
+    Cycles through three families: fractal colour noise, oriented
+    gratings, and random shape compositions, covering the low/high
+    frequency and edge/blob statistics a pretrained net would have seen.
+    """
+    if n_images < 1:
+        raise ValueError(f"n_images must be >= 1, got {n_images}")
+    rng = spawn_rng(seed, "calibration-batch")
+    images = np.empty((n_images, channels, size, size))
+    for i in range(n_images):
+        family = i % 3
+        if family == 0:
+            for c in range(channels):
+                images[i, c] = fractal_noise(size, size, rng, octaves=4, base_cells=2)
+        elif family == 1:
+            field = grating(
+                size,
+                size,
+                wavelength=float(rng.uniform(3, 16)),
+                angle=float(rng.uniform(0, np.pi)),
+                phase=float(rng.uniform(0, 2 * np.pi)),
+            )
+            tint = rng.uniform(0.3, 1.0, size=channels)
+            images[i] = tint[:, None, None] * field[None]
+        else:
+            canvas = np.full((channels, size, size), rng.uniform(0.2, 0.8))
+            for _ in range(int(rng.integers(2, 6))):
+                shape = int(rng.integers(3))
+                colour = rng.uniform(0, 1, size=channels)
+                if shape == 0:
+                    fill_disk(canvas, rng.uniform(0, size), rng.uniform(0, size), rng.uniform(4, 14), colour)
+                elif shape == 1:
+                    top, left = rng.uniform(0, size, size=2)
+                    fill_rectangle(canvas, top, left, top + rng.uniform(5, 20), left + rng.uniform(5, 20), colour)
+                else:
+                    centre = rng.uniform(8, size - 8, size=2)
+                    offsets = rng.uniform(-10, 10, size=(3, 2))
+                    fill_polygon(canvas, centre + offsets, colour)
+            images[i] = canvas
+    return np.clip(images, 0.0, 1.0)
+
+
+def calibrate_conv_biases(
+    layers: list,
+    images: np.ndarray,
+    sparsity: float,
+) -> None:
+    """Set conv biases in-place so post-ReLU sparsity ≈ ``sparsity``.
+
+    Walks the feature stack on the calibration batch; at every
+    convolution the per-channel bias becomes minus the ``sparsity``
+    quantile of that channel's pre-activations, so a fraction
+    ``sparsity`` of units go negative (hence zero after ReLU).
+    """
+    from repro.nn import functional as F
+    from repro.nn.layers import Conv2d, MaxPool2d, ReLU
+
+    if not 0.0 < sparsity < 1.0:
+        raise ValueError(f"sparsity must be in (0, 1), got {sparsity}")
+    x = images
+    for layer in layers:
+        if isinstance(layer, Conv2d):
+            pre = F.conv2d(x, layer.weight, bias=None, stride=layer.stride, padding=layer.padding)
+            thresholds = np.quantile(pre, sparsity, axis=(0, 2, 3))
+            assert layer.bias is not None, "calibration requires conv layers with bias arrays"
+            layer.bias[:] = -thresholds
+            x = pre - thresholds[None, :, None, None]
+        elif isinstance(layer, ReLU):
+            x = F.relu(x)
+        elif isinstance(layer, MaxPool2d):
+            x = layer(x)
+        else:  # pragma: no cover - the VGG stack only holds these three
+            x = layer(x)

@@ -1,0 +1,156 @@
+"""Stateless tensor operations for the numpy CNN substrate.
+
+These implement the forward-pass primitives needed by the VGG-16
+feature extractor used for GOGGLES' affinity functions: 2-D convolution
+(via im2col + matmul), ReLU, max pooling, linear layers, and softmax.
+All functions take and return ``float64`` arrays in NCHW layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pad2d",
+    "im2col",
+    "conv2d",
+    "relu",
+    "maxpool2d",
+    "global_max_pool",
+    "linear",
+    "softmax",
+    "log_softmax",
+    "flatten",
+]
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes of ``x`` by ``padding``."""
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    if padding == 0:
+        return x
+    pad_width = [(0, 0)] * (x.ndim - 2) + [(padding, padding), (padding, padding)]
+    return np.pad(x, pad_width, mode="constant")
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride} and padding {padding} "
+            f"does not fit input of size {size}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Rearrange sliding ``kernel``x``kernel`` patches into columns.
+
+    Input ``x`` has shape ``(N, C, H, W)``; the result has shape
+    ``(N, H_out * W_out, C * kernel * kernel)`` so a convolution becomes
+    a single matrix multiplication against reshaped kernels.
+    """
+    n, c, h, w = x.shape
+    h_out = _out_size(h, kernel, stride, padding)
+    w_out = _out_size(w, kernel, stride, padding)
+    x = pad2d(x, padding)
+    s_n, s_c, s_h, s_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, h_out, w_out, kernel, kernel),
+        strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
+        writeable=False,
+    )
+    # (N, H_out, W_out, C, kh, kw) -> (N, H_out*W_out, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, h_out * w_out, c * kernel * kernel)
+    return np.ascontiguousarray(cols)
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    ``x``: ``(N, C_in, H, W)``; ``weight``: ``(C_out, C_in, kh, kw)`` with
+    ``kh == kw``; ``bias``: ``(C_out,)`` or None.  Returns
+    ``(N, C_out, H_out, W_out)``.
+    """
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ValueError(f"conv2d expects 4-D input/weight, got {x.shape} / {weight.shape}")
+    c_out, c_in, kh, kw = weight.shape
+    if kh != kw:
+        raise ValueError(f"only square kernels are supported, got {kh}x{kw}")
+    if x.shape[1] != c_in:
+        raise ValueError(f"input has {x.shape[1]} channels, weight expects {c_in}")
+    n = x.shape[0]
+    h_out = _out_size(x.shape[2], kh, stride, padding)
+    w_out = _out_size(x.shape[3], kw, stride, padding)
+    cols = im2col(x, kh, stride=stride, padding=padding)  # (N, P, C_in*kh*kw)
+    kernel_matrix = weight.reshape(c_out, c_in * kh * kw)
+    out = cols @ kernel_matrix.T  # (N, P, C_out)
+    if bias is not None:
+        out = out + bias
+    return out.transpose(0, 2, 1).reshape(n, c_out, h_out, w_out)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def maxpool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Max pooling over non-overlapping (by default) spatial windows."""
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.shape
+    h_out = _out_size(h, kernel, stride, 0)
+    w_out = _out_size(w, kernel, stride, 0)
+    s_n, s_c, s_h, s_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, h_out, w_out, kernel, kernel),
+        strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
+        writeable=False,
+    )
+    return windows.max(axis=(4, 5))
+
+
+def global_max_pool(x: np.ndarray) -> np.ndarray:
+    """2-D global max pooling: ``(N, C, H, W)`` -> ``(N, C)``.
+
+    This is the channel "activation" used by the paper's top-Z channel
+    selection (§3.1): the activation of a channel is the maximum value of
+    its ``H×W`` matrix.
+    """
+    return x.max(axis=(2, 3))
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine map ``x @ weight.T + bias`` with ``weight``: ``(out, in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def flatten(x: np.ndarray) -> np.ndarray:
+    """Flatten all axes but the first: ``(N, ...)`` -> ``(N, prod(...))``."""
+    return x.reshape(x.shape[0], -1)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -1,0 +1,111 @@
+"""Receptive-field arithmetic for the VGG-16 feature maps.
+
+The paper (§3.1, Example 3) notes that every prototype vector
+``v^{(h,w)}`` in a filter map "can be backtracked to a rectangular patch
+in the input image ... known as the receptive field".  This module
+computes those patches analytically from the layer hyper-parameters
+(kernel, stride, padding), which is exact for the all-convolutional
+VGG stack — no gradient computation required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LayerGeometry", "ReceptiveField", "vgg16_pool_geometry", "receptive_field_box"]
+
+
+@dataclass(frozen=True)
+class LayerGeometry:
+    """Aggregate geometry of a feature map relative to the input image.
+
+    Attributes:
+        rf_size: side length (pixels) of the receptive field of one unit.
+        stride: input-pixel distance between adjacent units (jump).
+        offset: centre of unit (0, 0) in input coordinates (may be
+            fractional or negative because of padding).
+    """
+
+    rf_size: int
+    stride: int
+    offset: float
+
+    def compose(self, kernel: int, stride: int, padding: int) -> "LayerGeometry":
+        """Geometry after appending a layer with the given hyper-parameters.
+
+        Standard receptive-field recurrences:
+        ``rf' = rf + (kernel - 1) * jump``; ``jump' = jump * stride``;
+        ``offset' = offset + ((kernel - 1) / 2 - padding) * jump``.
+        """
+        return LayerGeometry(
+            rf_size=self.rf_size + (kernel - 1) * self.stride,
+            stride=self.stride * stride,
+            offset=self.offset + ((kernel - 1) / 2 - padding) * self.stride,
+        )
+
+
+@dataclass(frozen=True)
+class ReceptiveField:
+    """A clipped rectangular patch ``[top, bottom) x [left, right)`` in image pixels."""
+
+    top: int
+    left: int
+    bottom: int
+    right: int
+
+    @property
+    def height(self) -> int:
+        return self.bottom - self.top
+
+    @property
+    def width(self) -> int:
+        return self.right - self.left
+
+
+def vgg16_pool_geometry() -> list[LayerGeometry]:
+    """Geometry of each of the five VGG-16 max-pool outputs.
+
+    VGG-16 uses 3x3/stride-1/pad-1 convolutions and 2x2/stride-2 pools,
+    independent of channel width, so the geometry is fixed: receptive
+    fields of (6, 16, 44, 100, 212) pixels with strides (2, 4, 8, 16, 32).
+    """
+    convs_per_block = (2, 2, 3, 3, 3)
+    geometry = LayerGeometry(rf_size=1, stride=1, offset=0.0)
+    out: list[LayerGeometry] = []
+    for n_convs in convs_per_block:
+        for _ in range(n_convs):
+            geometry = geometry.compose(kernel=3, stride=1, padding=1)
+        geometry = geometry.compose(kernel=2, stride=2, padding=0)
+        out.append(geometry)
+    return out
+
+
+def receptive_field_box(
+    layer: int, h: int, w: int, image_height: int, image_width: int
+) -> ReceptiveField:
+    """The input patch seen by unit ``(h, w)`` of max-pool layer ``layer``.
+
+    Coordinates are clipped to the image bounds, mirroring how padding
+    limits the visible evidence for border units.
+    """
+    geometries = vgg16_pool_geometry()
+    if not 0 <= layer < len(geometries):
+        raise ValueError(f"layer must be in [0, {len(geometries)}), got {layer}")
+    if h < 0 or w < 0:
+        raise ValueError(f"feature coordinates must be non-negative, got ({h}, {w})")
+    geo = geometries[layer]
+    centre_y = geo.offset + h * geo.stride
+    centre_x = geo.offset + w * geo.stride
+    half = geo.rf_size / 2
+    top = int(max(0, np.ceil(centre_y - half))) if (centre_y - half) > 0 else 0
+    left = int(max(0, np.ceil(centre_x - half))) if (centre_x - half) > 0 else 0
+    bottom = int(min(image_height, np.floor(centre_y + half) + 1))
+    right = int(min(image_width, np.floor(centre_x + half) + 1))
+    if bottom <= top or right <= left:
+        raise ValueError(
+            f"unit ({h}, {w}) of layer {layer} sees no pixels of a "
+            f"{image_height}x{image_width} image"
+        )
+    return ReceptiveField(top=top, left=left, bottom=bottom, right=right)

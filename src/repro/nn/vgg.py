@@ -1,0 +1,227 @@
+"""VGG-16 feature extractor (numpy, forward-only).
+
+This reproduces the exact VGG-16 topology from Simonyan & Zisserman
+(configuration "D"): five blocks of (2, 2, 3, 3, 3) 3x3 convolutions
+with (64, 128, 256, 512, 512) channels, each block ending in a 2x2
+max-pool, followed by a three-layer fully connected classifier.  A
+``width_multiplier`` scales the channel counts so the full pipeline runs
+quickly on CPUs; the architecture and all code paths are unchanged at
+any width (DESIGN.md, "Known deviations").
+
+GOGGLES consumes the outputs of the **five max-pooling layers**
+(§3, "we thus leverage all 5 max-pooling layers of the network").
+:meth:`VGG16.forward_pools` returns them in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.calibration import calibrate_conv_biases, calibration_batch
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.nn.weights import conv_orthogonal, first_layer_bank, linear_orthogonal
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_images
+
+__all__ = ["VGGConfig", "VGG16", "VGG16_BLOCKS", "VGG16_CHANNELS"]
+
+# Configuration "D" of Simonyan & Zisserman (2014): convs per block and
+# full-width channel counts.
+VGG16_BLOCKS: tuple[int, ...] = (2, 2, 3, 3, 3)
+VGG16_CHANNELS: tuple[int, ...] = (64, 128, 256, 512, 512)
+
+
+@dataclass(frozen=True)
+class VGGConfig:
+    """Hyper-parameters of the surrogate-pretrained VGG-16.
+
+    Attributes:
+        in_channels: input image channels (3 for RGB).
+        width_multiplier: scales all channel counts; 1.0 recovers the
+            paper's full-width VGG-16, the default 0.125 gives a fast
+            CPU model with identical topology.
+        n_logits: size of the final "logits" layer (the paper's VGG has
+            1000 ImageNet classes; any fixed generic projection works
+            for Snuba primitives and end-model features).
+        hidden_features: width of the two hidden FC layers (VGG uses
+            4096); scaled versions keep the same 3-layer classifier.
+        seed: root seed for the deterministic surrogate weights.
+        calibration_sparsity: target post-ReLU sparsity set by the
+            activation calibration (the "pretraining" surrogate; see
+            ``repro.nn.calibration``).  0 disables calibration.
+        n_calibration_images: size of the procedural calibration batch.
+        calibration_size: side length of the calibration images.
+    """
+
+    in_channels: int = 3
+    width_multiplier: float = 0.125
+    n_logits: int = 128
+    hidden_features: int = 256
+    seed: int = 0
+    calibration_sparsity: float = 0.65
+    n_calibration_images: int = 12
+    calibration_size: int = 64
+
+    def block_channels(self) -> tuple[int, ...]:
+        channels = tuple(max(4, int(round(c * self.width_multiplier))) for c in VGG16_CHANNELS)
+        return channels
+
+
+class VGG16:
+    """Forward-only VGG-16 with deterministic surrogate weights.
+
+    The object is immutable after construction; all methods are pure
+    functions of the input batch.
+    """
+
+    N_POOL_LAYERS = 5
+
+    def __init__(self, config: VGGConfig | None = None):
+        self.config = config or VGGConfig()
+        self._build()
+
+    def _build(self) -> None:
+        cfg = self.config
+        channels = cfg.block_channels()
+        seed = cfg.seed
+        layers: list = []
+        self._pool_indices: list[int] = []
+        in_ch = cfg.in_channels
+        conv_index = 0
+        for block, (n_convs, out_ch) in enumerate(zip(VGG16_BLOCKS, channels)):
+            for conv_in_block in range(n_convs):
+                if conv_index == 0:
+                    weight = first_layer_bank(out_ch, in_ch, size=3, seed=derive_seed(seed, "conv1"))
+                else:
+                    weight = conv_orthogonal(
+                        out_ch, in_ch, 3, seed=derive_seed(seed, "conv", block, conv_in_block)
+                    )
+                bias = np.zeros(out_ch)
+                layers.append(Conv2d(weight, bias, stride=1, padding=1, name=f"conv{block + 1}_{conv_in_block + 1}"))
+                layers.append(ReLU(name=f"relu{block + 1}_{conv_in_block + 1}"))
+                in_ch = out_ch
+                conv_index += 1
+            layers.append(MaxPool2d(kernel=2, name=f"pool{block + 1}"))
+            self._pool_indices.append(len(layers) - 1)
+        self.features = Sequential(layers, name="features")
+        self._final_channels = in_ch
+        if cfg.calibration_sparsity > 0:
+            calibration_images = calibration_batch(
+                cfg.n_calibration_images,
+                cfg.calibration_size,
+                cfg.in_channels,
+                derive_seed(seed, "calibration"),
+            )
+            calibrate_conv_biases(list(self.features), calibration_images, cfg.calibration_sparsity)
+        # Classifier (fc6/fc7/fc8 in VGG nomenclature).  Input size depends
+        # on the image size, so the first FC is materialised lazily.
+        self._fc_hidden = cfg.hidden_features
+        self._fc1: Linear | None = None
+        self._fc2 = Linear(
+            linear_orthogonal(cfg.hidden_features, cfg.hidden_features, derive_seed(seed, "fc2")),
+            np.zeros(cfg.hidden_features),
+            name="fc7",
+        )
+        self._fc3 = Linear(
+            linear_orthogonal(cfg.n_logits, cfg.hidden_features, derive_seed(seed, "fc3")),
+            np.zeros(cfg.n_logits),
+            name="fc8",
+        )
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+    def forward_pools(self, images: np.ndarray) -> list[np.ndarray]:
+        """Run the conv stack, returning the 5 max-pool outputs in order.
+
+        Each element has shape ``(N, C_L, H_L, W_L)``; spatial size
+        halves at every pool.  These are the filter maps from which
+        GOGGLES extracts prototypes (Algorithm 1, line 2).
+        """
+        x = check_images(images)
+        pools: list[np.ndarray] = []
+        for i, layer in enumerate(self.features):
+            x = layer(x)
+            if i in self._pool_indices:
+                pools.append(x)
+        return pools
+
+    def pool_features(self, images: np.ndarray, layer: int) -> np.ndarray:
+        """Return the filter map of max-pool layer ``layer`` (0-based)."""
+        if not 0 <= layer < self.N_POOL_LAYERS:
+            raise ValueError(f"layer must be in [0, {self.N_POOL_LAYERS}), got {layer}")
+        x = check_images(images)
+        for i, module in enumerate(self.features):
+            x = module(x)
+            if i == self._pool_indices[layer]:
+                return x
+        raise AssertionError("pool layer index out of range")  # pragma: no cover
+
+    def _ensure_fc1(self, flat_features: int) -> Linear:
+        if self._fc1 is None or self._fc1.weight.shape[1] != flat_features:
+            self._fc1 = Linear(
+                linear_orthogonal(self._fc_hidden, flat_features, derive_seed(self.config.seed, "fc1", flat_features)),
+                np.zeros(self._fc_hidden),
+                name="fc6",
+            )
+        return self._fc1
+
+    def embed(self, images: np.ndarray) -> np.ndarray:
+        """Frozen feature vector for end models and the FSL baseline.
+
+        Concatenates the global-max-pooled channel activations of the
+        three deepest max-pool layers with the flattened pool5 map.
+        Global max pooling preserves "does feature c fire anywhere"
+        evidence, which the paper's backbone carries in its trained FC
+        layers; our surrogate FC layers are random projections, so this
+        descriptor is the faithful stand-in for the penultimate
+        representation (see DESIGN.md, "Substitutions").
+        """
+        pools = self.forward_pools(images)
+        parts = [F.global_max_pool(pool) for pool in pools[2:]]
+        parts.append(F.flatten(pools[-1]))
+        return np.concatenate(parts, axis=1)
+
+    def _fc_head(self, images: np.ndarray) -> np.ndarray:
+        """ReLU(fc7(ReLU(fc6(pool5)))) — the surrogate FC stack."""
+        pool5 = self.forward_pools(images)[-1]
+        flat = F.flatten(pool5)
+        fc1 = self._ensure_fc1(flat.shape[1])
+        hidden = F.relu(fc1(flat))
+        return F.relu(self._fc2(hidden))
+
+    def logits(self, images: np.ndarray) -> np.ndarray:
+        """Final "logits" layer output (fc8), the representation Snuba's
+        primitives are extracted from (§5.1.2)."""
+        return self._fc3(self._fc_head(images))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pool_channels(self) -> tuple[int, ...]:
+        """Channel count of each max-pool output."""
+        return self.config.block_channels()
+
+    def n_parameters(self) -> int:
+        total = self.features.n_parameters()
+        for fc in (self._fc1, self._fc2, self._fc3):
+            if fc is not None:
+                total += fc.n_parameters()
+        return total
+
+    def describe(self) -> str:
+        """Human-readable architecture summary."""
+        lines = [f"VGG-16 (width x{self.config.width_multiplier}, seed={self.config.seed})"]
+        for layer in self.features:
+            if isinstance(layer, Conv2d):
+                lines.append(
+                    f"  {layer.name}: {layer.in_channels} -> {layer.out_channels}, "
+                    f"{layer.kernel_size}x{layer.kernel_size}"
+                )
+            elif isinstance(layer, MaxPool2d):
+                lines.append(f"  {layer.name}: 2x2 max pool")
+        lines.append(f"  fc: ... -> {self._fc_hidden} -> {self._fc_hidden} -> {self.config.n_logits}")
+        return "\n".join(lines)

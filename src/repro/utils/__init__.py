@@ -1,0 +1,18 @@
+"""Shared utilities: seeding, validation, and small numeric helpers."""
+
+from repro.utils.rng import spawn_rng, derive_seed
+from repro.utils.validation import (
+    check_array,
+    check_images,
+    check_labels,
+    check_probabilities,
+)
+
+__all__ = [
+    "spawn_rng",
+    "derive_seed",
+    "check_array",
+    "check_images",
+    "check_labels",
+    "check_probabilities",
+]

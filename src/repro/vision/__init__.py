@@ -1,0 +1,23 @@
+"""Classical computer-vision substrate: image ops, HOG, PCA, rendering."""
+
+from repro.vision.hog import HOGConfig, hog_batch, hog_descriptor
+from repro.vision.image import (
+    clip01,
+    gaussian_blur,
+    normalize_batch,
+    resize_bilinear,
+    to_grayscale,
+)
+from repro.vision.pca import PCA
+
+__all__ = [
+    "HOGConfig",
+    "hog_batch",
+    "hog_descriptor",
+    "clip01",
+    "gaussian_blur",
+    "normalize_batch",
+    "resize_bilinear",
+    "to_grayscale",
+    "PCA",
+]

@@ -1,0 +1,146 @@
+"""Rasterisation primitives used by the synthetic dataset generators.
+
+All functions draw *in place* into a single-image ``(C, H, W)`` float
+canvas with values in [0, 1], using soft (anti-aliased) edges so that
+downstream convolutional features vary smoothly with object position.
+Coordinates are (row, col) = (y, x) with the origin at the top-left.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "coordinate_grid",
+    "fill_disk",
+    "fill_ellipse",
+    "fill_rectangle",
+    "fill_polygon",
+    "draw_line",
+    "fill_ring",
+    "blend",
+]
+
+
+def coordinate_grid(height: int, width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(ys, xs)`` float grids of shape ``(height, width)``."""
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    return ys, xs
+
+
+def _soft_mask(signed_distance: np.ndarray, softness: float = 1.0) -> np.ndarray:
+    """Map a signed distance field (<0 inside) to a [0, 1] coverage mask."""
+    return np.clip(0.5 - signed_distance / max(softness, 1e-6), 0.0, 1.0)
+
+
+def blend(canvas: np.ndarray, mask: np.ndarray, colour: np.ndarray | float, opacity: float = 1.0) -> None:
+    """Alpha-blend ``colour`` into ``canvas`` where ``mask`` > 0 (in place)."""
+    if canvas.ndim != 3:
+        raise ValueError(f"canvas must be (C, H, W), got shape {canvas.shape}")
+    alpha = np.clip(mask * opacity, 0.0, 1.0)[None, :, :]
+    colour_arr = np.asarray(colour, dtype=np.float64).reshape(-1)
+    if colour_arr.size == 1:
+        colour_arr = np.repeat(colour_arr, canvas.shape[0])
+    if colour_arr.size != canvas.shape[0]:
+        raise ValueError(f"colour has {colour_arr.size} channels, canvas has {canvas.shape[0]}")
+    canvas *= 1.0 - alpha
+    canvas += alpha * colour_arr[:, None, None]
+
+
+def fill_disk(canvas: np.ndarray, cy: float, cx: float, radius: float, colour, opacity: float = 1.0) -> None:
+    """Draw a filled disk of the given centre/radius."""
+    ys, xs = coordinate_grid(canvas.shape[1], canvas.shape[2])
+    distance = np.sqrt((ys - cy) ** 2 + (xs - cx) ** 2) - radius
+    blend(canvas, _soft_mask(distance), colour, opacity)
+
+
+def fill_ellipse(
+    canvas: np.ndarray,
+    cy: float,
+    cx: float,
+    ry: float,
+    rx: float,
+    colour,
+    angle: float = 0.0,
+    opacity: float = 1.0,
+) -> None:
+    """Draw a filled, optionally rotated ellipse."""
+    if ry <= 0 or rx <= 0:
+        raise ValueError(f"ellipse radii must be positive, got ({ry}, {rx})")
+    ys, xs = coordinate_grid(canvas.shape[1], canvas.shape[2])
+    dy, dx = ys - cy, xs - cx
+    rot_y = dy * np.cos(angle) - dx * np.sin(angle)
+    rot_x = dy * np.sin(angle) + dx * np.cos(angle)
+    # Approximate signed distance: scaled radial distance minus 1, rescaled.
+    radial = np.sqrt((rot_y / ry) ** 2 + (rot_x / rx) ** 2)
+    distance = (radial - 1.0) * min(ry, rx)
+    blend(canvas, _soft_mask(distance), colour, opacity)
+
+
+def fill_rectangle(
+    canvas: np.ndarray, top: float, left: float, bottom: float, right: float, colour, opacity: float = 1.0
+) -> None:
+    """Draw a filled axis-aligned rectangle ``[top, bottom] x [left, right]``."""
+    ys, xs = coordinate_grid(canvas.shape[1], canvas.shape[2])
+    cy, cx = (top + bottom) / 2.0, (left + right) / 2.0
+    hy, hx = (bottom - top) / 2.0, (right - left) / 2.0
+    distance = np.maximum(np.abs(ys - cy) - hy, np.abs(xs - cx) - hx)
+    blend(canvas, _soft_mask(distance), colour, opacity)
+
+
+def fill_polygon(canvas: np.ndarray, vertices: np.ndarray, colour, opacity: float = 1.0) -> None:
+    """Draw a filled convex polygon given ``(V, 2)`` vertices as (y, x).
+
+    Uses the intersection of half-plane signed distances, which is exact
+    for convex vertex orderings (either orientation is accepted).
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.ndim != 2 or vertices.shape[0] < 3 or vertices.shape[1] != 2:
+        raise ValueError(f"vertices must be (V>=3, 2), got shape {vertices.shape}")
+    ys, xs = coordinate_grid(canvas.shape[1], canvas.shape[2])
+    # Ensure counter-clockwise orientation via the shoelace formula.
+    area = 0.0
+    for i in range(len(vertices)):
+        y0, x0 = vertices[i]
+        y1, x1 = vertices[(i + 1) % len(vertices)]
+        area += x0 * y1 - x1 * y0
+    if area < 0:
+        vertices = vertices[::-1]
+    distance = np.full(ys.shape, -np.inf)
+    for i in range(len(vertices)):
+        y0, x0 = vertices[i]
+        y1, x1 = vertices[(i + 1) % len(vertices)]
+        edge = np.array([y1 - y0, x1 - x0])
+        length = np.linalg.norm(edge)
+        if length < 1e-9:
+            continue
+        # Outward normal of a CCW edge in (y, x) coordinates.
+        normal = np.array([-edge[1], edge[0]]) / length
+        distance = np.maximum(distance, (ys - y0) * normal[0] + (xs - x0) * normal[1])
+    blend(canvas, _soft_mask(distance), colour, opacity)
+
+
+def draw_line(
+    canvas: np.ndarray, y0: float, x0: float, y1: float, x1: float, thickness: float, colour, opacity: float = 1.0
+) -> None:
+    """Draw a line segment with round caps and the given thickness."""
+    ys, xs = coordinate_grid(canvas.shape[1], canvas.shape[2])
+    dy, dx = y1 - y0, x1 - x0
+    length_sq = dy * dy + dx * dx
+    if length_sq < 1e-12:
+        fill_disk(canvas, y0, x0, thickness / 2, colour, opacity)
+        return
+    t = np.clip(((ys - y0) * dy + (xs - x0) * dx) / length_sq, 0.0, 1.0)
+    proj_y = y0 + t * dy
+    proj_x = x0 + t * dx
+    distance = np.sqrt((ys - proj_y) ** 2 + (xs - proj_x) ** 2) - thickness / 2.0
+    blend(canvas, _soft_mask(distance), colour, opacity)
+
+
+def fill_ring(
+    canvas: np.ndarray, cy: float, cx: float, radius: float, thickness: float, colour, opacity: float = 1.0
+) -> None:
+    """Draw an annulus (circle outline) of the given radius and thickness."""
+    ys, xs = coordinate_grid(canvas.shape[1], canvas.shape[2])
+    distance = np.abs(np.sqrt((ys - cy) ** 2 + (xs - cx) ** 2) - radius) - thickness / 2.0
+    blend(canvas, _soft_mask(distance), colour, opacity)

@@ -1,0 +1,100 @@
+"""Basic image operations (NCHW float arrays in [0, 1])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_images
+
+__all__ = ["to_grayscale", "resize_bilinear", "normalize_batch", "clip01", "gaussian_blur"]
+
+# ITU-R BT.601 luma coefficients.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def clip01(images: np.ndarray) -> np.ndarray:
+    """Clip pixel values into [0, 1]."""
+    return np.clip(images, 0.0, 1.0)
+
+
+def to_grayscale(images: np.ndarray) -> np.ndarray:
+    """Convert ``(N, 3, H, W)`` RGB images to ``(N, 1, H, W)`` luma."""
+    images = check_images(images)
+    if images.shape[1] == 1:
+        return images
+    gray = np.tensordot(_LUMA, images, axes=([0], [1]))
+    return gray[:, None, :, :]
+
+
+def resize_bilinear(images: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resize of an ``(N, C, H, W)`` batch to ``(N, C, height, width)``.
+
+    Uses the half-pixel-centres convention (matches common image
+    libraries) and is separable, so it is exact for axis-aligned
+    resampling of linear ramps.
+    """
+    images = check_images(images)
+    n, c, h, w = images.shape
+    if height < 1 or width < 1:
+        raise ValueError(f"target size must be positive, got {height}x{width}")
+    if (h, w) == (height, width):
+        return images.copy()
+
+    def _axis_coords(src: int, dst: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        positions = (np.arange(dst) + 0.5) * (src / dst) - 0.5
+        positions = np.clip(positions, 0, src - 1)
+        low = np.floor(positions).astype(np.int64)
+        high = np.minimum(low + 1, src - 1)
+        frac = positions - low
+        return low, high, frac
+
+    y0, y1, fy = _axis_coords(h, height)
+    x0, x1, fx = _axis_coords(w, width)
+    rows_low = images[:, :, y0, :]
+    rows_high = images[:, :, y1, :]
+    rows = rows_low * (1 - fy)[None, None, :, None] + rows_high * fy[None, None, :, None]
+    cols_low = rows[:, :, :, x0]
+    cols_high = rows[:, :, :, x1]
+    return cols_low * (1 - fx)[None, None, None, :] + cols_high * fx[None, None, None, :]
+
+
+def normalize_batch(images: np.ndarray, mean: np.ndarray | None = None, std: np.ndarray | None = None) -> np.ndarray:
+    """Per-channel standardisation ``(x - mean) / std``.
+
+    With no statistics given, uses the batch's own per-channel moments
+    (the surrogate network has no ImageNet statistics to reuse).
+    """
+    images = check_images(images)
+    if mean is None:
+        mean = images.mean(axis=(0, 2, 3))
+    if std is None:
+        std = images.std(axis=(0, 2, 3))
+    std = np.where(np.asarray(std) < 1e-8, 1.0, std)
+    return (images - np.asarray(mean)[None, :, None, None]) / np.asarray(std)[None, :, None, None]
+
+
+def gaussian_blur(images: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur with reflective borders."""
+    images = check_images(images)
+    if sigma <= 0:
+        return images.copy()
+    radius = max(1, int(np.ceil(3 * sigma)))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-(xs**2) / (2 * sigma**2))
+    kernel /= kernel.sum()
+
+    def _convolve_axis(x: np.ndarray, axis: int) -> np.ndarray:
+        padded = np.pad(
+            x,
+            [(0, 0)] * axis + [(radius, radius)] + [(0, 0)] * (x.ndim - axis - 1),
+            mode="reflect",
+        )
+        out = np.zeros_like(x)
+        for i, k in enumerate(kernel):
+            slicer = [slice(None)] * x.ndim
+            slicer[axis] = slice(i, i + x.shape[axis])
+            out += k * padded[tuple(slicer)]
+        return out
+
+    blurred = _convolve_axis(images, 2)
+    return _convolve_axis(blurred, 3)

@@ -1,0 +1,67 @@
+"""Principal component analysis (SVD-based).
+
+Snuba's auto-extracted primitives are "the logits output [projected]
+onto a feature space of the top-10 principal components" (§5.1.2); this
+module provides that projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Fit/transform PCA keeping the top ``n_components`` directions.
+
+    Components are rows of ``components_`` (like scikit-learn), signs
+    are fixed so the largest-magnitude loading of each component is
+    positive, making results deterministic across LAPACK builds.
+    """
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = check_array(np.asarray(x, dtype=np.float64), name="x", ndim=2)
+        n, d = x.shape
+        k = min(self.n_components, min(n, d))
+        self.mean_ = x.mean(axis=0)
+        centred = x - self.mean_
+        _, singular_values, vt = np.linalg.svd(centred, full_matrices=False)
+        components = vt[:k]
+        # Deterministic sign convention.
+        for i in range(k):
+            j = np.argmax(np.abs(components[i]))
+            if components[i, j] < 0:
+                components[i] = -components[i]
+        self.components_ = components
+        variance = (singular_values**2) / max(n - 1, 1)
+        self.explained_variance_ = variance[:k]
+        total = variance.sum()
+        self.explained_variance_ratio_ = variance[:k] / total if total > 0 else np.zeros(k)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA must be fitted before transform")
+        x = check_array(np.asarray(x, dtype=np.float64), name="x", ndim=2)
+        return (x - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA must be fitted before inverse_transform")
+        z = check_array(np.asarray(z, dtype=np.float64), name="z", ndim=2)
+        return z @ self.components_ + self.mean_

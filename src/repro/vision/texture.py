@@ -1,0 +1,108 @@
+"""Procedural textures for the synthetic dataset generators.
+
+These produce ``(H, W)`` float fields in [0, 1] (unless noted) that are
+composited into images by the generators: band-limited value noise (a
+Perlin-style fractal), oriented gratings for brushed-metal surfaces,
+and multiplicative speckle for X-ray-like film grain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+from repro.vision.image import gaussian_blur
+
+__all__ = ["value_noise", "fractal_noise", "grating", "speckle", "vignette"]
+
+
+def value_noise(height: int, width: int, cells: int, rng: np.random.Generator) -> np.ndarray:
+    """Smooth value noise: random grid values, bilinearly upsampled.
+
+    ``cells`` controls the spatial frequency (number of lattice cells
+    per image side).  The result is rescaled to [0, 1].
+    """
+    if cells < 1:
+        raise ValueError(f"cells must be >= 1, got {cells}")
+    lattice = rng.random((cells + 1, cells + 1))
+    ys = np.linspace(0, cells, height)
+    xs = np.linspace(0, cells, width)
+    y0 = np.minimum(ys.astype(np.int64), cells - 1)
+    x0 = np.minimum(xs.astype(np.int64), cells - 1)
+    fy = (ys - y0)[:, None]
+    fx = (xs - x0)[None, :]
+    # Smoothstep fade for C1 continuity at cell borders.
+    fy = fy * fy * (3 - 2 * fy)
+    fx = fx * fx * (3 - 2 * fx)
+    v00 = lattice[np.ix_(y0, x0)]
+    v01 = lattice[np.ix_(y0, x0 + 1)]
+    v10 = lattice[np.ix_(y0 + 1, x0)]
+    v11 = lattice[np.ix_(y0 + 1, x0 + 1)]
+    top = v00 * (1 - fx) + v01 * fx
+    bottom = v10 * (1 - fx) + v11 * fx
+    field = top * (1 - fy) + bottom * fy
+    lo, hi = field.min(), field.max()
+    if hi - lo < 1e-12:
+        return np.full((height, width), 0.5)
+    return (field - lo) / (hi - lo)
+
+
+def fractal_noise(
+    height: int,
+    width: int,
+    rng: np.random.Generator,
+    octaves: int = 4,
+    base_cells: int = 2,
+    persistence: float = 0.55,
+) -> np.ndarray:
+    """Sum of value-noise octaves with geometrically increasing frequency."""
+    if octaves < 1:
+        raise ValueError(f"octaves must be >= 1, got {octaves}")
+    field = np.zeros((height, width))
+    amplitude = 1.0
+    total = 0.0
+    for octave in range(octaves):
+        cells = base_cells * (2**octave)
+        field += amplitude * value_noise(height, width, cells, rng)
+        total += amplitude
+        amplitude *= persistence
+    field /= total
+    lo, hi = field.min(), field.max()
+    if hi - lo < 1e-12:
+        return np.full((height, width), 0.5)
+    return (field - lo) / (hi - lo)
+
+
+def grating(
+    height: int,
+    width: int,
+    wavelength: float,
+    angle: float,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Sinusoidal grating in [0, 1] with the given wavelength/orientation."""
+    if wavelength <= 0:
+        raise ValueError(f"wavelength must be positive, got {wavelength}")
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    carrier = np.cos(2 * np.pi * (ys * np.sin(angle) + xs * np.cos(angle)) / wavelength + phase)
+    return 0.5 * (carrier + 1.0)
+
+
+def speckle(height: int, width: int, rng: np.random.Generator, grain: float = 1.0, sigma: float = 0.0) -> np.ndarray:
+    """Multiplicative speckle field with unit mean.
+
+    ``grain`` scales the noise amplitude; ``sigma`` optionally blurs the
+    field to produce correlated (coarse) speckle.
+    """
+    field = 1.0 + grain * (rng.random((height, width)) - 0.5)
+    if sigma > 0:
+        field = gaussian_blur(field[None, None], sigma)[0, 0]
+    return np.clip(field, 0.0, None)
+
+
+def vignette(height: int, width: int, strength: float = 0.5) -> np.ndarray:
+    """Radial darkening mask in [1-strength, 1], brightest at the centre."""
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    cy, cx = (height - 1) / 2.0, (width - 1) / 2.0
+    radius = np.sqrt(((ys - cy) / max(cy, 1)) ** 2 + ((xs - cx) / max(cx, 1)) ** 2) / np.sqrt(2)
+    return 1.0 - strength * np.clip(radius, 0.0, 1.0) ** 2

@@ -1,0 +1,39 @@
+"""Shared test fixtures.
+
+The surrogate VGG-16 is expensive enough to build (calibration forward
+passes) that tests share one session-scoped instance; it is frozen, so
+sharing is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_dataset
+from repro.nn import VGG16, VGGConfig
+
+
+@pytest.fixture(scope="session")
+def vgg() -> VGG16:
+    """A small shared backbone (width 1/8, seed 0)."""
+    return VGG16(VGGConfig(seed=0))
+
+
+@pytest.fixture(scope="session")
+def tiny_images() -> np.ndarray:
+    """A tiny deterministic RGB batch for shape/determinism tests."""
+    rng = np.random.default_rng(42)
+    return rng.random((4, 3, 32, 32))
+
+
+@pytest.fixture(scope="session")
+def small_cub():
+    """A small CUB dataset shared by integration tests."""
+    return make_dataset("cub", n_per_class=12, image_size=64, seed=1, pair_seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_surface():
+    """A small Surface dataset shared by integration tests."""
+    return make_dataset("surface", n_per_class=12, image_size=64, seed=1)

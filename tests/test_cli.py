@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_label_command(self, capsys):
+        code = main(["--n-per-class", "8", "--dev-per-class", "2", "label", "--dataset", "surface"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "labeling accuracy" in out
+
+    def test_fig7_command(self, capsys):
+        code = main(["fig7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eta=0.8" in out
+
+    def test_fig2_command(self, capsys):
+        code = main(["--n-per-class", "8", "--seeds", "1", "fig2", "--dataset", "surface"])
+        assert code == 0
+        assert "AUC" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["label", "--dataset", "imagenet"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

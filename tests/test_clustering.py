@@ -1,0 +1,141 @@
+"""Tests for the baseline clustering methods and optimal mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import (
+    FullCovarianceGMM,
+    KMeans,
+    SpectralCoclustering,
+    contingency_table,
+    optimal_mapping_accuracy,
+)
+
+
+def _blobs(n_per=30, d=4, gap=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.concatenate([rng.standard_normal((n_per, d)), rng.standard_normal((n_per, d)) + gap])
+    return x, np.repeat([0, 1], n_per)
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        x, labels = _blobs()
+        result = KMeans(2, seed=0).fit_predict(x)
+        accuracy, _ = optimal_mapping_accuracy(result.labels, labels, 2)
+        assert accuracy > 0.95
+
+    def test_inertia_nonnegative_and_best_of_restarts(self):
+        x, _ = _blobs(seed=1)
+        single = KMeans(2, n_init=1, seed=0).fit_predict(x)
+        multi = KMeans(2, n_init=5, seed=0).fit_predict(x)
+        assert multi.inertia <= single.inertia + 1e-9
+
+    def test_k_equals_n(self):
+        x = np.random.default_rng(2).standard_normal((5, 2))
+        result = KMeans(5, seed=0).fit_predict(x)
+        assert np.unique(result.labels).size == 5
+        assert result.inertia < 1e-9
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit_predict(np.ones((2, 2)))
+
+    def test_deterministic(self):
+        x, _ = _blobs(seed=3)
+        a = KMeans(2, seed=7).fit_predict(x).labels
+        b = KMeans(2, seed=7).fit_predict(x).labels
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFullCovarianceGMM:
+    def test_separates_blobs(self):
+        x, labels = _blobs(seed=4)
+        result = FullCovarianceGMM(2, seed=0).fit(x)
+        accuracy, _ = optimal_mapping_accuracy(result.labels, labels, 2)
+        assert accuracy > 0.95
+
+    def test_captures_correlation(self):
+        # Two clusters separated along a correlated direction that a
+        # diagonal model would blur.
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal((60, 2))
+        cov = np.array([[1.0, 0.95], [0.95, 1.0]])
+        chol = np.linalg.cholesky(cov)
+        x = base @ chol.T
+        labels = (rng.random(60) < 0.5).astype(int)
+        x[labels == 1] += np.array([1.5, -1.5])  # against the correlation
+        result = FullCovarianceGMM(2, shrinkage=0.1, seed=0).fit(x)
+        accuracy, _ = optimal_mapping_accuracy(result.labels, labels, 2)
+        assert accuracy > 0.85
+
+    def test_responsibilities_valid(self):
+        x, _ = _blobs(seed=6)
+        result = FullCovarianceGMM(2, seed=0).fit(x)
+        np.testing.assert_allclose(result.responsibilities.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_shrinkage_validation(self):
+        with pytest.raises(ValueError):
+            FullCovarianceGMM(2, shrinkage=1.5)
+
+    def test_high_dimensional_regularised(self):
+        # More dimensions than points: shrinkage keeps it PSD.
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((20, 50))
+        result = FullCovarianceGMM(2, shrinkage=0.9, seed=0).fit(x)
+        assert np.isfinite(result.log_likelihood)
+
+
+class TestSpectralCoclustering:
+    def test_separates_block_matrix(self):
+        rng = np.random.default_rng(8)
+        labels = np.repeat([0, 1], 20)
+        same = np.equal.outer(labels, labels).astype(float)
+        matrix = 0.2 + 0.6 * same + 0.05 * rng.random((40, 40))
+        result = SpectralCoclustering(2, seed=0).fit_predict(matrix)
+        accuracy, _ = optimal_mapping_accuracy(result.row_labels, labels, 2)
+        assert accuracy > 0.9
+
+    def test_column_labels_shape(self):
+        matrix = np.random.default_rng(9).random((10, 30))
+        result = SpectralCoclustering(2, seed=0).fit_predict(matrix)
+        assert result.row_labels.shape == (10,)
+        assert result.column_labels.shape == (30,)
+
+    def test_negative_matrix_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SpectralCoclustering(2).fit_predict(np.array([[1.0, -0.5], [0.5, 1.0]]))
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            SpectralCoclustering(1)
+
+
+class TestOptimalMapping:
+    def test_contingency(self):
+        table = contingency_table(np.array([0, 0, 1, 1]), np.array([1, 1, 0, 1]), 2)
+        np.testing.assert_array_equal(table, [[0, 2], [1, 1]])
+
+    def test_perfect_flip(self):
+        clusters = np.array([1, 1, 0, 0])
+        truth = np.array([0, 0, 1, 1])
+        accuracy, mapping = optimal_mapping_accuracy(clusters, truth, 2)
+        assert accuracy == 1.0
+        np.testing.assert_array_equal(mapping, [1, 0])
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_optimal_beats_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        clusters = rng.integers(0, 3, size=30)
+        truth = rng.integers(0, 3, size=30)
+        accuracy, _ = optimal_mapping_accuracy(clusters, truth, 3)
+        identity = (clusters == truth).mean()
+        assert accuracy >= identity - 1e-12
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="align"):
+            optimal_mapping_accuracy(np.array([0]), np.array([0, 1]), 2)

@@ -1,0 +1,138 @@
+"""Tests for the dataset container, splits, and dev-set sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.base import DevSet, LabeledImageDataset
+
+
+def _dataset(n_per_class=10, k=2, seed=0):
+    rng = np.random.default_rng(seed)
+    n = n_per_class * k
+    return LabeledImageDataset(
+        name="toy",
+        images=rng.random((n, 3, 16, 16)),
+        labels=np.repeat(np.arange(k), n_per_class),
+        class_names=tuple(f"c{i}" for i in range(k)),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = _dataset()
+        assert ds.n_examples == 20
+        assert ds.n_classes == 2
+        assert ds.image_shape == (3, 16, 16)
+        np.testing.assert_array_equal(ds.class_counts(), [10, 10])
+
+    def test_label_image_mismatch(self):
+        with pytest.raises(ValueError, match="disagree"):
+            LabeledImageDataset(
+                name="bad",
+                images=np.random.default_rng(0).random((4, 3, 16, 16)),
+                labels=np.zeros(3, dtype=np.int64),
+                class_names=("a", "b"),
+            )
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            LabeledImageDataset(
+                name="bad",
+                images=np.random.default_rng(0).random((2, 3, 16, 16)),
+                labels=np.array([0, 5]),
+                class_names=("a", "b"),
+            )
+
+    def test_attribute_row_mismatch(self):
+        with pytest.raises(ValueError, match="one row per image"):
+            LabeledImageDataset(
+                name="bad",
+                images=np.random.default_rng(0).random((4, 3, 16, 16)),
+                labels=np.zeros(4, dtype=np.int64),
+                class_names=("a",),
+                attributes=np.zeros((3, 5)),
+            )
+
+
+class TestSubset:
+    def test_subset_preserves_alignment(self):
+        ds = _dataset()
+        sub = ds.subset(np.array([0, 5, 12]))
+        assert sub.n_examples == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 5, 12]])
+        np.testing.assert_array_equal(sub.images[1], ds.images[5])
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            _dataset().subset(np.array([], dtype=np.int64))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            _dataset().subset(np.array([99]))
+
+
+class TestSplit:
+    def test_partition(self):
+        ds = _dataset(n_per_class=10)
+        train, test = ds.split(0.6, seed=1)
+        assert train.n_examples + test.n_examples == ds.n_examples
+
+    def test_stratified(self):
+        ds = _dataset(n_per_class=10)
+        train, test = ds.split(0.6, seed=2)
+        np.testing.assert_array_equal(train.class_counts(), [6, 6])
+        np.testing.assert_array_equal(test.class_counts(), [4, 4])
+
+    def test_deterministic(self):
+        ds = _dataset()
+        a_train, _ = ds.split(0.5, seed=3)
+        b_train, _ = ds.split(0.5, seed=3)
+        np.testing.assert_array_equal(a_train.labels, b_train.labels)
+        np.testing.assert_array_equal(a_train.images, b_train.images)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="train_fraction"):
+            _dataset().split(1.0)
+
+    @given(st.floats(min_value=0.2, max_value=0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_no_leakage(self, fraction):
+        ds = _dataset(n_per_class=8, seed=4)
+        train, test = ds.split(fraction, seed=0)
+        train_rows = {img.tobytes() for img in train.images}
+        test_rows = {img.tobytes() for img in test.images}
+        assert not train_rows & test_rows
+
+
+class TestDevSet:
+    def test_sizes_and_labels(self):
+        ds = _dataset(n_per_class=10)
+        dev = ds.sample_dev_set(3, seed=0)
+        assert dev.size == 6
+        np.testing.assert_array_equal(dev.per_class_counts(2), [3, 3])
+        np.testing.assert_array_equal(ds.labels[dev.indices], dev.labels)
+
+    def test_zero_size(self):
+        dev = _dataset().sample_dev_set(0)
+        assert dev.size == 0
+
+    def test_too_large_request(self):
+        with pytest.raises(ValueError, match="need"):
+            _dataset(n_per_class=4).sample_dev_set(5)
+
+    def test_deterministic(self):
+        ds = _dataset()
+        np.testing.assert_array_equal(
+            ds.sample_dev_set(2, seed=7).indices, ds.sample_dev_set(2, seed=7).indices
+        )
+
+    def test_no_duplicates(self):
+        dev = _dataset(n_per_class=10).sample_dev_set(5, seed=1)
+        assert np.unique(dev.indices).size == dev.size
+
+    def test_devset_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            DevSet(indices=np.array([1, 2]), labels=np.array([0]))

@@ -1,0 +1,144 @@
+"""Tests for the five synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, make_dataset
+from repro.datasets.cub import SPECIES_PALETTE, cub_attribute_vocabulary, make_cub
+from repro.datasets.gtsrb import SIGN_CLASSES, make_gtsrb
+from repro.datasets.surface import make_surface
+from repro.datasets.xray import make_pnxray, make_tbxray
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestAllGenerators:
+    def test_shapes_and_ranges(self, name):
+        ds = make_dataset(name, n_per_class=4, image_size=32, seed=0)
+        assert ds.images.shape == (8, 3, 32, 32)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+        np.testing.assert_array_equal(ds.class_counts(), [4, 4])
+
+    def test_deterministic(self, name):
+        a = make_dataset(name, n_per_class=3, image_size=32, seed=5)
+        b = make_dataset(name, n_per_class=3, image_size=32, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seed_changes_images(self, name):
+        a = make_dataset(name, n_per_class=3, image_size=32, seed=5)
+        b = make_dataset(name, n_per_class=3, image_size=32, seed=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_shuffled_not_sorted(self, name):
+        ds = make_dataset(name, n_per_class=8, image_size=32, seed=1)
+        assert not (np.diff(ds.labels) >= 0).all(), "labels should be shuffled"
+
+    def test_classes_visually_differ(self, name):
+        ds = make_dataset(name, n_per_class=8, image_size=32, seed=2)
+        mean0 = ds.images[ds.labels == 0].mean(axis=0)
+        mean1 = ds.images[ds.labels == 1].mean(axis=0)
+        assert np.abs(mean0 - mean1).mean() > 1e-3
+
+    def test_invalid_count(self, name):
+        with pytest.raises(ValueError):
+            make_dataset(name, n_per_class=0)
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("imagenet")
+
+    def test_case_insensitive(self):
+        ds = make_dataset("CUB", n_per_class=2, image_size=32)
+        assert ds.name.startswith("cub")
+
+
+class TestCub:
+    def test_attributes_emitted(self):
+        ds = make_cub(n_per_class=4, image_size=32, seed=0)
+        assert ds.attributes is not None
+        assert ds.class_attributes is not None
+        assert ds.attributes.shape == (8, len(cub_attribute_vocabulary()))
+        assert set(np.unique(ds.attributes)) <= {0, 1}
+
+    def test_attribute_noise_rate(self):
+        ds = make_cub(n_per_class=60, image_size=32, seed=1, attribute_flip_rate=0.2)
+        truth = ds.class_attributes[ds.labels]
+        disagreement = (ds.attributes != truth).mean()
+        assert 0.12 < disagreement < 0.28
+
+    def test_zero_flip_rate_exact(self):
+        ds = make_cub(n_per_class=5, image_size=32, seed=2, attribute_flip_rate=0.0)
+        np.testing.assert_array_equal(ds.attributes, ds.class_attributes[ds.labels])
+
+    def test_pair_seed_changes_species(self):
+        names = {make_cub(n_per_class=1, image_size=32, pair_seed=p).name for p in range(8)}
+        assert len(names) > 2
+
+    def test_pair_species_visually_distinct(self):
+        # The sampling constraint: >= 2 part-colour differences.
+        for pair_seed in range(10):
+            ds = make_cub(n_per_class=1, image_size=32, pair_seed=pair_seed)
+            a_name, b_name = ds.class_names
+            a = next(s for s in SPECIES_PALETTE if s.name == a_name)
+            b = next(s for s in SPECIES_PALETTE if s.name == b_name)
+            diffs = sum(
+                getattr(a, part) != getattr(b, part) for part in ("body", "head", "wing", "beak")
+            )
+            assert diffs >= 2
+            assert a.body != b.body
+
+
+class TestGtsrb:
+    def test_pair_seed_selects_distinct_classes(self):
+        for pair_seed in range(6):
+            ds = make_gtsrb(n_per_class=1, image_size=32, pair_seed=pair_seed)
+            assert ds.class_names[0] != ds.class_names[1]
+
+    def test_sign_class_library(self):
+        families = {sign.family for sign in SIGN_CLASSES}
+        assert families == {"prohibition", "mandatory", "warning", "stop", "end"}
+
+    def test_occlusion_knob(self):
+        clean = make_gtsrb(n_per_class=6, image_size=32, seed=3, occlusion=0.0)
+        assert clean.images.shape[0] == 12
+
+
+class TestSurface:
+    def test_grayscale_replicated(self):
+        ds = make_surface(n_per_class=3, image_size=32, seed=0)
+        np.testing.assert_array_equal(ds.images[:, 0], ds.images[:, 1])
+        np.testing.assert_array_equal(ds.images[:, 1], ds.images[:, 2])
+
+    def test_rough_class_has_more_texture(self):
+        ds = make_surface(n_per_class=12, image_size=32, seed=1, ambiguity=0.0)
+        hf = np.abs(np.diff(ds.images[:, 0], axis=1)).mean(axis=(1, 2))
+        assert hf[ds.labels == 1].mean() > hf[ds.labels == 0].mean()
+
+    def test_ambiguity_validation(self):
+        with pytest.raises(ValueError, match="ambiguity"):
+            make_surface(n_per_class=2, ambiguity=1.5)
+
+
+class TestXray:
+    def test_grayscale_replicated(self):
+        ds = make_tbxray(n_per_class=3, image_size=32, seed=0)
+        np.testing.assert_array_equal(ds.images[:, 0], ds.images[:, 2])
+
+    def test_tb_abnormal_brighter_lungs(self):
+        ds = make_tbxray(n_per_class=12, image_size=64, seed=1, confuser_rate=0.0)
+        # Upper-lung window: abnormal studies carry extra opacities.
+        window = ds.images[:, 0, 16:32, 8:56].mean(axis=(1, 2))
+        assert window[ds.labels == 1].mean() > window[ds.labels == 0].mean()
+
+    def test_pn_abnormal_brighter_bases(self):
+        ds = make_pnxray(n_per_class=12, image_size=64, seed=1, confuser_rate=0.0)
+        window = ds.images[:, 0, 36:56, 8:56].mean(axis=(1, 2))
+        assert window[ds.labels == 1].mean() > window[ds.labels == 0].mean()
+
+    def test_class_names(self):
+        assert make_tbxray(n_per_class=1, image_size=32).class_names == ("normal", "tuberculosis")
+        assert make_pnxray(n_per_class=1, image_size=32).class_names == ("normal", "pneumonia")

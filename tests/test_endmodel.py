@@ -1,0 +1,151 @@
+"""Tests for optimisers, heads (with numeric gradient checks), training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.endmodel.head import LinearHead, MLPHead, softmax_cross_entropy
+from repro.endmodel.optim import SGD, Adam
+from repro.endmodel.train import TrainConfig, one_hot, train_head
+
+
+class TestOptimisers:
+    def test_sgd_minimises_quadratic(self):
+        param = np.array([5.0])
+        opt = SGD(learning_rate=0.1)
+        for _ in range(200):
+            opt.step([param], [2.0 * param])
+        assert abs(param[0]) < 1e-3
+
+    def test_sgd_momentum_faster(self):
+        def run(momentum):
+            param = np.array([5.0])
+            opt = SGD(learning_rate=0.02, momentum=momentum)
+            for _ in range(50):
+                opt.step([param], [2.0 * param])
+            return abs(param[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_minimises_quadratic(self):
+        param = np.array([3.0, -4.0])
+        opt = Adam(learning_rate=0.1)
+        for _ in range(500):
+            opt.step([param], [2.0 * param])
+        assert np.abs(param).max() < 1e-2
+
+    def test_adam_handles_scale_mismatch(self):
+        # Adam normalises per-coordinate: both dims converge despite
+        # a 1e4 curvature difference.
+        param = np.array([1.0, 1.0])
+        scales = np.array([1.0, 1e4])
+        opt = Adam(learning_rate=0.05)
+        for _ in range(400):
+            opt.step([param], [2.0 * scales * param])
+        assert np.abs(param).max() < 0.05
+
+    def test_param_grad_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            Adam().step([np.zeros(2)], [])
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+
+def _numeric_gradient(loss_fn, param, eps=1e-6):
+    grad = np.zeros_like(param)
+    flat = param.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = loss_fn()
+        flat[i] = original - eps
+        down = loss_fn()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestGradientChecks:
+    def test_linear_head_gradients(self):
+        rng = np.random.default_rng(0)
+        head = LinearHead(4, 3, seed=0, weight_scale=0.5)
+        x = rng.standard_normal((6, 4))
+        soft = rng.random((6, 3)) + 0.1
+        soft /= soft.sum(axis=1, keepdims=True)
+        _, grads = head.loss_and_grads(x, soft, l2=0.01)
+        for param, grad in zip(head.parameters, grads):
+            numeric = _numeric_gradient(lambda: head.loss_and_grads(x, soft, l2=0.01)[0], param)
+            np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_mlp_head_gradients(self):
+        rng = np.random.default_rng(1)
+        head = MLPHead(5, 2, hidden=7, seed=0)
+        x = rng.standard_normal((4, 5))
+        soft = one_hot(rng.integers(0, 2, 4), 2)
+        _, grads = head.loss_and_grads(x, soft, l2=0.001)
+        for param, grad in zip(head.parameters, grads):
+            numeric = _numeric_gradient(lambda: head.loss_and_grads(x, soft, l2=0.001)[0], param)
+            np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+
+class TestHeads:
+    def test_predict_proba_valid(self):
+        head = LinearHead(3, 2, seed=0)
+        x = np.random.default_rng(2).standard_normal((5, 3))
+        probs = head.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_softmax_cross_entropy_one_hot(self):
+        logits = np.array([[10.0, -10.0]])
+        target = np.array([[1.0, 0.0]])
+        assert softmax_cross_entropy(logits, target) < 1e-6
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            LinearHead(0, 2)
+        with pytest.raises(ValueError):
+            MLPHead(3, 2, hidden=0)
+
+
+class TestTrainHead:
+    def _separable(self, n=60, seed=0):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n)
+        x = rng.standard_normal((n, 4)) + 2.5 * labels[:, None]
+        return x, labels
+
+    def test_fits_separable_data(self):
+        x, labels = self._separable()
+        result = train_head(x, one_hot(labels, 2), TrainConfig(epochs=60, seed=0))
+        assert (result.head.predict(x) == labels).mean() > 0.95
+
+    def test_loss_decreases(self):
+        x, labels = self._separable(seed=1)
+        result = train_head(x, one_hot(labels, 2), TrainConfig(epochs=40, seed=0))
+        assert result.losses[-1] < result.losses[0]
+        assert result.final_loss == result.losses[-1]
+
+    def test_probabilistic_targets_accepted(self):
+        x, labels = self._separable(seed=2)
+        soft = 0.8 * one_hot(labels, 2) + 0.1
+        result = train_head(x, soft, TrainConfig(epochs=30, seed=0))
+        assert (result.head.predict(x) == labels).mean() > 0.9
+
+    def test_linear_head_option(self):
+        x, labels = self._separable(seed=3)
+        result = train_head(x, one_hot(labels, 2), TrainConfig(epochs=30, hidden=0, seed=0))
+        assert isinstance(result.head, LinearHead)
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same number of rows"):
+            train_head(np.ones((3, 2)), np.ones((2, 2)) / 2)
+
+    def test_one_hot_validation(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 2]), 2)

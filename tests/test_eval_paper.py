@@ -1,0 +1,78 @@
+"""Sanity checks on the recorded paper constants (guards against typos)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.paper import (
+    DATASETS,
+    PAPER_CLAIMS,
+    TABLE1_METHODS,
+    TABLE1_PAPER,
+    TABLE2_METHODS,
+    TABLE2_PAPER,
+)
+
+
+class TestTable1Constants:
+    def test_every_dataset_and_method_present(self):
+        assert set(TABLE1_PAPER) == set(DATASETS)
+        for row in TABLE1_PAPER.values():
+            assert set(row) == set(TABLE1_METHODS)
+
+    def test_snorkel_only_on_cub(self):
+        assert TABLE1_PAPER["cub"]["snorkel"] == 89.17
+        for dataset in DATASETS:
+            if dataset != "cub":
+                assert TABLE1_PAPER[dataset]["snorkel"] is None
+
+    def test_paper_averages(self):
+        """The paper's stated averages (Table 1 bottom row)."""
+        goggles = np.mean([TABLE1_PAPER[d]["goggles"] for d in DATASETS])
+        snuba = np.mean([TABLE1_PAPER[d]["snuba"] for d in DATASETS])
+        np.testing.assert_allclose(goggles, 81.76, atol=0.01)
+        np.testing.assert_allclose(snuba, 58.88, atol=0.01)
+
+    def test_goggles_range_claim(self):
+        """'labeling accuracies ranging from a minimum of 71% to a
+        maximum of 98%' (§1) — Table 1 values: 70.51..97.83."""
+        values = [TABLE1_PAPER[d]["goggles"] for d in DATASETS]
+        assert min(values) == 70.51
+        assert max(values) == 97.83
+
+
+class TestTable2Constants:
+    def test_structure(self):
+        assert set(TABLE2_PAPER) == set(DATASETS)
+        for row in TABLE2_PAPER.values():
+            assert set(row) == set(TABLE2_METHODS)
+
+    def test_paper_averages(self):
+        fsl = np.mean([TABLE2_PAPER[d]["fsl"] for d in DATASETS])
+        goggles = np.mean([TABLE2_PAPER[d]["goggles"] for d in DATASETS])
+        upper = np.mean([TABLE2_PAPER[d]["upper_bound"] for d in DATASETS])
+        np.testing.assert_allclose(fsl, 77.23, atol=0.01)
+        np.testing.assert_allclose(goggles, 82.03, atol=0.01)
+        np.testing.assert_allclose(upper, 89.14, atol=0.01)
+
+    def test_headline_margins(self):
+        """GOGGLES beats FSL by ~5 and is ~7 from the bound (abstract)."""
+        goggles = np.mean([TABLE2_PAPER[d]["goggles"] for d in DATASETS])
+        fsl = np.mean([TABLE2_PAPER[d]["fsl"] for d in DATASETS])
+        upper = np.mean([TABLE2_PAPER[d]["upper_bound"] for d in DATASETS])
+        assert 4 <= goggles - fsl <= 6
+        assert 6 <= upper - goggles <= 8
+
+    def test_upper_bound_dominates_all(self):
+        for dataset in DATASETS:
+            row = TABLE2_PAPER[dataset]
+            bound = row["upper_bound"]
+            for method in TABLE2_METHODS:
+                if method != "upper_bound" and row[method] is not None:
+                    assert row[method] <= bound
+
+
+class TestClaims:
+    def test_claims_listed(self):
+        assert len(PAPER_CLAIMS) >= 6
+        assert any("Snuba" in claim for claim in PAPER_CLAIMS)

@@ -1,0 +1,48 @@
+"""Tests for ASCII table/curve rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.tables import format_comparison_table, format_curve, format_matrix
+
+
+class TestComparisonTable:
+    def test_contains_measured_and_paper(self):
+        measured = {"cub": {"goggles": 95.0, "snuba": 60.0}}
+        paper = {"cub": {"goggles": 97.83, "snuba": 58.83}}
+        text = format_comparison_table(measured, paper, ("goggles", "snuba"), "T")
+        assert "95.0" in text
+        assert "97.8" in text
+        assert "cub" in text
+        assert "average" in text
+
+    def test_none_rendered_as_dash(self):
+        measured = {"gtsrb": {"snorkel": None}}
+        paper = {"gtsrb": {"snorkel": None}}
+        text = format_comparison_table(measured, paper, ("snorkel",), "T")
+        assert "-" in text
+
+    def test_average_row_correct(self):
+        measured = {"a": {"m": 50.0}, "b": {"m": 70.0}}
+        text = format_comparison_table(measured, {}, ("m",), "T")
+        assert " 60.0" in text.splitlines()[-2]
+
+
+class TestCurve:
+    def test_contains_points(self):
+        text = format_curve({0: 50.0, 10: 90.0}, "title", "x", "y")
+        assert "title" in text
+        assert "50.00" in text and "90.00" in text
+
+    def test_bar_lengths_monotone(self):
+        text = format_curve({1: 10.0, 2: 20.0, 3: 30.0}, "t")
+        bars = [line.count("#") for line in text.splitlines()[2:]]
+        assert bars == sorted(bars)
+
+
+class TestMatrix:
+    def test_renders_values(self):
+        text = format_matrix(np.array([[1.5, 2.5], [3.5, 4.5]]), "M", ("a", "b"))
+        assert "1.500" in text and "4.500" in text
+        assert "a" in text and "b" in text

@@ -1,0 +1,45 @@
+"""Tests for the few-shot learning Baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import DevSet
+from repro.fsl import FSLBaseline, FSLConfig
+
+
+class TestFSLBaseline:
+    def test_fits_and_predicts(self, vgg, small_cub):
+        dev = small_cub.sample_dev_set(per_class=4, seed=0)
+        fsl = FSLBaseline(vgg, 2, FSLConfig(epochs=150, seed=0)).fit(small_cub.images, dev)
+        predictions = fsl.predict(small_cub.images)
+        assert predictions.shape == (small_cub.n_examples,)
+        non_dev = np.setdiff1d(np.arange(small_cub.n_examples), dev.indices)
+        accuracy = (predictions[non_dev] == small_cub.labels[non_dev]).mean()
+        assert accuracy > 0.6
+
+    def test_support_set_memorised(self, vgg, small_cub):
+        dev = small_cub.sample_dev_set(per_class=4, seed=1)
+        fsl = FSLBaseline(vgg, 2, FSLConfig(epochs=300, seed=0)).fit(small_cub.images, dev)
+        support_accuracy = (fsl.predict(small_cub.images[dev.indices]) == dev.labels).mean()
+        assert support_accuracy >= 0.75
+
+    def test_predict_proba_valid(self, vgg, small_cub):
+        dev = small_cub.sample_dev_set(per_class=3, seed=2)
+        fsl = FSLBaseline(vgg, 2).fit(small_cub.images, dev)
+        probs = fsl.predict_proba(small_cub.images[:4])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_predict_before_fit(self, vgg, small_cub):
+        with pytest.raises(RuntimeError, match="fitted"):
+            FSLBaseline(vgg, 2).predict(small_cub.images[:2])
+
+    def test_empty_support_rejected(self, vgg, small_cub):
+        empty = DevSet(np.empty(0, np.int64), np.empty(0, np.int64))
+        with pytest.raises(ValueError, match="non-empty"):
+            FSLBaseline(vgg, 2).fit(small_cub.images, empty)
+
+    def test_invalid_classes(self, vgg):
+        with pytest.raises(ValueError):
+            FSLBaseline(vgg, 1)

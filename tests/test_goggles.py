@@ -1,0 +1,84 @@
+"""End-to-end tests for the GOGGLES facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Goggles, GogglesConfig
+from repro.datasets.base import DevSet
+
+
+@pytest.fixture(scope="module")
+def goggles(vgg):
+    return Goggles(GogglesConfig(n_classes=2, seed=0, top_z=4), model=vgg)
+
+
+@pytest.fixture(scope="module")
+def labeled_run(goggles, small_cub):
+    dev = small_cub.sample_dev_set(per_class=3, seed=0)
+    return goggles.label(small_cub.images, dev), dev
+
+
+class TestGogglesPipeline:
+    def test_probabilistic_labels_valid(self, labeled_run, small_cub):
+        result, _ = labeled_run
+        labels = result.probabilistic_labels
+        assert labels.shape == (small_cub.n_examples, 2)
+        np.testing.assert_allclose(labels.sum(axis=1), 1.0, atol=1e-8)
+        assert labels.min() >= 0
+
+    def test_better_than_chance(self, labeled_run, small_cub):
+        result, dev = labeled_run
+        assert result.accuracy(small_cub.labels, exclude=dev.indices) > 0.6
+
+    def test_affinity_matrix_dimensions(self, labeled_run, small_cub, goggles):
+        result, _ = labeled_run
+        n = small_cub.n_examples
+        alpha = goggles.config.top_z * len(goggles.config.layers)
+        assert result.affinity.values.shape == (n, alpha * n)
+
+    def test_predictions_are_argmax(self, labeled_run):
+        result, _ = labeled_run
+        np.testing.assert_array_equal(result.predictions, result.probabilistic_labels.argmax(axis=1))
+
+    def test_accuracy_excludes_dev(self, labeled_run, small_cub):
+        result, dev = labeled_run
+        with_dev = result.accuracy(small_cub.labels)
+        without_dev = result.accuracy(small_cub.labels, exclude=dev.indices)
+        n = small_cub.n_examples
+        # Both are averages over different denominators; check consistency.
+        total_correct = with_dev * n
+        dev_correct = (result.predictions[dev.indices] == small_cub.labels[dev.indices]).sum()
+        assert without_dev == pytest.approx((total_correct - dev_correct) / (n - dev.size))
+
+    def test_mapping_is_applied(self, labeled_run):
+        result, _ = labeled_run
+        raw = result.hierarchical.posterior
+        mapped = result.probabilistic_labels
+        np.testing.assert_allclose(mapped[:, result.mapping.cluster_to_class], raw, atol=1e-12)
+
+    def test_deterministic(self, goggles, small_cub):
+        dev = small_cub.sample_dev_set(per_class=3, seed=0)
+        a = goggles.label(small_cub.images, dev)
+        b = goggles.label(small_cub.images, dev)
+        np.testing.assert_array_equal(a.probabilistic_labels, b.probabilistic_labels)
+
+
+class TestGogglesValidation:
+    def test_dev_indices_out_of_range(self, goggles, small_cub):
+        affinity = goggles.build_affinity_matrix(small_cub.images)
+        bad_dev = DevSet(indices=np.array([10_000]), labels=np.array([0]))
+        with pytest.raises(ValueError, match="exceed"):
+            goggles.infer_labels(affinity, bad_dev)
+
+    def test_layer_subset_config(self, vgg, small_cub):
+        goggles = Goggles(GogglesConfig(n_classes=2, seed=0, top_z=2, layers=(2, 3)), model=vgg)
+        affinity = goggles.build_affinity_matrix(small_cub.images)
+        assert affinity.n_functions == 4
+
+    def test_hierarchical_config_propagates(self):
+        config = GogglesConfig(n_classes=2, seed=42)
+        hier = config.hierarchical_config()
+        assert hier.seed == 42
+        assert hier.n_classes == 2

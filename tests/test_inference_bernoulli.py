@@ -1,0 +1,135 @@
+"""Tests for one-hot encoding and the Bernoulli-mixture ensemble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.inference.bernoulli import BernoulliMixture, one_hot_encode_lp
+
+
+class TestOneHotEncodeLP:
+    def test_basic_encoding(self):
+        lp = np.array([[0.9, 0.1, 0.2, 0.8]])  # two functions, K=2
+        out = one_hot_encode_lp(lp, n_classes=2)
+        np.testing.assert_array_equal(out, [[1, 0, 0, 1]])
+
+    def test_every_block_one_hot(self):
+        rng = np.random.default_rng(0)
+        lp = rng.random((10, 6))
+        out = one_hot_encode_lp(lp, n_classes=2)
+        blocks = out.reshape(10, 3, 2)
+        np.testing.assert_array_equal(blocks.sum(axis=2), 1.0)
+
+    def test_tie_goes_to_lower_class(self):
+        lp = np.array([[0.5, 0.5]])
+        np.testing.assert_array_equal(one_hot_encode_lp(lp, 2), [[1, 0]])
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="multiple"):
+            one_hot_encode_lp(np.ones((2, 5)), 2)
+
+    def test_argmax_preserved(self):
+        rng = np.random.default_rng(1)
+        lp = rng.random((5, 4))
+        out = one_hot_encode_lp(lp, 2)
+        np.testing.assert_array_equal(
+            out.reshape(5, 2, 2).argmax(axis=2), lp.reshape(5, 2, 2).argmax(axis=2)
+        )
+
+
+def _planted_votes(n_per=40, n_funcs=8, flip=0.1, seed=0):
+    """Binary one-hot votes where most functions agree with the truth."""
+    rng = np.random.default_rng(seed)
+    labels = np.repeat([0, 1], n_per)
+    blocks = []
+    for _ in range(n_funcs):
+        noisy = np.where(rng.random(labels.size) < flip, 1 - labels, labels)
+        block = np.zeros((labels.size, 2))
+        block[np.arange(labels.size), noisy] = 1.0
+        blocks.append(block)
+    return np.concatenate(blocks, axis=1), labels
+
+
+class TestBernoulliMixture:
+    def test_recovers_planted_clusters(self):
+        x, labels = _planted_votes()
+        result = BernoulliMixture(2, seed=0).fit(x)
+        hard = result.responsibilities.argmax(axis=1)
+        accuracy = max((hard == labels).mean(), (1 - hard == labels).mean())
+        assert accuracy > 0.95
+
+    def test_ignores_noise_functions(self):
+        # Half the functions are pure noise; the mixture should still
+        # recover the planted structure from the informative half.
+        rng = np.random.default_rng(1)
+        x, labels = _planted_votes(n_funcs=5, flip=0.05, seed=1)
+        noise_blocks = []
+        for _ in range(5):
+            noise = rng.integers(0, 2, size=labels.size)
+            block = np.zeros((labels.size, 2))
+            block[np.arange(labels.size), noise] = 1.0
+            noise_blocks.append(block)
+        x_noisy = np.concatenate([x] + noise_blocks, axis=1)
+        result = BernoulliMixture(2, seed=0).fit(x_noisy)
+        hard = result.responsibilities.argmax(axis=1)
+        accuracy = max((hard == labels).mean(), (1 - hard == labels).mean())
+        assert accuracy > 0.9
+
+    def test_responsibilities_are_distributions(self):
+        x, _ = _planted_votes(seed=2)
+        result = BernoulliMixture(2, seed=0).fit(x)
+        np.testing.assert_allclose(result.responsibilities.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="one-hot"):
+            BernoulliMixture(2).fit(np.full((4, 4), 0.5))
+
+    def test_params_clamped(self):
+        x, _ = _planted_votes(flip=0.0, seed=3)
+        mixture = BernoulliMixture(2, param_floor=0.01, seed=0)
+        mixture.fit(x)
+        assert mixture.probs_.min() >= 0.01
+        assert mixture.probs_.max() <= 0.99
+
+    def test_restarts_improve_or_match(self):
+        x, labels = _planted_votes(flip=0.2, seed=4)
+        single = BernoulliMixture(2, n_init=1, seed=0).fit(x)
+        multi = BernoulliMixture(2, n_init=6, seed=0).fit(x)
+        assert multi.log_likelihood >= single.log_likelihood - 1e-6
+
+    def test_predict_proba_consistency(self):
+        x, _ = _planted_votes(seed=5)
+        mixture = BernoulliMixture(2, seed=0)
+        result = mixture.fit(x)
+        np.testing.assert_allclose(mixture.predict_proba(x), result.responsibilities, atol=1e-8)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            BernoulliMixture(2).predict_proba(np.ones((2, 2)))
+
+    def test_deterministic(self):
+        x, _ = _planted_votes(seed=6)
+        a = BernoulliMixture(2, seed=4).fit(x).responsibilities
+        b = BernoulliMixture(2, seed=4).fit(x).responsibilities
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BernoulliMixture(0)
+        with pytest.raises(ValueError):
+            BernoulliMixture(2, n_init=0)
+        with pytest.raises(ValueError):
+            BernoulliMixture(2, param_floor=0.7)
+
+    @given(st.integers(min_value=2, max_value=3), st.integers(min_value=3, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_shapes_for_k(self, k, n_funcs):
+        rng = np.random.default_rng(k * 10 + n_funcs)
+        labels = rng.integers(0, k, size=30)
+        block = np.zeros((30, k))
+        block[np.arange(30), labels] = 1.0
+        x = np.tile(block, (1, n_funcs))
+        result = BernoulliMixture(k, seed=0).fit(x)
+        assert result.responsibilities.shape == (30, k)

@@ -1,0 +1,118 @@
+"""Tests for the diagonal-covariance GMM base model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.inference.base_gmm import DiagonalGMM, kmeans_plusplus_init
+
+
+def _two_blobs(n_per=40, d=5, gap=6.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n_per, d))
+    b = rng.standard_normal((n_per, d)) + gap
+    labels = np.repeat([0, 1], n_per)
+    return np.concatenate([a, b]), labels
+
+
+class TestKMeansPlusPlus:
+    def test_centers_are_data_points(self):
+        x = np.random.default_rng(0).standard_normal((20, 3))
+        centers = kmeans_plusplus_init(x, 4, np.random.default_rng(1))
+        for center in centers:
+            assert any(np.allclose(center, row) for row in x)
+
+    def test_degenerate_data(self):
+        x = np.zeros((10, 2))
+        centers = kmeans_plusplus_init(x, 3, np.random.default_rng(2))
+        assert centers.shape == (3, 2)
+
+
+class TestDiagonalGMM:
+    def test_recovers_separated_blobs(self):
+        x, labels = _two_blobs()
+        result = DiagonalGMM(2, seed=0).fit(x)
+        hard = result.responsibilities.argmax(axis=1)
+        accuracy = max((hard == labels).mean(), (1 - hard == labels).mean())
+        assert accuracy > 0.95
+
+    def test_responsibilities_are_distributions(self):
+        x, _ = _two_blobs(seed=1)
+        result = DiagonalGMM(2, seed=0).fit(x)
+        np.testing.assert_allclose(result.responsibilities.sum(axis=1), 1.0, atol=1e-9)
+        assert result.responsibilities.min() >= 0
+
+    def test_log_likelihood_increases(self):
+        """EM's defining property: the likelihood never decreases."""
+        x, _ = _two_blobs(gap=2.0, seed=2)
+        lls = []
+        gmm = DiagonalGMM(2, max_iter=1, seed=3)
+        # Manually run EM steps and track the likelihood trajectory.
+        from repro.utils.rng import spawn_rng
+
+        rng = spawn_rng(3, "diag-gmm")
+        gmm.means_ = kmeans_plusplus_init(x, 2, rng)
+        var = np.maximum(x.var(axis=0), gmm.variance_floor)
+        gmm.variances_ = np.tile(var, (2, 1))
+        gmm.weights_ = np.array([0.5, 0.5])
+        for _ in range(15):
+            resp, ll = gmm._e_step(x)
+            lls.append(ll)
+            gmm._m_step(x, resp, rng)
+        assert all(b >= a - 1e-7 for a, b in zip(lls, lls[1:]))
+
+    def test_convergence_flag(self):
+        x, _ = _two_blobs(seed=4)
+        result = DiagonalGMM(2, max_iter=200, seed=0).fit(x)
+        assert result.converged
+        assert result.n_iterations < 200
+
+    def test_variance_floor_respected(self):
+        # Duplicated points would drive variance to zero without the floor.
+        x = np.tile(np.array([[1.0, 2.0]]), (30, 1))
+        x[15:] += 5.0
+        gmm = DiagonalGMM(2, variance_floor=1e-4, seed=0)
+        gmm.fit(x)
+        assert gmm.variances_.min() >= 1e-4
+
+    def test_predict_proba_consistent_with_fit(self):
+        x, _ = _two_blobs(seed=5)
+        gmm = DiagonalGMM(2, seed=0)
+        result = gmm.fit(x)
+        np.testing.assert_allclose(gmm.predict_proba(x), result.responsibilities, atol=1e-9)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DiagonalGMM(2).predict_proba(np.zeros((2, 2)) + 1.0)
+
+    def test_too_few_examples(self):
+        with pytest.raises(ValueError, match="at least"):
+            DiagonalGMM(3).fit(np.ones((2, 2)))
+
+    def test_deterministic_given_seed(self):
+        x, _ = _two_blobs(seed=6)
+        a = DiagonalGMM(2, seed=9).fit(x).responsibilities
+        b = DiagonalGMM(2, seed=9).fit(x).responsibilities
+        np.testing.assert_array_equal(a, b)
+
+    def test_weights_sum_to_one(self):
+        x, _ = _two_blobs(seed=7)
+        gmm = DiagonalGMM(2, seed=0)
+        gmm.fit(x)
+        np.testing.assert_allclose(gmm.weights_.sum(), 1.0)
+
+    @given(st.integers(min_value=2, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_k_components_posterior_shape(self, k):
+        x = np.random.default_rng(k).standard_normal((30, 4))
+        result = DiagonalGMM(k, seed=0).fit(x)
+        assert result.responsibilities.shape == (30, k)
+        np.testing.assert_allclose(result.responsibilities.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiagonalGMM(0)
+        with pytest.raises(ValueError):
+            DiagonalGMM(2, max_iter=0)

@@ -1,0 +1,103 @@
+"""Tests for the hierarchical generative model (Figure 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.inference.hierarchical import (
+    HierarchicalConfig,
+    HierarchicalModel,
+    HierarchicalResult,
+    hierarchical_parameter_count,
+    naive_parameter_count,
+)
+
+
+def _planted_affinity(n_per=15, n_good=4, n_noise=6, seed=0):
+    """Affinity matrix with block structure in good functions only."""
+    rng = np.random.default_rng(seed)
+    n = 2 * n_per
+    labels = np.repeat([0, 1], n_per)
+    same = np.equal.outer(labels, labels).astype(np.float64)
+    blocks = []
+    for _ in range(n_good):
+        blocks.append(0.5 + 0.4 * same + 0.05 * rng.standard_normal((n, n)))
+    for _ in range(n_noise):
+        blocks.append(0.7 + 0.1 * rng.standard_normal((n, n)))
+    return AffinityMatrix(values=np.concatenate(blocks, axis=1)), labels
+
+
+class TestParameterCounts:
+    def test_formulas(self):
+        """§4.1: naive K(C(αN,2)+αN) vs hierarchical 2αKN + αK."""
+        n, alpha, k = 100, 50, 2
+        d = alpha * n
+        assert naive_parameter_count(n, alpha, k) == k * (d * (d - 1) // 2 + d)
+        assert hierarchical_parameter_count(n, alpha, k) == 2 * alpha * k * n + alpha * k
+
+    def test_hierarchy_is_smaller(self):
+        assert hierarchical_parameter_count(100, 50, 2) < naive_parameter_count(100, 50, 2)
+
+    def test_hierarchy_orders_of_magnitude_smaller(self):
+        # The paper's point: the naive GMM needs ~(αN)² parameters while
+        # the hierarchy stays linear in N — a >1000x reduction here.
+        n = 200
+        assert hierarchical_parameter_count(n, 50, 2) * 1000 < naive_parameter_count(n, 50, 2)
+
+
+class TestHierarchicalModel:
+    def test_recovers_planted_structure(self):
+        affinity, labels = _planted_affinity()
+        result = HierarchicalModel(HierarchicalConfig(seed=0)).fit(affinity)
+        hard = result.posterior.argmax(axis=1)
+        accuracy = max((hard == labels).mean(), (1 - hard == labels).mean())
+        assert accuracy > 0.9
+
+    def test_result_shapes(self):
+        affinity, _ = _planted_affinity(n_per=10, seed=1)
+        result = HierarchicalModel(HierarchicalConfig(seed=0)).fit(affinity)
+        n = affinity.n_examples
+        alpha = affinity.n_functions
+        assert result.posterior.shape == (n, 2)
+        assert result.label_predictions.shape == (n, alpha * 2)
+        assert result.one_hot.shape == (n, alpha * 2)
+        assert len(result.base_results) == alpha
+        assert result.n_functions == alpha
+
+    def test_one_hot_is_binary(self):
+        affinity, _ = _planted_affinity(seed=2)
+        result = HierarchicalModel(HierarchicalConfig(seed=0)).fit(affinity)
+        assert set(np.unique(result.one_hot)) <= {0.0, 1.0}
+
+    def test_posterior_is_distribution(self):
+        affinity, _ = _planted_affinity(seed=3)
+        result = HierarchicalModel(HierarchicalConfig(seed=0)).fit(affinity)
+        np.testing.assert_allclose(result.posterior.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_function_informativeness_ranks_good_first(self):
+        affinity, _ = _planted_affinity(n_good=3, n_noise=7, seed=4)
+        result = HierarchicalModel(HierarchicalConfig(seed=0)).fit(affinity)
+        scores = result.function_informativeness()
+        assert scores.shape == (10,)
+        good_mean = scores[:3].mean()
+        noise_mean = scores[3:].mean()
+        assert good_mean > noise_mean
+
+    def test_deterministic(self):
+        affinity, _ = _planted_affinity(seed=5)
+        a = HierarchicalModel(HierarchicalConfig(seed=1)).fit(affinity).posterior
+        b = HierarchicalModel(HierarchicalConfig(seed=1)).fit(affinity).posterior
+        np.testing.assert_array_equal(a, b)
+
+    def test_fit_base_models_shape(self):
+        affinity, _ = _planted_affinity(n_per=8, seed=6)
+        model = HierarchicalModel(HierarchicalConfig(seed=0))
+        lp, results = model.fit_base_models(affinity)
+        assert lp.shape == (16, affinity.n_functions * 2)
+        assert all(r.responsibilities.shape == (16, 2) for r in results)
+
+    def test_invalid_n_classes(self):
+        with pytest.raises(ValueError):
+            HierarchicalModel(HierarchicalConfig(n_classes=1))

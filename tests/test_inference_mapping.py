@@ -1,0 +1,135 @@
+"""Tests for the dev-set cluster-to-class mapping (Eq. 12-17)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.inference.mapping import (
+    ClusterMapping,
+    apply_mapping,
+    brute_force_mapping,
+    dev_set_weights,
+    map_clusters_to_classes,
+)
+from repro.datasets.base import DevSet
+
+
+def _posterior(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    p = rng.random((n, k)) + 0.05
+    return p / p.sum(axis=1, keepdims=True)
+
+
+class TestClusterMapping:
+    def test_permutation_enforced(self):
+        with pytest.raises(ValueError, match="permutation"):
+            ClusterMapping(cluster_to_class=np.array([0, 0]), goodness=1.0)
+
+    def test_inverse(self):
+        mapping = ClusterMapping(cluster_to_class=np.array([2, 0, 1]), goodness=0.0)
+        inverse = mapping.inverse()
+        np.testing.assert_array_equal(inverse[mapping.cluster_to_class], [0, 1, 2])
+
+
+class TestDevSetWeights:
+    def test_weights_formula(self):
+        """w[k, k'] = sum over dev examples with label k' of gamma[l, k]."""
+        posterior = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        dev = DevSet(indices=np.array([0, 1, 2]), labels=np.array([0, 1, 0]))
+        weights = dev_set_weights(posterior, dev, 2)
+        np.testing.assert_allclose(weights[:, 0], posterior[0] + posterior[2])
+        np.testing.assert_allclose(weights[:, 1], posterior[1])
+
+    def test_total_mass(self):
+        posterior = _posterior(10, 3, seed=1)
+        dev = DevSet(indices=np.arange(6), labels=np.array([0, 1, 2, 0, 1, 2]))
+        weights = dev_set_weights(posterior, dev, 3)
+        np.testing.assert_allclose(weights.sum(), 6.0)
+
+
+class TestMapClustersToClasses:
+    def test_identity_when_aligned(self):
+        posterior = np.array([[0.95, 0.05]] * 5 + [[0.05, 0.95]] * 5)
+        dev = DevSet(indices=np.array([0, 5]), labels=np.array([0, 1]))
+        mapping = map_clusters_to_classes(posterior, dev, 2)
+        np.testing.assert_array_equal(mapping.cluster_to_class, [0, 1])
+
+    def test_swap_when_flipped(self):
+        posterior = np.array([[0.95, 0.05]] * 5 + [[0.05, 0.95]] * 5)
+        dev = DevSet(indices=np.array([0, 5]), labels=np.array([1, 0]))
+        mapping = map_clusters_to_classes(posterior, dev, 2)
+        np.testing.assert_array_equal(mapping.cluster_to_class, [1, 0])
+
+    def test_empty_dev_set_identity(self):
+        mapping = map_clusters_to_classes(_posterior(4, 3), DevSet(np.empty(0, np.int64), np.empty(0, np.int64)), 3)
+        np.testing.assert_array_equal(mapping.cluster_to_class, [0, 1, 2])
+
+    def test_k2_closed_form(self):
+        """Eq. 15: for K=2 map identity iff sum_{l in LS_1} gamma_{l,1} >=
+        sum_{l in LS_0} gamma_{l,1}."""
+        for seed in range(10):
+            posterior = _posterior(12, 2, seed=seed)
+            dev = DevSet(indices=np.arange(6), labels=np.array([0, 0, 0, 1, 1, 1]))
+            mapping = map_clusters_to_classes(posterior, dev, 2)
+            lhs = posterior[dev.indices[dev.labels == 1], 1].sum()
+            rhs = posterior[dev.indices[dev.labels == 0], 1].sum()
+            expected_identity = lhs >= rhs
+            got_identity = bool(np.array_equal(mapping.cluster_to_class, [0, 1]))
+            assert got_identity == expected_identity
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, k, seed):
+        posterior = _posterior(4 * k, k, seed=seed)
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(4 * k, size=2 * k, replace=False)
+        labels = np.repeat(np.arange(k), 2)
+        dev = DevSet(indices=indices, labels=labels)
+        fast = map_clusters_to_classes(posterior, dev, k)
+        slow = brute_force_mapping(posterior, dev, k)
+        assert fast.goodness == pytest.approx(slow.goodness)
+
+    def test_goodness_is_lg(self):
+        """L_g = sum_k sum_{l in LS_{g(k)}} gamma_{l,k} (Eq. 12)."""
+        posterior = _posterior(8, 2, seed=3)
+        dev = DevSet(indices=np.array([0, 1, 2, 3]), labels=np.array([0, 0, 1, 1]))
+        mapping = map_clusters_to_classes(posterior, dev, 2)
+        manual = sum(
+            posterior[l, k]
+            for k in range(2)
+            for l in dev.indices[dev.labels == mapping.cluster_to_class[k]]
+        )
+        assert mapping.goodness == pytest.approx(manual)
+
+
+class TestApplyMapping:
+    def test_identity_noop(self):
+        posterior = _posterior(5, 2, seed=4)
+        mapping = ClusterMapping(np.array([0, 1]), 0.0)
+        np.testing.assert_array_equal(apply_mapping(posterior, mapping), posterior)
+
+    def test_swap_reorders_columns(self):
+        posterior = _posterior(5, 2, seed=5)
+        mapping = ClusterMapping(np.array([1, 0]), 0.0)
+        swapped = apply_mapping(posterior, mapping)
+        np.testing.assert_array_equal(swapped[:, 1], posterior[:, 0])
+        np.testing.assert_array_equal(swapped[:, 0], posterior[:, 1])
+
+    def test_three_way_cycle(self):
+        posterior = _posterior(4, 3, seed=6)
+        mapping = ClusterMapping(np.array([1, 2, 0]), 0.0)
+        out = apply_mapping(posterior, mapping)
+        np.testing.assert_array_equal(out[:, 1], posterior[:, 0])
+        np.testing.assert_array_equal(out[:, 2], posterior[:, 1])
+        np.testing.assert_array_equal(out[:, 0], posterior[:, 2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            apply_mapping(_posterior(3, 3), ClusterMapping(np.array([0, 1]), 0.0))
+
+    def test_rows_still_distributions(self):
+        posterior = _posterior(6, 3, seed=7)
+        out = apply_mapping(posterior, ClusterMapping(np.array([2, 0, 1]), 0.0))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)

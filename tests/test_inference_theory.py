@@ -1,0 +1,123 @@
+"""Tests for the dev-set size theory (§4.4, Theorem 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.stats import binom
+
+from repro.core.inference.theory import (
+    min_dev_set_size,
+    off_cluster_probability,
+    p_class_correct,
+    p_class_correct_bruteforce,
+    p_mapping_correct_lower_bound,
+    theory_curve,
+)
+
+
+class TestOffClusterProbability:
+    def test_probabilities_sum_to_one(self):
+        for k in (2, 3, 5):
+            for eta in (0.5, 0.7, 0.9):
+                rho = off_cluster_probability(eta, k)
+                assert eta + (k - 1) * rho == pytest.approx(1.0)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            off_cluster_probability(1.0, 2)
+
+
+class TestPClassCorrect:
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=2, max_value=4),
+        st.floats(min_value=0.35, max_value=0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dp_matches_bruteforce(self, d, k, eta):
+        fast = p_class_correct(d, k, eta)
+        slow = p_class_correct_bruteforce(d, k, eta)
+        assert fast == pytest.approx(slow, abs=1e-9)
+
+    def test_k2_is_binomial_majority(self):
+        """For K=2: P = P(Binomial(d, eta) > d/2)."""
+        for d in (1, 3, 4, 7, 10):
+            for eta in (0.6, 0.8):
+                expected = 1.0 - binom.cdf(np.floor(d / 2), d, eta)
+                assert p_class_correct(d, 2, eta) == pytest.approx(expected, abs=1e-12)
+
+    def test_single_example(self):
+        assert p_class_correct(1, 2, 0.7) == pytest.approx(0.7)
+        assert p_class_correct(1, 4, 0.7) == pytest.approx(0.7)
+
+    def test_even_d_tie_penalty(self):
+        """The strict-majority bound dips at even d (ties excluded)."""
+        assert p_class_correct(2, 2, 0.8) < p_class_correct(1, 2, 0.8)
+        assert p_class_correct(3, 2, 0.8) > p_class_correct(2, 2, 0.8)
+
+    def test_odd_d_monotone_in_eta(self):
+        values = [p_class_correct(5, 2, eta) for eta in (0.55, 0.65, 0.75, 0.85, 0.95)]
+        assert values == sorted(values)
+
+    def test_large_d_approaches_one(self):
+        assert p_class_correct(101, 2, 0.8) > 0.999
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            p_class_correct(0, 2, 0.5)
+        with pytest.raises(ValueError):
+            p_class_correct(3, 1, 0.5)
+
+
+class TestMappingBound:
+    def test_is_kth_power(self):
+        d, k, eta = 5, 3, 0.7
+        assert p_mapping_correct_lower_bound(d, k, eta) == pytest.approx(
+            p_class_correct(d, k, eta) ** k
+        )
+
+    def test_bound_in_unit_interval(self):
+        for d in (1, 4, 9):
+            p = p_mapping_correct_lower_bound(d, 2, 0.75)
+            assert 0.0 <= p <= 1.0
+
+    def test_paper_figure7_shape(self):
+        """Paper: at eta=0.8, ~20 dev examples give P close to 1 (K=2)."""
+        p_at_10_per_class = p_mapping_correct_lower_bound(10, 2, 0.8)
+        assert p_at_10_per_class > 0.85
+        p_at_15_per_class = p_mapping_correct_lower_bound(15, 2, 0.8)
+        assert p_at_15_per_class > 0.95
+
+
+class TestMinDevSetSize:
+    def test_multiple_of_k(self):
+        m = min_dev_set_size(0.9, 3, 0.8)
+        assert m % 3 == 0
+
+    def test_higher_eta_needs_fewer(self):
+        assert min_dev_set_size(0.95, 2, 0.9) <= min_dev_set_size(0.95, 2, 0.7)
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ValueError, match="does not reach"):
+            min_dev_set_size(0.999999, 2, 0.51, max_per_class=5)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            min_dev_set_size(1.5, 2, 0.8)
+
+    def test_paper_eta08_value(self):
+        # "when eta = 0.8, only about 20 examples are required".
+        assert 10 <= min_dev_set_size(0.95, 2, 0.8) <= 30
+
+
+class TestTheoryCurve:
+    def test_curve_shape(self):
+        curve = theory_curve(0.8, [1, 3, 5, 7])
+        assert curve.shape == (4,)
+        assert (curve >= 0).all() and (curve <= 1).all()
+
+    def test_odd_subsequence_monotone(self):
+        curve = theory_curve(0.8, [1, 3, 5, 7, 9, 11])
+        assert (np.diff(curve) > -1e-12).all()

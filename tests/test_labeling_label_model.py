@@ -1,0 +1,118 @@
+"""Tests for the Snorkel-style generative label model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.labeling.label_model import LabelModel, majority_vote
+from repro.labeling.lf import ABSTAIN
+
+
+def _planted_votes(n=120, m=6, accuracy=0.85, coverage=0.7, seed=0, one_sided=False):
+    """Votes from LFs with known accuracy/coverage over balanced classes."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    votes = np.full((n, m), ABSTAIN, dtype=np.int64)
+    for j in range(m):
+        for i in range(n):
+            if one_sided:
+                # Attribute-style LF: votes only for class j % 2 and
+                # fires mostly on that class.
+                klass = j % 2
+                fire_p = coverage if labels[i] == klass else coverage * (1 - accuracy)
+                if rng.random() < fire_p:
+                    votes[i, j] = klass
+            else:
+                if rng.random() < coverage:
+                    correct = rng.random() < accuracy
+                    votes[i, j] = labels[i] if correct else 1 - labels[i]
+    return votes, labels
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        votes = np.array([[1, 1, 1], [0, 0, 0]])
+        out = majority_vote(votes, 2)
+        np.testing.assert_array_equal(out.argmax(axis=1), [1, 0])
+
+    def test_tie_splits_mass(self):
+        votes = np.array([[0, 1]])
+        np.testing.assert_allclose(majority_vote(votes, 2), [[0.5, 0.5]])
+
+    def test_all_abstain_uniform(self):
+        votes = np.full((2, 3), ABSTAIN)
+        np.testing.assert_allclose(majority_vote(votes, 2), 0.5)
+
+    def test_abstains_ignored(self):
+        votes = np.array([[1, ABSTAIN, ABSTAIN]])
+        np.testing.assert_array_equal(majority_vote(votes, 2).argmax(axis=1), [1])
+
+
+class TestLabelModel:
+    def test_beats_or_matches_majority_vote(self):
+        votes, labels = _planted_votes(seed=1)
+        lm = LabelModel(2).fit(votes)
+        mv = majority_vote(votes, 2)
+        lm_acc = (lm.probabilistic_labels.argmax(1) == labels).mean()
+        mv_acc = (mv.argmax(1) == labels).mean()
+        assert lm_acc >= mv_acc - 0.03
+
+    def test_high_accuracy_on_planted(self):
+        votes, labels = _planted_votes(accuracy=0.9, seed=2)
+        lm = LabelModel(2).fit(votes)
+        assert (lm.probabilistic_labels.argmax(1) == labels).mean() > 0.85
+
+    def test_one_sided_lfs_no_collapse(self):
+        """Attribute-style LFs (each votes one class) must not collapse
+        into the 'one class explains everything' degenerate optimum."""
+        votes, labels = _planted_votes(one_sided=True, accuracy=0.8, seed=3)
+        lm = LabelModel(2).fit(votes)
+        predictions = lm.probabilistic_labels.argmax(1)
+        assert 0.2 < predictions.mean() < 0.8, "posterior collapsed to one class"
+        assert (predictions == labels).mean() > 0.75
+
+    def test_learned_accuracy_tracks_planted(self):
+        votes, _ = _planted_votes(accuracy=0.9, coverage=1.0, seed=4)
+        lm = LabelModel(2).fit(votes)
+        assert lm.accuracies.mean() > 0.8
+
+    def test_vote_tables_are_distributions(self):
+        votes, _ = _planted_votes(seed=5)
+        lm = LabelModel(2).fit(votes)
+        np.testing.assert_allclose(lm.vote_tables.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_posterior_rows_sum_to_one(self):
+        votes, _ = _planted_votes(seed=6)
+        lm = LabelModel(2).fit(votes)
+        np.testing.assert_allclose(lm.probabilistic_labels.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_propensity_tracks_coverage(self):
+        votes, _ = _planted_votes(coverage=0.4, seed=7)
+        lm = LabelModel(2).fit(votes)
+        assert abs(lm.propensities.mean() - 0.4) < 0.12
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            LabelModel(2).fit(np.array([[3]]))
+        with pytest.raises(ValueError, match=r"\(N, M\)"):
+            LabelModel(2).fit(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            LabelModel(1)
+        with pytest.raises(ValueError, match="ABSTAIN"):
+            LabelModel(2).fit(np.array([[-2]]))
+
+    def test_deterministic(self):
+        votes, _ = _planted_votes(seed=8)
+        a = LabelModel(2).fit(votes).probabilistic_labels
+        b = LabelModel(2).fit(votes).probabilistic_labels
+        np.testing.assert_array_equal(a, b)
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(9)
+        labels = rng.integers(0, 3, size=90)
+        votes = np.stack(
+            [np.where(rng.random(90) < 0.85, labels, (labels + 1) % 3) for _ in range(5)], axis=1
+        )
+        lm = LabelModel(3).fit(votes)
+        assert (lm.probabilistic_labels.argmax(1) == labels).mean() > 0.8

@@ -1,0 +1,89 @@
+"""Tests for the labeling-function substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.labeling.lf import (
+    ABSTAIN,
+    LabelingFunction,
+    apply_labeling_functions,
+    attribute_lfs_from_dataset,
+    lf_summary,
+)
+
+
+class TestLabelingFunction:
+    def test_vote_passthrough(self):
+        lf = LabelingFunction("always1", lambda i: 1)
+        assert lf(0) == 1
+
+    def test_abstain_allowed(self):
+        lf = LabelingFunction("abstainer", lambda i: ABSTAIN)
+        assert lf(5) == ABSTAIN
+
+    def test_invalid_vote_rejected(self):
+        lf = LabelingFunction("bad", lambda i: -7)
+        with pytest.raises(ValueError, match="invalid vote"):
+            lf(0)
+
+
+class TestApplyLabelingFunctions:
+    def test_matrix_shape_and_values(self):
+        lfs = [
+            LabelingFunction("even", lambda i: 0 if i % 2 == 0 else ABSTAIN),
+            LabelingFunction("odd", lambda i: 1 if i % 2 == 1 else ABSTAIN),
+        ]
+        votes = apply_labeling_functions(lfs, 4)
+        np.testing.assert_array_equal(votes[:, 0], [0, ABSTAIN, 0, ABSTAIN])
+        np.testing.assert_array_equal(votes[:, 1], [ABSTAIN, 1, ABSTAIN, 1])
+
+    def test_empty_lfs_rejected(self):
+        with pytest.raises(ValueError):
+            apply_labeling_functions([], 4)
+
+
+class TestAttributeLfs(object):
+    def test_built_from_cub(self, small_cub):
+        lfs = attribute_lfs_from_dataset(small_cub)
+        assert len(lfs) >= 2
+        votes = apply_labeling_functions(lfs, small_cub.n_examples)
+        active = votes[votes != ABSTAIN]
+        assert set(np.unique(active)) <= {0, 1}
+
+    def test_shared_attributes_skipped(self, small_cub):
+        """An attribute present in both classes cannot discriminate."""
+        shared = np.flatnonzero(small_cub.class_attributes.sum(axis=0) == 2)
+        lfs = attribute_lfs_from_dataset(small_cub)
+        names = " ".join(lf.name for lf in lfs)
+        for a in shared:
+            assert small_cub.attribute_names[a] not in names
+
+    def test_lfs_better_than_random(self, small_cub):
+        lfs = attribute_lfs_from_dataset(small_cub)
+        votes = apply_labeling_functions(lfs, small_cub.n_examples)
+        summary = lf_summary(votes, small_cub.labels)
+        assert np.nanmean(summary["accuracy"]) > 0.55
+
+    def test_requires_attributes(self, small_surface):
+        with pytest.raises(ValueError, match="no attribute metadata"):
+            attribute_lfs_from_dataset(small_surface)
+
+
+class TestLfSummary:
+    def test_coverage(self):
+        votes = np.array([[0, ABSTAIN], [1, ABSTAIN], [ABSTAIN, 1]])
+        summary = lf_summary(votes)
+        np.testing.assert_allclose(summary["coverage"], [2 / 3, 1 / 3])
+
+    def test_accuracy(self):
+        votes = np.array([[0, 1], [1, 1], [ABSTAIN, 0]])
+        labels = np.array([0, 1, 0])
+        summary = lf_summary(votes, labels)
+        np.testing.assert_allclose(summary["accuracy"], [1.0, 2 / 3])
+
+    def test_all_abstain_nan(self):
+        votes = np.full((3, 1), ABSTAIN)
+        summary = lf_summary(votes, np.zeros(3, dtype=np.int64))
+        assert np.isnan(summary["accuracy"][0])

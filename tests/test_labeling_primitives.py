@@ -1,0 +1,32 @@
+"""Tests for Snuba's automatic primitive extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.labeling.primitives import extract_snuba_primitives
+
+
+class TestSnubaPrimitives:
+    def test_shape(self, vgg, tiny_images):
+        primitives = extract_snuba_primitives(vgg, tiny_images, n_components=3)
+        assert primitives.shape == (4, 3)
+
+    def test_default_ten_components(self, vgg, small_surface):
+        primitives = extract_snuba_primitives(vgg, small_surface.images)
+        assert primitives.shape == (small_surface.n_examples, 10)
+
+    def test_centred(self, vgg, small_surface):
+        primitives = extract_snuba_primitives(vgg, small_surface.images)
+        np.testing.assert_allclose(primitives.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_deterministic(self, vgg, tiny_images):
+        a = extract_snuba_primitives(vgg, tiny_images, n_components=4)
+        b = extract_snuba_primitives(vgg, tiny_images, n_components=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_variance_ordered(self, vgg, small_surface):
+        primitives = extract_snuba_primitives(vgg, small_surface.images, n_components=5)
+        variances = primitives.var(axis=0)
+        assert (np.diff(variances) <= 1e-9).all()

@@ -1,0 +1,105 @@
+"""Tests for the Snuba automatic LF synthesiser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.labeling.lf import ABSTAIN
+from repro.labeling.snuba import DecisionStump, Snuba
+
+
+def _separable_primitives(n_per=40, d=6, seed=0, margin=2.0):
+    """Primitives where feature 0 separates the classes; others are noise."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((2 * n_per, d))
+    labels = np.repeat([0, 1], n_per)
+    x[:, 0] += margin * labels
+    order = rng.permutation(2 * n_per)
+    return x[order], labels[order]
+
+
+class TestDecisionStump:
+    def test_votes_and_abstains(self):
+        stump = DecisionStump(feature=0, threshold=0.0, low_class=0, high_class=1, beta=0.5)
+        x = np.array([[-1.0], [0.0], [1.0]])
+        np.testing.assert_array_equal(stump.vote(x), [0, ABSTAIN, 1])
+
+    def test_zero_beta_never_abstains(self):
+        stump = DecisionStump(feature=0, threshold=0.0, low_class=0, high_class=1, beta=0.0)
+        x = np.random.default_rng(0).standard_normal((50, 1))
+        assert (stump.vote(x) != ABSTAIN).all()
+
+    def test_describe_mentions_feature(self):
+        stump = DecisionStump(feature=3, threshold=1.0, low_class=1, high_class=0, beta=0.1)
+        assert "x[3]" in stump.describe()
+
+
+class TestSnubaSynthesis:
+    def test_finds_discriminative_feature(self):
+        x, labels = _separable_primitives(seed=1)
+        dev_idx = np.concatenate([np.flatnonzero(labels == 0)[:5], np.flatnonzero(labels == 1)[:5]])
+        result = Snuba(seed=0).fit(x, dev_idx, labels[dev_idx])
+        used_features = {stump.feature for stump in result.heuristics}
+        assert 0 in used_features, "the separating feature must be selected"
+
+    def test_labels_better_than_chance(self):
+        x, labels = _separable_primitives(seed=2, margin=3.0)
+        dev_idx = np.concatenate([np.flatnonzero(labels == 0)[:5], np.flatnonzero(labels == 1)[:5]])
+        result = Snuba(seed=0).fit(x, dev_idx, labels[dev_idx])
+        accuracy = (result.probabilistic_labels.argmax(1) == labels).mean()
+        assert accuracy > 0.8
+
+    def test_weak_primitives_give_weak_labels(self):
+        """On pure-noise primitives Snuba cannot do much better than
+        chance — the paper's central observation about Snuba."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((100, 6))
+        labels = rng.integers(0, 2, size=100)
+        dev_idx = np.arange(10)
+        result = Snuba(seed=0).fit(x, dev_idx, labels[dev_idx])
+        accuracy = (result.probabilistic_labels.argmax(1) == labels).mean()
+        assert accuracy < 0.75
+
+    def test_heuristic_cap_respected(self):
+        x, labels = _separable_primitives(seed=4)
+        dev_idx = np.arange(12)
+        result = Snuba(max_heuristics=3, seed=0).fit(x, dev_idx, labels[dev_idx])
+        assert 1 <= len(result.heuristics) <= 3
+
+    def test_f1_history_recorded(self):
+        x, labels = _separable_primitives(seed=5)
+        dev_idx = np.arange(12)
+        result = Snuba(seed=0).fit(x, dev_idx, labels[dev_idx])
+        assert len(result.dev_f1_history) == len(result.heuristics)
+        assert all(0.0 <= f1 <= 1.0 for f1 in result.dev_f1_history)
+
+    def test_coverage_property(self):
+        x, labels = _separable_primitives(seed=6)
+        dev_idx = np.arange(12)
+        result = Snuba(seed=0).fit(x, dev_idx, labels[dev_idx])
+        assert 0.0 <= result.coverage <= 1.0
+
+    def test_single_class_dev_rejected(self):
+        x, labels = _separable_primitives(seed=7)
+        dev_idx = np.flatnonzero(labels == 0)[:8]
+        with pytest.raises(ValueError, match="both classes"):
+            Snuba(seed=0).fit(x, dev_idx, labels[dev_idx])
+
+    def test_multiclass_unsupported(self):
+        with pytest.raises(ValueError, match="binary"):
+            Snuba(n_classes=3)
+
+    def test_deterministic(self):
+        x, labels = _separable_primitives(seed=8)
+        dev_idx = np.arange(12)
+        a = Snuba(seed=1).fit(x, dev_idx, labels[dev_idx]).probabilistic_labels
+        b = Snuba(seed=1).fit(x, dev_idx, labels[dev_idx]).probabilistic_labels
+        np.testing.assert_array_equal(a, b)
+
+    def test_constant_feature_skipped(self):
+        x, labels = _separable_primitives(seed=9)
+        x[:, 3] = 1.0  # constant feature offers no thresholds
+        dev_idx = np.arange(12)
+        result = Snuba(seed=0).fit(x, dev_idx, labels[dev_idx])
+        assert all(s.feature != 3 for s in result.heuristics)

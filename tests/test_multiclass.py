@@ -1,0 +1,75 @@
+"""Multi-class (K >= 3) integration tests — extension beyond the paper.
+
+The paper evaluates binary pairs, but affinity coding is defined for any
+K; these tests exercise the full pipeline (affinity matrix, hierarchical
+model, assignment-problem mapping, theory) on three-class tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Goggles, GogglesConfig
+from repro.core.inference.theory import min_dev_set_size, p_mapping_correct_lower_bound
+from repro.datasets.shapes import SHAPE_CLASSES, make_shapes
+
+
+@pytest.fixture(scope="module")
+def shapes3():
+    return make_shapes(n_classes=3, n_per_class=15, image_size=64, seed=0)
+
+
+class TestShapesDataset:
+    def test_basic_properties(self, shapes3):
+        assert shapes3.n_classes == 3
+        assert shapes3.n_examples == 45
+        np.testing.assert_array_equal(shapes3.class_counts(), [15, 15, 15])
+
+    def test_class_limit(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            make_shapes(n_classes=len(SHAPE_CLASSES) + 1)
+
+    def test_deterministic(self):
+        a = make_shapes(n_classes=2, n_per_class=3, image_size=32, seed=4)
+        b = make_shapes(n_classes=2, n_per_class=3, image_size=32, seed=4)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_noise_knob(self):
+        quiet = make_shapes(n_classes=2, n_per_class=4, image_size=32, seed=1, noise=0.0)
+        loud = make_shapes(n_classes=2, n_per_class=4, image_size=32, seed=1, noise=1.0)
+        assert loud.images.std() != quiet.images.std()
+
+
+class TestThreeClassGoggles:
+    def test_end_to_end_beats_chance(self, shapes3, vgg):
+        dev = shapes3.sample_dev_set(per_class=3, seed=0)
+        goggles = Goggles(GogglesConfig(n_classes=3, seed=0, top_z=5), model=vgg)
+        result = goggles.label(shapes3.images, dev)
+        accuracy = result.accuracy(shapes3.labels, exclude=dev.indices)
+        assert accuracy > 1 / 3 + 0.15, f"three-class accuracy {accuracy} barely above chance"
+
+    def test_probabilistic_labels_are_3way(self, shapes3, vgg):
+        dev = shapes3.sample_dev_set(per_class=3, seed=0)
+        goggles = Goggles(GogglesConfig(n_classes=3, seed=0, top_z=5), model=vgg)
+        result = goggles.label(shapes3.images, dev)
+        assert result.probabilistic_labels.shape == (shapes3.n_examples, 3)
+        np.testing.assert_allclose(result.probabilistic_labels.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_mapping_is_3_permutation(self, shapes3, vgg):
+        dev = shapes3.sample_dev_set(per_class=3, seed=0)
+        goggles = Goggles(GogglesConfig(n_classes=3, seed=0, top_z=5), model=vgg)
+        result = goggles.label(shapes3.images, dev)
+        assert sorted(result.mapping.cluster_to_class.tolist()) == [0, 1, 2]
+
+
+class TestMulticlassTheory:
+    def test_more_classes_need_more_examples(self):
+        m2 = min_dev_set_size(0.9, 2, 0.8)
+        m4 = min_dev_set_size(0.9, 4, 0.8)
+        assert m4 > m2
+
+    def test_bound_valid_for_k5(self):
+        p = p_mapping_correct_lower_bound(9, 5, 0.8)
+        assert 0.0 <= p <= 1.0
+        assert p > p_mapping_correct_lower_bound(9, 5, 0.6)

@@ -1,0 +1,69 @@
+"""Tests for activation-sparsity calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.calibration import calibrate_conv_biases, calibration_batch
+from repro.nn.layers import Conv2d, MaxPool2d, ReLU
+
+
+class TestCalibrationBatch:
+    def test_shape_and_range(self):
+        batch = calibration_batch(9, 32, 3, seed=0)
+        assert batch.shape == (9, 3, 32, 32)
+        assert batch.min() >= 0.0 and batch.max() <= 1.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(calibration_batch(6, 16, 3, 1), calibration_batch(6, 16, 3, 1))
+
+    def test_seed_changes_batch(self):
+        assert not np.array_equal(calibration_batch(6, 16, 3, 1), calibration_batch(6, 16, 3, 2))
+
+    def test_covers_three_families(self):
+        batch = calibration_batch(3, 32, 3, seed=3)
+        # The three families have distinct spatial statistics.
+        stds = batch.std(axis=(1, 2, 3))
+        assert len(np.unique(stds.round(6))) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            calibration_batch(0, 16, 3, 0)
+
+
+class TestCalibrateConvBiases:
+    def _stack(self, rng):
+        conv1 = Conv2d(rng.standard_normal((4, 3, 3, 3)), np.zeros(4))
+        conv2 = Conv2d(rng.standard_normal((6, 4, 3, 3)), np.zeros(6))
+        return [conv1, ReLU(), MaxPool2d(2), conv2, ReLU()]
+
+    def test_achieves_target_sparsity(self):
+        rng = np.random.default_rng(0)
+        layers = self._stack(rng)
+        images = rng.random((8, 3, 16, 16))
+        calibrate_conv_biases(layers, images, sparsity=0.7)
+        # Re-run forward: conv1 pre-activation sparsity should be ~0.7.
+        conv1 = layers[0]
+        pre = F.conv2d(images, conv1.weight, conv1.bias, padding=1)
+        observed = (pre <= 0).mean()
+        assert 0.6 < observed < 0.8
+
+    def test_biases_set_per_channel(self):
+        rng = np.random.default_rng(1)
+        layers = self._stack(rng)
+        calibrate_conv_biases(layers, rng.random((4, 3, 16, 16)), sparsity=0.5)
+        assert np.unique(layers[0].bias).size > 1
+
+    def test_invalid_sparsity(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError, match="sparsity"):
+            calibrate_conv_biases(self._stack(rng), rng.random((2, 3, 16, 16)), sparsity=1.5)
+
+    def test_second_layer_calibrated_on_propagated_input(self):
+        rng = np.random.default_rng(3)
+        layers = self._stack(rng)
+        images = rng.random((8, 3, 16, 16))
+        calibrate_conv_biases(layers, images, sparsity=0.6)
+        assert np.abs(layers[3].bias).max() > 0

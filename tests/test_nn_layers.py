@@ -1,0 +1,70 @@
+"""Tests for the layer objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+
+
+class TestConv2dLayer:
+    def test_forward_matches_functional(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        b = rng.standard_normal(3)
+        layer = Conv2d(w, b, stride=1, padding=1)
+        np.testing.assert_array_equal(layer(x), F.conv2d(x, w, b, 1, 1))
+
+    def test_properties(self):
+        layer = Conv2d(np.zeros((4, 2, 3, 3)), np.zeros(4))
+        assert layer.out_channels == 4
+        assert layer.in_channels == 2
+        assert layer.kernel_size == 3
+        assert layer.n_parameters() == 4 * 2 * 9 + 4
+
+    def test_bad_weight_shape(self):
+        with pytest.raises(ValueError, match="4-D"):
+            Conv2d(np.zeros((2, 3, 3)))
+
+    def test_bad_bias_shape(self):
+        with pytest.raises(ValueError, match="bias"):
+            Conv2d(np.zeros((4, 2, 3, 3)), np.zeros(3))
+
+
+class TestLinearLayer:
+    def test_forward(self):
+        layer = Linear(np.eye(3), np.ones(3))
+        np.testing.assert_array_equal(layer(np.array([[1.0, 2.0, 3.0]])), [[2.0, 3.0, 4.0]])
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Linear(np.zeros(3))
+
+    def test_n_parameters(self):
+        assert Linear(np.zeros((4, 5)), np.zeros(4)).n_parameters() == 24
+
+
+class TestSequential:
+    def test_composition(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 1, 4, 4))
+        seq = Sequential([ReLU(), MaxPool2d(kernel=2), Flatten()])
+        out = seq(x)
+        assert out.shape == (2, 4)
+        np.testing.assert_array_equal(out, F.flatten(F.maxpool2d(F.relu(x), 2)))
+
+    def test_len_and_iter(self):
+        seq = Sequential([ReLU(), Flatten()])
+        assert len(seq) == 2
+        assert [type(m).__name__ for m in seq] == ["ReLU", "Flatten"]
+
+    def test_empty_sequential_is_identity(self):
+        x = np.ones((1, 2))
+        np.testing.assert_array_equal(Sequential([])(x), x)
+
+    def test_n_parameters_sums(self):
+        seq = Sequential([Linear(np.zeros((2, 2)), np.zeros(2)), ReLU(), Linear(np.zeros((1, 2)))])
+        assert seq.n_parameters() == 6 + 0 + 2

@@ -1,0 +1,70 @@
+"""Tests for the receptive-field arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.receptive_field import (
+    LayerGeometry,
+    receptive_field_box,
+    vgg16_pool_geometry,
+)
+
+
+class TestLayerGeometry:
+    def test_single_conv(self):
+        geo = LayerGeometry(1, 1, 0.0).compose(kernel=3, stride=1, padding=1)
+        assert geo.rf_size == 3
+        assert geo.stride == 1
+        assert geo.offset == 0.0
+
+    def test_pool_doubles_stride(self):
+        geo = LayerGeometry(1, 1, 0.0).compose(kernel=2, stride=2, padding=0)
+        assert geo.stride == 2
+        assert geo.rf_size == 2
+
+    def test_vgg_known_values(self):
+        # Standard published receptive fields of VGG-16 pool layers.
+        geos = vgg16_pool_geometry()
+        assert [g.rf_size for g in geos] == [6, 16, 44, 100, 212]
+        assert [g.stride for g in geos] == [2, 4, 8, 16, 32]
+
+
+class TestReceptiveFieldBox:
+    def test_box_within_image(self):
+        box = receptive_field_box(0, 3, 3, 64, 64)
+        assert 0 <= box.top < box.bottom <= 64
+        assert 0 <= box.left < box.right <= 64
+
+    def test_box_grows_with_depth(self):
+        sizes = []
+        for layer in range(5):
+            box = receptive_field_box(layer, 0, 0, 512, 512)
+            sizes.append(box.height)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_centre_unit_sees_centre(self):
+        box = receptive_field_box(2, 4, 4, 64, 64)  # pool3 of a 64px image: 8x8 map
+        centre = (box.top + box.bottom) / 2
+        assert 20 < centre < 44
+
+    def test_border_clipping(self):
+        box = receptive_field_box(4, 0, 0, 64, 64)
+        assert box.top == 0 and box.left == 0
+
+    def test_invalid_layer(self):
+        with pytest.raises(ValueError, match="layer"):
+            receptive_field_box(9, 0, 0, 64, 64)
+
+    def test_negative_coords(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            receptive_field_box(0, -1, 0, 64, 64)
+
+    def test_stride_moves_box(self):
+        # Interior units (away from border clipping) shift by the layer
+        # stride (4 pixels at pool2).
+        a = receptive_field_box(1, 10, 10, 256, 256)
+        b = receptive_field_box(1, 10, 11, 256, 256)
+        assert b.left - a.left == 4

@@ -1,0 +1,108 @@
+"""Tests for the surrogate-pretrained weight constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.weights import (
+    conv_orthogonal,
+    first_layer_bank,
+    gabor_bank,
+    gabor_kernel,
+    linear_orthogonal,
+)
+
+
+class TestGaborKernel:
+    def test_zero_mean_unit_norm(self):
+        k = gabor_kernel(7, theta=0.3, wavelength=3.0)
+        assert abs(k.mean()) < 1e-12
+        np.testing.assert_allclose(np.linalg.norm(k), 1.0)
+
+    def test_orientation_selectivity(self):
+        # A vertical-edge grating should excite the matching Gabor more
+        # than the orthogonal one.
+        size = 7
+        xs = np.tile(np.arange(size), (size, 1)).astype(float)
+        grating = np.cos(2 * np.pi * xs / 3.0)
+        k_match = gabor_kernel(size, theta=0.0, wavelength=3.0)
+        k_orth = gabor_kernel(size, theta=np.pi / 2, wavelength=3.0)
+        assert abs((grating * k_match).sum()) > abs((grating * k_orth).sum())
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            gabor_kernel(4, 0.0, 2.0)
+
+
+class TestGaborBank:
+    def test_count_and_shape(self):
+        bank = gabor_bank(12, size=3)
+        assert bank.shape == (12, 3, 3)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(gabor_bank(8, seed=5), gabor_bank(8, seed=5))
+
+    def test_filters_distinct(self):
+        bank = gabor_bank(16, size=5)
+        flat = bank.reshape(16, -1)
+        gram = flat @ flat.T
+        off_diag = gram[~np.eye(16, dtype=bool)]
+        assert np.abs(off_diag).max() < 0.999
+
+
+class TestFirstLayerBank:
+    def test_shape(self):
+        assert first_layer_bank(8, 3).shape == (8, 3, 3, 3)
+
+    def test_grayscale_input(self):
+        assert first_layer_bank(8, 1).shape == (8, 1, 3, 3)
+
+    def test_contains_blob_filters(self):
+        # Every blob_every-th filter is a positive low-pass kernel: its
+        # spatial mean must be nonzero (Gabors are zero-mean).
+        bank = first_layer_bank(12, 3, blob_every=6)
+        spatial_means = np.abs(bank.sum(axis=(2, 3))).max(axis=1)
+        blob_channels = [5, 11]
+        gabor_channels = [0, 1, 2]
+        assert all(spatial_means[c] > 0.1 for c in blob_channels)
+        assert all(spatial_means[c] < 1e-6 for c in gabor_channels)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(first_layer_bank(8, 3, seed=1), first_layer_bank(8, 3, seed=1))
+
+
+class TestOrthogonalInits:
+    def test_conv_shape(self):
+        w = conv_orthogonal(8, 4, 3, seed=0)
+        assert w.shape == (8, 4, 3, 3)
+
+    def test_rows_orthogonal_when_possible(self):
+        w = conv_orthogonal(8, 4, 3, seed=0)  # fan_in 36 >= 8 rows
+        flat = w.reshape(8, -1)
+        gram = flat @ flat.T
+        off = gram[~np.eye(8, dtype=bool)]
+        np.testing.assert_allclose(off, 0.0, atol=1e-8)
+
+    def test_he_scale(self):
+        w = conv_orthogonal(16, 8, 3, seed=1)
+        fan_in = 8 * 9
+        expected = np.sqrt(2.0 / fan_in) * np.sqrt(fan_in)
+        norms = np.linalg.norm(w.reshape(16, -1), axis=1)
+        np.testing.assert_allclose(norms, expected, rtol=1e-6)
+
+    def test_linear_orthogonal(self):
+        w = linear_orthogonal(4, 16, seed=2)
+        gram = w @ w.T
+        off = gram[~np.eye(4, dtype=bool)]
+        np.testing.assert_allclose(off, 0.0, atol=1e-8)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(conv_orthogonal(4, 2, 3, 7), conv_orthogonal(4, 2, 3, 7))
+        assert not np.array_equal(conv_orthogonal(4, 2, 3, 7), conv_orthogonal(4, 2, 3, 8))
+
+    def test_more_rows_than_columns(self):
+        # Group-wise orthogonalisation: still well-formed.
+        w = linear_orthogonal(20, 6, seed=3)
+        assert w.shape == (20, 6)
+        assert np.isfinite(w).all()

@@ -1,0 +1,54 @@
+"""Tests for affinity-matrix persistence and parallel base-model fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import AffinityFunctionId, AffinityMatrix, compute_affinity_matrix
+from repro.core.inference.hierarchical import HierarchicalConfig, HierarchicalModel
+
+
+class TestAffinitySaveLoad:
+    def test_roundtrip(self, tmp_path, vgg, tiny_images):
+        matrix = compute_affinity_matrix(vgg, tiny_images, top_z=2, layers=(0, 1))
+        path = str(tmp_path / "affinity.npz")
+        matrix.save(path)
+        loaded = AffinityMatrix.load(path)
+        np.testing.assert_array_equal(loaded.values, matrix.values)
+        assert loaded.function_ids == matrix.function_ids
+
+    def test_roundtrip_preserves_blocks(self, tmp_path):
+        rng = np.random.default_rng(0)
+        matrix = AffinityMatrix(
+            values=rng.random((5, 15)),
+            function_ids=tuple(AffinityFunctionId(layer=i, z=0) for i in range(3)),
+        )
+        path = str(tmp_path / "m.npz")
+        matrix.save(path)
+        loaded = AffinityMatrix.load(path)
+        for f in range(3):
+            np.testing.assert_array_equal(loaded.block(f), matrix.block(f))
+
+    def test_loaded_matrix_usable_for_inference(self, tmp_path, vgg, small_surface):
+        matrix = compute_affinity_matrix(vgg, small_surface.images, top_z=3, layers=(2, 3))
+        path = str(tmp_path / "surface.npz")
+        matrix.save(path)
+        result = HierarchicalModel(HierarchicalConfig(seed=0)).fit(AffinityMatrix.load(path))
+        assert result.posterior.shape == (small_surface.n_examples, 2)
+
+
+class TestParallelBaseModels:
+    def test_parallel_matches_serial(self, vgg, small_surface):
+        matrix = compute_affinity_matrix(vgg, small_surface.images, top_z=3, layers=(2, 3))
+        model = HierarchicalModel(HierarchicalConfig(seed=0))
+        lp_serial, _ = model.fit_base_models(matrix, n_jobs=1)
+        lp_parallel, _ = model.fit_base_models(matrix, n_jobs=4)
+        np.testing.assert_allclose(lp_serial, lp_parallel, atol=1e-12)
+
+    def test_full_fit_parallel_matches_serial(self, vgg, small_surface):
+        matrix = compute_affinity_matrix(vgg, small_surface.images, top_z=2, layers=(3,))
+        model = HierarchicalModel(HierarchicalConfig(seed=0))
+        serial = model.fit(matrix, n_jobs=1)
+        parallel = model.fit(matrix, n_jobs=2)
+        np.testing.assert_allclose(serial.posterior, parallel.posterior, atol=1e-12)

@@ -1,0 +1,129 @@
+"""Cross-module property-based tests on core invariants.
+
+These use hypothesis to hammer the data-structure invariants the
+system's correctness rests on: the affinity-matrix block layout, one-hot
+encodings, mapping optimality, and probability semantics end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.affinity import AffinityMatrix
+from repro.core.inference.bernoulli import one_hot_encode_lp
+from repro.core.inference.mapping import (
+    apply_mapping,
+    brute_force_mapping,
+    map_clusters_to_classes,
+)
+from repro.datasets.base import DevSet
+from repro.endmodel.train import one_hot
+from repro.labeling.label_model import majority_vote
+
+
+@st.composite
+def affinity_matrices(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    alpha = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    rng = np.random.default_rng(seed)
+    return AffinityMatrix(values=rng.uniform(-1, 1, size=(n, alpha * n)))
+
+
+class TestAffinityMatrixProperties:
+    @given(affinity_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_blocks_partition_columns(self, matrix):
+        reassembled = np.concatenate(
+            [matrix.block(f) for f in range(matrix.n_functions)], axis=1
+        )
+        np.testing.assert_array_equal(reassembled, matrix.values)
+
+    @given(affinity_matrices(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_subset_examples_commutes_with_blocks(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        keep = np.sort(rng.choice(matrix.n_examples, size=max(2, matrix.n_examples // 2), replace=False))
+        sub = matrix.subset_examples(keep)
+        for f in range(matrix.n_functions):
+            np.testing.assert_array_equal(sub.block(f), matrix.block(f)[np.ix_(keep, keep)])
+
+    @given(affinity_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_subset_functions_roundtrip(self, matrix):
+        all_functions = list(range(matrix.n_functions))
+        np.testing.assert_array_equal(
+            matrix.subset_functions(all_functions).values, matrix.values
+        )
+
+
+class TestOneHotProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_one_hot_lp_blocks_sum_to_one(self, n, alpha, k, seed):
+        rng = np.random.default_rng(seed)
+        lp = rng.random((n, alpha * k))
+        encoded = one_hot_encode_lp(lp, k)
+        blocks = encoded.reshape(n, alpha, k)
+        np.testing.assert_array_equal(blocks.sum(axis=2), 1.0)
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_one_hot_labels_roundtrip(self, k, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, k, size=15)
+        np.testing.assert_array_equal(one_hot(labels, k).argmax(axis=1), labels)
+
+
+class TestMappingProperties:
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_matches_bruteforce_and_is_permutation(self, k, seed):
+        rng = np.random.default_rng(seed)
+        posterior = rng.random((6 * k, k)) + 0.01
+        posterior /= posterior.sum(axis=1, keepdims=True)
+        indices = rng.choice(6 * k, size=3 * k, replace=False)
+        labels = np.repeat(np.arange(k), 3)
+        dev = DevSet(indices=indices, labels=labels)
+        fast = map_clusters_to_classes(posterior, dev, k)
+        slow = brute_force_mapping(posterior, dev, k)
+        assert fast.goodness == pytest.approx(slow.goodness, abs=1e-9)
+        assert sorted(fast.cluster_to_class.tolist()) == list(range(k))
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_apply_mapping_preserves_row_mass(self, k, seed):
+        rng = np.random.default_rng(seed)
+        posterior = rng.random((10, k))
+        posterior /= posterior.sum(axis=1, keepdims=True)
+        perm = rng.permutation(k)
+        from repro.core.inference.mapping import ClusterMapping
+
+        out = apply_mapping(posterior, ClusterMapping(perm, 0.0))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-12)
+        np.testing.assert_allclose(np.sort(out, axis=1), np.sort(posterior, axis=1), atol=1e-12)
+
+
+class TestMajorityVoteProperties:
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_is_distribution(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        votes = rng.integers(-1, 2, size=(n, m))
+        out = majority_vote(votes, 2)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-12)
+        assert out.min() >= 0.0

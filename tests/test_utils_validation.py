@@ -1,0 +1,109 @@
+"""Tests for input validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import check_array, check_images, check_labels, check_probabilities
+
+
+class TestCheckArray:
+    def test_accepts_valid(self):
+        x = np.ones((2, 3))
+        assert check_array(x, ndim=2) is x
+
+    def test_rejects_non_array(self):
+        with pytest.raises(TypeError, match="ndarray"):
+            check_array([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="ndim=2"):
+            check_array(np.ones(3), ndim=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array(np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_array(np.array([1.0, np.inf]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_array(np.empty((0, 3)))
+
+    def test_allow_empty(self):
+        out = check_array(np.empty((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+    def test_dtype_conversion(self):
+        out = check_array(np.array([1, 2]), dtype=np.float64)
+        assert out.dtype == np.float64
+
+
+class TestCheckImages:
+    def test_accepts_rgb(self):
+        out = check_images(np.zeros((2, 3, 16, 16)) + 0.5)
+        assert out.shape == (2, 3, 16, 16)
+
+    def test_accepts_grayscale(self):
+        assert check_images(np.zeros((1, 1, 8, 8)) + 0.5).shape == (1, 1, 8, 8)
+
+    def test_rejects_two_channels(self):
+        with pytest.raises(ValueError, match="channels"):
+            check_images(np.zeros((1, 2, 16, 16)))
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ValueError, match="at least 8x8"):
+            check_images(np.zeros((1, 3, 4, 4)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="ndim=4"):
+            check_images(np.zeros((3, 16, 16)))
+
+
+class TestCheckLabels:
+    def test_accepts_valid(self):
+        out = check_labels(np.array([0, 1, 1]), n_classes=2)
+        assert out.dtype == np.int64
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            check_labels(np.array([0, 2]), n_classes=2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_labels(np.array([-1, 0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_labels(np.zeros((2, 2)))
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError, match="integers"):
+            check_labels(np.array([0.5, 1.0]))
+
+    def test_accepts_integral_floats(self):
+        out = check_labels(np.array([0.0, 1.0]))
+        assert out.dtype == np.int64
+
+
+class TestCheckProbabilities:
+    def test_accepts_valid(self):
+        p = np.array([[0.3, 0.7], [0.5, 0.5]])
+        np.testing.assert_array_equal(check_probabilities(p), p)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probabilities(np.array([[-0.1, 1.1]]))
+
+    def test_rejects_not_summing(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probabilities(np.array([[0.3, 0.3]]))
+
+    def test_axis_argument(self):
+        p = np.array([[0.3, 0.5], [0.7, 0.5]])
+        check_probabilities(p, axis=0)
+        with pytest.raises(ValueError):
+            check_probabilities(p, axis=1)

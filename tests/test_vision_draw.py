@@ -1,0 +1,140 @@
+"""Tests for the rasterisation primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vision.draw import (
+    blend,
+    draw_line,
+    fill_disk,
+    fill_ellipse,
+    fill_polygon,
+    fill_rectangle,
+    fill_ring,
+)
+
+
+def _canvas(c=3, h=32, w=32, fill=0.0):
+    return np.full((c, h, w), fill, dtype=np.float64)
+
+
+class TestBlend:
+    def test_full_opacity_replaces(self):
+        canvas = _canvas(fill=0.0)
+        blend(canvas, np.ones((32, 32)), (1.0, 0.5, 0.0))
+        np.testing.assert_allclose(canvas[0], 1.0)
+        np.testing.assert_allclose(canvas[1], 0.5)
+
+    def test_zero_opacity_noop(self):
+        canvas = _canvas(fill=0.3)
+        blend(canvas, np.ones((32, 32)), 1.0, opacity=0.0)
+        np.testing.assert_allclose(canvas, 0.3)
+
+    def test_scalar_colour_broadcast(self):
+        canvas = _canvas()
+        blend(canvas, np.ones((32, 32)), 0.7)
+        np.testing.assert_allclose(canvas, 0.7)
+
+    def test_colour_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channels"):
+            blend(_canvas(), np.ones((32, 32)), (1.0, 0.0))
+
+    def test_bad_canvas_rank(self):
+        with pytest.raises(ValueError, match=r"\(C, H, W\)"):
+            blend(np.zeros((32, 32)), np.ones((32, 32)), 1.0)
+
+
+class TestDisk:
+    def test_centre_filled_outside_empty(self):
+        canvas = _canvas()
+        fill_disk(canvas, 16, 16, 6, 1.0)
+        assert canvas[0, 16, 16] == 1.0
+        assert canvas[0, 0, 0] == 0.0
+
+    def test_area_close_to_pi_r2(self):
+        canvas = _canvas(c=1, h=64, w=64)
+        fill_disk(canvas, 32, 32, 10, 1.0)
+        area = canvas[0].sum()
+        assert abs(area - np.pi * 100) / (np.pi * 100) < 0.05
+
+    def test_soft_edge(self):
+        canvas = _canvas(c=1)
+        fill_disk(canvas, 16, 16, 6, 1.0)
+        edge_values = canvas[0][(canvas[0] > 0) & (canvas[0] < 1)]
+        assert edge_values.size > 0, "disk edge must be anti-aliased"
+
+
+class TestEllipse:
+    def test_contains_axes_points(self):
+        canvas = _canvas(c=1)
+        fill_ellipse(canvas, 16, 16, 5, 10, 1.0)
+        assert canvas[0, 16, 24] > 0.9  # along major axis
+        assert canvas[0, 20, 16] > 0.9  # along minor axis
+        assert canvas[0, 16, 28] < 0.1
+
+    def test_rotation(self):
+        flat = _canvas(c=1)
+        fill_ellipse(flat, 16, 16, 3, 12, 1.0)
+        rotated = _canvas(c=1)
+        fill_ellipse(rotated, 16, 16, 3, 12, 1.0, angle=np.pi / 2)
+        assert flat[0, 16, 26] > 0.9 and rotated[0, 16, 26] < 0.1
+        assert rotated[0, 26, 16] > 0.9
+
+    def test_invalid_radii(self):
+        with pytest.raises(ValueError, match="radii"):
+            fill_ellipse(_canvas(), 16, 16, 0, 5, 1.0)
+
+
+class TestRectangle:
+    def test_interior_and_exterior(self):
+        canvas = _canvas(c=1)
+        fill_rectangle(canvas, 8, 8, 24, 20, 1.0)
+        assert canvas[0, 16, 14] == 1.0
+        assert canvas[0, 4, 4] == 0.0
+
+    def test_area(self):
+        canvas = _canvas(c=1, h=64, w=64)
+        fill_rectangle(canvas, 10, 10, 30, 40, 1.0)
+        assert abs(canvas[0].sum() - 20 * 30) / 600 < 0.1
+
+
+class TestPolygon:
+    def test_triangle_interior(self):
+        canvas = _canvas(c=1)
+        fill_polygon(canvas, np.array([[5, 16], [27, 5], [27, 27]]), 1.0)
+        assert canvas[0, 20, 16] > 0.9
+        assert canvas[0, 6, 5] < 0.1
+
+    def test_orientation_agnostic(self):
+        cw = _canvas(c=1)
+        ccw = _canvas(c=1)
+        vertices = np.array([[5, 16], [27, 5], [27, 27]])
+        fill_polygon(cw, vertices, 1.0)
+        fill_polygon(ccw, vertices[::-1], 1.0)
+        np.testing.assert_allclose(cw, ccw, atol=1e-9)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError, match="V>=3"):
+            fill_polygon(_canvas(), np.array([[0, 0], [1, 1]]), 1.0)
+
+
+class TestLineAndRing:
+    def test_line_covers_endpoints(self):
+        canvas = _canvas(c=1)
+        draw_line(canvas, 5, 5, 25, 25, 2.0, 1.0)
+        assert canvas[0, 5, 5] > 0.5
+        assert canvas[0, 25, 25] > 0.5
+        assert canvas[0, 5, 25] < 0.1
+
+    def test_degenerate_line_is_dot(self):
+        canvas = _canvas(c=1)
+        draw_line(canvas, 16, 16, 16, 16, 4.0, 1.0)
+        assert canvas[0, 16, 16] > 0.9
+
+    def test_ring_hollow(self):
+        canvas = _canvas(c=1)
+        fill_ring(canvas, 16, 16, 10, 2.0, 1.0)
+        assert canvas[0, 16, 26] > 0.5  # on the ring
+        assert canvas[0, 16, 16] < 0.1  # hollow centre

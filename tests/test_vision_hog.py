@@ -1,0 +1,63 @@
+"""Tests for the HOG descriptor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vision.hog import HOGConfig, hog_batch, hog_descriptor
+
+
+def _gradient_image(angle: float, size: int = 32) -> np.ndarray:
+    ys, xs = np.mgrid[0:size, 0:size].astype(float)
+    ramp = np.cos(angle) * xs + np.sin(angle) * ys
+    ramp = (ramp - ramp.min()) / (ramp.max() - ramp.min())
+    return np.tile(ramp[None], (3, 1, 1))
+
+
+class TestHOGDescriptor:
+    def test_expected_length(self):
+        config = HOGConfig(cell_size=8, block_size=2, n_bins=9, block_stride=1)
+        descriptor = hog_descriptor(np.random.default_rng(0).random((3, 32, 32)), config)
+        # 4x4 cells -> 3x3 blocks of 2x2 cells x 9 bins.
+        assert descriptor.shape == (3 * 3 * 2 * 2 * 9,)
+
+    def test_nonnegative_and_bounded(self):
+        descriptor = hog_descriptor(np.random.default_rng(1).random((3, 32, 32)))
+        assert descriptor.min() >= 0
+        assert descriptor.max() <= 1.0 + 1e-9
+
+    def test_constant_image_zero(self):
+        descriptor = hog_descriptor(np.full((3, 32, 32), 0.5))
+        np.testing.assert_allclose(descriptor, 0.0, atol=1e-6)
+
+    def test_orientation_sensitivity(self):
+        d_horizontal = hog_descriptor(_gradient_image(0.0))
+        d_vertical = hog_descriptor(_gradient_image(np.pi / 2))
+        d_horizontal2 = hog_descriptor(_gradient_image(0.0) * 0.9 + 0.05)
+        def cos(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12)
+        assert cos(d_horizontal, d_horizontal2) > cos(d_horizontal, d_vertical)
+
+    def test_brightness_invariance(self):
+        image = np.random.default_rng(2).random((3, 32, 32))
+        a = hog_descriptor(image)
+        b = hog_descriptor(np.clip(image * 0.5, 0, 1))
+        # L2-Hys block normalisation makes HOG contrast-insensitive.
+        np.testing.assert_allclose(a, b, atol=0.05)
+
+    def test_image_too_small(self):
+        with pytest.raises(ValueError, match="cell"):
+            hog_descriptor(np.zeros((3, 8, 8)), HOGConfig(cell_size=16))
+
+    def test_bad_input_rank(self):
+        with pytest.raises(ValueError, match=r"\(C, H, W\)"):
+            hog_descriptor(np.zeros((32, 32)))
+
+
+class TestHOGBatch:
+    def test_batch_shape(self):
+        images = np.random.default_rng(3).random((4, 3, 32, 32))
+        out = hog_batch(images)
+        assert out.shape[0] == 4
+        np.testing.assert_array_equal(out[0], hog_descriptor(images[0]))

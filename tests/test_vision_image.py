@@ -1,0 +1,111 @@
+"""Tests for basic image operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vision.image import clip01, gaussian_blur, normalize_batch, resize_bilinear, to_grayscale
+
+
+class TestGrayscale:
+    def test_shape(self):
+        out = to_grayscale(np.random.default_rng(0).random((2, 3, 16, 16)))
+        assert out.shape == (2, 1, 16, 16)
+
+    def test_luma_weights(self):
+        red = np.zeros((1, 3, 8, 8))
+        red[:, 0] = 1.0
+        np.testing.assert_allclose(to_grayscale(red), 0.299)
+
+    def test_grayscale_passthrough(self):
+        x = np.random.default_rng(1).random((1, 1, 8, 8))
+        np.testing.assert_array_equal(to_grayscale(x), x)
+
+    def test_white_stays_white(self):
+        white = np.ones((1, 3, 8, 8))
+        np.testing.assert_allclose(to_grayscale(white), 1.0, atol=1e-12)
+
+
+class TestResize:
+    def test_identity_resize(self):
+        x = np.random.default_rng(2).random((1, 3, 12, 12))
+        np.testing.assert_allclose(resize_bilinear(x, 12, 12), x)
+
+    def test_output_shape(self):
+        x = np.random.default_rng(3).random((2, 3, 16, 24))
+        assert resize_bilinear(x, 8, 12).shape == (2, 3, 8, 12)
+
+    def test_constant_image_invariant(self):
+        x = np.full((1, 1, 10, 10), 0.42)
+        np.testing.assert_allclose(resize_bilinear(x, 17, 5), 0.42)
+
+    def test_linear_ramp_preserved(self):
+        ramp = np.tile(np.linspace(0, 1, 32), (32, 1))[None, None]
+        out = resize_bilinear(ramp, 16, 16)
+        diffs = np.diff(out[0, 0, 8])
+        assert (diffs > 0).all()
+        np.testing.assert_allclose(diffs, diffs[0], atol=1e-6)
+
+    def test_upscale_range_preserved(self):
+        x = np.random.default_rng(4).random((1, 3, 8, 8))
+        out = resize_bilinear(x, 32, 32)
+        assert out.min() >= x.min() - 1e-12
+        assert out.max() <= x.max() + 1e-12
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((1, 1, 8, 8)) + 0.1, 0, 8)
+
+    @given(st.integers(min_value=8, max_value=40), st.integers(min_value=8, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_arbitrary_sizes_finite(self, h, w):
+        x = np.random.default_rng(5).random((1, 1, 16, 16))
+        out = resize_bilinear(x, h, w)
+        assert out.shape == (1, 1, h, w)
+        assert np.isfinite(out).all()
+
+
+class TestNormalize:
+    def test_batch_statistics(self):
+        x = np.random.default_rng(6).random((8, 3, 16, 16))
+        out = normalize_batch(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-10)
+
+    def test_explicit_statistics(self):
+        x = np.ones((1, 3, 8, 8))
+        out = normalize_batch(x, mean=np.array([0.5, 0.5, 0.5]), std=np.array([0.5, 0.5, 0.5]))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_zero_std_guard(self):
+        x = np.full((2, 3, 8, 8), 0.7)
+        out = normalize_batch(x)
+        assert np.isfinite(out).all()
+
+
+class TestBlur:
+    def test_zero_sigma_noop(self):
+        x = np.random.default_rng(7).random((1, 3, 16, 16))
+        np.testing.assert_array_equal(gaussian_blur(x, 0.0), x)
+
+    def test_preserves_mean(self):
+        # Reflective borders preserve the mean only approximately.
+        x = np.random.default_rng(8).random((1, 1, 32, 32))
+        out = gaussian_blur(x, 1.5)
+        np.testing.assert_allclose(out.mean(), x.mean(), atol=0.01)
+
+    def test_reduces_variance(self):
+        x = np.random.default_rng(9).random((1, 1, 32, 32))
+        assert gaussian_blur(x, 2.0).var() < x.var()
+
+    def test_constant_invariant(self):
+        x = np.full((1, 1, 16, 16), 0.3)
+        np.testing.assert_allclose(gaussian_blur(x, 1.0), 0.3, atol=1e-12)
+
+
+class TestClip:
+    def test_clip_bounds(self):
+        x = np.array([[-0.5, 0.5, 1.5]])
+        np.testing.assert_array_equal(clip01(x), [[0.0, 0.5, 1.0]])

@@ -1,0 +1,75 @@
+"""Tests for PCA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vision.pca import PCA
+
+
+class TestPCA:
+    def test_components_orthonormal(self):
+        x = np.random.default_rng(0).standard_normal((50, 10))
+        pca = PCA(4).fit(x)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_transform_shape(self):
+        x = np.random.default_rng(1).standard_normal((30, 8))
+        assert PCA(3).fit_transform(x).shape == (30, 3)
+
+    def test_explained_variance_sorted(self):
+        x = np.random.default_rng(2).standard_normal((60, 12))
+        pca = PCA(5).fit(x)
+        ev = pca.explained_variance_
+        assert (np.diff(ev) <= 1e-12).all()
+
+    def test_full_rank_reconstruction(self):
+        x = np.random.default_rng(3).standard_normal((20, 5))
+        pca = PCA(5).fit(x)
+        recon = pca.inverse_transform(pca.transform(x))
+        np.testing.assert_allclose(recon, x, atol=1e-10)
+
+    def test_recovers_planted_direction(self):
+        rng = np.random.default_rng(4)
+        direction = np.array([3.0, 4.0]) / 5.0
+        x = rng.standard_normal((200, 1)) * 10 @ direction[None, :]
+        x += 0.01 * rng.standard_normal(x.shape)
+        pca = PCA(1).fit(x)
+        alignment = abs(pca.components_[0] @ direction)
+        assert alignment > 0.999
+
+    def test_deterministic_sign(self):
+        x = np.random.default_rng(5).standard_normal((40, 6))
+        a = PCA(3).fit(x).components_
+        b = PCA(3).fit(x.copy()).components_
+        np.testing.assert_array_equal(a, b)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            PCA(2).transform(np.zeros((3, 3)) + 1.0)
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+
+    def test_components_capped_by_rank(self):
+        x = np.random.default_rng(6).standard_normal((5, 10))
+        pca = PCA(8).fit(x)
+        assert pca.components_.shape[0] == 5
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_variance_ratio_in_unit_interval(self, k):
+        x = np.random.default_rng(k).standard_normal((30, 8))
+        pca = PCA(k).fit(x)
+        ratios = pca.explained_variance_ratio_
+        assert (ratios >= 0).all()
+        assert ratios.sum() <= 1.0 + 1e-9
+
+    def test_centred_scores(self):
+        x = np.random.default_rng(7).standard_normal((25, 7)) + 5.0
+        scores = PCA(3).fit_transform(x)
+        np.testing.assert_allclose(scores.mean(axis=0), 0.0, atol=1e-10)

@@ -1,0 +1,98 @@
+"""Tests for procedural textures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vision.texture import fractal_noise, grating, speckle, value_noise, vignette
+
+
+class TestValueNoise:
+    def test_range_and_shape(self):
+        field = value_noise(32, 48, cells=4, rng=np.random.default_rng(0))
+        assert field.shape == (32, 48)
+        assert field.min() >= 0.0 and field.max() <= 1.0
+
+    def test_deterministic_given_rng(self):
+        a = value_noise(16, 16, 3, np.random.default_rng(1))
+        b = value_noise(16, 16, 3, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_smoothness(self):
+        field = value_noise(64, 64, cells=2, rng=np.random.default_rng(2))
+        assert np.abs(np.diff(field, axis=0)).max() < 0.25
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            value_noise(8, 8, 0, np.random.default_rng(0))
+
+
+class TestFractalNoise:
+    def test_range(self):
+        field = fractal_noise(32, 32, np.random.default_rng(3))
+        assert field.min() >= 0.0 and field.max() <= 1.0
+
+    def test_more_octaves_more_detail(self):
+        rng1, rng2 = np.random.default_rng(4), np.random.default_rng(4)
+        low = fractal_noise(64, 64, rng1, octaves=1)
+        high = fractal_noise(64, 64, rng2, octaves=5)
+        hf = lambda f: np.abs(np.diff(f, axis=1)).mean()  # noqa: E731
+        assert hf(high) > hf(low)
+
+    def test_invalid_octaves(self):
+        with pytest.raises(ValueError):
+            fractal_noise(8, 8, np.random.default_rng(0), octaves=0)
+
+
+class TestGrating:
+    def test_periodicity(self):
+        field = grating(32, 32, wavelength=8.0, angle=0.0)
+        np.testing.assert_allclose(field[:, 0], field[:, 8], atol=1e-9)
+
+    def test_orientation(self):
+        horizontal_wave = grating(32, 32, 8.0, angle=0.0)
+        # angle 0: variation along x only.
+        assert np.abs(np.diff(horizontal_wave, axis=0)).max() < 1e-9
+        assert np.abs(np.diff(horizontal_wave, axis=1)).max() > 0.1
+
+    def test_range(self):
+        field = grating(16, 16, 4.0, 0.7)
+        assert field.min() >= 0.0 and field.max() <= 1.0
+
+    def test_invalid_wavelength(self):
+        with pytest.raises(ValueError):
+            grating(8, 8, 0.0, 0.0)
+
+
+class TestSpeckle:
+    def test_unit_mean(self):
+        field = speckle(64, 64, np.random.default_rng(5), grain=0.5)
+        assert abs(field.mean() - 1.0) < 0.05
+
+    def test_grain_scales_variance(self):
+        weak = speckle(64, 64, np.random.default_rng(6), grain=0.1)
+        strong = speckle(64, 64, np.random.default_rng(6), grain=0.9)
+        assert strong.var() > weak.var()
+
+    def test_nonnegative(self):
+        field = speckle(32, 32, np.random.default_rng(7), grain=2.5)
+        assert field.min() >= 0.0
+
+    def test_sigma_correlates_field(self):
+        sharp = speckle(64, 64, np.random.default_rng(8), grain=1.0)
+        smooth = speckle(64, 64, np.random.default_rng(8), grain=1.0, sigma=2.0)
+        hf = lambda f: np.abs(np.diff(f, axis=1)).mean()  # noqa: E731
+        assert hf(smooth) < hf(sharp)
+
+
+class TestVignette:
+    def test_centre_brightest(self):
+        mask = vignette(33, 33, strength=0.5)
+        assert mask[16, 16] == mask.max()
+        assert mask[0, 0] < mask[16, 16]
+
+    def test_strength_bounds(self):
+        mask = vignette(32, 32, strength=0.4)
+        assert mask.min() >= 0.6 - 1e-9
+        assert mask.max() <= 1.0 + 1e-9
