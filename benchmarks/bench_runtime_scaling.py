@@ -14,10 +14,11 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.affinity import _layer_affinity_blocks, compute_affinity_matrix
 from repro.core.inference.hierarchical import HierarchicalConfig, HierarchicalModel
 from repro.datasets import make_dataset
+from repro.engine import AffinityEngine, EngineConfig, PrototypeAffinitySource, tiled_affinity_matrix
 from repro.eval.harness import shared_model
-from repro.core.affinity import compute_affinity_matrix
 from repro.eval.tables import format_curve
 
 
@@ -67,3 +68,78 @@ def test_affinity_construction_scaling(benchmark, settings, record_result):
                      "Affinity matrix construction vs N (seconds)", "N", "seconds")
     )
     assert timings[80] > timings[20], "larger datasets must cost more"
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_tiled_vs_naive_affinity_construction(benchmark, settings, record_result, tmp_path):
+    """Tiled engine vs the legacy per-image loop, N=80, affinity stage.
+
+    Measures the similarity-construction stage (pool features are the
+    previous stage's product and identical in both paths), then the
+    end-to-end engine with a cold and a warm artifact cache.
+    """
+    model = shared_model(settings)
+    dataset = make_dataset("surface", n_per_class=settings.n_per_class, seed=0)
+    n = dataset.n_examples
+    layers = tuple(range(model.N_POOL_LAYERS))
+    pools = model.forward_pools(dataset.images)
+    pool_map = dict(enumerate(pools))
+
+    def timed(fn):
+        # min over 2 runs: one-core CI boxes are noisy enough to matter
+        best, result = np.inf, None
+        for _ in range(2):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    def measure():
+        timings: dict[str, float] = {}
+        timings["naive"], naive_blocks = timed(
+            lambda: [_layer_affinity_blocks(pools[layer], 10) for layer in layers]
+        )
+        naive = np.concatenate([b for lb in naive_blocks for b in lb], axis=1)
+
+        timings["tiled_f64"], tiled64 = timed(
+            lambda: tiled_affinity_matrix(pool_map, 10, layers, n_jobs=4)
+        )
+        timings["tiled_f32"], tiled32 = timed(
+            lambda: tiled_affinity_matrix(pool_map, 10, layers, n_jobs=4, dtype=np.float32)
+        )
+
+        # float64 tiling agrees to the last ulp (BLAS kernel choice may
+        # round differently for different GEMM shapes); float32 to ~1e-6.
+        assert np.allclose(naive, tiled64.values, atol=1e-12, rtol=0.0)
+        assert np.allclose(naive, tiled32.values), "float32 tiling must stay within allclose"
+
+        engine = AffinityEngine(
+            PrototypeAffinitySource(model, top_z=10),
+            EngineConfig(batch_size=32, n_jobs=4, precision="float32", cache_dir=str(tmp_path)),
+        )
+        start = time.perf_counter()
+        cold = engine.build(dataset.images, keep_state=False)
+        timings["engine_cold"] = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = engine.build(dataset.images, keep_state=False)
+        timings["engine_warm"] = time.perf_counter() - start
+        assert np.array_equal(cold.values, warm.values), "warm rerun must load the cached bytes"
+        assert np.allclose(naive, cold.values)
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = timings["naive"] / max(timings["tiled_f32"], 1e-9)
+    record_result(
+        format_curve({1: round(timings["naive"], 3), 2: round(timings["tiled_f64"], 3),
+                      3: round(timings["tiled_f32"], 3)},
+                     f"Affinity construction stage at N={n} (1=naive, 2=tiled f64, 3=tiled f32; seconds)",
+                     "variant", "seconds")
+        + f"\ntiled (float32, n_jobs=4) speedup over naive: {speedup:.2f}x"
+        + f"\nengine end-to-end: cold cache {timings['engine_cold']:.3f}s, "
+          f"warm cache {timings['engine_warm']:.3f}s"
+    )
+    if n >= 80:
+        # The >=2x claim is for the paper-scale protocol; at smoke sizes
+        # fixed per-call overhead dominates and the ratio is meaningless.
+        assert speedup >= 2.0, f"tiled affinity construction should be >=2x naive, got {speedup:.2f}x"
+    assert timings["engine_warm"] < timings["engine_cold"], "cache-warm rerun must be faster"

@@ -31,24 +31,43 @@ from repro.eval.tables import format_comparison_table, format_curve
 __all__ = ["main"]
 
 
+def _batch_size(args: argparse.Namespace) -> int | None:
+    return None if args.batch_size == 0 else args.batch_size
+
+
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return ExperimentSettings(
         n_per_class=args.n_per_class,
         n_seeds=args.seeds,
         dev_per_class=args.dev_per_class,
         seed=args.seed,
+        n_jobs=args.n_jobs,
+        batch_size=_batch_size(args),
+        cache_dir=args.cache_dir,
     )
 
 
 def _cmd_label(args: argparse.Namespace) -> int:
     dataset = make_dataset(args.dataset, n_per_class=args.n_per_class, seed=args.seed)
     dev = dataset.sample_dev_set(args.dev_per_class, seed=args.seed)
-    goggles = Goggles(GogglesConfig(n_classes=dataset.n_classes, seed=args.seed))
+    goggles = Goggles(
+        GogglesConfig(
+            n_classes=dataset.n_classes,
+            seed=args.seed,
+            n_jobs=args.n_jobs,
+            batch_size=_batch_size(args),
+            cache_dir=args.cache_dir,
+            keep_corpus_state=False,  # one-shot command, no incremental
+        )
+    )
     result = goggles.label(dataset.images, dev)
     accuracy = result.accuracy(dataset.labels, exclude=dev.indices)
     print(f"dataset: {dataset.name}")
     print(f"instances: {dataset.n_examples} (dev {dev.size})")
     print(f"labeling accuracy (dev excluded): {100 * accuracy:.2f}%")
+    if goggles.engine.cache is not None:
+        stats = goggles.engine.cache.stats
+        print(f"engine cache: {stats.total_hits} hits, {stats.total_misses} misses")
     return 0
 
 
@@ -104,6 +123,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-per-class", type=int, default=40)
     parser.add_argument("--dev-per-class", type=int, default=5)
     parser.add_argument("--seeds", type=int, default=3, help="runs averaged per experiment cell")
+    parser.add_argument("--n-jobs", type=int, default=1, help="threads for affinity tiling and base-model fits")
+    parser.add_argument("--batch-size", type=int, default=32, help="images per backbone forward pass (0 = whole corpus)")
+    parser.add_argument("--cache-dir", default=None, help="affinity-engine artifact cache directory")
     sub = parser.add_subparsers(dest="command", required=True)
 
     label = sub.add_parser("label", help="label one dataset with GOGGLES")

@@ -18,11 +18,11 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.affinity import AffinityMatrix, compute_affinity_matrix
+from repro.core.affinity import AffinityMatrix
 from repro.core.inference.hierarchical import (
     HierarchicalConfig,
     HierarchicalModel,
@@ -30,6 +30,8 @@ from repro.core.inference.hierarchical import (
 )
 from repro.core.inference.mapping import ClusterMapping, apply_mapping, map_clusters_to_classes
 from repro.datasets.base import DevSet
+from repro.engine.engine import AffinityEngine, EngineConfig
+from repro.engine.source import PrototypeAffinitySource
 from repro.nn.vgg import VGG16, VGGConfig
 from repro.utils.validation import check_images
 
@@ -45,30 +47,49 @@ class GogglesConfig:
         top_z: prototypes per max-pool layer (paper: 10).
         layers: which of the 5 max-pool layers to use (paper: all).
         seed: root seed for inference initialisation.
+        n_jobs: thread-pool width shared by affinity tiling and the
+            base-model fits ("we can parallelize all of the base
+            models", §5.3).  Results are identical at any width.
+        batch_size: images per backbone forward pass in the affinity
+            engine; bounds peak memory, never changes values.
+        cache_dir: artifact-cache directory for the affinity engine;
+            ``None`` disables on-disk caching.
+        keep_corpus_state: retain the engine's corpus state (per-layer
+            location vectors and prototypes, roughly the size of the
+            pool feature maps) after :meth:`Goggles.label` so
+            :meth:`Goggles.label_incremental` can extend it.  Set to
+            ``False`` to free that memory when incremental labeling is
+            not needed.
         vgg: configuration of the surrogate-pretrained backbone.
         inference: hierarchical-model hyper-parameters (n_classes and
             seed fields here take precedence).
+        engine: full engine override (tile sizes, precision).  When
+            given, its ``n_jobs``/``batch_size``/``cache_dir`` win over
+            the top-level convenience fields.
     """
 
     n_classes: int = 2
     top_z: int = 10
     layers: tuple[int, ...] = (0, 1, 2, 3, 4)
     seed: int = 0
+    n_jobs: int = 1
+    batch_size: int | None = 32
+    cache_dir: str | None = None
+    keep_corpus_state: bool = True
     vgg: VGGConfig = field(default_factory=VGGConfig)
     inference: HierarchicalConfig = field(default_factory=HierarchicalConfig)
+    engine: EngineConfig | None = None
 
     def hierarchical_config(self) -> HierarchicalConfig:
         """The inference config with n_classes/seed overridden."""
-        base = self.inference
-        return HierarchicalConfig(
-            n_classes=self.n_classes,
-            base_max_iter=base.base_max_iter,
-            base_tol=base.base_tol,
-            ensemble_max_iter=base.ensemble_max_iter,
-            ensemble_tol=base.ensemble_tol,
-            ensemble_n_init=base.ensemble_n_init,
-            variance_floor=base.variance_floor,
-            seed=self.seed,
+        return replace(self.inference, n_classes=self.n_classes, seed=self.seed)
+
+    def engine_config(self) -> EngineConfig:
+        """The affinity-engine config implied by this pipeline config."""
+        if self.engine is not None:
+            return self.engine
+        return EngineConfig(
+            batch_size=self.batch_size, n_jobs=self.n_jobs, cache_dir=self.cache_dir
         )
 
 
@@ -113,20 +134,30 @@ class Goggles:
     def __init__(self, config: GogglesConfig | None = None, model: VGG16 | None = None):
         self.config = config or GogglesConfig()
         self.model = model if model is not None else VGG16(self.config.vgg)
+        self.engine = AffinityEngine(
+            PrototypeAffinitySource(self.model, top_z=self.config.top_z, layers=self.config.layers),
+            self.config.engine_config(),
+        )
 
     def build_affinity_matrix(self, images: np.ndarray) -> AffinityMatrix:
-        """Step 1 (Figure 3): affinity matrix construction."""
+        """Step 1 (Figure 3): affinity matrix construction.
+
+        Runs through the staged engine: chunked feature extraction,
+        tiled similarity, artifact caching.  Unless
+        ``config.keep_corpus_state`` is off, the corpus state is kept
+        so :meth:`label_incremental` can extend it later.
+        """
         images = check_images(images)
-        return compute_affinity_matrix(
-            self.model, images, top_z=self.config.top_z, layers=self.config.layers
-        )
+        return self.engine.build(images, keep_state=self.config.keep_corpus_state)
 
     def infer_labels(self, affinity: AffinityMatrix, dev_set: DevSet) -> GogglesResult:
         """Step 2 (Figure 3): class inference on a prebuilt matrix."""
         if dev_set.indices.size and dev_set.indices.max() >= affinity.n_examples:
             raise ValueError("dev-set indices exceed the number of instances")
         model = HierarchicalModel(self.config.hierarchical_config())
-        hierarchical = model.fit(affinity)
+        # engine_config() so an `engine=EngineConfig(...)` override's
+        # n_jobs governs the base-model fits too, as documented.
+        hierarchical = model.fit(affinity, n_jobs=self.config.engine_config().n_jobs)
         mapping = map_clusters_to_classes(hierarchical.posterior, dev_set, self.config.n_classes)
         probabilistic_labels = apply_mapping(hierarchical.posterior, mapping)
         return GogglesResult(
@@ -139,4 +170,21 @@ class Goggles:
     def label(self, images: np.ndarray, dev_set: DevSet) -> GogglesResult:
         """Run the full pipeline: images + tiny dev set -> probabilistic labels."""
         affinity = self.build_affinity_matrix(images)
+        return self.infer_labels(affinity, dev_set)
+
+    def label_incremental(self, new_images: np.ndarray, dev_set: DevSet) -> GogglesResult:
+        """Label a corpus grown by ``new_images`` without rebuilding it.
+
+        The engine reuses the prototypes and location vectors retained
+        by a prior :meth:`label` / :meth:`build_affinity_matrix` call
+        *on this object* and computes only the new rows and column
+        blocks of the affinity matrix.  (In a fresh process, re-run
+        :meth:`label` on the original corpus first — with ``cache_dir``
+        set that rebuild is a cheap disk load.)  ``dev_set`` indices
+        refer to the *combined*
+        corpus (existing images first, then ``new_images``); inference
+        reruns on the extended matrix so every posterior can absorb the
+        new evidence.
+        """
+        affinity = self.engine.extend(new_images)
         return self.infer_labels(affinity, dev_set)

@@ -1,0 +1,64 @@
+"""The staged affinity engine (see ENGINE.md).
+
+Splits the monolithic image→affinity-matrix path into reusable stages:
+
+* :mod:`repro.engine.features` — chunked backbone feature extraction.
+* :mod:`repro.engine.tiling` — tiled, de-duplicated, thread-parallel
+  affinity construction.
+* :mod:`repro.engine.cache` — content-addressed on-disk artifact cache.
+* :mod:`repro.engine.source` — interchangeable affinity backends
+  (VGG prototypes, HOG, raw-feature cosine).
+* :mod:`repro.engine.engine` — the orchestrator, including the
+  incremental corpus-extension path.
+"""
+
+from repro.engine.cache import ArtifactCache, CacheStats, hash_arrays, hash_params
+from repro.engine.engine import AffinityEngine, EngineConfig
+from repro.engine.features import extract_pool_features, iter_batches
+from repro.engine.source import (
+    AffinitySource,
+    CorpusState,
+    EngineRuntime,
+    FeatureCosineSource,
+    IncrementalAffinitySource,
+    PrototypeAffinitySource,
+    hog_source,
+    logits_source,
+)
+from repro.engine.tiling import (
+    LayerPrototypes,
+    assemble_blocks,
+    best_similarities,
+    tile_executor,
+    tiled_affinity_matrix,
+    tiled_layer_affinity_blocks,
+    unique_unit_prototypes,
+    unit_location_vectors,
+)
+
+__all__ = [
+    "AffinityEngine",
+    "EngineConfig",
+    "ArtifactCache",
+    "CacheStats",
+    "hash_arrays",
+    "hash_params",
+    "extract_pool_features",
+    "iter_batches",
+    "AffinitySource",
+    "IncrementalAffinitySource",
+    "CorpusState",
+    "EngineRuntime",
+    "FeatureCosineSource",
+    "PrototypeAffinitySource",
+    "hog_source",
+    "logits_source",
+    "LayerPrototypes",
+    "assemble_blocks",
+    "best_similarities",
+    "tile_executor",
+    "tiled_affinity_matrix",
+    "tiled_layer_affinity_blocks",
+    "unique_unit_prototypes",
+    "unit_location_vectors",
+]

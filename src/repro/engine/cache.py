@@ -1,0 +1,166 @@
+"""Stage 3 of the affinity engine: content-addressed artifact caching.
+
+Affinity matrices are the expensive product of step 1 and are pure
+functions of (images, backbone config, extraction knobs).  The cache
+keys every artifact by a SHA-256 over exactly those inputs, so
+
+* re-running an experiment with identical inputs is a disk load;
+* changing *any* input (one pixel, ``top_z``, the VGG seed) changes the
+  key and misses — no invalidation logic, no stale reads.
+
+Artifacts are ``.npz`` files.  Affinity matrices reuse the
+:meth:`repro.core.affinity.AffinityMatrix.save` format, so a cached
+entry is also directly loadable by user code; auxiliary artifacts
+(pool features, prototype tables, incremental corpus state) are plain
+array bundles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zipfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.affinity import AffinityMatrix
+
+# A cache read must never be able to crash a run: any unreadable or
+# internally inconsistent artifact (truncated download, disk-full
+# write from a foreign tool, schema drift) is treated as a miss and
+# evicted so the entry is rebuilt.
+_CORRUPT_ERRORS = (zipfile.BadZipFile, OSError, KeyError, ValueError, EOFError)
+
+__all__ = ["CacheStats", "ArtifactCache", "hash_arrays", "hash_params"]
+
+
+def hash_arrays(*arrays: np.ndarray) -> str:
+    """Stable content hash of arrays (dtype + shape + C-order bytes)."""
+    digest = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def hash_params(params: dict[str, object]) -> str:
+    """Stable hash of a flat parameter mapping (sorted key=value reprs)."""
+    material = ";".join(f"{key}={params[key]!r}" for key in sorted(params))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, one pair per artifact kind."""
+
+    hits: dict[str, int] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        bucket = self.hits if hit else self.misses
+        bucket[kind] = bucket.get(kind, 0) + 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+
+class ArtifactCache:
+    """A content-addressed on-disk store for engine artifacts.
+
+    Entries live under ``cache_dir`` as ``{kind}-{key[:24]}.npz``; the
+    key is supplied by the caller via :meth:`key` so that every byte of
+    input provenance (data hash + parameter hash) is part of the
+    address.
+    """
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = str(cache_dir)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self.stats = CacheStats()
+
+    def key(self, data_hash: str, params: dict[str, object]) -> str:
+        """Combine a data hash and a parameter mapping into one address."""
+        return hashlib.sha256(f"{data_hash}|{hash_params(params)}".encode()).hexdigest()
+
+    def path(self, kind: str, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{kind}-{key[:24]}.npz")
+
+    def has(self, kind: str, key: str) -> bool:
+        return os.path.exists(self.path(kind, key))
+
+    # ------------------------------------------------------------------
+    # Generic array bundles
+    # ------------------------------------------------------------------
+    def load_arrays(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
+        path = self.path(kind, key)
+        if not os.path.exists(path):
+            self.stats.record(kind, hit=False)
+            return None
+        try:
+            with np.load(path) as data:
+                arrays = {name: data[name] for name in data.files}
+        except _CORRUPT_ERRORS:
+            self._evict_corrupt(path)
+            self.stats.record(kind, hit=False)
+            return None
+        self.stats.record(kind, hit=True)
+        return arrays
+
+    def save_arrays(self, kind: str, key: str, arrays: dict[str, np.ndarray]) -> str:
+        path = self.path(kind, key)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)  # atomic: concurrent readers never see partial files
+        return path
+
+    # ------------------------------------------------------------------
+    # Affinity matrices (AffinityMatrix.save/load format)
+    # ------------------------------------------------------------------
+    def load_affinity(self, key: str) -> AffinityMatrix | None:
+        path = self.path("affinity", key)
+        if not os.path.exists(path):
+            self.stats.record("affinity", hit=False)
+            return None
+        try:
+            matrix = AffinityMatrix.load(path)
+        except _CORRUPT_ERRORS:
+            self._evict_corrupt(path)
+            self.stats.record("affinity", hit=False)
+            return None
+        self.stats.record("affinity", hit=True)
+        return matrix
+
+    def save_affinity(self, key: str, matrix: AffinityMatrix) -> str:
+        path = self.path("affinity", key)
+        tmp = path + ".tmp.npz"  # .npz suffix: numpy appends it to bare names
+        matrix.save(tmp)
+        os.replace(tmp, path)
+        return path
+
+    def evict(self, kind: str, key: str) -> None:
+        """Drop one entry (used for unreadable or schema-drifted files)."""
+        self._evict_corrupt(self.path(kind, key))
+
+    def _evict_corrupt(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover - racing eviction is fine
+            pass
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns the number removed."""
+        removed = 0
+        for name in os.listdir(self.cache_dir):
+            if name.endswith(".npz"):
+                os.remove(os.path.join(self.cache_dir, name))
+                removed += 1
+        return removed

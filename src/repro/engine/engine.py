@@ -1,0 +1,215 @@
+"""The staged affinity engine: orchestration, caching, incremental runs.
+
+Stage graph (each stage's product is cacheable and reusable)::
+
+    images ──(1) chunked extraction──> pool features
+           ──(2) prototypes + tiled similarity──> affinity matrix
+           ──(3) artifact cache──> {affinity, corpus state} on disk
+    new images ──(4) incremental──> extended matrix (new rows/cols only)
+
+The engine owns the runtime knobs (``batch_size``, tile sizes,
+``n_jobs``, precision, ``cache_dir``) and delegates the math to an
+:class:`~repro.engine.source.AffinitySource`.  Cache keys cover every
+value-affecting input — the image bytes, the source signature, and the
+compute precision — so a key hit is always safe to reuse and any other
+change is an automatic miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.affinity import AffinityMatrix
+from repro.engine.cache import ArtifactCache, hash_arrays
+from repro.engine.source import (
+    AffinitySource,
+    CorpusState,
+    EngineRuntime,
+    IncrementalAffinitySource,
+)
+from repro.utils.validation import check_images
+
+__all__ = ["EngineConfig", "AffinityEngine"]
+
+_PRECISIONS = {"float64": np.float64, "float32": np.float32}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Runtime configuration of the affinity engine.
+
+    Attributes:
+        batch_size: images per backbone forward pass (memory bound);
+            ``None`` runs the whole corpus in one pass.
+        row_tile / col_tile: similarity tile sizes over (images ×
+            prototype rows); ``None`` disables that tiling axis.
+        n_jobs: thread-pool width for tile fan-out (and, downstream,
+            base-model fitting).  Values are identical at any width.
+        precision: ``"float64"`` (bit-compatible with the legacy path)
+            or ``"float32"`` (≈2× faster similarity stage, equal to
+            within ~1e-6 — inside ``np.allclose`` tolerance).
+        cache_dir: artifact cache directory; ``None`` disables caching.
+    """
+
+    batch_size: int | None = 32
+    row_tile: int | None = 32
+    col_tile: int | None = None
+    n_jobs: int = 1
+    precision: str = "float64"
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.precision not in _PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {sorted(_PRECISIONS)}, got {self.precision!r}"
+            )
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+
+    @property
+    def dtype(self) -> type:
+        return _PRECISIONS[self.precision]
+
+    def runtime(self) -> EngineRuntime:
+        return EngineRuntime(
+            batch_size=self.batch_size,
+            row_tile=self.row_tile,
+            col_tile=self.col_tile,
+            n_jobs=self.n_jobs,
+            dtype=self.dtype,
+        )
+
+
+class AffinityEngine:
+    """Builds, caches, and incrementally extends affinity matrices."""
+
+    def __init__(self, source: AffinitySource, config: EngineConfig | None = None):
+        self.source = source
+        self.config = config or EngineConfig()
+        self.cache = ArtifactCache(self.config.cache_dir) if self.config.cache_dir else None
+        self._state: CorpusState | None = None
+        self._state_key: str | None = None
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def _params(self) -> dict[str, object]:
+        return {**self.source.signature(), "precision": self.config.precision}
+
+    def _corpus_key(self, data_hash: str) -> str:
+        assert self.cache is not None
+        return self.cache.key(data_hash, self._params())
+
+    @property
+    def supports_incremental(self) -> bool:
+        return isinstance(self.source, IncrementalAffinitySource)
+
+    @property
+    def state(self) -> CorpusState | None:
+        """The in-memory corpus state of the last build/extend, if any."""
+        return self._state
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self, images: np.ndarray, keep_state: bool | None = None) -> AffinityMatrix:
+        """Affinity matrix for ``images``; cache-aware.
+
+        ``keep_state`` (default: whenever the source supports it)
+        additionally retains/caches the corpus state that
+        :meth:`extend` needs.
+        """
+        images = check_images(images)
+        if keep_state is None:
+            keep_state = self.supports_incremental
+        if keep_state and not self.supports_incremental:
+            raise ValueError(f"source {self.source.name!r} does not support incremental state")
+        key = None
+        if self.cache is not None:
+            key = self._corpus_key(hash_arrays(images))
+            cached = self._load_cached(key, need_state=keep_state)
+            if cached is not None:
+                return cached
+        runtime = self.config.runtime()
+        if keep_state:
+            state = self.source.build_state(images, runtime)
+            self._remember(state, key)
+            matrix = state.affinity
+        else:
+            self._forget()
+            matrix = self.source.build(images, runtime)
+        if self.cache is not None and key is not None:
+            self.cache.save_affinity(key, matrix)
+            if keep_state and self._state is not None:
+                self._save_state(key, self._state)
+        return matrix
+
+    def extend(self, new_images: np.ndarray) -> AffinityMatrix:
+        """Extend the last built corpus with ``new_images``.
+
+        Only the new rows and new column blocks are computed; the old
+        N×N quadrant of every affinity block is reused.  Requires a
+        prior :meth:`build` (with state) in this engine, or a cache
+        hit that restored the state.
+        """
+        new_images = check_images(new_images)
+        if not self.supports_incremental:
+            raise ValueError(f"source {self.source.name!r} does not support incremental state")
+        if self._state is None:
+            raise RuntimeError(
+                "no corpus state: call build() on the original corpus first "
+                "(with cache_dir set and the corpus cached, that build is a "
+                "cheap disk load that restores the state)"
+            )
+        key = None
+        if self.cache is not None and self._state_key is not None:
+            # Chain the key: extended corpus = previous corpus ⊕ new bytes.
+            key = self.cache.key(hash_arrays(new_images), {"previous": self._state_key})
+            cached = self._load_cached(key, need_state=True)
+            if cached is not None:
+                return cached  # _load_cached installed the extended state
+        state = self.source.extend_state(self._state, new_images, self.config.runtime())
+        if key is not None:
+            self.cache.save_affinity(key, state.affinity)
+            self._save_state(key, state)
+        self._remember(state, key)
+        return state.affinity
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _load_cached(self, key: str, need_state: bool) -> AffinityMatrix | None:
+        assert self.cache is not None
+        matrix = self.cache.load_affinity(key)
+        if matrix is None:
+            return None
+        if not need_state:
+            self._forget()
+            return matrix
+        stored = self.cache.load_arrays("state", key)
+        if stored is None:
+            return None  # affinity alone is not enough; rebuild with state
+        if "n_images" not in stored:
+            # Readable zip, wrong schema (drift or a foreign file in a
+            # shared cache dir): evict and rebuild rather than crash.
+            self.cache.evict("state", key)
+            return None
+        n_images = int(stored.pop("n_images"))
+        self._remember(CorpusState(affinity=matrix, n_images=n_images, arrays=stored), key)
+        return matrix
+
+    def _save_state(self, key: str, state: CorpusState) -> None:
+        assert self.cache is not None
+        arrays = dict(state.arrays)
+        arrays["n_images"] = np.int64(state.n_images)
+        self.cache.save_arrays("state", key, arrays)
+
+    def _remember(self, state: CorpusState, key: str | None) -> None:
+        self._state = state
+        self._state_key = key
+
+    def _forget(self) -> None:
+        self._state = None
+        self._state_key = None

@@ -1,0 +1,310 @@
+"""Interchangeable affinity backends (the ``AffinitySource`` protocol).
+
+The paper's core signal is VGG prototype affinity, but §5.1.5 ablates
+the representation (HOG descriptors, VGG logits) through the *same*
+class-inference module.  The engine therefore talks to an abstract
+source:
+
+* :class:`PrototypeAffinitySource` — the paper's §3 pipeline (chunked
+  VGG pool extraction → tiled prototype affinity), incremental-capable.
+* :class:`FeatureCosineSource` — any flat feature extractor compared
+  with pair-wise cosine (α = 1), incremental-capable because the state
+  is just the feature table.
+* :func:`hog_source` / :func:`logits_source` — the two ablation
+  backends of §5.1.5 as ready-made sources.
+
+A source produces bit-identical matrices regardless of ``batch_size``
+/ tile sizes / ``n_jobs``; only ``dtype`` (precision) may change
+values, which is why the engine folds precision — and nothing else
+about the runtime — into cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.affinity import AffinityFunctionId, AffinityMatrix, affinity_from_features
+from repro.engine.features import extract_pool_features, iter_batches
+from repro.engine.tiling import (
+    LayerPrototypes,
+    assemble_blocks,
+    best_similarities,
+    tile_executor,
+    unique_unit_prototypes,
+    unit_location_vectors,
+)
+from repro.nn.vgg import VGG16
+from repro.utils.validation import check_images
+
+__all__ = [
+    "EngineRuntime",
+    "CorpusState",
+    "AffinitySource",
+    "IncrementalAffinitySource",
+    "PrototypeAffinitySource",
+    "FeatureCosineSource",
+    "hog_source",
+    "logits_source",
+]
+
+
+@dataclass(frozen=True)
+class EngineRuntime:
+    """Execution knobs handed from the engine to a source.
+
+    None of these change output values except ``dtype``.
+    """
+
+    batch_size: int | None = 32
+    row_tile: int | None = 32
+    col_tile: int | None = None
+    n_jobs: int = 1
+    dtype: type = np.float64
+
+
+@dataclass(frozen=True)
+class CorpusState:
+    """Everything a source needs to extend a built corpus incrementally.
+
+    Attributes:
+        affinity: the corpus affinity matrix built so far.
+        n_images: corpus size N.
+        arrays: backend-specific reusable artifacts (npz-serialisable
+            flat ``{name: array}`` mapping so the engine can persist
+            state in the artifact cache).
+    """
+
+    affinity: AffinityMatrix
+    n_images: int
+    arrays: dict[str, np.ndarray]
+
+
+class AffinitySource(Protocol):
+    """An interchangeable affinity-matrix backend."""
+
+    name: str
+
+    def signature(self) -> dict[str, object]:
+        """Value-affecting parameters, folded into cache keys."""
+        ...
+
+    def build(self, images: np.ndarray, runtime: EngineRuntime) -> AffinityMatrix:
+        """Build the full affinity matrix for a corpus."""
+        ...
+
+
+@runtime_checkable
+class IncrementalAffinitySource(Protocol):
+    """A source that can also extend an existing corpus row/column-wise."""
+
+    name: str
+
+    def signature(self) -> dict[str, object]: ...
+
+    def build(self, images: np.ndarray, runtime: EngineRuntime) -> AffinityMatrix: ...
+
+    def build_state(self, images: np.ndarray, runtime: EngineRuntime) -> CorpusState: ...
+
+    def extend_state(
+        self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime
+    ) -> CorpusState: ...
+
+
+# ----------------------------------------------------------------------
+# VGG prototype affinity (the paper's §3 pipeline)
+# ----------------------------------------------------------------------
+class PrototypeAffinitySource:
+    """Staged VGG prototype affinity: extract → prototype → tile.
+
+    The incremental state keeps, per layer, the corpus' unit location
+    vectors and unique unit prototypes, so adding M images costs only
+    the new rows (new images × all prototypes) and the new column
+    blocks (all images × new prototypes) — the N×N old-old quadrant of
+    every block is copied from the previous matrix.
+    """
+
+    def __init__(self, model: VGG16, top_z: int = 10, layers: tuple[int, ...] | None = None):
+        self.model = model
+        self.top_z = int(top_z)
+        self.layers = tuple(layers) if layers is not None else tuple(range(model.N_POOL_LAYERS))
+        if self.top_z < 1:
+            raise ValueError(f"top_z must be >= 1, got {top_z}")
+        if not self.layers:
+            raise ValueError("need at least one layer")
+        self.name = "vgg-prototypes"
+
+    def signature(self) -> dict[str, object]:
+        return {
+            "source": self.name,
+            "vgg": repr(self.model.config),
+            "top_z": self.top_z,
+            "layers": self.layers,
+        }
+
+    def build(self, images: np.ndarray, runtime: EngineRuntime) -> AffinityMatrix:
+        # Same work as build_state (the state arrays are intermediates
+        # of the tiled computation either way); the state is simply not
+        # retained by the caller.
+        return self.build_state(images, runtime).affinity
+
+    # -- incremental ----------------------------------------------------
+    def _layer_state(
+        self, images: np.ndarray, runtime: EngineRuntime
+    ) -> dict[int, tuple[np.ndarray, LayerPrototypes]]:
+        pools = extract_pool_features(
+            self.model, images, layers=self.layers, batch_size=runtime.batch_size
+        )
+        return {
+            layer: (unit_location_vectors(pools[layer]), unique_unit_prototypes(pools[layer], self.top_z))
+            for layer in self.layers
+        }
+
+    def build_state(self, images: np.ndarray, runtime: EngineRuntime) -> CorpusState:
+        images = check_images(images)
+        per_layer = self._layer_state(images, runtime)
+        blocks: list[np.ndarray] = []
+        arrays: dict[str, np.ndarray] = {}
+        with tile_executor(runtime.n_jobs) as pool:
+            for layer in self.layers:
+                vectors, prototypes = per_layer[layer]
+                best = best_similarities(
+                    prototypes.vectors, vectors,
+                    row_tile=runtime.row_tile, col_tile=runtime.col_tile,
+                    executor=pool, dtype=runtime.dtype,
+                )
+                blocks.extend(assemble_blocks(best, prototypes.rank_rows))
+                arrays[f"uv_{layer}"] = vectors
+                arrays[f"proto_{layer}"] = prototypes.vectors
+                arrays[f"rank_{layer}"] = prototypes.rank_rows
+        ids = tuple(
+            AffinityFunctionId(layer=layer, z=rank)
+            for layer in self.layers
+            for rank in range(self.top_z)
+        )
+        matrix = AffinityMatrix(values=np.concatenate(blocks, axis=1), function_ids=ids)
+        return CorpusState(affinity=matrix, n_images=images.shape[0], arrays=arrays)
+
+    def extend_state(
+        self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime
+    ) -> CorpusState:
+        new_images = check_images(new_images)
+        n, m = state.n_images, new_images.shape[0]
+        expected_alpha = len(self.layers) * self.top_z
+        if state.affinity.n_functions != expected_alpha:
+            raise ValueError(
+                f"corpus state has {state.affinity.n_functions} affinity functions, "
+                f"source produces {expected_alpha}"
+            )
+        per_layer_new = self._layer_state(new_images, runtime)
+        blocks: list[np.ndarray] = []
+        arrays: dict[str, np.ndarray] = {}
+        with tile_executor(runtime.n_jobs) as pool:
+            for layer_pos, layer in enumerate(self.layers):
+                old_vectors = state.arrays[f"uv_{layer}"]
+                old_protos = LayerPrototypes(
+                    vectors=state.arrays[f"proto_{layer}"],
+                    rank_rows=state.arrays[f"rank_{layer}"],
+                )
+                new_vectors, new_protos = per_layer_new[layer]
+                all_vectors = np.concatenate([old_vectors, new_vectors], axis=0)
+                kwargs = dict(
+                    row_tile=runtime.row_tile, col_tile=runtime.col_tile,
+                    executor=pool, dtype=runtime.dtype,
+                )
+                # Old prototypes × new images: the new rows of old column blocks.
+                best_old_new = best_similarities(old_protos.vectors, new_vectors, **kwargs)
+                rows_old_cols = assemble_blocks(best_old_new, old_protos.rank_rows)  # (Z, M, N)
+                # New prototypes × all images: the entirely new column blocks.
+                best_new_all = best_similarities(new_protos.vectors, all_vectors, **kwargs)
+                new_cols = assemble_blocks(best_new_all, new_protos.rank_rows)  # (Z, N+M, M)
+                for rank in range(self.top_z):
+                    old_block = state.affinity.block(layer_pos * self.top_z + rank)
+                    block = np.empty((n + m, n + m))
+                    block[:n, :n] = old_block
+                    block[n:, :n] = rows_old_cols[rank]
+                    block[:, n:] = new_cols[rank]
+                    blocks.append(block)
+                arrays[f"uv_{layer}"] = all_vectors
+                arrays[f"proto_{layer}"] = np.concatenate(
+                    [old_protos.vectors, new_protos.vectors], axis=0
+                )
+                arrays[f"rank_{layer}"] = np.concatenate(
+                    [old_protos.rank_rows, new_protos.shifted(old_protos.n_rows).rank_rows], axis=0
+                )
+        matrix = AffinityMatrix(
+            values=np.concatenate(blocks, axis=1), function_ids=state.affinity.function_ids
+        )
+        return CorpusState(affinity=matrix, n_images=n + m, arrays=arrays)
+
+
+# ----------------------------------------------------------------------
+# Flat-feature cosine sources (§5.1.5 ablations and custom backends)
+# ----------------------------------------------------------------------
+class FeatureCosineSource:
+    """α=1 affinity from any flat feature extractor via pairwise cosine.
+
+    ``extractor(images) -> (n, D)`` is applied in ``batch_size`` chunks;
+    the incremental state is the feature table itself, so extension
+    only runs the extractor on the new images (the cosine grid is cheap
+    relative to feature extraction and is recomputed exactly).
+    """
+
+    def __init__(
+        self,
+        extractor: Callable[[np.ndarray], np.ndarray],
+        name: str,
+        params: dict[str, object] | None = None,
+    ):
+        self.extractor = extractor
+        self.name = name
+        self.params = dict(params or {})
+
+    def signature(self) -> dict[str, object]:
+        return {"source": self.name, **self.params}
+
+    def _features(self, images: np.ndarray, runtime: EngineRuntime) -> np.ndarray:
+        images = check_images(images)
+        parts = [self.extractor(images[batch]) for batch in iter_batches(images.shape[0], runtime.batch_size)]
+        features = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+        return np.asarray(features, dtype=np.float64)
+
+    def build(self, images: np.ndarray, runtime: EngineRuntime) -> AffinityMatrix:
+        return self.build_state(images, runtime).affinity
+
+    def build_state(self, images: np.ndarray, runtime: EngineRuntime) -> CorpusState:
+        features = self._features(images, runtime)
+        return CorpusState(
+            affinity=affinity_from_features(features),
+            n_images=features.shape[0],
+            arrays={"features": features},
+        )
+
+    def extend_state(
+        self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime
+    ) -> CorpusState:
+        features = np.concatenate(
+            [state.arrays["features"], self._features(new_images, runtime)], axis=0
+        )
+        return CorpusState(
+            affinity=affinity_from_features(features),
+            n_images=features.shape[0],
+            arrays={"features": features},
+        )
+
+
+def hog_source(config: object | None = None) -> FeatureCosineSource:
+    """The HOG-descriptor ablation backend (§5.1.5)."""
+    from repro.vision.hog import HOGConfig, hog_batch
+
+    hog_config = config if config is not None else HOGConfig()
+    return FeatureCosineSource(
+        lambda images: hog_batch(images, hog_config), "hog", {"config": repr(hog_config)}
+    )
+
+
+def logits_source(model: VGG16) -> FeatureCosineSource:
+    """The VGG-logits ablation backend (§5.1.5)."""
+    return FeatureCosineSource(model.logits, "vgg-logits", {"vgg": repr(model.config)})

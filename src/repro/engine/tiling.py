@@ -1,0 +1,247 @@
+"""Stage 2 of the affinity engine: tiled affinity construction.
+
+The legacy :func:`repro.core.affinity._layer_affinity_blocks` walks the
+corpus image-by-image in Python, scoring *all* ``N·Z`` padded prototype
+rows against each image.  Two observations make a faster, exactly
+equivalent kernel possible:
+
+1. **Prototype de-duplication.**  ``PrototypeSet.padded_vectors`` pads
+   to Z rows by *cycling* the unique prototypes, so rank ``r >= u_j``
+   of image j is a bitwise copy of rank ``r % u_j``.  Scoring only the
+   unique rows and replicating the results afterwards removes 30–60 %
+   of the similarity work (deeper layers have as few as 4 candidate
+   locations) without changing a single output bit.
+
+2. **Tiling.**  The similarity computation decomposes into independent
+   (row-tile of images × column-tile of prototype rows) blocks.  Tiles
+   keep the ``(U_tile, P)`` similarity scratch inside the CPU cache and
+   are embarrassingly parallel, so they fan out over a thread pool
+   (the matmul/max inner ops are BLAS/numpy-bound and release the GIL).
+
+The kernel optionally computes in float32 (``dtype=np.float32``):
+outputs are cast back to float64 and agree with the float64 path to
+~1e-6, well inside ``np.allclose`` tolerance, at roughly half the
+memory traffic — the right trade for throughput-oriented deployments.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.affinity import AffinityFunctionId, AffinityMatrix, _EPS
+
+__all__ = [
+    "tile_executor",
+    "LayerPrototypes",
+    "unit_location_vectors",
+    "unique_unit_prototypes",
+    "best_similarities",
+    "assemble_blocks",
+    "tiled_layer_affinity_blocks",
+    "tiled_affinity_matrix",
+]
+
+
+@contextmanager
+def tile_executor(n_jobs: int) -> Iterator[Executor | None]:
+    """The thread pool for tile fan-out: a pool for ``n_jobs > 1``,
+    ``None`` (serial execution) otherwise."""
+    if n_jobs > 1:
+        with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+            yield pool
+    else:
+        yield None
+
+
+@dataclass(frozen=True)
+class LayerPrototypes:
+    """Unique unit prototypes of one layer for a whole corpus.
+
+    Attributes:
+        vectors: ``(U, C)`` L2-normalised unique prototype vectors, the
+            per-image unique sets concatenated in corpus order.
+        rank_rows: ``(N, Z)`` row index into ``vectors`` answering "which
+            unique row realises rank z of image j" (the padding cycle).
+    """
+
+    vectors: np.ndarray
+    rank_rows: np.ndarray
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.vectors.shape[0])
+
+    @property
+    def n_images(self) -> int:
+        return int(self.rank_rows.shape[0])
+
+    @property
+    def top_z(self) -> int:
+        return int(self.rank_rows.shape[1])
+
+    def shifted(self, row_offset: int) -> "LayerPrototypes":
+        """The same prototypes addressed inside a larger stacked table."""
+        return LayerPrototypes(vectors=self.vectors, rank_rows=self.rank_rows + row_offset)
+
+
+def unit_location_vectors(filter_maps: np.ndarray) -> np.ndarray:
+    """L2-normalised location vectors of a layer: ``(N, C, H, W)`` -> ``(N, C, P)``."""
+    n, c, h, w = filter_maps.shape
+    vectors = filter_maps.reshape(n, c, h * w)
+    norms = np.maximum(np.linalg.norm(vectors, axis=1, keepdims=True), _EPS)
+    return vectors / norms
+
+
+def unique_unit_prototypes(filter_maps: np.ndarray, z: int) -> LayerPrototypes:
+    """Unique unit prototypes of every image plus the rank→row map.
+
+    Matches :func:`repro.core.prototypes.select_top_z` exactly — same
+    channel ranking (activation descending, channel ascending on ties),
+    same argmax locations, same first-seen de-duplication — but ranks
+    channels and finds argmax locations for the whole batch in one
+    vectorised pass.  Normalising a vector and its padded copies yields
+    identical rows, so the cycle map ``rank_rows[j, r] = offset_j +
+    r % u_j`` reproduces exactly the ``padded_vectors`` layout.
+    """
+    if z < 1:
+        raise ValueError(f"z must be >= 1, got {z}")
+    n, c, h, w = filter_maps.shape
+    flat = filter_maps.reshape(n, c, h * w)
+    # Stable ranking per image: activation descending, channel ascending
+    # on ties (argsort of the negated maxima with a stable kind).
+    channel_activation = flat.max(axis=2)
+    ranked = np.argsort(-channel_activation, axis=1, kind="stable")[:, : min(z, c)]
+    locations = flat.argmax(axis=2)  # (N, C) flat argmax per channel
+    vectors: list[np.ndarray] = []
+    rank_rows = np.empty((n, z), dtype=np.int64)
+    offset = 0
+    for j in range(n):
+        seen: set[int] = set()
+        keep: list[int] = []
+        image_locations = locations[j]
+        for channel in ranked[j]:
+            location = image_locations[channel]
+            if location not in seen:
+                seen.add(location)
+                keep.append(location)
+        unique = flat[j, :, keep]  # (U, C): the full channel vector per location
+        norms = np.maximum(np.linalg.norm(unique, axis=1, keepdims=True), _EPS)
+        vectors.append(unique / norms)
+        rank_rows[j] = offset + np.arange(z) % len(keep)
+        offset += len(keep)
+    return LayerPrototypes(vectors=np.concatenate(vectors, axis=0), rank_rows=rank_rows)
+
+
+def _tile_bounds(n: int, tile: int | None) -> list[tuple[int, int]]:
+    if tile is None or tile >= n:
+        return [(0, n)]
+    if tile < 1:
+        raise ValueError(f"tile size must be >= 1, got {tile}")
+    return [(start, min(start + tile, n)) for start in range(0, n, tile)]
+
+
+def best_similarities(
+    prototypes: np.ndarray,
+    unit_vectors: np.ndarray,
+    *,
+    row_tile: int | None = 32,
+    col_tile: int | None = None,
+    executor: Executor | None = None,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    """``B[r, i] = max_p <prototypes[r], unit_vectors[i, :, p]>`` (Eq. 2).
+
+    The (image-tile × prototype-tile) grid is fanned out over
+    ``executor`` when given; each task scores one block with per-image
+    matmuls (the cache-optimal blocking for the small channel counts of
+    a width-scaled VGG).
+    """
+    dtype = np.dtype(dtype)
+    protos = prototypes.astype(dtype, copy=False)
+    vectors = unit_vectors.astype(dtype, copy=False)
+    n_rows, n_images = protos.shape[0], vectors.shape[0]
+    out = np.empty((n_rows, n_images), dtype=np.float64)
+
+    def score_block(bounds: tuple[tuple[int, int], tuple[int, int]]) -> None:
+        (i0, i1), (j0, j1) = bounds
+        block = protos[j0:j1]
+        for i in range(i0, i1):
+            out[j0:j1, i] = (block @ vectors[i]).max(axis=1)
+
+    tasks = [
+        (rows, cols)
+        for rows in _tile_bounds(n_images, row_tile)
+        for cols in _tile_bounds(n_rows, col_tile)
+    ]
+    if executor is not None and len(tasks) > 1:
+        list(executor.map(score_block, tasks))
+    else:
+        for task in tasks:
+            score_block(task)
+    return out
+
+
+def assemble_blocks(best: np.ndarray, rank_rows: np.ndarray) -> np.ndarray:
+    """Expand a unique-row similarity table into the ``(Z, N_i, N_j)`` blocks.
+
+    ``out[z, i, j] = best[rank_rows[j, z], i]`` — pure replication, the
+    inverse of the de-duplication step.
+    """
+    return best[rank_rows.T].transpose(0, 2, 1)
+
+
+def tiled_layer_affinity_blocks(
+    filter_maps: np.ndarray,
+    z: int,
+    *,
+    row_tile: int | None = 32,
+    col_tile: int | None = None,
+    executor: Executor | None = None,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    """Drop-in tiled replacement for the legacy per-image layer kernel."""
+    vectors = unit_location_vectors(filter_maps)
+    prototypes = unique_unit_prototypes(filter_maps, z)
+    best = best_similarities(
+        prototypes.vectors, vectors,
+        row_tile=row_tile, col_tile=col_tile, executor=executor, dtype=dtype,
+    )
+    return assemble_blocks(best, prototypes.rank_rows)
+
+
+def tiled_affinity_matrix(
+    pool_features: dict[int, np.ndarray],
+    top_z: int,
+    layers: tuple[int, ...],
+    *,
+    row_tile: int | None = 32,
+    col_tile: int | None = None,
+    n_jobs: int = 1,
+    dtype: np.dtype | type = np.float64,
+) -> AffinityMatrix:
+    """Affinity matrix from precomputed pool features, tile-parallel.
+
+    Produces the paper's exact column layout (α = len(layers)·top_z
+    blocks of N columns each, layer-major then rank).
+    """
+    if not layers:
+        raise ValueError("need at least one layer")
+    if top_z < 1:
+        raise ValueError(f"top_z must be >= 1, got {top_z}")
+    blocks: list[np.ndarray] = []
+    ids: list[AffinityFunctionId] = []
+    with tile_executor(n_jobs) as pool:
+        for layer in layers:
+            layer_blocks = tiled_layer_affinity_blocks(
+                pool_features[layer], top_z,
+                row_tile=row_tile, col_tile=col_tile, executor=pool, dtype=dtype,
+            )
+            for rank in range(top_z):
+                blocks.append(layer_blocks[rank])
+                ids.append(AffinityFunctionId(layer=layer, z=rank))
+    return AffinityMatrix(values=np.concatenate(blocks, axis=1), function_ids=tuple(ids))

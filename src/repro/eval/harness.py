@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.clustering import FullCovarianceGMM, KMeans, SpectralCoclustering, optimal_mapping_accuracy
-from repro.core.affinity import AffinityMatrix, affinity_from_features, compute_affinity_matrix
+from repro.core.affinity import AffinityMatrix, affinity_from_features
 from repro.core.goggles import Goggles, GogglesConfig
+from repro.engine import AffinityEngine, EngineConfig, PrototypeAffinitySource
 from repro.core.inference.bernoulli import BernoulliMixture, one_hot_encode_lp
 from repro.core.inference.hierarchical import HierarchicalConfig, HierarchicalModel
 from repro.core.inference.mapping import apply_mapping, map_clusters_to_classes
@@ -43,6 +44,7 @@ from repro.vision.pca import PCA
 __all__ = [
     "ExperimentSettings",
     "shared_model",
+    "build_affinity",
     "run_table1_row",
     "run_table1",
     "run_table2_row",
@@ -69,6 +71,12 @@ class ExperimentSettings:
             smaller default keeps CPU benchmarks affordable).
         vgg_seed: seed of the surrogate-pretrained backbone.
         seed: root seed for everything else.
+        n_jobs: thread-pool width for affinity tiling and base-model
+            fitting; results are identical at any width.
+        batch_size: images per backbone forward pass in the affinity
+            engine (memory bound, value-neutral).
+        cache_dir: affinity-engine artifact cache shared across the
+            harness' runs; ``None`` disables on-disk caching.
     """
 
     n_per_class: int = 40
@@ -77,6 +85,14 @@ class ExperimentSettings:
     n_seeds: int = 5
     vgg_seed: int = 0
     seed: int = 0
+    n_jobs: int = 1
+    batch_size: int | None = 32
+    cache_dir: str | None = None
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            batch_size=self.batch_size, n_jobs=self.n_jobs, cache_dir=self.cache_dir
+        )
 
 
 _MODEL_CACHE: dict[tuple, VGG16] = {}
@@ -90,15 +106,34 @@ def shared_model(settings: ExperimentSettings) -> VGG16:
     return _MODEL_CACHE[key]
 
 
+def build_affinity(
+    model: VGG16,
+    images: np.ndarray,
+    settings: ExperimentSettings,
+    top_z: int = 10,
+) -> AffinityMatrix:
+    """Affinity construction for harness runs, through the staged engine.
+
+    Chunked extraction + tiled similarity + (when ``settings.cache_dir``
+    is set) the content-addressed artifact cache, so sweep experiments
+    that revisit the same corpus skip step 1 entirely.
+    """
+    engine = AffinityEngine(
+        PrototypeAffinitySource(model, top_z=top_z), settings.engine_config()
+    )
+    return engine.build(images, keep_state=False)
+
+
 def _infer_with_affinity(
     affinity: AffinityMatrix,
     dev: DevSet,
     n_classes: int,
     seed: int,
+    n_jobs: int = 1,
 ) -> np.ndarray:
     """Hierarchical inference + dev mapping on a prebuilt affinity matrix."""
     model = HierarchicalModel(HierarchicalConfig(n_classes=n_classes, seed=seed))
-    result = model.fit(affinity)
+    result = model.fit(affinity, n_jobs=n_jobs)
     mapping = map_clusters_to_classes(result.posterior, dev, n_classes)
     return apply_mapping(result.posterior, mapping)
 
@@ -131,11 +166,20 @@ def run_table1_row(
 
     affinity: AffinityMatrix | None = None
     if any(m in methods for m in ("goggles", "kmeans", "gmm", "spectral")):
-        affinity = compute_affinity_matrix(model, dataset.images, top_z=10)
+        affinity = build_affinity(model, dataset.images, settings)
 
     if "goggles" in methods:
         assert affinity is not None
-        goggles = Goggles(GogglesConfig(n_classes=k, seed=derive_seed(settings.seed, "goggles", run_seed)), model=model)
+        goggles = Goggles(
+            GogglesConfig(
+                n_classes=k,
+                seed=derive_seed(settings.seed, "goggles", run_seed),
+                n_jobs=settings.n_jobs,
+                batch_size=settings.batch_size,
+                cache_dir=settings.cache_dir,
+            ),
+            model=model,
+        )
         result = goggles.infer_labels(affinity, dev)
         out["goggles"] = 100 * result.accuracy(dataset.labels, exclude=dev.indices)
 
@@ -157,14 +201,16 @@ def run_table1_row(
     if "hog" in methods:
         descriptors = hog_batch(dataset.images)
         posterior = _infer_with_affinity(
-            affinity_from_features(descriptors), dev, k, derive_seed(settings.seed, "hog", run_seed)
+            affinity_from_features(descriptors), dev, k, derive_seed(settings.seed, "hog", run_seed),
+            n_jobs=settings.n_jobs,
         )
         out["hog"] = 100 * labeling_accuracy(posterior, dataset.labels, exclude=dev.indices)
 
     if "logits" in methods:
         logits = model.logits(dataset.images)
         posterior = _infer_with_affinity(
-            affinity_from_features(logits), dev, k, derive_seed(settings.seed, "logits", run_seed)
+            affinity_from_features(logits), dev, k, derive_seed(settings.seed, "logits", run_seed),
+            n_jobs=settings.n_jobs,
         )
         out["logits"] = 100 * labeling_accuracy(posterior, dataset.labels, exclude=dev.indices)
 
@@ -282,7 +328,15 @@ def run_table2_row(
 
     if "goggles" in methods:
         goggles = Goggles(
-            GogglesConfig(n_classes=k, seed=derive_seed(settings.seed, "goggles2", run_seed)), model=model
+            GogglesConfig(
+                n_classes=k,
+                seed=derive_seed(settings.seed, "goggles2", run_seed),
+                n_jobs=settings.n_jobs,
+                batch_size=settings.batch_size,
+                cache_dir=settings.cache_dir,
+                keep_corpus_state=False,  # one-shot label, no incremental
+            ),
+            model=model,
         )
         goggles_result = goggles.label(train.images, dev)
         out["goggles"] = _train_and_score(
@@ -375,7 +429,7 @@ def run_fig2(settings: ExperimentSettings, dataset_name: str = "cub", run_seed: 
         seed=derive_seed(settings.seed, "fig2", run_seed),
         pair_seed=run_seed,
     )
-    affinity = compute_affinity_matrix(model, dataset.images, top_z=10)
+    affinity = build_affinity(model, dataset.images, settings)
     stats = affinity_function_stats(affinity, dataset.labels)
     by_auc = sorted(stats, key=lambda s: s.auc, reverse=True)
     return {
@@ -402,7 +456,7 @@ def run_fig5(settings: ExperimentSettings, dataset_name: str = "cub", run_seed: 
         seed=derive_seed(settings.seed, "fig5", run_seed),
         pair_seed=run_seed,
     )
-    affinity = compute_affinity_matrix(model, dataset.images, top_z=10)
+    affinity = build_affinity(model, dataset.images, settings)
     stats = affinity_function_stats(affinity, dataset.labels)
     by_auc = sorted(stats, key=lambda s: s.auc, reverse=True)
     picks = {"best": by_auc[0], "median": by_auc[len(by_auc) // 2], "worst": by_auc[-1]}
@@ -464,7 +518,7 @@ def run_fig8(
         pair_seed=run_seed,
     )
     k = dataset.n_classes
-    affinity = compute_affinity_matrix(model, dataset.images, top_z=10)
+    affinity = build_affinity(model, dataset.images, settings)
     hierarchical = HierarchicalModel(
         HierarchicalConfig(n_classes=k, seed=derive_seed(settings.seed, "fig8-inf", run_seed))
     ).fit(affinity)
@@ -502,7 +556,7 @@ def run_fig9(
     )
     k = dataset.n_classes
     dev = dataset.sample_dev_set(settings.dev_per_class, seed=derive_seed(settings.seed, "fig9-dev", run_seed))
-    affinity = compute_affinity_matrix(model, dataset.images, top_z=10)
+    affinity = build_affinity(model, dataset.images, settings)
     hier = HierarchicalModel(HierarchicalConfig(n_classes=k, seed=derive_seed(settings.seed, "fig9-inf", run_seed)))
     label_predictions, _ = hier.fit_base_models(affinity)
     alpha = affinity.n_functions
@@ -553,7 +607,7 @@ def run_inference_ablation(
     )
     k = dataset.n_classes
     dev = dataset.sample_dev_set(settings.dev_per_class, seed=derive_seed(settings.seed, "abl-dev", run_seed))
-    affinity = compute_affinity_matrix(model, dataset.images, top_z=10)
+    affinity = build_affinity(model, dataset.images, settings)
     out: dict[str, float] = {}
 
     hier = HierarchicalModel(HierarchicalConfig(n_classes=k, seed=derive_seed(settings.seed, "abl-h", run_seed)))

@@ -85,6 +85,28 @@ class TestAffinityMatrixContainer:
         np.testing.assert_array_equal(sub.block(0), block[np.ix_([0, 2], [0, 2])])
         np.testing.assert_array_equal(sub.block(1), 2 * block[np.ix_([0, 2], [0, 2])])
 
+    def test_subset_examples_preserves_block_semantics(self):
+        """Every block of the subset equals the subsetted block — i.e. the
+        column layout A[i, j] = f_{j//N}(x_i, x_{j%N}) is preserved, only
+        with the new N — and function ids ride along untouched."""
+        rng = np.random.default_rng(5)
+        n, alpha = 6, 3
+        blocks = [rng.random((n, n)) for _ in range(alpha)]
+        ids = tuple(AffinityFunctionId(layer=f, z=f + 1) for f in range(alpha))
+        matrix = AffinityMatrix(values=np.concatenate(blocks, axis=1), function_ids=ids)
+        indices = np.array([4, 1, 3])
+        sub = matrix.subset_examples(indices)
+        assert sub.n_examples == indices.size
+        assert sub.n_functions == alpha
+        assert sub.function_ids == ids
+        for f in range(alpha):
+            np.testing.assert_array_equal(sub.block(f), blocks[f][np.ix_(indices, indices)])
+        # A second level of subsetting still agrees with direct subsetting.
+        again = sub.subset_examples(np.array([2, 0]))
+        np.testing.assert_array_equal(
+            again.block(1), blocks[1][np.ix_(indices[[2, 0]], indices[[2, 0]])]
+        )
+
     def test_block_out_of_range(self):
         matrix = AffinityMatrix(values=np.ones((2, 4)))
         with pytest.raises(ValueError):

@@ -1,0 +1,203 @@
+"""Tests for the content-addressed artifact cache and engine cache behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AffinityEngine,
+    ArtifactCache,
+    EngineConfig,
+    FeatureCosineSource,
+    PrototypeAffinitySource,
+    hash_arrays,
+    hash_params,
+)
+
+
+class TestHashing:
+    def test_array_hash_sensitive_to_content(self):
+        a = np.arange(12.0).reshape(3, 4)
+        b = a.copy()
+        assert hash_arrays(a) == hash_arrays(b)
+        b[0, 0] += 1e-9
+        assert hash_arrays(a) != hash_arrays(b)
+
+    def test_array_hash_sensitive_to_shape_and_dtype(self):
+        a = np.arange(12.0)
+        assert hash_arrays(a) != hash_arrays(a.reshape(3, 4))
+        assert hash_arrays(a) != hash_arrays(a.astype(np.float32))
+
+    def test_param_hash_order_independent(self):
+        assert hash_params({"a": 1, "b": 2}) == hash_params({"b": 2, "a": 1})
+        assert hash_params({"a": 1}) != hash_params({"a": 2})
+
+
+class TestArtifactCache:
+    def test_array_roundtrip(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = cache.key("datahash", {"p": 1})
+        assert cache.load_arrays("state", key) is None
+        cache.save_arrays("state", key, {"x": np.arange(5), "y": np.eye(2)})
+        loaded = cache.load_arrays("state", key)
+        np.testing.assert_array_equal(loaded["x"], np.arange(5))
+        np.testing.assert_array_equal(loaded["y"], np.eye(2))
+        assert cache.stats.misses == {"state": 1}
+        assert cache.stats.hits == {"state": 1}
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.save_arrays("a", "0" * 64, {"x": np.arange(3)})
+        cache.save_arrays("b", "1" * 64, {"x": np.arange(3)})
+        assert cache.clear() == 2
+        assert cache.load_arrays("a", "0" * 64) is None
+
+    def test_keys_differ_by_kind_inputs(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        assert cache.key("d", {"p": 1}) != cache.key("d", {"p": 2})
+        assert cache.key("d", {"p": 1}) != cache.key("e", {"p": 1})
+
+
+class TestEngineCaching:
+    def test_cold_miss_then_warm_hit(self, tmp_path, vgg, tiny_images):
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0, 1))
+        engine = AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path)))
+        first = engine.build(tiny_images, keep_state=False)
+        assert engine.cache.stats.misses.get("affinity") == 1
+        second = engine.build(tiny_images, keep_state=False)
+        assert engine.cache.stats.hits.get("affinity") == 1
+        np.testing.assert_array_equal(first.values, second.values)
+        assert first.function_ids == second.function_ids
+
+    def test_cache_shared_across_engines(self, tmp_path, vgg, tiny_images):
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        config = EngineConfig(cache_dir=str(tmp_path))
+        AffinityEngine(source, config).build(tiny_images, keep_state=False)
+        other = AffinityEngine(source, config)
+        other.build(tiny_images, keep_state=False)
+        assert other.cache.stats.total_hits == 1
+        assert other.cache.stats.total_misses == 0
+
+    def test_different_images_miss(self, tmp_path, vgg, tiny_images):
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        engine = AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path)))
+        engine.build(tiny_images, keep_state=False)
+        engine.build(tiny_images + 1e-6, keep_state=False)
+        assert engine.cache.stats.total_hits == 0
+        assert engine.cache.stats.misses.get("affinity") == 2
+
+    def test_different_source_params_miss(self, tmp_path, vgg, tiny_images):
+        config = EngineConfig(cache_dir=str(tmp_path))
+        AffinityEngine(PrototypeAffinitySource(vgg, top_z=2, layers=(0,)), config).build(
+            tiny_images, keep_state=False
+        )
+        engine = AffinityEngine(PrototypeAffinitySource(vgg, top_z=3, layers=(0,)), config)
+        engine.build(tiny_images, keep_state=False)
+        assert engine.cache.stats.total_hits == 0
+
+    def test_precision_changes_key(self, tmp_path, vgg, tiny_images):
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path))).build(
+            tiny_images, keep_state=False
+        )
+        engine32 = AffinityEngine(
+            source, EngineConfig(cache_dir=str(tmp_path), precision="float32")
+        )
+        engine32.build(tiny_images, keep_state=False)
+        assert engine32.cache.stats.total_hits == 0
+
+    def test_runtime_knobs_do_not_change_key(self, tmp_path, vgg, tiny_images):
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        AffinityEngine(
+            source, EngineConfig(cache_dir=str(tmp_path), batch_size=2, n_jobs=1)
+        ).build(tiny_images, keep_state=False)
+        engine = AffinityEngine(
+            source, EngineConfig(cache_dir=str(tmp_path), batch_size=None, n_jobs=3, row_tile=2)
+        )
+        engine.build(tiny_images, keep_state=False)
+        assert engine.cache.stats.total_hits == 1
+
+    def test_state_cached_for_incremental(self, tmp_path, vgg, tiny_images):
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        config = EngineConfig(cache_dir=str(tmp_path))
+        AffinityEngine(source, config).build(tiny_images)  # keep_state default: True
+        # A fresh engine restores the corpus state from the cache and can extend.
+        engine = AffinityEngine(source, config)
+        engine.build(tiny_images)
+        assert engine.state is not None
+        extended = engine.extend(tiny_images[:2])
+        assert extended.n_examples == tiny_images.shape[0] + 2
+
+    def test_corrupt_entry_is_miss_and_evicted(self, tmp_path, vgg, tiny_images):
+        """A truncated/garbage artifact must never crash a run."""
+        import os
+
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        engine = AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path)))
+        first = engine.build(tiny_images, keep_state=False)
+        (entry,) = [p for p in os.listdir(tmp_path) if p.startswith("affinity-")]
+        path = os.path.join(str(tmp_path), entry)
+        with open(path, "wb") as handle:
+            handle.write(b"not a zip file")
+        rebuilt = engine.build(tiny_images, keep_state=False)
+        np.testing.assert_array_equal(rebuilt.values, first.values)
+        assert engine.cache.stats.misses.get("affinity") == 2
+        # ... and the bad entry was replaced by a good one.
+        third = engine.build(tiny_images, keep_state=False)
+        assert engine.cache.stats.hits.get("affinity") == 1
+        np.testing.assert_array_equal(third.values, first.values)
+
+    def test_extend_is_a_cache_hit_on_rerun(self, tmp_path, vgg, tiny_images):
+        """The chained extension artifact is read back, not just written."""
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        config = EngineConfig(cache_dir=str(tmp_path))
+        first = AffinityEngine(source, config)
+        first.build(tiny_images[:3])
+        extended = first.extend(tiny_images[3:])
+        # Fresh process: corpus build is a hit, and so is the extension.
+        second = AffinityEngine(source, config)
+        second.build(tiny_images[:3])
+        replay = second.extend(tiny_images[3:])
+        np.testing.assert_array_equal(replay.values, extended.values)
+        assert second.cache.stats.total_misses == 0
+        assert second.cache.stats.hits.get("affinity") == 2  # corpus + extension
+
+    def test_state_schema_drift_is_miss(self, tmp_path, vgg, tiny_images):
+        """A readable state npz without n_images is evicted, not a crash."""
+        import os
+
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        engine = AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path)))
+        first = engine.build(tiny_images)
+        (entry,) = [p for p in os.listdir(tmp_path) if p.startswith("state-")]
+        key = entry[len("state-"):-len(".npz")]
+        np.savez_compressed(os.path.join(str(tmp_path), entry), bogus=np.arange(3))
+        fresh = AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path)))
+        rebuilt = fresh.build(tiny_images)  # rebuilds state instead of crashing
+        np.testing.assert_array_equal(rebuilt.values, first.values)
+        assert fresh.state is not None
+        assert fresh.extend(tiny_images[:1]).n_examples == tiny_images.shape[0] + 1
+
+    def test_no_cache_dir_disables_cache(self, vgg, tiny_images):
+        engine = AffinityEngine(PrototypeAffinitySource(vgg, top_z=2, layers=(0,)))
+        assert engine.cache is None
+        engine.build(tiny_images)  # still works, just uncached
+
+    def test_feature_source_cacheable(self, tmp_path, tiny_images):
+        source = FeatureCosineSource(lambda imgs: imgs.reshape(imgs.shape[0], -1), "flat")
+        engine = AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path)))
+        first = engine.build(tiny_images)
+        second = engine.build(tiny_images)
+        assert engine.cache.stats.total_hits >= 1
+        np.testing.assert_array_equal(first.values, second.values)
+
+
+class TestEngineConfigValidation:
+    def test_bad_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            EngineConfig(precision="float16")
+
+    def test_bad_n_jobs(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            EngineConfig(n_jobs=0)

@@ -1,0 +1,166 @@
+"""Tests for the engine's chunked extraction and tiled affinity kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import _EPS, _layer_affinity_blocks, compute_affinity_matrix
+from repro.core.prototypes import extract_prototypes
+from repro.engine import (
+    assemble_blocks,
+    best_similarities,
+    extract_pool_features,
+    iter_batches,
+    tiled_affinity_matrix,
+    tiled_layer_affinity_blocks,
+    unique_unit_prototypes,
+    unit_location_vectors,
+)
+
+
+@pytest.fixture(scope="module")
+def filter_maps() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((9, 6, 4, 5))
+
+
+class TestIterBatches:
+    def test_covers_range_exactly(self):
+        slices = list(iter_batches(10, 3))
+        assert [(s.start, s.stop) for s in slices] == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_none_is_single_batch(self):
+        assert [(s.start, s.stop) for s in iter_batches(5, None)] == [(0, 5)]
+
+    def test_oversized_batch(self):
+        assert [(s.start, s.stop) for s in iter_batches(4, 100)] == [(0, 4)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            list(iter_batches(5, 0))
+        with pytest.raises(ValueError):
+            list(iter_batches(0, 2))
+
+
+class TestChunkedExtraction:
+    def test_matches_single_pass(self, vgg, tiny_images):
+        whole = vgg.forward_pools(tiny_images)
+        chunked = extract_pool_features(vgg, tiny_images, batch_size=3)
+        for layer in range(vgg.N_POOL_LAYERS):
+            np.testing.assert_array_equal(chunked[layer], whole[layer])
+
+    def test_layer_subset(self, vgg, tiny_images):
+        out = extract_pool_features(vgg, tiny_images, layers=(1, 4), batch_size=2)
+        assert set(out) == {1, 4}
+
+    def test_bad_layer(self, vgg, tiny_images):
+        with pytest.raises(ValueError, match="layer"):
+            extract_pool_features(vgg, tiny_images, layers=(9,))
+
+    def test_empty_layers(self, vgg, tiny_images):
+        with pytest.raises(ValueError, match="at least one layer"):
+            extract_pool_features(vgg, tiny_images, layers=())
+
+
+class TestUniquePrototypes:
+    def test_matches_per_image_reference(self, filter_maps):
+        """Vectorised extraction reproduces select_top_z + padded_vectors."""
+        z = 4
+        table = unique_unit_prototypes(filter_maps, z)
+        reference_sets = extract_prototypes(filter_maps, z)
+        offset = 0
+        for j, pset in enumerate(reference_sets):
+            unit = pset.vectors / np.maximum(
+                np.linalg.norm(pset.vectors, axis=1, keepdims=True), _EPS
+            )
+            rows = table.vectors[offset : offset + pset.n_prototypes]
+            np.testing.assert_array_equal(rows, unit)
+            padded = pset.padded_vectors(z)
+            padded_unit = padded / np.maximum(np.linalg.norm(padded, axis=1, keepdims=True), _EPS)
+            np.testing.assert_array_equal(table.vectors[table.rank_rows[j]], padded_unit)
+            offset += pset.n_prototypes
+        assert table.n_rows == offset
+
+    def test_shifted(self, filter_maps):
+        table = unique_unit_prototypes(filter_maps, 3)
+        shifted = table.shifted(100)
+        np.testing.assert_array_equal(shifted.rank_rows, table.rank_rows + 100)
+        assert shifted.vectors is table.vectors
+
+    def test_bad_z(self, filter_maps):
+        with pytest.raises(ValueError, match="z"):
+            unique_unit_prototypes(filter_maps, 0)
+
+
+class TestBestSimilarities:
+    def test_brute_force_reference(self, filter_maps):
+        vectors = unit_location_vectors(filter_maps)
+        table = unique_unit_prototypes(filter_maps, 3)
+        best = best_similarities(table.vectors, vectors, row_tile=2, col_tile=5)
+        n, _, p = vectors.shape
+        for r in range(table.n_rows):
+            for i in range(n):
+                expected = max(float(table.vectors[r] @ vectors[i, :, q]) for q in range(p))
+                assert best[r, i] == pytest.approx(expected, abs=1e-12)
+
+    def test_tiling_is_value_neutral(self, filter_maps):
+        vectors = unit_location_vectors(filter_maps)
+        table = unique_unit_prototypes(filter_maps, 4)
+        reference = best_similarities(table.vectors, vectors, row_tile=None, col_tile=None)
+        for row_tile, col_tile in [(1, None), (4, 3), (None, 2), (3, 1)]:
+            tiled = best_similarities(table.vectors, vectors, row_tile=row_tile, col_tile=col_tile)
+            np.testing.assert_allclose(tiled, reference, atol=1e-12, rtol=0.0)
+
+    def test_bad_tile(self, filter_maps):
+        vectors = unit_location_vectors(filter_maps)
+        table = unique_unit_prototypes(filter_maps, 2)
+        with pytest.raises(ValueError, match="tile"):
+            best_similarities(table.vectors, vectors, row_tile=0)
+
+
+class TestAssembleBlocks:
+    def test_replicates_rows(self):
+        best = np.arange(12, dtype=np.float64).reshape(4, 3)  # 4 unique rows, 3 images
+        rank_rows = np.array([[0, 0], [1, 2], [3, 3]])  # 3 column images, Z=2
+        blocks = assemble_blocks(best, rank_rows)
+        assert blocks.shape == (2, 3, 3)
+        for z in range(2):
+            for i in range(3):
+                for j in range(3):
+                    assert blocks[z, i, j] == best[rank_rows[j, z], i]
+
+
+class TestTiledVsNaive:
+    def test_layer_blocks_equal(self, filter_maps):
+        for z in (1, 3, 7):
+            naive = _layer_affinity_blocks(filter_maps, z)
+            tiled = tiled_layer_affinity_blocks(filter_maps, z, row_tile=4, col_tile=6)
+            np.testing.assert_allclose(tiled, naive, atol=1e-12, rtol=0.0)
+
+    def test_full_matrix_matches_legacy(self, vgg, tiny_images):
+        naive = compute_affinity_matrix(vgg, tiny_images, top_z=3, layers=(0, 2))
+        pools = extract_pool_features(vgg, tiny_images, layers=(0, 2), batch_size=2)
+        tiled = tiled_affinity_matrix(pools, 3, (0, 2), row_tile=2, n_jobs=2)
+        np.testing.assert_allclose(tiled.values, naive.values, atol=1e-12, rtol=0.0)
+        assert tiled.function_ids == naive.function_ids
+
+    def test_parallel_matches_serial(self, filter_maps):
+        serial = tiled_layer_affinity_blocks(filter_maps, 4)
+        pools = {0: filter_maps}
+        parallel = tiled_affinity_matrix(pools, 4, (0,), row_tile=2, col_tile=4, n_jobs=4)
+        np.testing.assert_array_equal(
+            parallel.values, np.concatenate(list(serial), axis=1)
+        )
+
+    def test_float32_within_allclose(self, filter_maps):
+        naive = _layer_affinity_blocks(filter_maps, 5)
+        tiled = tiled_layer_affinity_blocks(filter_maps, 5, dtype=np.float32)
+        assert tiled.dtype == np.float64  # outputs always float64
+        assert np.allclose(tiled, naive)
+
+    def test_validation(self, filter_maps):
+        with pytest.raises(ValueError, match="at least one layer"):
+            tiled_affinity_matrix({0: filter_maps}, 2, ())
+        with pytest.raises(ValueError, match="top_z"):
+            tiled_affinity_matrix({0: filter_maps}, 0, (0,))

@@ -82,3 +82,40 @@ class TestGogglesValidation:
         hier = config.hierarchical_config()
         assert hier.seed == 42
         assert hier.n_classes == 2
+
+    def test_hierarchical_config_keeps_every_other_field(self):
+        """dataclasses.replace semantics: nothing silently dropped."""
+        from dataclasses import fields
+
+        from repro.core.inference.hierarchical import HierarchicalConfig
+
+        custom = HierarchicalConfig(base_max_iter=7, ensemble_n_init=9, variance_floor=1e-3)
+        config = GogglesConfig(n_classes=3, seed=5, inference=custom)
+        hier = config.hierarchical_config()
+        for f in fields(HierarchicalConfig):
+            if f.name in ("n_classes", "seed"):
+                continue
+            assert getattr(hier, f.name) == getattr(custom, f.name), f.name
+
+    def test_engine_config_from_convenience_fields(self):
+        config = GogglesConfig(n_jobs=3, batch_size=8, cache_dir="/tmp/x")
+        engine = config.engine_config()
+        assert (engine.n_jobs, engine.batch_size, engine.cache_dir) == (3, 8, "/tmp/x")
+
+    def test_engine_override_wins(self):
+        from repro.engine import EngineConfig
+
+        override = EngineConfig(n_jobs=5, precision="float32")
+        config = GogglesConfig(n_jobs=1, engine=override)
+        assert config.engine_config() is override
+
+    def test_n_jobs_label_matches_serial(self, vgg, small_cub):
+        dev = small_cub.sample_dev_set(per_class=3, seed=0)
+        serial = Goggles(GogglesConfig(n_classes=2, seed=0, top_z=2, layers=(2, 3)), model=vgg)
+        threaded = Goggles(
+            GogglesConfig(n_classes=2, seed=0, top_z=2, layers=(2, 3), n_jobs=4, batch_size=5),
+            model=vgg,
+        )
+        a = serial.label(small_cub.images, dev)
+        b = threaded.label(small_cub.images, dev)
+        np.testing.assert_allclose(a.probabilistic_labels, b.probabilistic_labels, atol=1e-12)

@@ -18,6 +18,65 @@ class TestAffinitySaveLoad:
         np.testing.assert_array_equal(loaded.values, matrix.values)
         assert loaded.function_ids == matrix.function_ids
 
+    def test_roundtrip_without_function_ids(self, tmp_path):
+        """A matrix built without ids round-trips as such (no silent guess)."""
+        matrix = AffinityMatrix(values=np.random.default_rng(1).random((4, 12)))
+        path = str(tmp_path / "noids.npz")
+        matrix.save(path)
+        loaded = AffinityMatrix.load(path)
+        np.testing.assert_array_equal(loaded.values, matrix.values)
+        assert loaded.function_ids == ()
+
+    def test_id_block_mismatch_rejected(self, tmp_path):
+        """Files whose ids disagree with the block count fail loudly."""
+        path = str(tmp_path / "bad.npz")
+        np.savez_compressed(
+            path,
+            values=np.zeros((3, 9)),
+            layers=np.array([0], dtype=np.int64),
+            zs=np.array([0], dtype=np.int64),
+            n_functions=np.int64(3),
+            has_function_ids=np.bool_(True),
+        )
+        with pytest.raises(ValueError, match="function ids"):
+            AffinityMatrix.load(path)
+
+    def test_recorded_alpha_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "truncated.npz")
+        np.savez_compressed(
+            path,
+            values=np.zeros((3, 6)),  # 2 blocks ...
+            layers=np.arange(5, dtype=np.int64),
+            zs=np.zeros(5, dtype=np.int64),
+            n_functions=np.int64(5),  # ... but 5 recorded
+            has_function_ids=np.bool_(True),
+        )
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            AffinityMatrix.load(path)
+
+    def test_legacy_file_missing_ids_rejected(self, tmp_path):
+        """Pre-marker files with α>0 blocks and no ids no longer round-trip silently."""
+        path = str(tmp_path / "legacy.npz")
+        np.savez_compressed(
+            path,
+            values=np.zeros((3, 9)),
+            layers=np.array([], dtype=np.int64),
+            zs=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="no function ids"):
+            AffinityMatrix.load(path)
+
+    def test_garbage_values_rejected(self, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        np.savez_compressed(
+            path,
+            values=np.zeros((4, 10)),  # width not a multiple of N
+            layers=np.array([], dtype=np.int64),
+            zs=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="affinity matrix"):
+            AffinityMatrix.load(path)
+
     def test_roundtrip_preserves_blocks(self, tmp_path):
         rng = np.random.default_rng(0)
         matrix = AffinityMatrix(
