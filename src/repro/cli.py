@@ -5,17 +5,20 @@ Examples::
     goggles-repro label --dataset cub --n-per-class 40
     goggles-repro table1 --seeds 3
     goggles-repro fig8 --dataset surface
+    goggles-repro --executor process --n-jobs 4 serve --dataset surface
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
 from repro.core import Goggles, GogglesConfig
 from repro.datasets import DATASET_NAMES, make_dataset
+from repro.engine import EXECUTORS
 from repro.eval.harness import (
     ExperimentSettings,
     run_fig2,
@@ -27,6 +30,8 @@ from repro.eval.harness import (
 )
 from repro.eval.paper import TABLE1_METHODS, TABLE1_PAPER, TABLE2_METHODS, TABLE2_PAPER
 from repro.eval.tables import format_comparison_table, format_curve
+from repro.serving import LabelingService
+from repro.utils.rng import derive_seed
 
 __all__ = ["main"]
 
@@ -42,24 +47,31 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         dev_per_class=args.dev_per_class,
         seed=args.seed,
         n_jobs=args.n_jobs,
+        executor=args.executor,
         batch_size=_batch_size(args),
+        precision=args.precision,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+
+
+def _goggles_config(args: argparse.Namespace, n_classes: int, keep_corpus_state: bool) -> GogglesConfig:
+    """The pipeline config implied by the global CLI flags."""
+    return GogglesConfig(
+        n_classes=n_classes,
+        seed=args.seed,
+        keep_corpus_state=keep_corpus_state,
+        engine=_settings(args).engine_config(),
     )
 
 
 def _cmd_label(args: argparse.Namespace) -> int:
     dataset = make_dataset(args.dataset, n_per_class=args.n_per_class, seed=args.seed)
     dev = dataset.sample_dev_set(args.dev_per_class, seed=args.seed)
-    goggles = Goggles(
-        GogglesConfig(
-            n_classes=dataset.n_classes,
-            seed=args.seed,
-            n_jobs=args.n_jobs,
-            batch_size=_batch_size(args),
-            cache_dir=args.cache_dir,
-            keep_corpus_state=False,  # one-shot command, no incremental
-        )
-    )
+    # One-shot command: retaining the corpus state only pays off when a
+    # cache directory persists it for a later incremental/serve run.
+    keep_state = args.cache_dir is not None and not args.no_keep_corpus_state
+    goggles = Goggles(_goggles_config(args, dataset.n_classes, keep_corpus_state=keep_state))
     result = goggles.label(dataset.images, dev)
     accuracy = result.accuracy(dataset.labels, exclude=dev.indices)
     print(f"dataset: {dataset.name}")
@@ -67,7 +79,71 @@ def _cmd_label(args: argparse.Namespace) -> int:
     print(f"labeling accuracy (dev excluded): {100 * accuracy:.2f}%")
     if goggles.engine.cache is not None:
         stats = goggles.engine.cache.stats
-        print(f"engine cache: {stats.total_hits} hits, {stats.total_misses} misses")
+        print(
+            f"engine cache: {stats.total_hits} hits, {stats.total_misses} misses, "
+            f"{stats.evictions} evictions"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Streaming demo: seed corpus → LabelingService → batched arrivals.
+
+    Simulates a live deployment: the initial fraction of the dataset is
+    labeled up front, then the rest arrives in ``--stream-batch``-sized
+    batches through ``submit``/``result``, each an incremental
+    (warm-started by default) run instead of a rebuild.
+    """
+    dataset = make_dataset(args.dataset, n_per_class=args.n_per_class, seed=args.seed)
+    n = dataset.n_examples
+    k = dataset.n_classes
+    n0 = max(k * args.dev_per_class, int(n * args.initial_fraction))
+    if n0 >= n:
+        raise SystemExit("initial fraction leaves no images to stream; lower --initial-fraction")
+
+    # Dev set drawn from the seed corpus only (indices must stay valid
+    # as the corpus grows, and arrivals append after existing rows).
+    rng = np.random.default_rng(derive_seed(args.seed, "serve-dev"))
+    indices = []
+    for c in range(k):
+        pool = np.flatnonzero(dataset.labels[:n0] == c)
+        if pool.size < args.dev_per_class:
+            raise SystemExit(f"seed corpus holds only {pool.size} images of class {c}")
+        indices.extend(rng.choice(pool, size=args.dev_per_class, replace=False).tolist())
+    from repro.datasets.base import DevSet
+
+    dev = DevSet(indices=np.array(sorted(indices)), labels=dataset.labels[np.array(sorted(indices))])
+
+    goggles = Goggles(_goggles_config(args, k, keep_corpus_state=True))
+    service = LabelingService(goggles, dev, warm_start=not args.no_warm_start)
+    start = time.perf_counter()
+    service.start(dataset.images[:n0])
+    print(f"seed corpus: {n0} images labeled in {time.perf_counter() - start:.2f}s")
+
+    correct = 0
+    streamed = 0
+    with service:
+        position = n0
+        while position < n:
+            end = min(position + args.stream_batch, n)
+            batch_start = time.perf_counter()
+            ticket = service.submit(dataset.images[position:end])
+            status = service.result(ticket, timeout=600.0)
+            latency = time.perf_counter() - batch_start
+            if status.state != "done":
+                raise SystemExit(f"ticket {ticket} failed: {status.error}")
+            truth = dataset.labels[position:end]
+            hits = int((status.predictions == truth).sum())
+            correct += hits
+            streamed += end - position
+            print(
+                f"  {ticket}: {end - position} images in {latency:.2f}s "
+                f"({hits}/{end - position} correct)"
+            )
+            position = end
+    accuracy = 100 * correct / max(streamed, 1)
+    print(f"streamed: {streamed} images in {service.n_batches} incremental runs")
+    print(f"streaming accuracy: {accuracy:.2f}%  (corpus now {service.corpus_size} images)")
     return 0
 
 
@@ -123,14 +199,44 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-per-class", type=int, default=40)
     parser.add_argument("--dev-per-class", type=int, default=5)
     parser.add_argument("--seeds", type=int, default=3, help="runs averaged per experiment cell")
-    parser.add_argument("--n-jobs", type=int, default=1, help="threads for affinity tiling and base-model fits")
+    parser.add_argument("--n-jobs", type=int, default=1, help="workers for affinity tiling and base-model fits")
+    parser.add_argument(
+        "--executor", choices=EXECUTORS, default="thread",
+        help="worker model for base-model fits (process = shared-memory ProcessPoolExecutor)",
+    )
     parser.add_argument("--batch-size", type=int, default=32, help="images per backbone forward pass (0 = whole corpus)")
-    parser.add_argument("--cache-dir", default=None, help="affinity-engine artifact cache directory")
+    parser.add_argument(
+        "--precision", choices=("float64", "float32"), default="float64",
+        help="engine compute precision (float32 is ~2x faster, allclose-exact)",
+    )
+    parser.add_argument("--cache-dir", default=None, help="engine artifact cache directory")
+    parser.add_argument(
+        "--cache-max-bytes", type=int, default=None,
+        help="cache size budget in bytes (LRU eviction on write; default unbounded)",
+    )
+    parser.add_argument(
+        "--no-keep-corpus-state", action="store_true",
+        help="never retain/persist the incremental corpus state (saves memory; "
+        "`label` keeps it only when --cache-dir is set, `serve` needs it)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     label = sub.add_parser("label", help="label one dataset with GOGGLES")
     label.add_argument("--dataset", choices=DATASET_NAMES, default="cub")
     label.set_defaults(fn=_cmd_label)
+
+    serve = sub.add_parser("serve", help="streaming labeling-service demo")
+    serve.add_argument("--dataset", choices=DATASET_NAMES, default="surface")
+    serve.add_argument(
+        "--initial-fraction", type=float, default=0.6,
+        help="fraction of the dataset labeled up front as the seed corpus",
+    )
+    serve.add_argument("--stream-batch", type=int, default=4, help="images per streamed arrival batch")
+    serve.add_argument(
+        "--no-warm-start", action="store_true",
+        help="cold-refit inference on every batch (the warm-start escape hatch)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     sub.add_parser("table1", help="reproduce Table 1").set_defaults(fn=_cmd_table1)
     sub.add_parser("table2", help="reproduce Table 2").set_defaults(fn=_cmd_table2)

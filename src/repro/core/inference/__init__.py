@@ -1,13 +1,23 @@
 """Class-inference module: hierarchical generative model + mapping + theory."""
 
-from repro.core.inference.base_gmm import DiagonalGMM, GMMFitResult, kmeans_plusplus_init
-from repro.core.inference.bernoulli import BernoulliFitResult, BernoulliMixture, one_hot_encode_lp
+from repro.core.inference.base_gmm import DiagonalGMM, GMMFitResult, GMMParams, kmeans_plusplus_init
+from repro.core.inference.bernoulli import (
+    BernoulliFitResult,
+    BernoulliMixture,
+    BernoulliParams,
+    one_hot_encode_lp,
+)
 from repro.core.inference.hierarchical import (
     HierarchicalConfig,
     HierarchicalModel,
     HierarchicalResult,
+    complete_hierarchy,
+    fit_all_base_functions,
+    fit_base_function,
+    fit_ensemble,
     hierarchical_parameter_count,
     naive_parameter_count,
+    warn_if_reinitialized,
 )
 from repro.core.inference.mapping import (
     ClusterMapping,
@@ -28,13 +38,20 @@ from repro.core.inference.theory import (
 __all__ = [
     "DiagonalGMM",
     "GMMFitResult",
+    "GMMParams",
     "kmeans_plusplus_init",
     "BernoulliFitResult",
     "BernoulliMixture",
+    "BernoulliParams",
     "one_hot_encode_lp",
     "HierarchicalConfig",
     "HierarchicalModel",
     "HierarchicalResult",
+    "complete_hierarchy",
+    "fit_all_base_functions",
+    "fit_base_function",
+    "fit_ensemble",
+    "warn_if_reinitialized",
     "hierarchical_parameter_count",
     "naive_parameter_count",
     "ClusterMapping",

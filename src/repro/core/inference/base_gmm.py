@@ -17,9 +17,24 @@ from scipy.special import logsumexp
 from repro.utils.rng import spawn_rng
 from repro.utils.validation import check_array
 
-__all__ = ["DiagonalGMM", "GMMFitResult", "kmeans_plusplus_init"]
+__all__ = ["DiagonalGMM", "GMMFitResult", "GMMParams", "kmeans_plusplus_init"]
 
 _LOG_2PI = np.log(2.0 * np.pi)
+
+
+@dataclass(frozen=True)
+class GMMParams:
+    """The fitted parameters of a diagonal GMM (a warm-start seed).
+
+    Attributes:
+        weights: ``(K,)`` mixing weights π.
+        means: ``(K, D)`` component means μ.
+        variances: ``(K, D)`` diagonal covariances Σ.
+    """
+
+    weights: np.ndarray
+    means: np.ndarray
+    variances: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -31,12 +46,20 @@ class GMMFitResult:
         log_likelihood: final data log-likelihood (Eq. 5).
         n_iterations: EM iterations executed.
         converged: whether the tolerance was reached before max_iter.
+        params: the fitted parameters (warm-start seed for a later fit).
+        degenerate: every instance's posterior argmax landed in a single
+            component — the fit collapsed and carries no class signal.
+        reinitialized: the fit collapsed once and was retried from a
+            derived seed (see ``fit_base_function``).
     """
 
     responsibilities: np.ndarray
     log_likelihood: float
     n_iterations: int
     converged: bool
+    params: GMMParams | None = None
+    degenerate: bool = False
+    reinitialized: bool = False
 
 
 def kmeans_plusplus_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
@@ -129,18 +152,62 @@ class DiagonalGMM:
             )
         self.weights_ /= self.weights_.sum()
 
+    def _initialise(self, x: np.ndarray, init: GMMParams | np.ndarray | None, rng: np.random.Generator) -> None:
+        """Set the starting parameters for EM.
+
+        ``init`` may be ``None`` (k-means++ initialisation, the cold
+        path), a :class:`GMMParams` (resume EM from those parameters —
+        only valid while the feature dimension is unchanged), or an
+        ``(N, K)`` responsibility matrix (one M-step from the given
+        posterior — the portable warm start, since responsibilities
+        survive a change of feature dimension while means do not).
+        """
+        n, d = x.shape
+        k = self.n_components
+        if init is None:
+            self.means_ = kmeans_plusplus_init(x, k, rng)
+            global_var = np.maximum(x.var(axis=0), self.variance_floor)
+            self.variances_ = np.tile(global_var, (k, 1))
+            self.weights_ = np.full(k, 1.0 / k)
+            return
+        if isinstance(init, GMMParams):
+            if init.means.shape != (k, d) or init.variances.shape != (k, d) or init.weights.shape != (k,):
+                raise ValueError(
+                    f"init params shaped {init.weights.shape}/{init.means.shape}/"
+                    f"{init.variances.shape} do not match (K={k}, D={d})"
+                )
+            self.weights_ = np.asarray(init.weights, dtype=np.float64).copy()
+            self.weights_ /= self.weights_.sum()
+            self.means_ = np.asarray(init.means, dtype=np.float64).copy()
+            self.variances_ = np.maximum(
+                np.asarray(init.variances, dtype=np.float64), self.variance_floor
+            )
+            return
+        responsibilities = check_array(
+            np.asarray(init, dtype=np.float64), name="init responsibilities", ndim=2
+        )
+        if responsibilities.shape != (n, k):
+            raise ValueError(
+                f"init responsibilities shaped {responsibilities.shape}, expected ({n}, {k})"
+            )
+        self.means_ = np.empty((k, d))
+        self.variances_ = np.empty((k, d))
+        self.weights_ = np.empty(k)
+        self._m_step(x, responsibilities, rng)
+
     # ------------------------------------------------------------------
-    def fit(self, x: np.ndarray) -> GMMFitResult:
-        """Run EM on ``x`` of shape ``(N, D)`` and return the fit result."""
+    def fit(self, x: np.ndarray, init: GMMParams | np.ndarray | None = None) -> GMMFitResult:
+        """Run EM on ``x`` of shape ``(N, D)`` and return the fit result.
+
+        ``init`` warm-starts EM (see :meth:`_initialise`); warm-started
+        runs typically converge in a fraction of the cold iterations.
+        """
         x = check_array(np.asarray(x, dtype=np.float64), name="x", ndim=2)
         n = x.shape[0]
         if n < self.n_components:
             raise ValueError(f"need at least {self.n_components} examples, got {n}")
         rng = spawn_rng(self.seed, "diag-gmm")
-        self.means_ = kmeans_plusplus_init(x, self.n_components, rng)
-        global_var = np.maximum(x.var(axis=0), self.variance_floor)
-        self.variances_ = np.tile(global_var, (self.n_components, 1))
-        self.weights_ = np.full(self.n_components, 1.0 / self.n_components)
+        self._initialise(x, init, rng)
 
         previous_ll = -np.inf
         responsibilities = np.full((n, self.n_components), 1.0 / self.n_components)
@@ -156,11 +223,18 @@ class DiagonalGMM:
             previous_ll = log_likelihood
         # Final E-step so responsibilities match the last parameters.
         responsibilities, log_likelihood = self._e_step(x)
+        hard = responsibilities.argmax(axis=1)
         return GMMFitResult(
             responsibilities=responsibilities,
             log_likelihood=log_likelihood,
             n_iterations=iteration,
             converged=converged,
+            params=GMMParams(
+                weights=self.weights_.copy(),
+                means=self.means_.copy(),
+                variances=self.variances_.copy(),
+            ),
+            degenerate=self.n_components > 1 and np.unique(hard).size == 1,
         )
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

@@ -19,7 +19,20 @@ from scipy.special import logsumexp
 from repro.utils.rng import spawn_rng
 from repro.utils.validation import check_array
 
-__all__ = ["BernoulliMixture", "BernoulliFitResult", "one_hot_encode_lp"]
+__all__ = ["BernoulliMixture", "BernoulliFitResult", "BernoulliParams", "one_hot_encode_lp"]
+
+
+@dataclass(frozen=True)
+class BernoulliParams:
+    """The fitted parameters of a Bernoulli mixture (a warm-start seed).
+
+    Attributes:
+        weights: ``(K,)`` mixing weights π.
+        probs: ``(K, D)`` per-class Bernoulli parameters b (Eq. 7).
+    """
+
+    weights: np.ndarray
+    probs: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -31,12 +44,14 @@ class BernoulliFitResult:
         log_likelihood: final data log-likelihood.
         n_iterations: EM iterations of the winning restart.
         converged: whether the winning restart reached tolerance.
+        params: the fitted parameters (warm-start seed for a later fit).
     """
 
     responsibilities: np.ndarray
     log_likelihood: float
     n_iterations: int
     converged: bool
+    params: BernoulliParams | None = None
 
 
 def one_hot_encode_lp(label_predictions: np.ndarray, n_classes: int) -> np.ndarray:
@@ -110,11 +125,8 @@ class BernoulliMixture:
         log_lik = x @ log_b.T + (1.0 - x) @ log_1mb.T
         return log_lik + np.log(np.maximum(weights, 1e-300))
 
-    def _run_em(self, x: np.ndarray, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, float, int, bool, np.ndarray]:
+    def _run_em(self, x: np.ndarray, responsibilities: np.ndarray) -> tuple[np.ndarray, np.ndarray, float, int, bool, np.ndarray]:
         n, d = x.shape
-        # Initialise from random soft assignments (Dirichlet-ish).
-        responsibilities = rng.random((n, self.n_components)) + 0.1
-        responsibilities /= responsibilities.sum(axis=1, keepdims=True)
         weights = np.full(self.n_components, 1.0 / self.n_components)
         probs = np.full((self.n_components, d), 0.5)
         previous_ll = -np.inf
@@ -138,17 +150,41 @@ class BernoulliMixture:
             previous_ll = log_likelihood
         return weights, probs, previous_ll, iteration, converged, responsibilities
 
-    def fit(self, x: np.ndarray) -> BernoulliFitResult:
-        """Fit by EM on binary data ``(N, D)``; keeps the best restart."""
+    def fit(self, x: np.ndarray, init: BernoulliParams | None = None) -> BernoulliFitResult:
+        """Fit by EM on binary data ``(N, D)``; keeps the best restart.
+
+        With ``init`` given, a single EM run resumes from those
+        parameters (one E-step recovers the responsibilities) instead of
+        running ``n_init`` random restarts — the warm-start path for
+        incremental inference, where the previous fit is already near
+        the optimum.
+        """
         x = check_array(np.asarray(x, dtype=np.float64), name="x", ndim=2)
         if not np.isin(x, (0.0, 1.0)).all():
             raise ValueError("BernoulliMixture expects one-hot/binary inputs (see one_hot_encode_lp)")
-        rng = spawn_rng(self.seed, "bernoulli-mixture")
+        n, d = x.shape
         best: tuple | None = None
-        for restart in range(self.n_init):
-            result = self._run_em(x, spawn_rng(rng, "restart", restart))
-            if best is None or result[2] > best[2]:
-                best = result
+        if init is not None:
+            if init.probs.shape != (self.n_components, d) or init.weights.shape != (self.n_components,):
+                raise ValueError(
+                    f"init params shaped {init.weights.shape}/{init.probs.shape} "
+                    f"do not match (K={self.n_components}, D={d})"
+                )
+            probs = np.clip(np.asarray(init.probs, dtype=np.float64), self.param_floor, 1.0 - self.param_floor)
+            weights = np.asarray(init.weights, dtype=np.float64)
+            log_joint = self._log_prob(x, weights / weights.sum(), probs)
+            responsibilities = np.exp(log_joint - logsumexp(log_joint, axis=1, keepdims=True))
+            best = self._run_em(x, responsibilities)
+        else:
+            rng = spawn_rng(self.seed, "bernoulli-mixture")
+            for restart in range(self.n_init):
+                # Initialise from random soft assignments (Dirichlet-ish).
+                restart_rng = spawn_rng(rng, "restart", restart)
+                responsibilities = restart_rng.random((n, self.n_components)) + 0.1
+                responsibilities /= responsibilities.sum(axis=1, keepdims=True)
+                result = self._run_em(x, responsibilities)
+                if best is None or result[2] > best[2]:
+                    best = result
         weights, probs, log_likelihood, iteration, converged, responsibilities = best
         self.weights_ = weights
         self.probs_ = probs
@@ -157,6 +193,7 @@ class BernoulliMixture:
             log_likelihood=log_likelihood,
             n_iterations=iteration,
             converged=converged,
+            params=BernoulliParams(weights=weights.copy(), probs=probs.copy()),
         )
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

@@ -15,16 +15,33 @@ reliabilities, performing implicit affinity-function selection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.affinity import AffinityMatrix
-from repro.core.inference.base_gmm import DiagonalGMM, GMMFitResult
-from repro.core.inference.bernoulli import BernoulliFitResult, BernoulliMixture, one_hot_encode_lp
+from repro.core.inference.base_gmm import DiagonalGMM, GMMFitResult, GMMParams
+from repro.core.inference.bernoulli import (
+    BernoulliFitResult,
+    BernoulliMixture,
+    BernoulliParams,
+    one_hot_encode_lp,
+)
 from repro.utils.rng import derive_seed
 
-__all__ = ["HierarchicalConfig", "HierarchicalResult", "HierarchicalModel", "naive_parameter_count", "hierarchical_parameter_count"]
+__all__ = [
+    "HierarchicalConfig",
+    "HierarchicalResult",
+    "HierarchicalModel",
+    "fit_base_function",
+    "fit_all_base_functions",
+    "fit_ensemble",
+    "complete_hierarchy",
+    "warn_if_reinitialized",
+    "naive_parameter_count",
+    "hierarchical_parameter_count",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +92,17 @@ class HierarchicalResult:
     def n_functions(self) -> int:
         return len(self.base_results)
 
+    @property
+    def reinitialized_functions(self) -> tuple[int, ...]:
+        """Functions whose base GMM collapsed and was refit from a derived seed."""
+        return tuple(f for f, r in enumerate(self.base_results) if r.reinitialized)
+
+    @property
+    def total_em_iterations(self) -> int:
+        """EM iterations across all base models plus the ensemble (the
+        quantity warm-started inference reduces)."""
+        return sum(r.n_iterations for r in self.base_results) + self.ensemble_result.n_iterations
+
     def function_informativeness(self) -> np.ndarray:
         """Per-function usefulness learned by the ensemble, in [0, 1].
 
@@ -103,6 +131,129 @@ class HierarchicalResult:
                     pairs += 1
             scores[f] = total_variation / max(pairs, 1)
         return scores
+
+
+def fit_base_function(
+    block: np.ndarray,
+    config: HierarchicalConfig,
+    function_index: int,
+    init: GMMParams | np.ndarray | None = None,
+) -> GMMFitResult:
+    """Fit the base GMM of one affinity function (module-level: picklable,
+    so process-pool workers can run it — see ``repro.engine.inference``).
+
+    A degenerate fit (every posterior argmax in one component — a
+    collapsed EM run carrying no class signal) is detected and retried
+    once from a derived seed; the outcome carries ``reinitialized=True``
+    either way so callers can surface a warning.  If the retry collapses
+    too, the higher-likelihood run is kept.
+    """
+
+    def make(seed: int) -> DiagonalGMM:
+        return DiagonalGMM(
+            n_components=config.n_classes,
+            max_iter=config.base_max_iter,
+            tol=config.base_tol,
+            variance_floor=config.variance_floor,
+            seed=seed,
+        )
+
+    result = make(derive_seed(config.seed, "base", function_index)).fit(block, init=init)
+    if not result.degenerate:
+        return result
+    retry = make(derive_seed(config.seed, "base-reinit", function_index)).fit(block)
+    if retry.degenerate and retry.log_likelihood <= result.log_likelihood:
+        return replace(result, reinitialized=True)
+    return replace(retry, reinitialized=True)
+
+
+def fit_all_base_functions(
+    affinity: AffinityMatrix,
+    config: HierarchicalConfig,
+    n_jobs: int = 1,
+    initializers: "list[np.ndarray] | None" = None,
+) -> tuple[np.ndarray, tuple[GMMFitResult, ...]]:
+    """Fit every base GMM (serial or thread fan-out) and concatenate LP.
+
+    The single serial/thread implementation shared by
+    :class:`HierarchicalModel` and ``repro.engine.inference`` (which
+    adds a process-pool branch on top).  ``initializers`` optionally
+    warm-starts function f from ``initializers[f]`` responsibilities.
+    Collapsed fits warn here, once, whatever the caller.
+    """
+    alpha = affinity.n_functions
+
+    def fit_one(f: int) -> GMMFitResult:
+        init = initializers[f] if initializers is not None else None
+        return fit_base_function(affinity.block(f), config, f, init=init)
+
+    if n_jobs > 1 and alpha > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(n_jobs, alpha)) as pool:
+            results = tuple(pool.map(fit_one, range(alpha)))
+    else:
+        results = tuple(fit_one(f) for f in range(alpha))
+    warn_if_reinitialized(results)
+    label_predictions = np.concatenate([r.responsibilities for r in results], axis=1)
+    assert label_predictions.shape == (affinity.n_examples, alpha * config.n_classes)
+    return label_predictions, results
+
+
+def fit_ensemble(
+    one_hot: np.ndarray, config: HierarchicalConfig, init: BernoulliParams | None = None
+) -> BernoulliFitResult:
+    """Fit the Bernoulli ensemble with the hierarchy's seed stream.
+
+    The single place that derives the ensemble seed — both
+    :class:`HierarchicalModel` and ``repro.engine.inference`` go
+    through it, so the staged engine can never desync from the
+    monolithic path.
+    """
+    ensemble = BernoulliMixture(
+        n_components=config.n_classes,
+        max_iter=config.ensemble_max_iter,
+        tol=config.ensemble_tol,
+        n_init=config.ensemble_n_init,
+        seed=derive_seed(config.seed, "ensemble"),
+    )
+    return ensemble.fit(one_hot, init=init)
+
+
+def complete_hierarchy(
+    label_predictions: np.ndarray,
+    base_results: tuple[GMMFitResult, ...],
+    config: HierarchicalConfig,
+    ensemble_init: BernoulliParams | None = None,
+) -> HierarchicalResult:
+    """Layer 2: one-hot encode LP, fit the ensemble, assemble the result.
+
+    Shared tail of the hierarchy — both :meth:`HierarchicalModel.fit`
+    and the staged ``InferenceEngine`` end here, so the two paths
+    cannot drift apart.
+    """
+    one_hot = one_hot_encode_lp(label_predictions, config.n_classes)
+    ensemble_result = fit_ensemble(one_hot, config, init=ensemble_init)
+    return HierarchicalResult(
+        posterior=ensemble_result.responsibilities,
+        label_predictions=label_predictions,
+        one_hot=one_hot,
+        base_results=base_results,
+        ensemble_result=ensemble_result,
+    )
+
+
+def warn_if_reinitialized(results: tuple[GMMFitResult, ...]) -> None:
+    """Surface a RuntimeWarning when any base GMM had to be re-initialised."""
+    reinitialized = tuple(f for f, r in enumerate(results) if r.reinitialized)
+    if reinitialized:
+        warnings.warn(
+            f"base GMM(s) {reinitialized} collapsed (all responsibility in one "
+            "component) and were re-initialized from a derived seed; the affected "
+            "affinity functions may be uninformative on this corpus",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def naive_parameter_count(n_examples: int, n_functions: int, n_classes: int) -> int:
@@ -136,47 +287,9 @@ class HierarchicalModel:
         ``n_jobs > 1`` fans the loop out over a thread pool (the EM
         inner loops are numpy-bound and release the GIL).
         """
-        cfg = self.config
-        n = affinity.n_examples
-
-        def fit_one(f: int) -> GMMFitResult:
-            gmm = DiagonalGMM(
-                n_components=cfg.n_classes,
-                max_iter=cfg.base_max_iter,
-                tol=cfg.base_tol,
-                variance_floor=cfg.variance_floor,
-                seed=derive_seed(cfg.seed, "base", f),
-            )
-            return gmm.fit(affinity.block(f))
-
-        if n_jobs > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=n_jobs) as pool:
-                results = list(pool.map(fit_one, range(affinity.n_functions)))
-        else:
-            results = [fit_one(f) for f in range(affinity.n_functions)]
-        label_predictions = np.concatenate([r.responsibilities for r in results], axis=1)
-        assert label_predictions.shape == (n, affinity.n_functions * cfg.n_classes)
-        return label_predictions, tuple(results)
+        return fit_all_base_functions(affinity, self.config, n_jobs=n_jobs)
 
     def fit(self, affinity: AffinityMatrix, n_jobs: int = 1) -> HierarchicalResult:
         """Run the full hierarchy: base GMMs -> one-hot -> ensemble."""
-        cfg = self.config
         label_predictions, base_results = self.fit_base_models(affinity, n_jobs=n_jobs)
-        one_hot = one_hot_encode_lp(label_predictions, cfg.n_classes)
-        ensemble = BernoulliMixture(
-            n_components=cfg.n_classes,
-            max_iter=cfg.ensemble_max_iter,
-            tol=cfg.ensemble_tol,
-            n_init=cfg.ensemble_n_init,
-            seed=derive_seed(cfg.seed, "ensemble"),
-        )
-        ensemble_result = ensemble.fit(one_hot)
-        return HierarchicalResult(
-            posterior=ensemble_result.responsibilities,
-            label_predictions=label_predictions,
-            one_hot=one_hot,
-            base_results=base_results,
-            ensemble_result=ensemble_result,
-        )
+        return complete_hierarchy(label_predictions, base_results, self.config)

@@ -10,11 +10,20 @@ Splits the monolithic image→affinity-matrix path into reusable stages:
   (VGG prototypes, HOG, raw-feature cosine).
 * :mod:`repro.engine.engine` — the orchestrator, including the
   incremental corpus-extension path.
+* :mod:`repro.engine.inference` — the staged inference engine
+  (process/thread-parallel base fits, warm-started EM, cached
+  parameters).
 """
 
 from repro.engine.cache import ArtifactCache, CacheStats, hash_arrays, hash_params
 from repro.engine.engine import AffinityEngine, EngineConfig
 from repro.engine.features import extract_pool_features, iter_batches
+from repro.engine.inference import (
+    EXECUTORS,
+    InferenceEngine,
+    InferenceState,
+    warm_start_responsibilities,
+)
 from repro.engine.source import (
     AffinitySource,
     CorpusState,
@@ -39,6 +48,10 @@ from repro.engine.tiling import (
 __all__ = [
     "AffinityEngine",
     "EngineConfig",
+    "EXECUTORS",
+    "InferenceEngine",
+    "InferenceState",
+    "warm_start_responsibilities",
     "ArtifactCache",
     "CacheStats",
     "hash_arrays",

@@ -54,10 +54,11 @@ def hash_params(params: dict[str, object]) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, one pair per artifact kind."""
+    """Hit/miss counters, one pair per artifact kind, plus evictions."""
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
+    evictions: int = 0
 
     def record(self, kind: str, hit: bool) -> None:
         bucket = self.hits if hit else self.misses
@@ -79,10 +80,19 @@ class ArtifactCache:
     key is supplied by the caller via :meth:`key` so that every byte of
     input provenance (data hash + parameter hash) is part of the
     address.
+
+    ``max_bytes`` sets a size budget for the directory: whenever a
+    write pushes the total ``.npz`` footprint above the budget, the
+    least-recently-used entries (by mtime; reads refresh it) are
+    evicted oldest-first until the directory fits again.  The entry
+    just written is never evicted, even if it alone exceeds the budget.
     """
 
-    def __init__(self, cache_dir: str):
+    def __init__(self, cache_dir: str, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.cache_dir = str(cache_dir)
+        self.max_bytes = max_bytes
         os.makedirs(self.cache_dir, exist_ok=True)
         self.stats = CacheStats()
 
@@ -112,6 +122,7 @@ class ArtifactCache:
             self.stats.record(kind, hit=False)
             return None
         self.stats.record(kind, hit=True)
+        self._touch(path)
         return arrays
 
     def save_arrays(self, kind: str, key: str, arrays: dict[str, np.ndarray]) -> str:
@@ -120,6 +131,7 @@ class ArtifactCache:
         with open(tmp, "wb") as handle:
             np.savez_compressed(handle, **arrays)
         os.replace(tmp, path)  # atomic: concurrent readers never see partial files
+        self._enforce_budget(keep=path)
         return path
 
     # ------------------------------------------------------------------
@@ -137,6 +149,7 @@ class ArtifactCache:
             self.stats.record("affinity", hit=False)
             return None
         self.stats.record("affinity", hit=True)
+        self._touch(path)
         return matrix
 
     def save_affinity(self, key: str, matrix: AffinityMatrix) -> str:
@@ -144,6 +157,7 @@ class ArtifactCache:
         tmp = path + ".tmp.npz"  # .npz suffix: numpy appends it to bare names
         matrix.save(tmp)
         os.replace(tmp, path)
+        self._enforce_budget(keep=path)
         return path
 
     def evict(self, kind: str, key: str) -> None:
@@ -155,6 +169,58 @@ class ArtifactCache:
             os.remove(path)
         except OSError:  # pragma: no cover - racing eviction is fine
             pass
+
+    # ------------------------------------------------------------------
+    # Size budget (LRU eviction)
+    # ------------------------------------------------------------------
+    def _touch(self, path: str) -> None:
+        """Refresh mtime on a hit so LRU eviction spares hot entries."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only cache dirs are fine
+            pass
+
+    def total_bytes(self) -> int:
+        """Current ``.npz`` footprint of the cache directory."""
+        return sum(size for _, size, _ in self._entries())
+
+    def _entries(self) -> list[tuple[float, int, str]]:
+        """(mtime, size, path) of every artifact, oldest first."""
+        entries: list[tuple[float, int, str]] = []
+        for name in os.listdir(self.cache_dir):
+            if not name.endswith(".npz"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:  # pragma: no cover - racing eviction is fine
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def _enforce_budget(self, keep: str) -> None:
+        """Evict least-recently-used entries until the budget holds.
+
+        ``keep`` — the path just written — is exempt: evicting the
+        artifact the caller is about to rely on would turn every
+        over-budget write into a guaranteed miss.
+        """
+        if self.max_bytes is None:
+            return
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - racing eviction is fine
+                continue
+            total -= size
+            self.stats.evictions += 1
 
     def clear(self) -> int:
         """Delete every cached artifact; returns the number removed."""

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.affinity import AffinityMatrix
 from repro.engine.cache import ArtifactCache, hash_arrays
+from repro.engine.inference import EXECUTORS
 from repro.engine.source import (
     AffinitySource,
     CorpusState,
@@ -45,26 +46,38 @@ class EngineConfig:
             ``None`` runs the whole corpus in one pass.
         row_tile / col_tile: similarity tile sizes over (images ×
             prototype rows); ``None`` disables that tiling axis.
-        n_jobs: thread-pool width for tile fan-out (and, downstream,
+        n_jobs: worker count for tile fan-out (and, downstream,
             base-model fitting).  Values are identical at any width.
+        executor: worker model for the downstream base-model fits —
+            ``"serial"``, ``"thread"`` (GIL-releasing EM loops on a
+            thread pool) or ``"process"`` (ProcessPoolExecutor over
+            shared-memory affinity blocks; scales EM past the GIL on
+            many-core boxes).  Value-neutral, like ``n_jobs``.
         precision: ``"float64"`` (bit-compatible with the legacy path)
             or ``"float32"`` (≈2× faster similarity stage, equal to
             within ~1e-6 — inside ``np.allclose`` tolerance).
         cache_dir: artifact cache directory; ``None`` disables caching.
+        cache_max_bytes: size budget for the artifact cache; writes
+            that push the directory above it evict least-recently-used
+            entries.  ``None`` means unbounded.
     """
 
     batch_size: int | None = 32
     row_tile: int | None = 32
     col_tile: int | None = None
     n_jobs: int = 1
+    executor: str = "thread"
     precision: str = "float64"
     cache_dir: str | None = None
+    cache_max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.precision not in _PRECISIONS:
             raise ValueError(
                 f"precision must be one of {sorted(_PRECISIONS)}, got {self.precision!r}"
             )
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {self.executor!r}")
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
 
@@ -88,7 +101,11 @@ class AffinityEngine:
     def __init__(self, source: AffinitySource, config: EngineConfig | None = None):
         self.source = source
         self.config = config or EngineConfig()
-        self.cache = ArtifactCache(self.config.cache_dir) if self.config.cache_dir else None
+        self.cache = (
+            ArtifactCache(self.config.cache_dir, max_bytes=self.config.cache_max_bytes)
+            if self.config.cache_dir
+            else None
+        )
         self._state: CorpusState | None = None
         self._state_key: str | None = None
 
@@ -110,6 +127,24 @@ class AffinityEngine:
     def state(self) -> CorpusState | None:
         """The in-memory corpus state of the last build/extend, if any."""
         return self._state
+
+    @property
+    def state_key(self) -> str | None:
+        """Cache key of the current corpus state (``None`` when uncached)."""
+        return self._state_key
+
+    def restore_state(self, state: CorpusState | None, key: str | None) -> None:
+        """Reinstall a previously captured ``(state, state_key)`` pair.
+
+        The rollback half of an extend-then-infer transaction: a caller
+        that snapshots ``(engine.state, engine.state_key)`` before
+        :meth:`extend` can undo the extension if downstream work fails,
+        so a failed batch never leaves its images in the corpus.
+        """
+        if state is None:
+            self._forget()
+        else:
+            self._remember(state, key)
 
     # ------------------------------------------------------------------
     # Build

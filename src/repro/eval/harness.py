@@ -24,7 +24,7 @@ import numpy as np
 from repro.clustering import FullCovarianceGMM, KMeans, SpectralCoclustering, optimal_mapping_accuracy
 from repro.core.affinity import AffinityMatrix, affinity_from_features
 from repro.core.goggles import Goggles, GogglesConfig
-from repro.engine import AffinityEngine, EngineConfig, PrototypeAffinitySource
+from repro.engine import AffinityEngine, EngineConfig, InferenceEngine, PrototypeAffinitySource
 from repro.core.inference.bernoulli import BernoulliMixture, one_hot_encode_lp
 from repro.core.inference.hierarchical import HierarchicalConfig, HierarchicalModel
 from repro.core.inference.mapping import apply_mapping, map_clusters_to_classes
@@ -71,12 +71,18 @@ class ExperimentSettings:
             smaller default keeps CPU benchmarks affordable).
         vgg_seed: seed of the surrogate-pretrained backbone.
         seed: root seed for everything else.
-        n_jobs: thread-pool width for affinity tiling and base-model
+        n_jobs: worker count for affinity tiling and base-model
             fitting; results are identical at any width.
+        executor: worker model for base-model fits (``"serial"`` /
+            ``"thread"`` / ``"process"``); value-neutral like n_jobs.
         batch_size: images per backbone forward pass in the affinity
             engine (memory bound, value-neutral).
-        cache_dir: affinity-engine artifact cache shared across the
-            harness' runs; ``None`` disables on-disk caching.
+        precision: engine compute precision (``"float64"`` exact,
+            ``"float32"`` fast — agreement within ``np.allclose``).
+        cache_dir: artifact cache shared across the harness' runs;
+            ``None`` disables on-disk caching.
+        cache_max_bytes: size budget for that cache (LRU eviction);
+            ``None`` means unbounded.
     """
 
     n_per_class: int = 40
@@ -86,12 +92,20 @@ class ExperimentSettings:
     vgg_seed: int = 0
     seed: int = 0
     n_jobs: int = 1
+    executor: str = "thread"
     batch_size: int | None = 32
+    precision: str = "float64"
     cache_dir: str | None = None
+    cache_max_bytes: int | None = None
 
     def engine_config(self) -> EngineConfig:
         return EngineConfig(
-            batch_size=self.batch_size, n_jobs=self.n_jobs, cache_dir=self.cache_dir
+            batch_size=self.batch_size,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
+            precision=self.precision,
+            cache_dir=self.cache_dir,
+            cache_max_bytes=self.cache_max_bytes,
         )
 
 
@@ -130,10 +144,13 @@ def _infer_with_affinity(
     n_classes: int,
     seed: int,
     n_jobs: int = 1,
+    executor: str = "thread",
 ) -> np.ndarray:
     """Hierarchical inference + dev mapping on a prebuilt affinity matrix."""
-    model = HierarchicalModel(HierarchicalConfig(n_classes=n_classes, seed=seed))
-    result = model.fit(affinity, n_jobs=n_jobs)
+    engine = InferenceEngine(
+        HierarchicalConfig(n_classes=n_classes, seed=seed), executor=executor, n_jobs=n_jobs
+    )
+    result = engine.fit(affinity)
     mapping = map_clusters_to_classes(result.posterior, dev, n_classes)
     return apply_mapping(result.posterior, mapping)
 
@@ -174,9 +191,7 @@ def run_table1_row(
             GogglesConfig(
                 n_classes=k,
                 seed=derive_seed(settings.seed, "goggles", run_seed),
-                n_jobs=settings.n_jobs,
-                batch_size=settings.batch_size,
-                cache_dir=settings.cache_dir,
+                engine=settings.engine_config(),
             ),
             model=model,
         )
@@ -202,7 +217,7 @@ def run_table1_row(
         descriptors = hog_batch(dataset.images)
         posterior = _infer_with_affinity(
             affinity_from_features(descriptors), dev, k, derive_seed(settings.seed, "hog", run_seed),
-            n_jobs=settings.n_jobs,
+            n_jobs=settings.n_jobs, executor=settings.executor,
         )
         out["hog"] = 100 * labeling_accuracy(posterior, dataset.labels, exclude=dev.indices)
 
@@ -210,7 +225,7 @@ def run_table1_row(
         logits = model.logits(dataset.images)
         posterior = _infer_with_affinity(
             affinity_from_features(logits), dev, k, derive_seed(settings.seed, "logits", run_seed),
-            n_jobs=settings.n_jobs,
+            n_jobs=settings.n_jobs, executor=settings.executor,
         )
         out["logits"] = 100 * labeling_accuracy(posterior, dataset.labels, exclude=dev.indices)
 
@@ -331,10 +346,8 @@ def run_table2_row(
             GogglesConfig(
                 n_classes=k,
                 seed=derive_seed(settings.seed, "goggles2", run_seed),
-                n_jobs=settings.n_jobs,
-                batch_size=settings.batch_size,
-                cache_dir=settings.cache_dir,
                 keep_corpus_state=False,  # one-shot label, no incremental
+                engine=settings.engine_config(),
             ),
             model=model,
         )

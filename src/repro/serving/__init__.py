@@ -1,0 +1,11 @@
+"""Streaming labeling service (see ENGINE.md, "The serving loop").
+
+Wraps :class:`~repro.core.goggles.Goggles` behind a long-lived
+``submit(images) -> ticket`` / ``poll(ticket)`` interface whose
+background worker batches arrivals through warm-started incremental
+inference.
+"""
+
+from repro.serving.service import LabelingService, TicketStatus
+
+__all__ = ["LabelingService", "TicketStatus"]

@@ -1,0 +1,292 @@
+"""A long-lived streaming labeling service over the staged engines.
+
+GOGGLES as batch code labels a corpus and exits; a production labeler
+faces a *stream*: images keep arriving and each wants a probabilistic
+label soon, without refitting the world per arrival.  The
+:class:`LabelingService` wraps one :class:`~repro.core.goggles.Goggles`
+instance behind ``submit(images) -> ticket`` / ``poll(ticket)``
+semantics:
+
+* ``submit`` enqueues images and returns immediately with a ticket;
+* a single background worker drains the queue, coalescing every
+  submission that arrived while the previous batch was running into
+  one :meth:`~repro.core.goggles.Goggles.label_incremental` call
+  (incremental affinity extension + warm-started EM — the marginal
+  cost of an arrival, not a rebuild);
+* ``poll``/``result`` return class-aligned probabilistic labels for
+  exactly the submitted rows.
+
+The worker is the only thread that touches the underlying ``Goggles``
+object, so the engines need no internal locking; the service's own
+bookkeeping is guarded by one condition variable.  Each processed
+batch permanently extends the corpus, and later posteriors absorb all
+earlier arrivals — the streaming analogue of the paper's "unlabeled +
+dev images together" protocol (§2.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.goggles import Goggles, GogglesResult
+from repro.datasets.base import DevSet
+
+__all__ = ["LabelingService", "TicketStatus"]
+
+
+@dataclass(frozen=True)
+class TicketStatus:
+    """Snapshot of one submission's progress.
+
+    Attributes:
+        ticket: the ticket id returned by :meth:`LabelingService.submit`.
+        state: ``"pending"`` (queued or in flight), ``"done"``, or
+            ``"failed"``.
+        probabilistic_labels: ``(M, K)`` class-aligned labels for the
+            submitted rows, once ``done``.
+        error: the failure description, once ``failed``.
+    """
+
+    ticket: str
+    state: str
+    probabilistic_labels: np.ndarray | None = None
+    error: str | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.state == "done"
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """Hard labels (argmax); only valid once ``done``."""
+        if self.probabilistic_labels is None:
+            raise RuntimeError(f"ticket {self.ticket} is {self.state}, labels not available")
+        return self.probabilistic_labels.argmax(axis=1)
+
+
+@dataclass
+class _Submission:
+    ticket: str
+    images: np.ndarray | None  # released once the batch is processed
+    resolved: threading.Event = field(default_factory=threading.Event)
+    status: TicketStatus | None = None
+
+
+class LabelingService:
+    """Streaming ``submit``/``poll`` front-end over incremental labeling.
+
+    Parameters:
+        goggles: the pipeline to serve.  The service owns it from
+            :meth:`start` on; no other code should drive it concurrently.
+        dev_set: the development set used for cluster→class mapping.
+            Its indices must refer to the *initial* corpus passed to
+            :meth:`start` (they stay valid as the corpus grows, since
+            arrivals append after the existing rows).
+        max_batch: cap on submissions coalesced into one incremental
+            run; ``None`` drains everything queued.
+        warm_start: warm-start inference on each batch (default); the
+            escape hatch mirrors ``Goggles.label_incremental``.
+        ticket_retention: resolved tickets kept for ``poll``/``result``
+            before the oldest are expired (a long-lived service must
+            not accumulate every result ever produced; submitted images
+            are already released as soon as their batch is processed).
+    """
+
+    def __init__(
+        self,
+        goggles: Goggles,
+        dev_set: DevSet,
+        *,
+        max_batch: int | None = None,
+        warm_start: bool = True,
+        ticket_retention: int = 1024,
+    ):
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if ticket_retention < 1:
+            raise ValueError(f"ticket_retention must be >= 1, got {ticket_retention}")
+        if not goggles.config.keep_corpus_state:
+            raise ValueError(
+                "LabelingService needs keep_corpus_state=True: incremental "
+                "labeling extends the retained corpus state"
+            )
+        self.goggles = goggles
+        self.dev_set = dev_set
+        self.max_batch = max_batch
+        self.warm_start = warm_start
+        self.ticket_retention = ticket_retention
+        self._cond = threading.Condition()
+        self._queue: list[_Submission] = []
+        self._tickets: dict[str, _Submission] = {}
+        self._resolved_order: list[str] = []
+        self._counter = 0
+        self._worker: threading.Thread | None = None
+        self._stopping = False
+        self._n_batches = 0
+        self._n_labeled = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, corpus_images: np.ndarray) -> GogglesResult:
+        """Build the initial corpus and start the background worker.
+
+        Returns the initial labeling result (the same object a direct
+        ``goggles.label`` call would have produced), so callers can
+        read labels for the seed corpus without a ticket.
+        """
+        if self._worker is not None:
+            raise RuntimeError("LabelingService.start may only be called once")
+        result = self.goggles.label(corpus_images, self.dev_set)
+        self._worker = threading.Thread(
+            target=self._run, name="labeling-service-worker", daemon=True
+        )
+        self._worker.start()
+        return result
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for the worker.
+
+        Already-queued submissions are still processed before the
+        worker exits — stop is a drain, not an abort.  Idempotent.
+        """
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if wait and self._worker is not None:
+            self._worker.join()
+
+    def __enter__(self) -> "LabelingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    @property
+    def corpus_size(self) -> int:
+        """Instances the underlying corpus currently holds."""
+        state = self.goggles.engine.state
+        return 0 if state is None else state.n_images
+
+    @property
+    def n_batches(self) -> int:
+        """Incremental runs executed so far (arrivals coalesce)."""
+        return self._n_batches
+
+    @property
+    def n_labeled(self) -> int:
+        """Streamed instances labeled so far (excludes the seed corpus)."""
+        return self._n_labeled
+
+    # ------------------------------------------------------------------
+    # Submit / poll
+    # ------------------------------------------------------------------
+    def submit(self, images: np.ndarray) -> str:
+        """Enqueue ``(M, C, H, W)`` images; returns a ticket id."""
+        images = np.asarray(images)
+        if images.ndim != 4 or images.shape[0] == 0:
+            raise ValueError(f"expected a non-empty (M, C, H, W) batch, got shape {images.shape}")
+        with self._cond:
+            if self._worker is None:
+                raise RuntimeError("call start() before submit()")
+            if self._stopping:
+                raise RuntimeError("LabelingService is stopped")
+            self._counter += 1
+            ticket = f"t{self._counter:06d}"
+            submission = _Submission(ticket=ticket, images=images)
+            self._queue.append(submission)
+            self._tickets[ticket] = submission
+            self._cond.notify_all()
+        return ticket
+
+    def poll(self, ticket: str) -> TicketStatus:
+        """Non-blocking status snapshot for a ticket."""
+        with self._cond:
+            submission = self._tickets.get(ticket)
+        if submission is None:
+            raise KeyError(f"unknown ticket {ticket!r}")
+        if submission.status is None:
+            return TicketStatus(ticket=ticket, state="pending")
+        return submission.status
+
+    def result(self, ticket: str, timeout: float | None = None) -> TicketStatus:
+        """Block until a ticket resolves; raises TimeoutError on expiry."""
+        with self._cond:
+            submission = self._tickets.get(ticket)
+        if submission is None:
+            raise KeyError(f"unknown ticket {ticket!r}")
+        if not submission.resolved.wait(timeout):
+            raise TimeoutError(f"ticket {ticket} did not resolve within {timeout}s")
+        assert submission.status is not None
+        return submission.status
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue and self._stopping:
+                    return
+                take = len(self._queue) if self.max_batch is None else self.max_batch
+                batch, self._queue = self._queue[:take], self._queue[take:]
+            self._process(batch)
+
+    def _process(self, batch: list[_Submission]) -> None:
+        sizes = [s.images.shape[0] for s in batch]
+        try:
+            images = (
+                batch[0].images
+                if len(batch) == 1
+                else np.concatenate([s.images for s in batch], axis=0)
+            )
+            # label_incremental is atomic: on failure the corpus rolls
+            # back, so a failed ticket's images are truly not absorbed
+            # and the submission can simply be retried.
+            result = self.goggles.label_incremental(
+                images, self.dev_set, warm_start=self.warm_start
+            )
+            labels = result.probabilistic_labels[-images.shape[0] :]
+        except Exception as error:  # noqa: BLE001 - a bad batch must not kill the worker
+            self._resolve(
+                batch,
+                [
+                    TicketStatus(ticket=s.ticket, state="failed", error=str(error))
+                    for s in batch
+                ],
+            )
+            return
+        offset = 0
+        statuses = []
+        for submission, rows in zip(batch, sizes):
+            statuses.append(
+                TicketStatus(
+                    ticket=submission.ticket,
+                    state="done",
+                    probabilistic_labels=labels[offset : offset + rows],
+                )
+            )
+            offset += rows
+        self._resolve(batch, statuses)
+        self._n_batches += 1
+        self._n_labeled += int(labels.shape[0])
+
+    def _resolve(self, batch: list[_Submission], statuses: list[TicketStatus]) -> None:
+        """Publish statuses, release the submitted pixels, expire old tickets."""
+        with self._cond:
+            for submission, status in zip(batch, statuses):
+                submission.status = status
+                submission.images = None  # the corpus/state hold what is needed
+                submission.resolved.set()
+                self._resolved_order.append(submission.ticket)
+            while len(self._resolved_order) > self.ticket_retention:
+                self._tickets.pop(self._resolved_order.pop(0), None)

@@ -32,3 +32,43 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_label_with_engine_knobs(self, capsys, tmp_path):
+        """--executor/--precision/--cache knobs reach the engine."""
+        code = main([
+            "--n-per-class", "8", "--dev-per-class", "2",
+            "--executor", "serial", "--precision", "float32",
+            "--cache-dir", str(tmp_path), "--cache-max-bytes", "100000000",
+            "--no-keep-corpus-state",
+            "label", "--dataset", "surface",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "labeling accuracy" in out
+        assert "evictions" in out  # cache stats line includes the new counter
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--executor", "gpu", "label", "--dataset", "surface"])
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--precision", "float16", "label", "--dataset", "surface"])
+
+    def test_serve_command(self, capsys):
+        code = main([
+            "--n-per-class", "8", "--dev-per-class", "2",
+            "serve", "--dataset", "surface", "--stream-batch", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed corpus" in out
+        assert "streaming accuracy" in out
+        assert "incremental runs" in out
+
+    def test_serve_initial_fraction_validated(self):
+        with pytest.raises(SystemExit, match="initial"):
+            main([
+                "--n-per-class", "8", "--dev-per-class", "2",
+                "serve", "--dataset", "surface", "--initial-fraction", "1.0",
+            ])

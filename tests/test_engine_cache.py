@@ -193,6 +193,75 @@ class TestEngineCaching:
         np.testing.assert_array_equal(first.values, second.values)
 
 
+class TestSizeBudget:
+    """max_bytes: LRU (mtime-based) eviction keeps the cache bounded."""
+
+    @staticmethod
+    def _fill(cache: ArtifactCache, count: int, start: int = 0) -> list[str]:
+        import os
+        import time
+
+        keys = []
+        for i in range(start, start + count):
+            key = cache.key(f"entry-{i}", {})
+            cache.save_arrays("state", key, {"x": np.arange(512) + i})
+            # mtime resolution can swallow sub-ms gaps; force an order.
+            past = time.time() - (start + count - i)
+            os.utime(cache.path("state", key), (past, past))
+            keys.append(key)
+        return keys
+
+    def test_write_evicts_oldest_first(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=1)  # every write over budget
+        keys = self._fill(cache, 3)
+        # Only the most recent write survives a 1-byte budget.
+        newest = cache.key("fresh", {})
+        cache.save_arrays("state", newest, {"x": np.arange(512)})
+        assert cache.load_arrays("state", newest) is not None
+        assert all(cache.load_arrays("state", key) is None for key in keys)
+        assert cache.stats.evictions == 3
+
+    def test_budget_large_enough_keeps_everything(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=10**9)
+        keys = self._fill(cache, 4)
+        assert all(cache.load_arrays("state", key) is not None for key in keys)
+        assert cache.stats.evictions == 0
+
+    def test_read_refreshes_recency(self, tmp_path):
+        """A hit refreshes mtime, so hot entries survive eviction."""
+        cache = ArtifactCache(str(tmp_path), max_bytes=None)
+        old, hot = self._fill(cache, 2)  # `old` is older than `hot`
+        assert cache.load_arrays("state", old) is not None  # touch: now newest
+        cache.max_bytes = cache.total_bytes() - 1  # force one eviction
+        fresh = cache.key("fresh", {})
+        cache.save_arrays("state", fresh, {"x": np.arange(4)})
+        assert cache.load_arrays("state", old) is not None  # survived (hot)
+        assert cache.load_arrays("state", hot) is None  # evicted (LRU)
+
+    def test_just_written_entry_never_evicted(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=1)
+        key = cache.key("solo", {})
+        cache.save_arrays("state", key, {"x": np.arange(2048)})
+        assert cache.load_arrays("state", key) is not None
+
+    def test_affinity_writes_respect_budget(self, tmp_path, vgg, tiny_images):
+        source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
+        engine = AffinityEngine(
+            source, EngineConfig(cache_dir=str(tmp_path), cache_max_bytes=1)
+        )
+        engine.build(tiny_images, keep_state=False)
+        engine.build(tiny_images + 1e-6, keep_state=False)  # different key
+        import os
+
+        entries = [p for p in os.listdir(tmp_path) if p.endswith(".npz")]
+        assert len(entries) == 1  # first entry evicted by the second write
+        assert engine.cache.stats.evictions >= 1
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ArtifactCache(str(tmp_path), max_bytes=0)
+
+
 class TestEngineConfigValidation:
     def test_bad_precision(self):
         with pytest.raises(ValueError, match="precision"):
@@ -201,3 +270,15 @@ class TestEngineConfigValidation:
     def test_bad_n_jobs(self):
         with pytest.raises(ValueError, match="n_jobs"):
             EngineConfig(n_jobs=0)
+
+    def test_bad_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            EngineConfig(executor="gpu")
+
+    def test_executor_and_budget_flow_from_goggles_config(self):
+        from repro.core import GogglesConfig
+
+        config = GogglesConfig(executor="process", n_jobs=4, cache_max_bytes=1024)
+        engine = config.engine_config()
+        assert engine.executor == "process"
+        assert engine.cache_max_bytes == 1024
