@@ -1,0 +1,92 @@
+"""Distributed shard runtime: 2-worker cluster vs the serial path.
+
+Boots a coordinator with two spawned local worker processes, labels the
+N=80 protocol corpus through ``executor="distributed"`` (affinity tiles
+*and* base-model fits sharded over the lease-based task queue), and
+asserts the acceptance contract: the merged :class:`AffinityMatrix` is
+**bit-identical** to the serial build and the class-aligned labels are
+exactly equal (atol=0).  Timings land in the repo-root
+``BENCH_distributed.json`` trajectory; at this scale the cluster pays
+spawn/transport overhead — the point here is correctness under real
+multi-process execution, with the speedup story living on corpora big
+enough to amortise a cluster.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import Goggles, GogglesConfig
+from repro.datasets import make_dataset
+from repro.eval.harness import shared_model
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+N_WORKERS = 2
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_distributed_vs_serial_bit_identical(benchmark, settings, record_result):
+    model = shared_model(settings)
+    dataset = make_dataset("surface", n_per_class=settings.n_per_class, seed=0)
+    dev = dataset.sample_dev_set(settings.dev_per_class, seed=0)
+    rows: list[dict] = []
+
+    def measure() -> list[dict]:
+        rows.clear()
+        start = time.perf_counter()
+        serial = Goggles(
+            GogglesConfig(n_classes=2, seed=0, executor="serial"), model=model
+        ).label(dataset.images, dev)
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with Goggles(
+            GogglesConfig(n_classes=2, seed=0, executor="distributed", n_workers=N_WORKERS),
+            model=model,
+        ) as goggles:
+            distributed = goggles.label(dataset.images, dev)
+            queue_stats = goggles.coordinator.queue.stats()
+            shard_stats = dict(goggles.coordinator.stats)
+        distributed_s = time.perf_counter() - start
+
+        # The acceptance contract: a 2-worker cluster reproduces the
+        # serial run exactly — matrix blocks bit-for-bit, labels atol=0.
+        assert np.array_equal(
+            distributed.affinity.values, serial.affinity.values
+        ), "distributed affinity matrix must be bit-identical to serial"
+        assert np.array_equal(
+            distributed.probabilistic_labels, serial.probabilistic_labels
+        ), "distributed probabilistic labels must equal serial at atol=0"
+        assert np.array_equal(distributed.predictions, serial.predictions)
+
+        rows.append(
+            {
+                "n": dataset.n_examples,
+                "workers": N_WORKERS,
+                "serial_seconds": round(serial_s, 4),
+                "distributed_seconds": round(distributed_s, 4),
+                "shards": shard_stats["shards_planned"],
+                "shards_completed": queue_stats["completed"],
+                "shards_requeued": queue_stats["requeued"],
+                "bit_identical": True,
+            }
+        )
+        return rows
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    JSON_PATH.write_text(json.dumps({"rows": measured}, indent=2) + "\n")
+
+    row = measured[0]
+    record_result(
+        f"Distributed runtime smoke (N={row['n']}, {row['workers']} worker processes)\n"
+        f"  serial      {row['serial_seconds']:.2f}s\n"
+        f"  distributed {row['distributed_seconds']:.2f}s over {row['shards']} shards "
+        f"({row['shards_completed']} completed, {row['shards_requeued']} requeued)\n"
+        f"  affinity matrix and labels bit-identical to serial: {row['bit_identical']}\n"
+        f"trajectory artifact: {JSON_PATH.name}"
+    )

@@ -25,7 +25,9 @@ from repro.engine import InferenceEngine
 from repro.eval.harness import shared_model
 from repro.eval.tables import format_curve
 
-JSON_PATH = Path(__file__).parent / "BENCH_inference.json"
+# Trajectory artifacts live at the repo root so the BENCH_*.json series
+# is tracked in one place across PRs (not buried under benchmarks/).
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
 WARM_ATOL = 1e-3  # documented warm-vs-cold posterior tolerance (ENGINE.md)
 
 

@@ -6,19 +6,29 @@ Examples::
     goggles-repro table1 --seeds 3
     goggles-repro fig8 --dataset surface
     goggles-repro --executor process --n-jobs 4 serve --dataset surface
+    goggles-repro serve --http-port 8080 --max-queued-pixels 2000000
+
+A local two-command cluster (terminal 1 runs the coordinator, which
+shards affinity tiles and base fits over the task queue; terminal 2+
+run workers — on this machine or any other that can reach the broker)::
+
+    goggles-repro coordinator --dataset surface --bind 127.0.0.1:41817
+    goggles-repro worker --connect 127.0.0.1:41817
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from dataclasses import replace
 
 import numpy as np
 
 from repro.core import Goggles, GogglesConfig
 from repro.datasets import DATASET_NAMES, make_dataset
-from repro.engine import EXECUTORS
+from repro.engine import EXECUTORS, ArtifactCache
 from repro.eval.harness import (
     ExperimentSettings,
     run_fig2,
@@ -71,8 +81,8 @@ def _cmd_label(args: argparse.Namespace) -> int:
     # One-shot command: retaining the corpus state only pays off when a
     # cache directory persists it for a later incremental/serve run.
     keep_state = args.cache_dir is not None and not args.no_keep_corpus_state
-    goggles = Goggles(_goggles_config(args, dataset.n_classes, keep_corpus_state=keep_state))
-    result = goggles.label(dataset.images, dev)
+    with Goggles(_goggles_config(args, dataset.n_classes, keep_corpus_state=keep_state)) as goggles:
+        result = goggles.label(dataset.images, dev)
     accuracy = result.accuracy(dataset.labels, exclude=dev.indices)
     print(f"dataset: {dataset.name}")
     print(f"instances: {dataset.n_examples} (dev {dev.size})")
@@ -120,6 +130,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service.start(dataset.images[:n0])
     print(f"seed corpus: {n0} images labeled in {time.perf_counter() - start:.2f}s")
 
+    if args.http_port is not None:
+        # Network mode: expose submit/poll/healthz over HTTP instead of
+        # streaming the rest of the dataset locally.
+        from repro.serving import serve_http
+
+        server = serve_http(
+            service, host=args.http_host, port=args.http_port,
+            max_queued_pixels=args.max_queued_pixels,
+        )
+        print(f"HTTP front-end on {server.url}  (POST /submit, GET /poll/<ticket>, GET /healthz)")
+        print("Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            service.stop()
+            goggles.close()
+        return 0
+
     correct = 0
     streamed = 0
     with service:
@@ -144,6 +176,102 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     accuracy = 100 * correct / max(streamed, 1)
     print(f"streamed: {streamed} images in {service.n_batches} incremental runs")
     print(f"streaming accuracy: {accuracy:.2f}%  (corpus now {service.corpus_size} images)")
+    goggles.close()
+    return 0
+
+
+def _cmd_coordinator(args: argparse.Namespace) -> int:
+    """Run a labeling job as the cluster coordinator.
+
+    Binds the broker, optionally spawns local workers, then shards the
+    affinity tiles and base fits over whoever is connected.  Remote
+    workers join with ``goggles-repro worker --connect HOST:PORT``.
+    """
+    from repro.distributed import Coordinator, DistributedConfig
+
+    dataset = make_dataset(args.dataset, n_per_class=args.n_per_class, seed=args.seed)
+    dev = dataset.sample_dev_set(args.dev_per_class, seed=args.seed)
+    # The explicit Coordinator below is the single source of truth for
+    # bind/worker settings; the engine config only selects the executor.
+    engine = replace(_settings(args).engine_config(), executor="distributed")
+    coordinator = Coordinator(
+        DistributedConfig(
+            bind=args.bind,
+            authkey=args.authkey,
+            n_workers=args.spawn_workers,
+            lease_timeout=args.lease_timeout,
+            max_attempts=args.max_attempts,
+        )
+    )
+    config = GogglesConfig(
+        n_classes=dataset.n_classes, seed=args.seed,
+        keep_corpus_state=False, engine=engine,
+    )
+    with Goggles(config, coordinator=coordinator) as goggles:
+        host, port = coordinator.address
+        print(f"coordinator listening on {host}:{port} "
+              f"({args.spawn_workers} local worker(s) spawned)")
+        start = time.perf_counter()
+        result = goggles.label(dataset.images, dev)
+        elapsed = time.perf_counter() - start
+        accuracy = result.accuracy(dataset.labels, exclude=dev.indices)
+        queue_stats = coordinator.queue.stats()
+        print(f"dataset: {dataset.name} ({dataset.n_examples} instances, dev {dev.size})")
+        print(f"labeling accuracy (dev excluded): {100 * accuracy:.2f}%  in {elapsed:.2f}s")
+        print(
+            f"shards: {coordinator.stats['shards_planned']} planned, "
+            f"{queue_stats['completed']} completed, {queue_stats['requeued']} requeued, "
+            f"{coordinator.stats['cache_hits']} cache hits"
+        )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Serve shards to a coordinator until it goes away."""
+    from repro.distributed import Worker, parse_address, require_safe_authkey
+
+    host, port = parse_address(args.connect)
+    # Shard payloads are unpickled: never trust a routable coordinator
+    # that is "authenticated" only by the public built-in key.
+    require_safe_authkey(host, args.authkey)
+    cache = (
+        ArtifactCache(args.cache_dir, max_bytes=args.cache_max_bytes)
+        if args.cache_dir
+        else None
+    )
+    worker = Worker((host, port), args.authkey, cache=cache)
+    print(f"worker {worker.worker_id} polling {args.connect}")
+    worker.run()
+    print(
+        f"worker exiting (coordinator gone): {worker.tasks_completed} shard(s) "
+        f"computed, {worker.tasks_failed} failed"
+    )
+    return 0
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    """Inspect a shared artifact-cache directory."""
+    if args.cache_dir is None:
+        raise SystemExit("cache-info needs --cache-dir")
+    cache = ArtifactCache(args.cache_dir, max_bytes=args.cache_max_bytes)
+    kinds: dict[str, tuple[int, int]] = {}
+    for name in sorted(os.listdir(cache.cache_dir)):
+        if not name.endswith(".npz"):
+            continue
+        kind = name.rsplit("-", 1)[0]
+        size = os.path.getsize(os.path.join(cache.cache_dir, name))
+        count, total = kinds.get(kind, (0, 0))
+        kinds[kind] = (count + 1, total + size)
+    print(f"cache dir: {cache.cache_dir}")
+    for kind, (count, total) in sorted(kinds.items()):
+        print(f"  {kind:>10}: {count} entries, {total} bytes")
+    print(f"total: {sum(c for c, _ in kinds.values())} entries, {cache.total_bytes()} bytes"
+          + (f" (budget {cache.max_bytes})" if cache.max_bytes is not None else " (unbounded)"))
+    stats = cache.stats
+    print(
+        f"this process: {stats.total_hits} hits, {stats.total_misses} misses, "
+        f"{stats.evictions} evictions"
+    )
     return 0
 
 
@@ -236,7 +364,64 @@ def main(argv: list[str] | None = None) -> int:
         "--no-warm-start", action="store_true",
         help="cold-refit inference on every batch (the warm-start escape hatch)",
     )
+    serve.add_argument(
+        "--http-port", type=int, default=None,
+        help="expose the service over HTTP on this port instead of streaming locally "
+        "(POST /submit, GET /poll/<ticket>, GET /healthz)",
+    )
+    serve.add_argument("--http-host", default="127.0.0.1", help="HTTP bind host")
+    serve.add_argument(
+        "--max-queued-pixels", type=int, default=None,
+        help="back-pressure bound: submissions pushing queued pixels above this "
+        "get 429 + Retry-After (default unbounded)",
+    )
     serve.set_defaults(fn=_cmd_serve)
+
+    from repro.distributed import DEFAULT_PORT, default_authkey
+
+    coordinator = sub.add_parser(
+        "coordinator",
+        help="run a labeling job as a cluster coordinator (shards affinity tiles "
+        "and base fits to connected workers)",
+    )
+    coordinator.add_argument("--dataset", choices=DATASET_NAMES, default="surface")
+    coordinator.add_argument(
+        "--bind", default=f"127.0.0.1:{DEFAULT_PORT}",
+        help="host:port the broker listens on (port 0 = ephemeral); bind a routable "
+        "host to accept workers from other machines",
+    )
+    coordinator.add_argument(
+        "--spawn-workers", type=int, default=2,
+        help="local worker processes to spawn (0 = all workers join externally)",
+    )
+    coordinator.add_argument(
+        "--authkey", default=default_authkey(),
+        help="shared connection secret (default $GOGGLES_AUTHKEY or built-in)",
+    )
+    coordinator.add_argument(
+        "--lease-timeout", type=float, default=30.0,
+        help="seconds before an unresponsive worker's shard is reassigned",
+    )
+    coordinator.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="lease grants per shard before it is poisoned (clear error, no hang)",
+    )
+    coordinator.set_defaults(fn=_cmd_coordinator)
+
+    worker = sub.add_parser("worker", help="serve shards to a coordinator")
+    worker.add_argument(
+        "--connect", required=True, help="coordinator host:port to pull shards from"
+    )
+    worker.add_argument(
+        "--authkey", default=default_authkey(),
+        help="shared connection secret (default $GOGGLES_AUTHKEY or built-in)",
+    )
+    worker.set_defaults(fn=_cmd_worker)
+
+    cache_info = sub.add_parser(
+        "cache-info", help="inspect the shared artifact cache (entries, bytes, stats)"
+    )
+    cache_info.set_defaults(fn=_cmd_cache_info)
 
     sub.add_parser("table1", help="reproduce Table 1").set_defaults(fn=_cmd_table1)
     sub.add_parser("table2", help="reproduce Table 2").set_defaults(fn=_cmd_table2)

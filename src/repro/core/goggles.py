@@ -51,9 +51,18 @@ class GogglesConfig:
             base-model fits ("we can parallelize all of the base
             models", §5.3).  Results are identical at any width.
         executor: worker model for the base-model fits — ``"serial"``,
-            ``"thread"`` (default) or ``"process"`` (shared-memory
-            ProcessPoolExecutor; scales EM past the GIL).  Results are
-            identical in every mode.
+            ``"thread"`` (default), ``"process"`` (shared-memory
+            ProcessPoolExecutor; scales EM past the GIL) or
+            ``"distributed"`` (affinity tiles *and* base fits sharded
+            over a coordinator/worker cluster, possibly spanning
+            machines).  Results are identical in every mode.
+        broker: ``host:port`` the distributed coordinator binds (only
+            with ``executor="distributed"``; port 0 = ephemeral).
+            ``None`` means a localhost cluster that auto-spawns
+            ``n_workers or n_jobs`` local workers.
+        n_workers: local worker processes the distributed session
+            spawns; 0 with an explicit ``broker`` means workers join
+            externally via ``goggles-repro worker``.
         batch_size: images per backbone forward pass in the affinity
             engine; bounds peak memory, never changes values.
         cache_dir: artifact-cache directory shared by the affinity and
@@ -80,6 +89,8 @@ class GogglesConfig:
     seed: int = 0
     n_jobs: int = 1
     executor: str = "thread"
+    broker: str | None = None
+    n_workers: int = 0
     batch_size: int | None = 32
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
@@ -102,6 +113,8 @@ class GogglesConfig:
             executor=self.executor,
             cache_dir=self.cache_dir,
             cache_max_bytes=self.cache_max_bytes,
+            broker=self.broker,
+            n_workers=self.n_workers,
         )
 
 
@@ -141,9 +154,23 @@ class GogglesResult:
 
 
 class Goggles:
-    """The GOGGLES automatic image-labeling system."""
+    """The GOGGLES automatic image-labeling system.
 
-    def __init__(self, config: GogglesConfig | None = None, model: VGG16 | None = None):
+    With ``executor="distributed"`` the pipeline owns one
+    coordinator/worker session (``self.coordinator``) shared by both
+    stages, so a worker connects once and serves affinity tiles and
+    base fits alike; :meth:`close` (or the context-manager form) shuts
+    it down.  An externally managed session can be injected via the
+    ``coordinator`` argument (e.g. the CLI's ``coordinator`` verb,
+    which binds a fixed address for remote workers).
+    """
+
+    def __init__(
+        self,
+        config: GogglesConfig | None = None,
+        model: VGG16 | None = None,
+        coordinator: "object | None" = None,
+    ):
         self.config = config or GogglesConfig()
         self.model = model if model is not None else VGG16(self.config.vgg)
         engine_config = self.config.engine_config()
@@ -151,6 +178,20 @@ class Goggles:
             PrototypeAffinitySource(self.model, top_z=self.config.top_z, layers=self.config.layers),
             engine_config,
         )
+        self.coordinator = coordinator
+        if engine_config.executor == "distributed" and self.coordinator is None:
+            from repro.distributed import Coordinator
+
+            self.coordinator = Coordinator.for_engine(
+                broker=engine_config.broker,
+                n_workers=engine_config.n_workers,
+                n_jobs=engine_config.n_jobs,
+                cache=self.engine.cache,
+            )
+        if self.coordinator is not None:
+            if getattr(self.coordinator, "cache", None) is None:
+                self.coordinator.cache = self.engine.cache
+            self.engine.use_coordinator(self.coordinator)
         # Step 2 mirrors step 1: a staged engine sharing the same cache,
         # so fitted inference parameters persist next to the corpus state.
         self.inference = InferenceEngine(
@@ -158,7 +199,19 @@ class Goggles:
             executor=engine_config.executor,
             n_jobs=engine_config.n_jobs,
             cache=self.engine.cache,
+            coordinator=self.coordinator,
         )
+
+    def close(self) -> None:
+        """Shut down the distributed session, if any. Idempotent."""
+        if self.coordinator is not None:
+            self.coordinator.close()
+
+    def __enter__(self) -> "Goggles":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def build_affinity_matrix(self, images: np.ndarray) -> AffinityMatrix:
         """Step 1 (Figure 3): affinity matrix construction.

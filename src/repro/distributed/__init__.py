@@ -1,0 +1,57 @@
+"""The distributed shard runtime (see ENGINE.md, "Distributed stages").
+
+Shards GOGGLES' two embarrassingly parallel stages — affinity tile
+construction (paper §3) and per-affinity-function base GMM fits (§4,
+§5.3) — across worker processes that may live on other machines, over
+a lease-based fault-tolerant task queue, with results merged back
+bit-identically to the serial path:
+
+* :mod:`repro.distributed.tasks` — content-addressed shard tasks and
+  the :class:`ShardPlanner` that cuts stage work into them.
+* :mod:`repro.distributed.queue` — the lease/retry/poison bookkeeping.
+* :mod:`repro.distributed.broker` — the authenticated TCP front door.
+* :mod:`repro.distributed.worker` — the pull/compute/report loop.
+* :mod:`repro.distributed.coordinator` — the session object the
+  engines drive (``executor="distributed"``).
+"""
+
+from repro.distributed.broker import DEFAULT_PORT, Broker
+from repro.distributed.coordinator import (
+    DEFAULT_AUTHKEY,
+    Coordinator,
+    DistributedConfig,
+    default_authkey,
+    parse_address,
+    require_safe_authkey,
+)
+from repro.distributed.queue import PoisonShardError, TaskQueue
+from repro.distributed.tasks import (
+    ShardPlanner,
+    ShardTask,
+    base_fit_task,
+    execute_shard,
+    load_shard_result,
+    similarity_task,
+)
+from repro.distributed.worker import Worker, run_worker_process
+
+__all__ = [
+    "DEFAULT_AUTHKEY",
+    "DEFAULT_PORT",
+    "Broker",
+    "Coordinator",
+    "DistributedConfig",
+    "PoisonShardError",
+    "ShardPlanner",
+    "ShardTask",
+    "TaskQueue",
+    "Worker",
+    "base_fit_task",
+    "default_authkey",
+    "execute_shard",
+    "load_shard_result",
+    "parse_address",
+    "require_safe_authkey",
+    "run_worker_process",
+    "similarity_task",
+]

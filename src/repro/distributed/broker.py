@@ -1,0 +1,164 @@
+"""The broker: the coordinator's network front door.
+
+Stdlib-only transport: a :class:`multiprocessing.connection.Listener`
+bound to a TCP address, so workers may live in other processes *or on
+other machines*; the connection handshake is HMAC-authenticated with a
+shared ``authkey``.  One daemon thread accepts connections; each worker
+connection gets its own handler thread that translates wire messages
+into :class:`~repro.distributed.queue.TaskQueue` calls:
+
+    ("lease", worker_id)                     -> ("task", ShardTask) | ("idle",) | ("stop",)
+    ("result", worker_id, task_id, arrays)   -> ("ok",)
+    ("fail", worker_id, task_id, error_str)  -> ("ok",)
+    ("bye", worker_id)                       -> connection closed
+
+Fault tolerance is layered: a broken connection releases the worker's
+leases immediately (fast crash detection), and the queue's lease
+timeout catches workers that stay connected but stop responding.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing.connection import Connection, Listener
+
+from repro.distributed.queue import TaskQueue
+
+__all__ = ["Broker", "DEFAULT_PORT"]
+
+#: Default TCP port of the `goggles-repro coordinator` verb.
+DEFAULT_PORT = 41817
+
+
+class Broker:
+    """Serves a :class:`TaskQueue` to workers over authenticated TCP."""
+
+    def __init__(
+        self,
+        queue: TaskQueue,
+        bind: tuple[str, int] = ("127.0.0.1", 0),
+        authkey: str | bytes = "goggles-repro",
+    ):
+        self.queue = queue
+        self._authkey = authkey.encode() if isinstance(authkey, str) else bytes(authkey)
+        self._listener = Listener(tuple(bind), authkey=self._authkey)
+        self._closing = threading.Event()
+        self._lock = threading.Lock()
+        self._connections: list[Connection] = []
+        self._handlers: list[threading.Thread] = []
+        self.n_connections = 0  # workers ever accepted
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="goggles-broker-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound (host, port) — resolves ephemeral ports."""
+        host, port = self._listener.address
+        return str(host), int(port)
+
+    @property
+    def active_connections(self) -> int:
+        """Worker connections currently open (liveness signal)."""
+        with self._lock:
+            return len(self._connections)
+
+    # ------------------------------------------------------------------
+    # Accept / serve
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn = self._listener.accept()
+            except Exception:
+                # Auth failure or a probe that vanished: keep serving.
+                # A closed listener lands here too — then we are done.
+                if self._closing.is_set():
+                    return
+                continue
+            with self._lock:
+                if self._closing.is_set():
+                    conn.close()
+                    return
+                self._connections.append(conn)
+                self.n_connections += 1
+                handler = threading.Thread(
+                    target=self._serve, args=(conn,),
+                    name=f"goggles-broker-conn-{self.n_connections}", daemon=True,
+                )
+                self._handlers.append(handler)
+            handler.start()
+
+    def _serve(self, conn: Connection) -> None:
+        worker_id: str | None = None
+        try:
+            while not self._closing.is_set():
+                message = conn.recv()
+                op = message[0]
+                if op == "lease":
+                    worker_id = message[1]
+                    if self._closing.is_set():
+                        conn.send(("stop",))
+                        break
+                    task = self.queue.lease(worker_id)
+                    conn.send(("task", task) if task is not None else ("idle",))
+                elif op == "result":
+                    _, worker_id, task_id, arrays = message
+                    self.queue.complete(task_id, worker_id, arrays)
+                    conn.send(("ok",))
+                elif op == "fail":
+                    _, worker_id, task_id, error = message
+                    self.queue.fail(task_id, worker_id, error)
+                    conn.send(("ok",))
+                elif op == "bye":
+                    break
+                else:
+                    conn.send(("error", f"unknown op {op!r}"))
+        except (EOFError, OSError, TypeError, ValueError):
+            # Worker vanished, or close() raced this thread's recv()
+            # (a closed Connection's handle reads as None mid-call).
+            # Either way: leases released below.
+            pass
+        finally:
+            if worker_id is not None:
+                # Fast crash detection: a broken connection hands the
+                # worker's in-flight shards straight back to the queue
+                # instead of waiting out the lease timeout.
+                self.queue.release_worker(worker_id)
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+                # Prune this handler too, or a long-lived coordinator
+                # with flapping workers accumulates dead Thread objects.
+                current = threading.current_thread()
+                if current in self._handlers:
+                    self._handlers.remove(current)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting, drop every worker connection. Idempotent."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        with self._lock:
+            connections, self._connections = self._connections, []
+            handlers, self._handlers = self._handlers, []
+        for conn in connections:
+            try:
+                conn.close()  # unblocks the handler's recv()
+            except OSError:  # pragma: no cover
+                pass
+        self._accept_thread.join(timeout=5.0)
+        for handler in handlers:
+            handler.join(timeout=5.0)

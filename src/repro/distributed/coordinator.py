@@ -1,0 +1,411 @@
+"""The coordinator: plan shards, serve workers, merge bit-identical results.
+
+The coordinator is the distributed runtime's only stateful piece.  It
+owns the lease-based :class:`~repro.distributed.queue.TaskQueue`, binds
+the :class:`~repro.distributed.broker.Broker` socket, optionally spawns
+local workers, and exposes the two stage-level operations the engines
+need:
+
+* :meth:`Coordinator.best_similarities` — stage 2: the (images ×
+  prototype-rows) grid is cut at the serial tile boundaries, shipped as
+  ``"similarity"`` shards, and merged back into the exact array the
+  serial kernel produces.
+* :meth:`Coordinator.fit_base_models` — stage 4: one ``"base-fit"``
+  shard per affinity function; every shard derives the same per-function
+  seed stream as a serial fit, so posteriors are bit-identical no matter
+  how many workers computed them, in what order, or after how many
+  lease reassignments.
+
+Construction is lazy and cheap — no socket is bound until the first
+:meth:`run` (a fully cache-hot rerun never binds one at all), so a
+``Goggles`` configured for distributed execution costs nothing until it
+actually labels.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.inference.base_gmm import GMMFitResult
+from repro.core.inference.hierarchical import HierarchicalConfig
+from repro.distributed.broker import Broker
+from repro.distributed.queue import PoisonShardError, TaskQueue
+from repro.distributed.tasks import (
+    ShardPlanner,
+    ShardTask,
+    load_shard_result,
+    unpack_gmm_result,
+)
+from repro.distributed.worker import Worker, run_worker_process
+from repro.engine.cache import ArtifactCache
+
+__all__ = [
+    "DEFAULT_AUTHKEY",
+    "default_authkey",
+    "require_safe_authkey",
+    "parse_address",
+    "DistributedConfig",
+    "Coordinator",
+]
+
+DEFAULT_AUTHKEY = "goggles-repro"
+
+_WORKER_MODES = ("process", "thread")
+
+
+def default_authkey() -> str:
+    """The shared connection secret (override with ``GOGGLES_AUTHKEY``)."""
+    return os.environ.get("GOGGLES_AUTHKEY", DEFAULT_AUTHKEY)
+
+
+_LOOPBACK_HOSTS = ("127.0.0.1", "localhost", "::1")
+
+
+def require_safe_authkey(host: str, authkey: str) -> None:
+    """Refuse a routable endpoint secured only by the public default key.
+
+    The transport unpickles peer messages after the HMAC handshake, so
+    anyone who knows the authkey can execute code on the peer.  On
+    loopback that is the local user either way; on a routable address
+    the well-known built-in default would hand that power to the whole
+    network, so a real secret is mandatory there.
+    """
+    if host not in _LOOPBACK_HOSTS and authkey == DEFAULT_AUTHKEY:
+        raise ValueError(
+            f"refusing the built-in default authkey on routable address {host!r}: "
+            "the connection handshake gates arbitrary (pickle) payloads, so a "
+            "public key means remote code execution — set GOGGLES_AUTHKEY or "
+            "pass an explicit secret (CLI: --authkey)"
+        )
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (port 0 = ephemeral)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"broker address must look like host:port, got {spec!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"broker address must look like host:port, got {spec!r}") from None
+
+
+@dataclass(frozen=True)
+class DistributedConfig:
+    """Configuration of one coordinator/worker session.
+
+    Attributes:
+        bind: ``host:port`` the broker listens on; port 0 binds an
+            ephemeral port (read it back from ``Coordinator.address``).
+            Bind a routable host to accept workers from other machines.
+        authkey: shared HMAC secret for connection authentication;
+            defaults to ``$GOGGLES_AUTHKEY`` or ``"goggles-repro"``.
+        n_workers: local workers the coordinator spawns itself; 0 means
+            every worker joins externally (``goggles-repro worker``).
+        worker_mode: ``"process"`` (spawned subprocesses — true
+            parallelism, the production shape) or ``"thread"``
+            (in-process loops — cheap, mainly for tests and tiny runs).
+        lease_timeout: seconds before an unresponsive worker's shard is
+            reassigned.
+        max_attempts: lease grants per shard before it is poisoned.
+        run_timeout: overall deadline for one :meth:`Coordinator.run`;
+            ``None`` waits forever.
+        worker_poll_interval: idle poll period of spawned workers.
+    """
+
+    bind: str = "127.0.0.1:0"
+    authkey: str = field(default_factory=default_authkey)
+    n_workers: int = 0
+    worker_mode: str = "process"
+    lease_timeout: float = 30.0
+    max_attempts: int = 3
+    run_timeout: float | None = 600.0
+    worker_poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        parse_address(self.bind)  # fail fast on malformed addresses
+        if self.n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.worker_mode not in _WORKER_MODES:
+            raise ValueError(
+                f"worker_mode must be one of {_WORKER_MODES}, got {self.worker_mode!r}"
+            )
+        if self.run_timeout is not None and self.run_timeout <= 0:
+            raise ValueError(f"run_timeout must be > 0, got {self.run_timeout}")
+
+
+class Coordinator:
+    """Coordinator/worker session over the fault-tolerant task queue."""
+
+    def __init__(self, config: DistributedConfig | None = None, *, cache: ArtifactCache | None = None):
+        self.config = config or DistributedConfig()
+        self.cache = cache
+        self.queue = TaskQueue(
+            lease_timeout=self.config.lease_timeout,
+            max_attempts=self.config.max_attempts,
+        )
+        self._broker: Broker | None = None
+        self._thread_workers: list[tuple[Worker, threading.Thread]] = []
+        self._processes: list[multiprocessing.process.BaseProcess] = []
+        self._closed = False
+        self.stats = {"runs": 0, "shards_planned": 0, "cache_hits": 0}
+
+    @classmethod
+    def for_engine(
+        cls,
+        *,
+        broker: str | None = None,
+        n_workers: int = 0,
+        n_jobs: int = 1,
+        cache: ArtifactCache | None = None,
+    ) -> "Coordinator":
+        """The coordinator implied by engine-level knobs.
+
+        An explicit ``broker`` address binds there and trusts
+        ``n_workers`` as given (0 = all workers join externally).
+        Without one, ``executor="distributed"`` should still just work:
+        bind an ephemeral localhost port and spawn ``n_workers`` (or,
+        when that is 0, ``n_jobs``) local workers — a one-knob local
+        cluster.
+        """
+        if broker is None and n_workers == 0:
+            n_workers = max(1, n_jobs)
+        return cls(
+            DistributedConfig(bind=broker or "127.0.0.1:0", n_workers=n_workers),
+            cache=cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._broker is not None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The broker's bound (host, port); starts the session."""
+        self.start()
+        assert self._broker is not None
+        return self._broker.address
+
+    def start(self) -> "Coordinator":
+        """Bind the broker and spawn local workers. Idempotent."""
+        if self._closed:
+            raise RuntimeError("coordinator is closed")
+        if self._broker is not None:
+            return self
+        bind = parse_address(self.config.bind)
+        require_safe_authkey(bind[0], self.config.authkey)
+        self._broker = Broker(self.queue, bind=bind, authkey=self.config.authkey)
+        for index in range(self.config.n_workers):
+            self._spawn_worker(index)
+        return self
+
+    def _spawn_worker(self, index: int) -> None:
+        assert self._broker is not None
+        host, port = self._broker.address
+        if self.config.worker_mode == "thread":
+            worker = Worker(
+                (host, port),
+                self.config.authkey,
+                cache=self.cache,
+                worker_id=f"local-thread-{index}",
+                poll_interval=self.config.worker_poll_interval,
+            )
+            thread = threading.Thread(
+                target=worker.run, name=f"goggles-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._thread_workers.append((worker, thread))
+        else:
+            # Spawn (not fork): the broker's accept thread is already
+            # running, and forked children would inherit its socket.
+            context = multiprocessing.get_context("spawn")
+            cache_dir = self.cache.cache_dir if self.cache is not None else None
+            cache_max_bytes = self.cache.max_bytes if self.cache is not None else None
+            process = context.Process(
+                target=run_worker_process,
+                args=(host, port, self.config.authkey, cache_dir, cache_max_bytes),
+                name=f"goggles-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def close(self) -> None:
+        """Shut the session down: workers, broker, socket. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker, _ in self._thread_workers:
+            worker.stop()
+        if self._broker is not None:
+            self._broker.close()
+        for worker, thread in self._thread_workers:
+            thread.join(timeout=5.0)
+        for process in self._processes:
+            process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+        self._thread_workers.clear()
+        self._processes.clear()
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Running shards
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[ShardTask]) -> dict[str, dict]:
+        """Execute shards on the cluster; returns ``{task_id: arrays}``.
+
+        Shards whose content-addressed result already sits in the
+        shared cache are resolved locally without touching the queue —
+        a fully warm rerun never even binds the broker socket.  Raises
+        :class:`PoisonShardError` when a shard exhausts its retry
+        budget and :class:`TimeoutError` when ``run_timeout`` passes
+        with shards incomplete (e.g. no worker ever connected).
+        """
+        if self._closed:
+            raise RuntimeError("coordinator is closed")
+        results: dict[str, dict] = {}
+        outstanding: list[ShardTask] = []
+        seen: set[str] = set()
+        for task in tasks:
+            if task.task_id in seen or task.task_id in results:
+                continue
+            seen.add(task.task_id)
+            if self.cache is not None:
+                cached = load_shard_result(self.cache, task)
+                if cached is not None:
+                    results[task.task_id] = cached
+                    self.stats["cache_hits"] += 1
+                    continue
+            outstanding.append(task)
+        self.stats["runs"] += 1
+        self.stats["shards_planned"] += len(outstanding)
+        if not outstanding:
+            return results
+        self.start()
+        for task in outstanding:
+            self.queue.add(task)
+        ids = [task.task_id for task in outstanding]
+        finished = self._wait(ids)
+        poisoned = self.queue.poisoned_among(ids)
+        if poisoned:
+            worst = poisoned[0]
+            self.queue.forget(ids)
+            raise PoisonShardError(worst.task, worst.attempts, worst.errors)
+        if not finished:
+            incomplete = self.queue.outstanding(ids)
+            self.queue.forget(ids)
+            raise TimeoutError(
+                f"distributed run timed out after {self.config.run_timeout}s with "
+                f"{incomplete} shard(s) incomplete — are any workers connected to "
+                f"{self._broker.address if self._broker else self.config.bind}?"
+            )
+        for task_id in ids:
+            result = self.queue.result(task_id)
+            assert result is not None
+            results[task_id] = result
+        self.queue.forget(ids)
+        return results
+
+    def _wait(self, ids: list[str]) -> bool:
+        """Wait for shards in slices, watching local-cluster liveness."""
+        deadline = (
+            None if self.config.run_timeout is None
+            else time.monotonic() + self.config.run_timeout
+        )
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            step = 0.5 if remaining is None else min(0.5, remaining)
+            if self.queue.wait(ids, timeout=step):
+                return True
+            self._check_local_cluster()
+
+    def _check_local_cluster(self) -> None:
+        """Fail fast when every local worker died and nobody else serves.
+
+        Without this, a cluster whose auto-spawned workers crashed at
+        startup (bad environment, import error) would sit silently
+        until ``run_timeout``.  External workers joining through an
+        explicit broker address keep the run alive.
+        """
+        spawned = bool(self._processes) or bool(self._thread_workers)
+        if not spawned:
+            return  # external-workers-only session: nothing to watch
+        alive = any(p.is_alive() for p in self._processes) or any(
+            t.is_alive() for _, t in self._thread_workers
+        )
+        if alive:
+            return
+        if self._broker is not None and self._broker.active_connections > 0:
+            return  # external workers are serving
+        exit_codes = [p.exitcode for p in self._processes]
+        raise RuntimeError(
+            f"all {len(self._processes) + len(self._thread_workers)} local worker(s) "
+            f"exited (exit codes {exit_codes}) with shards still outstanding and no "
+            f"external workers connected to "
+            f"{self._broker.address if self._broker else self.config.bind}; "
+            "check the workers' stderr"
+        )
+
+    # ------------------------------------------------------------------
+    # Stage-level operations (what the engines call)
+    # ------------------------------------------------------------------
+    def best_similarities(
+        self,
+        prototypes: np.ndarray,
+        unit_vectors: np.ndarray,
+        *,
+        row_tile: int | None = 32,
+        col_tile: int | None = None,
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """Distributed drop-in for :func:`repro.engine.tiling.best_similarities`.
+
+        Merge invariant: shards are cut at the serial tile boundaries
+        and each computes the serial kernel's exact per-image matmuls,
+        so the assembled array is bit-identical to a serial call.
+        """
+        planner = ShardPlanner(row_tile=row_tile, col_tile=col_tile)
+        tasks, targets = planner.similarity_shards(prototypes, unit_vectors, dtype)
+        results = self.run(tasks)
+        out = np.empty((prototypes.shape[0], unit_vectors.shape[0]), dtype=np.float64)
+        for task_id, slots in targets.items():
+            best = results[task_id]["best"]
+            for (i0, i1), (j0, j1) in slots:
+                out[j0:j1, i0:i1] = best
+        return out
+
+    def fit_base_models(
+        self,
+        affinity,
+        config: HierarchicalConfig,
+        initializers: list[np.ndarray] | None = None,
+    ) -> tuple[GMMFitResult, ...]:
+        """Distributed stage-1 inference: one base-fit shard per function."""
+        planner = ShardPlanner()
+        tasks = planner.base_fit_shards(affinity, config, initializers)
+        results = self.run(tasks)
+        return tuple(unpack_gmm_result(results[task.task_id]) for task in tasks)

@@ -1,0 +1,249 @@
+"""Lease-based fault-tolerant task queue (the broker's bookkeeping).
+
+Workers *lease* shards rather than take them: every lease carries a
+deadline, and a worker that dies, hangs, or disconnects mid-shard
+simply lets its lease expire (disconnects release it immediately),
+after which the shard goes back to the pending queue for the next
+worker that asks.  Each grant consumes one unit of the shard's retry
+budget; a shard that keeps burning budget is declared *poisoned* and
+surfaced as a :class:`PoisonShardError` instead of being retried
+forever — the escape hatch that turns a deterministic crash into a
+clear, actionable error rather than a silently hung cluster.
+
+Because shard tasks are pure and content-addressed, the at-least-once
+execution this protocol implies is safe: a lease that expired because
+its worker was merely *slow* may still complete later, and the (by
+construction identical) result is accepted or ignored idempotently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.distributed.tasks import ShardTask
+
+__all__ = ["PoisonShardError", "TaskQueue"]
+
+
+class PoisonShardError(RuntimeError):
+    """A shard exhausted its retry budget; carries the failure history."""
+
+    def __init__(self, task: ShardTask, attempts: int, errors: list[str]):
+        self.task = task
+        self.attempts = attempts
+        self.errors = list(errors)
+        last = self.errors[-1] if self.errors else "lease expired"
+        super().__init__(
+            f"shard {task.task_id[:12]} ({task.kind}) exceeded its retry budget "
+            f"({attempts} attempts); last error: {last}"
+        )
+
+
+@dataclass
+class _Tracked:
+    """Book-keeping of one shard not yet completed."""
+
+    task: ShardTask
+    attempts: int = 0
+    worker: str | None = None
+    deadline: float | None = None
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def leased(self) -> bool:
+        return self.worker is not None
+
+
+class TaskQueue:
+    """Thread-safe shard queue with leases, retries, and poison shards.
+
+    Parameters:
+        lease_timeout: seconds a worker may hold a shard before it is
+            presumed dead and the shard is reassigned.
+        max_attempts: lease grants per shard before it is poisoned.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._tracked: dict[str, _Tracked] = {}
+        self._pending: deque[str] = deque()
+        self._results: dict[str, dict] = {}
+        self._poisoned: dict[str, _Tracked] = {}
+        # Cumulative counters (monotone; exposed via stats()).
+        self.n_completed = 0
+        self.n_requeued = 0
+        self.n_failed = 0
+
+    # ------------------------------------------------------------------
+    # Producer side (coordinator)
+    # ------------------------------------------------------------------
+    def add(self, task: ShardTask) -> bool:
+        """Enqueue a shard; ``False`` if its id is already known."""
+        with self._cond:
+            tid = task.task_id
+            if tid in self._tracked or tid in self._results or tid in self._poisoned:
+                return False
+            self._tracked[tid] = _Tracked(task=task)
+            self._pending.append(tid)
+            self._cond.notify_all()
+            return True
+
+    def wait(self, task_ids: Iterable[str], timeout: float | None = None) -> bool:
+        """Block until every listed shard is done *or any is poisoned*.
+
+        Returns ``False`` only on timeout.  Re-checks lease deadlines
+        while waiting, so dead workers are detected even when no live
+        worker is polling.
+        """
+        ids = set(task_ids)
+        deadline = None if timeout is None else self._clock() + timeout
+        # Wake often enough to reap expired leases promptly.
+        step = max(min(1.0, self.lease_timeout / 4.0), 0.01)
+        with self._cond:
+            while True:
+                self._reap(self._clock())
+                if any(tid in self._poisoned for tid in ids):
+                    return True
+                if all(tid in self._results for tid in ids):
+                    return True
+                now = self._clock()
+                if deadline is not None and now >= deadline:
+                    return False
+                remaining = step if deadline is None else min(step, deadline - now)
+                self._cond.wait(remaining)
+
+    def result(self, task_id: str) -> dict | None:
+        with self._cond:
+            return self._results.get(task_id)
+
+    def poisoned_among(self, task_ids: Iterable[str]) -> list[_Tracked]:
+        with self._cond:
+            return [self._poisoned[tid] for tid in task_ids if tid in self._poisoned]
+
+    def outstanding(self, task_ids: Iterable[str]) -> int:
+        """How many of the listed shards are still pending or leased."""
+        with self._cond:
+            return sum(1 for tid in task_ids if tid in self._tracked)
+
+    def forget(self, task_ids: Iterable[str]) -> None:
+        """Drop every trace of the listed shards (end of a run)."""
+        with self._cond:
+            for tid in task_ids:
+                self._tracked.pop(tid, None)
+                self._results.pop(tid, None)
+                self._poisoned.pop(tid, None)
+            # _pending entries pointing at forgotten ids are skipped
+            # lazily by lease().
+
+    # ------------------------------------------------------------------
+    # Worker side (via the broker)
+    # ------------------------------------------------------------------
+    def lease(self, worker_id: str) -> ShardTask | None:
+        """Grant the next pending shard to ``worker_id`` (or ``None``)."""
+        now = self._clock()
+        with self._cond:
+            self._reap(now)
+            while self._pending:
+                tid = self._pending.popleft()
+                tracked = self._tracked.get(tid)
+                if tracked is None or tracked.leased:
+                    continue  # completed elsewhere or stale entry
+                tracked.attempts += 1
+                tracked.worker = worker_id
+                tracked.deadline = now + self.lease_timeout
+                return tracked.task
+            return None
+
+    def complete(self, task_id: str, worker_id: str, result: dict) -> bool:
+        """Record a shard result (idempotent; late duplicates ignored).
+
+        Results are accepted even from expired or reassigned leases —
+        shards are pure and content-addressed, so any completion is the
+        right answer.  A late completion even rescues a poisoned shard.
+        """
+        with self._cond:
+            tracked = self._tracked.pop(task_id, None)
+            if tracked is None:
+                tracked = self._poisoned.pop(task_id, None)
+                if tracked is None:
+                    return False  # already done or never known
+            self._results[task_id] = result
+            self.n_completed += 1
+            self._cond.notify_all()
+            return True
+
+    def fail(self, task_id: str, worker_id: str, error: str) -> None:
+        """Record a worker-reported failure; requeue or poison."""
+        with self._cond:
+            tracked = self._tracked.get(task_id)
+            if tracked is None or tracked.worker != worker_id:
+                return  # stale report from an expired lease
+            self.n_failed += 1
+            tracked.errors.append(error)
+            self._requeue_or_poison(tracked)
+
+    def release_worker(self, worker_id: str) -> int:
+        """Requeue every shard leased by a worker (disconnect detection)."""
+        released = 0
+        with self._cond:
+            for tracked in list(self._tracked.values()):
+                if tracked.worker == worker_id:
+                    tracked.errors.append(f"worker {worker_id} disconnected mid-lease")
+                    self._requeue_or_poison(tracked)
+                    released += 1
+        return released
+
+    # ------------------------------------------------------------------
+    # Internals (condition held)
+    # ------------------------------------------------------------------
+    def _requeue_or_poison(self, tracked: _Tracked) -> None:
+        tid = tracked.task.task_id
+        tracked.worker = None
+        tracked.deadline = None
+        if tracked.attempts >= self.max_attempts:
+            self._tracked.pop(tid, None)
+            self._poisoned[tid] = tracked
+        else:
+            self.n_requeued += 1
+            self._pending.append(tid)
+        self._cond.notify_all()
+
+    def _reap(self, now: float) -> None:
+        for tracked in list(self._tracked.values()):
+            if tracked.leased and tracked.deadline is not None and tracked.deadline < now:
+                tracked.errors.append(
+                    f"lease expired after {self.lease_timeout}s (worker {tracked.worker})"
+                )
+                self._requeue_or_poison(tracked)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            leased = sum(1 for t in self._tracked.values() if t.leased)
+            return {
+                "pending": len(self._tracked) - leased,
+                "leased": leased,
+                "completed": self.n_completed,
+                "requeued": self.n_requeued,
+                "failed": self.n_failed,
+                "poisoned": len(self._poisoned),
+            }

@@ -1,0 +1,292 @@
+"""Shard tasks: the unit of work of the distributed runtime.
+
+Both embarrassingly parallel stages of the pipeline decompose into
+pure, content-addressed tasks that any worker can compute:
+
+* ``"similarity"`` — one (image-tile × prototype-row-tile) block of the
+  α·N² affinity computation (paper §3).  The :class:`ShardPlanner` cuts
+  the grid at *exactly* the serial tile boundaries
+  (:func:`repro.engine.tiling.tile_bounds`) and the worker kernel runs
+  the same per-image matmuls as the serial ``score_block``, so the
+  merged matrix is bit-identical to a single-machine build.
+* ``"base-fit"`` — one per-affinity-function base GMM fit (paper §4,
+  "we can parallelize all of the base models", §5.3).  The worker runs
+  :func:`repro.core.inference.hierarchical.fit_base_function`, which
+  derives the function's own seed stream, so the result is independent
+  of which worker computes it, in which order, after how many retries.
+
+A task's id is a SHA-256 over every value-affecting byte of its payload
+(array content + parameter reprs).  Content addressing buys three
+properties at once: duplicate tiles collapse into one computation,
+at-least-once execution under lease reassignment is harmless
+(identical content ⇒ identical output), and results can be cached in a
+shared :class:`~repro.engine.cache.ArtifactCache` (kind ``"shard"``) so
+a rerun — by any worker or the coordinator itself — is a disk hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.inference.base_gmm import GMMFitResult
+from repro.core.inference.hierarchical import HierarchicalConfig, fit_base_function
+from repro.engine.cache import ArtifactCache, hash_arrays, hash_params
+from repro.engine.tiling import tile_bounds
+
+__all__ = [
+    "ShardTask",
+    "ShardPlanner",
+    "similarity_task",
+    "base_fit_task",
+    "execute_shard",
+    "load_shard_result",
+    "pack_gmm_result",
+    "unpack_gmm_result",
+    "shard_key",
+]
+
+# Bounds of one grid axis: (start, end).
+Bounds = tuple[int, int]
+
+
+def shard_key(kind: str, data_hash: str, params: dict[str, object]) -> str:
+    """Content address of one shard: kind | array content | parameters."""
+    material = f"{kind}|{data_hash}|{hash_params(params)}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of distributed work.
+
+    Attributes:
+        task_id: content address (see :func:`shard_key`); identical
+            payloads share an id, so retries and duplicates are safe.
+        kind: ``"similarity"`` or ``"base-fit"``.
+        payload: everything the worker needs — numpy arrays plus plain
+            picklable parameters.  Shipped over the connection verbatim.
+    """
+
+    task_id: str
+    kind: str
+    payload: dict = field(repr=False)
+
+
+# ----------------------------------------------------------------------
+# Task builders
+# ----------------------------------------------------------------------
+def similarity_task(prototypes: np.ndarray, vectors: np.ndarray) -> ShardTask:
+    """One tile of ``best_similarities``: score ``prototypes`` against
+    the unit location vectors of a tile of images.
+
+    The arrays must already carry the engine's compute dtype (the
+    planner casts once, before slicing, exactly like the serial kernel)
+    — the dtype is therefore part of the content hash via the array
+    bytes themselves.
+
+    Bit-identity requires shipping not just the tile's *values* but its
+    per-image memory **layout**: VGG pool features arrive as transposed
+    views, so the serial kernel's ``(C, P)`` operands are F-ordered,
+    and BLAS may round a transposed GEMM differently (~1 ulp) than a
+    C-ordered one.  F-ordered tiles are therefore serialised as their
+    ``(P, C)`` transpose and re-transposed by the worker, recreating
+    the exact strides the serial kernel sees.
+    """
+    prototypes = np.ascontiguousarray(prototypes)
+    # Per-image layout: F-ordered when the channel axis is the minor one.
+    transposed = vectors.strides[-2] <= vectors.strides[-1]
+    shipped = np.ascontiguousarray(vectors.transpose(0, 2, 1) if transposed else vectors)
+    task_id = shard_key(
+        "similarity", hash_arrays(prototypes, shipped), {"transposed": transposed}
+    )
+    return ShardTask(
+        task_id=task_id,
+        kind="similarity",
+        payload={"prototypes": prototypes, "vectors": shipped, "transposed": transposed},
+    )
+
+
+def base_fit_task(
+    block: np.ndarray,
+    config: HierarchicalConfig,
+    function_index: int,
+    init: np.ndarray | None = None,
+) -> ShardTask:
+    """One per-affinity-function base GMM fit (optionally warm-started)."""
+    block = np.ascontiguousarray(block)
+    arrays = [block] if init is None else [block, np.ascontiguousarray(init)]
+    params: dict[str, object] = {
+        "config": repr(config),
+        "function_index": int(function_index),
+        "warm": init is not None,
+    }
+    task_id = shard_key("base-fit", hash_arrays(*arrays), params)
+    return ShardTask(
+        task_id=task_id,
+        kind="base-fit",
+        payload={
+            "block": block,
+            "config": config,
+            "function_index": int(function_index),
+            "init": init,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Result (de)serialisation: every shard result is a flat {name: array}
+# mapping, so it ships over a connection and caches as an .npz alike.
+# ----------------------------------------------------------------------
+_GMM_KEYS = (
+    "responsibilities", "log_likelihood", "n_iterations",
+    "converged", "degenerate", "reinitialized",
+)
+
+
+def pack_gmm_result(result: GMMFitResult) -> dict[str, np.ndarray]:
+    return {
+        "responsibilities": result.responsibilities,
+        "log_likelihood": np.float64(result.log_likelihood),
+        "n_iterations": np.int64(result.n_iterations),
+        "converged": np.bool_(result.converged),
+        "degenerate": np.bool_(result.degenerate),
+        "reinitialized": np.bool_(result.reinitialized),
+    }
+
+
+def unpack_gmm_result(arrays: dict[str, np.ndarray]) -> GMMFitResult:
+    # params=None on purpose: responsibilities — not means, whose
+    # dimension is N — are the portable state, matching what a cached
+    # inference replay reconstructs.
+    return GMMFitResult(
+        responsibilities=np.asarray(arrays["responsibilities"]),
+        log_likelihood=float(arrays["log_likelihood"]),
+        n_iterations=int(arrays["n_iterations"]),
+        converged=bool(arrays["converged"]),
+        degenerate=bool(arrays["degenerate"]),
+        reinitialized=bool(arrays["reinitialized"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution (worker side)
+# ----------------------------------------------------------------------
+def _run_similarity(payload: dict) -> dict[str, np.ndarray]:
+    """Exactly the serial ``score_block`` inner loop of
+    :func:`repro.engine.tiling.best_similarities`: same per-image
+    matmul shapes *and strides* (see :func:`similarity_task`), so the
+    result is bit-identical to a serial tile."""
+    prototypes, vectors = payload["prototypes"], payload["vectors"]
+    if payload.get("transposed"):
+        vectors = vectors.transpose(0, 2, 1)  # restore the serial F-order view
+    best = np.empty((prototypes.shape[0], vectors.shape[0]), dtype=np.float64)
+    for i in range(vectors.shape[0]):
+        best[:, i] = (prototypes @ vectors[i]).max(axis=1)
+    return {"best": best}
+
+
+def _run_base_fit(payload: dict) -> dict[str, np.ndarray]:
+    result = fit_base_function(
+        payload["block"],
+        payload["config"],
+        int(payload["function_index"]),
+        init=payload.get("init"),
+    )
+    return pack_gmm_result(result)
+
+
+#: kind -> (executor function, required result keys)
+TASK_KINDS: dict[str, tuple] = {
+    "similarity": (_run_similarity, ("best",)),
+    "base-fit": (_run_base_fit, _GMM_KEYS),
+}
+
+
+def load_shard_result(cache: ArtifactCache, task: ShardTask) -> dict[str, np.ndarray] | None:
+    """A cached shard result, or ``None`` (schema drift evicts+misses)."""
+    arrays = cache.load_arrays("shard", task.task_id)
+    if arrays is None:
+        return None
+    _, required = TASK_KINDS[task.kind]
+    if any(name not in arrays for name in required):
+        cache.evict("shard", task.task_id)
+        return None
+    return arrays
+
+
+def execute_shard(task: ShardTask, cache: ArtifactCache | None = None) -> dict[str, np.ndarray]:
+    """Compute one shard (cache-aware when a shared cache is mounted)."""
+    if task.kind not in TASK_KINDS:
+        raise ValueError(f"unknown shard kind {task.kind!r}")
+    if cache is not None:
+        cached = load_shard_result(cache, task)
+        if cached is not None:
+            return cached
+    run, _ = TASK_KINDS[task.kind]
+    result = run(task.payload)
+    if cache is not None:
+        cache.save_arrays("shard", task.task_id, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Planning (coordinator side)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlanner:
+    """Cuts stage work into content-addressed shard tasks.
+
+    ``row_tile``/``col_tile`` mirror the engine's serial tile grid over
+    (images × prototype rows); sharding at the same boundaries is what
+    makes the distributed merge bit-identical to the serial kernel.
+    """
+
+    row_tile: int | None = 32
+    col_tile: int | None = None
+
+    def similarity_shards(
+        self,
+        prototypes: np.ndarray,
+        unit_vectors: np.ndarray,
+        dtype: np.dtype | type = np.float64,
+    ) -> tuple[list[ShardTask], dict[str, list[tuple[Bounds, Bounds]]]]:
+        """Shard one ``best_similarities`` call.
+
+        Returns ``(tasks, targets)`` where ``targets[task_id]`` lists
+        the ``((i0, i1), (j0, j1))`` output slots the shard's ``best``
+        block fills — more than one when identical tiles de-duplicate.
+        """
+        dtype = np.dtype(dtype)
+        # Cast once, then slice — the same bytes the serial kernel sees.
+        protos = prototypes.astype(dtype, copy=False)
+        vectors = unit_vectors.astype(dtype, copy=False)
+        tasks: list[ShardTask] = []
+        targets: dict[str, list[tuple[Bounds, Bounds]]] = {}
+        for rows in tile_bounds(vectors.shape[0], self.row_tile):
+            for cols in tile_bounds(protos.shape[0], self.col_tile):
+                (i0, i1), (j0, j1) = rows, cols
+                task = similarity_task(protos[j0:j1], vectors[i0:i1])
+                if task.task_id not in targets:
+                    tasks.append(task)
+                targets.setdefault(task.task_id, []).append((rows, cols))
+        return tasks, targets
+
+    def base_fit_shards(
+        self,
+        affinity,
+        config: HierarchicalConfig,
+        initializers: list[np.ndarray] | None = None,
+    ) -> list[ShardTask]:
+        """One shard per affinity function (the §5.3 parallel unit)."""
+        return [
+            base_fit_task(
+                affinity.block(f),
+                config,
+                f,
+                init=initializers[f] if initializers is not None else None,
+            )
+            for f in range(affinity.n_functions)
+        ]

@@ -1,0 +1,152 @@
+"""The worker loop: pull shards, compute, report; survive restarts.
+
+A worker is deliberately dumb: it holds no job state beyond the shard
+it is currently computing.  Everything value-affecting travels in the
+task payload, and the result travels back over the same authenticated
+connection (plus into the shared :class:`~repro.engine.cache.ArtifactCache`
+when one is mounted, so identical reruns are disk hits for the whole
+cluster).  Crash tolerance therefore costs nothing here — a worker that
+dies mid-shard is simply a lease the coordinator reassigns.
+
+Workers connect with patience (the coordinator may not be up yet) and
+reconnect after connection loss; once the retry budget is exhausted the
+loop returns, which is how a worker notices the coordinator is gone.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from multiprocessing import AuthenticationError
+from multiprocessing.connection import Client, Connection
+
+from repro.distributed.tasks import execute_shard
+from repro.engine.cache import ArtifactCache
+
+__all__ = ["Worker", "run_worker_process"]
+
+
+class Worker:
+    """A single-threaded shard worker.
+
+    Parameters:
+        address: the coordinator's (host, port).
+        authkey: shared connection secret (str or bytes).
+        cache: optional shared artifact cache; computed shards are
+            written there (kind ``"shard"``) and looked up before
+            computing, so a re-run of known content is a disk hit.
+        worker_id: stable identity used for leases; defaults to
+            ``{hostname}-{pid}``-based and unique per instance.
+        poll_interval: sleep between lease attempts while the queue is
+            idle.
+        connect_retries / retry_delay: patience for the initial connect
+            and for reconnects after a dropped connection; once
+            exhausted, :meth:`run` returns.
+    """
+
+    _instances = 0
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        authkey: str | bytes = "goggles-repro",
+        *,
+        cache: ArtifactCache | None = None,
+        worker_id: str | None = None,
+        poll_interval: float = 0.05,
+        connect_retries: int = 40,
+        retry_delay: float = 0.25,
+    ):
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
+        self.address = (str(address[0]), int(address[1]))
+        self.authkey = authkey.encode() if isinstance(authkey, str) else bytes(authkey)
+        self.cache = cache
+        Worker._instances += 1
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{os.getpid()}-w{Worker._instances}"
+        )
+        self.poll_interval = float(poll_interval)
+        self.connect_retries = int(connect_retries)
+        self.retry_delay = float(retry_delay)
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the loop to exit at the next opportunity."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> Connection | None:
+        for _ in range(self.connect_retries):
+            if self._stop.is_set():
+                return None
+            try:
+                return Client(self.address, authkey=self.authkey)
+            except (OSError, EOFError, AuthenticationError):
+                # Coordinator not up (yet), just went away, or closed
+                # mid-handshake; be patient — the budget bounds us.
+                self._stop.wait(self.retry_delay)
+        return None
+
+    def run(self) -> None:
+        """Poll/compute until stopped or the coordinator goes away."""
+        conn = self._connect()
+        while conn is not None and not self._stop.is_set():
+            try:
+                conn.send(("lease", self.worker_id))
+                reply = conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                conn.close()
+                conn = self._connect()
+                continue
+            kind = reply[0]
+            if kind == "task":
+                task = reply[1]
+                try:
+                    arrays = execute_shard(task, cache=self.cache)
+                except Exception as error:  # noqa: BLE001 - report, don't die
+                    self.tasks_failed += 1
+                    message = ("fail", self.worker_id, task.task_id,
+                               f"{type(error).__name__}: {error}")
+                else:
+                    self.tasks_completed += 1
+                    message = ("result", self.worker_id, task.task_id, arrays)
+                try:
+                    conn.send(message)
+                    conn.recv()  # ack; on loss the lease timeout recovers
+                except (EOFError, OSError, BrokenPipeError):
+                    conn.close()
+                    conn = self._connect()
+            elif kind == "idle":
+                self._stop.wait(self.poll_interval)
+            elif kind == "stop":
+                break
+            else:  # pragma: no cover - protocol drift guard
+                break
+        if conn is not None:
+            try:
+                conn.send(("bye", self.worker_id))
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+            conn.close()
+
+
+def run_worker_process(
+    host: str,
+    port: int,
+    authkey: str,
+    cache_dir: str | None,
+    cache_max_bytes: int | None = None,
+) -> None:
+    """Entry point of a spawned local worker process.
+
+    Module-level (picklable) so ``multiprocessing`` spawn contexts can
+    target it; reconstructs the cache from its directory (budget
+    included, so worker writes respect the LRU bound) because an
+    :class:`ArtifactCache` handle does not cross process boundaries.
+    """
+    cache = ArtifactCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir else None
+    Worker((host, int(port)), authkey, cache=cache).run()

@@ -38,6 +38,7 @@ from repro.engine.tiling import (
     LayerPrototypes,
     assemble_blocks,
     best_similarities,
+    tile_bounds,
     tile_executor,
     tiled_affinity_matrix,
     tiled_layer_affinity_blocks,
@@ -69,6 +70,7 @@ __all__ = [
     "LayerPrototypes",
     "assemble_blocks",
     "best_similarities",
+    "tile_bounds",
     "tile_executor",
     "tiled_affinity_matrix",
     "tiled_layer_affinity_blocks",

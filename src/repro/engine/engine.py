@@ -17,6 +17,7 @@ change is an automatic miss.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,11 +49,14 @@ class EngineConfig:
             prototype rows); ``None`` disables that tiling axis.
         n_jobs: worker count for tile fan-out (and, downstream,
             base-model fitting).  Values are identical at any width.
-        executor: worker model for the downstream base-model fits —
-            ``"serial"``, ``"thread"`` (GIL-releasing EM loops on a
-            thread pool) or ``"process"`` (ProcessPoolExecutor over
-            shared-memory affinity blocks; scales EM past the GIL on
-            many-core boxes).  Value-neutral, like ``n_jobs``.
+        executor: worker model for the similarity stage and the
+            downstream base-model fits — ``"serial"``, ``"thread"``
+            (GIL-releasing EM loops on a thread pool), ``"process"``
+            (ProcessPoolExecutor over shared-memory affinity blocks;
+            scales EM past the GIL on many-core boxes) or
+            ``"distributed"`` (shard tasks leased to coordinator/worker
+            cluster processes, possibly on other machines).
+            Value-neutral, like ``n_jobs``.
         precision: ``"float64"`` (bit-compatible with the legacy path)
             or ``"float32"`` (≈2× faster similarity stage, equal to
             within ~1e-6 — inside ``np.allclose`` tolerance).
@@ -60,6 +64,13 @@ class EngineConfig:
         cache_max_bytes: size budget for the artifact cache; writes
             that push the directory above it evict least-recently-used
             entries.  ``None`` means unbounded.
+        broker: ``host:port`` the distributed coordinator binds (port 0
+            = ephemeral); ``None`` with ``executor="distributed"``
+            means a localhost cluster of ``n_workers or n_jobs``
+            auto-spawned workers.
+        n_workers: local worker processes the distributed session
+            spawns; 0 (with a ``broker``) means workers join externally
+            via ``goggles-repro worker``.
     """
 
     batch_size: int | None = 32
@@ -70,6 +81,8 @@ class EngineConfig:
     precision: str = "float64"
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
+    broker: str | None = None
+    n_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.precision not in _PRECISIONS:
@@ -80,6 +93,8 @@ class EngineConfig:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {self.executor!r}")
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
 
     @property
     def dtype(self) -> type:
@@ -98,7 +113,12 @@ class EngineConfig:
 class AffinityEngine:
     """Builds, caches, and incrementally extends affinity matrices."""
 
-    def __init__(self, source: AffinitySource, config: EngineConfig | None = None):
+    def __init__(
+        self,
+        source: AffinitySource,
+        config: EngineConfig | None = None,
+        coordinator: "object | None" = None,
+    ):
         self.source = source
         self.config = config or EngineConfig()
         self.cache = (
@@ -106,8 +126,45 @@ class AffinityEngine:
             if self.config.cache_dir
             else None
         )
+        self._coordinator = coordinator
+        self._owns_coordinator = False
         self._state: CorpusState | None = None
         self._state_key: str | None = None
+
+    # ------------------------------------------------------------------
+    # Distributed session plumbing
+    # ------------------------------------------------------------------
+    def use_coordinator(self, coordinator: object) -> None:
+        """Inject a shared distributed session (the caller owns it)."""
+        self._coordinator = coordinator
+        self._owns_coordinator = False
+
+    def coordinator(self):
+        """The distributed session (lazily self-created when not injected)."""
+        if self._coordinator is None:
+            from repro.distributed import Coordinator
+
+            self._coordinator = Coordinator.for_engine(
+                broker=self.config.broker,
+                n_workers=self.config.n_workers,
+                n_jobs=self.config.n_jobs,
+                cache=self.cache,
+            )
+            self._owns_coordinator = True
+        return self._coordinator
+
+    def close(self) -> None:
+        """Shut down a self-created distributed session (no-op otherwise)."""
+        if self._owns_coordinator and self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+            self._owns_coordinator = False
+
+    def _runtime(self) -> EngineRuntime:
+        runtime = self.config.runtime()
+        if self.config.executor == "distributed":
+            runtime = dataclasses.replace(runtime, coordinator=self.coordinator())
+        return runtime
 
     # ------------------------------------------------------------------
     # Keys
@@ -167,7 +224,7 @@ class AffinityEngine:
             cached = self._load_cached(key, need_state=keep_state)
             if cached is not None:
                 return cached
-        runtime = self.config.runtime()
+        runtime = self._runtime()
         if keep_state:
             state = self.source.build_state(images, runtime)
             self._remember(state, key)
@@ -205,7 +262,7 @@ class AffinityEngine:
             cached = self._load_cached(key, need_state=True)
             if cached is not None:
                 return cached  # _load_cached installed the extended state
-        state = self.source.extend_state(self._state, new_images, self.config.runtime())
+        state = self.source.extend_state(self._state, new_images, self._runtime())
         if key is not None:
             self.cache.save_affinity(key, state.affinity)
             self._save_state(key, state)

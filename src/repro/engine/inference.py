@@ -14,8 +14,11 @@ base models using different slices of the affinity matrix" (§5.3).
 loops are BLAS-bound and release the GIL); ``executor="process"`` side-
 steps the GIL entirely with a ``ProcessPoolExecutor``, handing workers
 the affinity matrix through POSIX shared memory so the O(α·N²) values
-are never pickled.  Every mode consumes the same ``derive_seed``
-streams, so posteriors are **bit-identical** regardless of executor.
+are never pickled; ``executor="distributed"`` leases one base-fit shard
+per affinity function to coordinator/worker cluster processes that may
+live on other machines (``repro.distributed``).  Every mode consumes
+the same ``derive_seed`` streams, so posteriors are **bit-identical**
+regardless of executor.
 
 Stage 4 is the incremental-inference path: instead of refitting from
 scratch, the base GMMs resume from the previous run's posterior (old
@@ -54,7 +57,7 @@ from repro.engine.cache import ArtifactCache, hash_arrays
 
 __all__ = ["EXECUTORS", "InferenceState", "InferenceEngine", "warm_start_responsibilities"]
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "distributed")
 
 
 @dataclass(frozen=True)
@@ -152,13 +155,25 @@ class InferenceEngine:
             :class:`~repro.core.inference.hierarchical.HierarchicalModel`,
             so results match the monolithic path bit-for-bit).
         executor: ``"serial"``, ``"thread"`` (GIL-releasing EM inner
-            loops fan out over a thread pool) or ``"process"``
-            (ProcessPoolExecutor + shared-memory affinity blocks).
-            Value-neutral: identical posteriors in every mode.
-        n_jobs: worker count for the thread/process executors.
+            loops fan out over a thread pool), ``"process"``
+            (ProcessPoolExecutor + shared-memory affinity blocks) or
+            ``"distributed"`` (base-fit shards leased to
+            coordinator/worker cluster processes, possibly on other
+            machines).  Value-neutral: identical posteriors in every
+            mode.
+        n_jobs: worker count for the thread/process executors (and the
+            local worker count a self-created distributed session
+            defaults to).
         cache: optional artifact cache; fitted parameters and the
             posterior are persisted next to the corpus state, so a
             fresh process can restore the warm-start state from disk.
+        coordinator: distributed session to run base-fit shards on
+            (shared with the affinity engine when driven by
+            ``Goggles``).  When ``None`` and ``executor="distributed"``
+            a session is created lazily from ``broker``/``n_workers``.
+        broker / n_workers: the distributed knobs a self-created
+            session uses — broker address to bind and local workers to
+            spawn (see :meth:`repro.distributed.Coordinator.for_engine`).
     """
 
     def __init__(
@@ -168,6 +183,9 @@ class InferenceEngine:
         executor: str = "thread",
         n_jobs: int = 1,
         cache: ArtifactCache | None = None,
+        coordinator: "object | None" = None,
+        broker: str | None = None,
+        n_workers: int = 0,
     ):
         self.config = config or HierarchicalConfig()
         if self.config.n_classes < 2:
@@ -176,10 +194,40 @@ class InferenceEngine:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
         self.executor = executor
         self.n_jobs = n_jobs
         self.cache = cache
+        self.broker = broker
+        self.n_workers = n_workers
+        self._coordinator = coordinator
+        self._owns_coordinator = False
         self._state: InferenceState | None = None
+
+    # ------------------------------------------------------------------
+    # Distributed session plumbing
+    # ------------------------------------------------------------------
+    def _get_coordinator(self):
+        """The distributed session (lazily self-created when not injected)."""
+        if self._coordinator is None:
+            from repro.distributed import Coordinator
+
+            self._coordinator = Coordinator.for_engine(
+                broker=self.broker,
+                n_workers=self.n_workers,
+                n_jobs=self.n_jobs,
+                cache=self.cache,
+            )
+            self._owns_coordinator = True
+        return self._coordinator
+
+    def close(self) -> None:
+        """Shut down a self-created distributed session (no-op otherwise)."""
+        if self._owns_coordinator and self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+            self._owns_coordinator = False
 
     # ------------------------------------------------------------------
     # State & keys
@@ -217,8 +265,13 @@ class InferenceEngine:
 
         Serial/thread delegate to the shared
         :func:`~repro.core.inference.hierarchical.fit_all_base_functions`;
-        only the process branch lives here.
+        only the process and distributed branches live here.
         """
+        if self.executor == "distributed":
+            results = self._get_coordinator().fit_base_models(affinity, self.config, inits)
+            warn_if_reinitialized(results)
+            label_predictions = np.concatenate([r.responsibilities for r in results], axis=1)
+            return label_predictions, results
         if self.executor == "process" and self.n_jobs > 1 and affinity.n_functions > 1:
             results = self._fit_base_models_process(affinity, inits)
             warn_if_reinitialized(results)

@@ -56,6 +56,11 @@ class EngineRuntime:
     """Execution knobs handed from the engine to a source.
 
     None of these change output values except ``dtype``.
+    ``coordinator`` (a :class:`repro.distributed.Coordinator`, when the
+    engine runs with ``executor="distributed"``) reroutes the
+    similarity stage to the shard cluster; it is value-neutral because
+    shards are cut at the serial tile boundaries and merged back
+    bit-identically.
     """
 
     batch_size: int | None = 32
@@ -63,6 +68,26 @@ class EngineRuntime:
     col_tile: int | None = None
     n_jobs: int = 1
     dtype: type = np.float64
+    coordinator: object | None = None
+
+    @property
+    def local_jobs(self) -> int:
+        """Thread-pool width for local tile fan-out: 1 (no pool) when a
+        coordinator handles the similarity stage instead."""
+        return 1 if self.coordinator is not None else self.n_jobs
+
+    def similarities(self, prototypes: np.ndarray, vectors: np.ndarray, pool) -> np.ndarray:
+        """``best_similarities`` under this runtime: local tiles fanned
+        over ``pool``, or shard tasks leased to the distributed cluster."""
+        if self.coordinator is not None:
+            return self.coordinator.best_similarities(
+                prototypes, vectors,
+                row_tile=self.row_tile, col_tile=self.col_tile, dtype=self.dtype,
+            )
+        return best_similarities(
+            prototypes, vectors,
+            row_tile=self.row_tile, col_tile=self.col_tile, executor=pool, dtype=self.dtype,
+        )
 
 
 @dataclass(frozen=True)
@@ -167,14 +192,10 @@ class PrototypeAffinitySource:
         per_layer = self._layer_state(images, runtime)
         blocks: list[np.ndarray] = []
         arrays: dict[str, np.ndarray] = {}
-        with tile_executor(runtime.n_jobs) as pool:
+        with tile_executor(runtime.local_jobs) as pool:
             for layer in self.layers:
                 vectors, prototypes = per_layer[layer]
-                best = best_similarities(
-                    prototypes.vectors, vectors,
-                    row_tile=runtime.row_tile, col_tile=runtime.col_tile,
-                    executor=pool, dtype=runtime.dtype,
-                )
+                best = runtime.similarities(prototypes.vectors, vectors, pool)
                 blocks.extend(assemble_blocks(best, prototypes.rank_rows))
                 arrays[f"uv_{layer}"] = vectors
                 arrays[f"proto_{layer}"] = prototypes.vectors
@@ -201,7 +222,7 @@ class PrototypeAffinitySource:
         per_layer_new = self._layer_state(new_images, runtime)
         blocks: list[np.ndarray] = []
         arrays: dict[str, np.ndarray] = {}
-        with tile_executor(runtime.n_jobs) as pool:
+        with tile_executor(runtime.local_jobs) as pool:
             for layer_pos, layer in enumerate(self.layers):
                 old_vectors = state.arrays[f"uv_{layer}"]
                 old_protos = LayerPrototypes(
@@ -210,15 +231,11 @@ class PrototypeAffinitySource:
                 )
                 new_vectors, new_protos = per_layer_new[layer]
                 all_vectors = np.concatenate([old_vectors, new_vectors], axis=0)
-                kwargs = dict(
-                    row_tile=runtime.row_tile, col_tile=runtime.col_tile,
-                    executor=pool, dtype=runtime.dtype,
-                )
                 # Old prototypes × new images: the new rows of old column blocks.
-                best_old_new = best_similarities(old_protos.vectors, new_vectors, **kwargs)
+                best_old_new = runtime.similarities(old_protos.vectors, new_vectors, pool)
                 rows_old_cols = assemble_blocks(best_old_new, old_protos.rank_rows)  # (Z, M, N)
                 # New prototypes × all images: the entirely new column blocks.
-                best_new_all = best_similarities(new_protos.vectors, all_vectors, **kwargs)
+                best_new_all = runtime.similarities(new_protos.vectors, all_vectors, pool)
                 new_cols = assemble_blocks(best_new_all, new_protos.rank_rows)  # (Z, N+M, M)
                 for rank in range(self.top_z):
                     old_block = state.affinity.block(layer_pos * self.top_z + rank)

@@ -37,6 +37,7 @@ from repro.core.affinity import AffinityFunctionId, AffinityMatrix, _EPS
 
 __all__ = [
     "tile_executor",
+    "tile_bounds",
     "LayerPrototypes",
     "unit_location_vectors",
     "unique_unit_prototypes",
@@ -137,7 +138,14 @@ def unique_unit_prototypes(filter_maps: np.ndarray, z: int) -> LayerPrototypes:
     return LayerPrototypes(vectors=np.concatenate(vectors, axis=0), rank_rows=rank_rows)
 
 
-def _tile_bounds(n: int, tile: int | None) -> list[tuple[int, int]]:
+def tile_bounds(n: int, tile: int | None) -> list[tuple[int, int]]:
+    """The ``[start, end)`` bounds of one tiling axis.
+
+    Public because the distributed shard planner must cut the (images ×
+    prototype-rows) grid at *exactly* the serial tile boundaries — each
+    shard then runs the same-shaped BLAS calls as the serial kernel, so
+    the merged matrix is bit-identical to a single-machine build.
+    """
     if tile is None or tile >= n:
         return [(0, n)]
     if tile < 1:
@@ -175,8 +183,8 @@ def best_similarities(
 
     tasks = [
         (rows, cols)
-        for rows in _tile_bounds(n_images, row_tile)
-        for cols in _tile_bounds(n_rows, col_tile)
+        for rows in tile_bounds(n_images, row_tile)
+        for cols in tile_bounds(n_rows, col_tile)
     ]
     if executor is not None and len(tasks) > 1:
         list(executor.map(score_block, tasks))

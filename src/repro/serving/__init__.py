@@ -6,6 +6,13 @@ background worker batches arrivals through warm-started incremental
 inference.
 """
 
-from repro.serving.service import LabelingService, TicketStatus
+from repro.serving.http import LabelingHTTPServer, serve_http
+from repro.serving.service import BackPressureError, LabelingService, TicketStatus
 
-__all__ = ["LabelingService", "TicketStatus"]
+__all__ = [
+    "BackPressureError",
+    "LabelingHTTPServer",
+    "LabelingService",
+    "TicketStatus",
+    "serve_http",
+]

@@ -1,0 +1,210 @@
+"""Minimal HTTP front-end for the streaming labeling service.
+
+Stdlib-only (``http.server``): a :class:`LabelingHTTPServer` exposes a
+running :class:`~repro.serving.service.LabelingService` on three
+routes —
+
+* ``POST /submit`` — body is a batch of ``(M, C, H, W)`` images, either
+  a raw ``.npy``/``.npz`` payload (``np.save``/``np.savez`` bytes; an
+  npz must hold an ``"images"`` entry) or JSON ``{"images": [...]}``.
+  Replies ``202 {"ticket": ...}``, or **429 with a ``Retry-After``
+  header** when the service's queued pixels would exceed the
+  configurable back-pressure bound — clients shed load instead of the
+  service's memory absorbing an unbounded backlog.
+* ``GET /poll/<ticket>`` — non-blocking status: ``pending``, ``done``
+  (with the class-aligned probabilistic labels and hard predictions),
+  or ``failed`` (with the error).  Unknown tickets are 404 — including
+  old ones the service already expired per ``ticket_retention``.
+* ``GET /healthz`` — liveness plus the service's load counters (corpus
+  size, queued pixels, batches run), which is also what an operator's
+  load balancer should watch.
+
+Each request is handled on its own thread (``ThreadingHTTPServer``);
+all actual labeling still funnels through the service's single
+background worker, so the HTTP layer adds concurrency only where it is
+safe — parsing, queueing, and polling.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serving.service import BackPressureError, LabelingService, TicketStatus
+
+__all__ = ["LabelingHTTPServer", "serve_http"]
+
+
+class LabelingHTTPServer(ThreadingHTTPServer):
+    """HTTP wrapper around a started :class:`LabelingService`.
+
+    Parameters:
+        service: the (already started) service to expose.
+        address: ``(host, port)`` to bind; port 0 picks an ephemeral
+            port (read it back from :attr:`port` / :attr:`url`).
+        max_queued_pixels: back-pressure bound — a submission whose
+            pixels would push the service's queued total above this
+            returns 429; ``None`` disables shedding.
+        retry_after: value of the 429 ``Retry-After`` header (seconds).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: LabelingService,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        max_queued_pixels: int | None = None,
+        retry_after: float = 1.0,
+    ):
+        if max_queued_pixels is not None and max_queued_pixels < 1:
+            raise ValueError(f"max_queued_pixels must be >= 1, got {max_queued_pixels}")
+        if retry_after <= 0:
+            raise ValueError(f"retry_after must be > 0, got {retry_after}")
+        self.service = service
+        self.max_queued_pixels = max_queued_pixels
+        self.retry_after = retry_after
+        super().__init__(tuple(address), _Handler)
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread; returns the thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="goggles-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def serve_http(
+    service: LabelingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs: object,
+) -> LabelingHTTPServer:
+    """Build a :class:`LabelingHTTPServer` and start it in the background."""
+    server = LabelingHTTPServer(service, (host, port), **kwargs)
+    server.serve_in_background()
+    return server
+
+
+def _status_payload(status: TicketStatus) -> dict:
+    payload: dict = {"ticket": status.ticket, "state": status.state}
+    if status.state == "done":
+        assert status.probabilistic_labels is not None
+        payload["probabilistic_labels"] = status.probabilistic_labels.tolist()
+        payload["predictions"] = status.predictions.tolist()
+    elif status.state == "failed":
+        payload["error"] = status.error
+    return payload
+
+
+def _parse_images(body: bytes, content_type: str) -> np.ndarray:
+    if "application/json" in content_type:
+        document = json.loads(body.decode("utf-8"))
+        if not isinstance(document, dict) or "images" not in document:
+            raise ValueError('JSON body must be an object with an "images" key')
+        return np.asarray(document["images"], dtype=np.float64)
+    loaded = np.load(io.BytesIO(body), allow_pickle=False)
+    if isinstance(loaded, np.lib.npyio.NpzFile):
+        with loaded:
+            if "images" not in loaded.files:
+                raise ValueError('npz body must hold an "images" entry')
+            return np.asarray(loaded["images"], dtype=np.float64)
+    return np.asarray(loaded, dtype=np.float64)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: LabelingHTTPServer
+
+    # Quiet by default: a labeling benchmark should not spam stderr.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def _reply(self, code: int, payload: dict, headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(200, {
+                "status": "ok" if service.running else "stopped",
+                "corpus_size": service.corpus_size,
+                "queued_pixels": service.queued_pixels,
+                "max_queued_pixels": self.server.max_queued_pixels,
+                "n_batches": service.n_batches,
+                "n_labeled": service.n_labeled,
+            })
+            return
+        if self.path.startswith("/poll/"):
+            ticket = self.path[len("/poll/"):]
+            try:
+                status = service.poll(ticket)
+            except KeyError:
+                self._reply(404, {"error": f"unknown ticket {ticket!r}"})
+                return
+            self._reply(200, _status_payload(status))
+            return
+        self._reply(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/submit":
+            self._reply(404, {"error": f"no route {self.path!r}"})
+            return
+        service = self.server.service
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length)
+            images = _parse_images(body, self.headers.get("Content-Type", ""))
+            if images.ndim != 4 or images.shape[0] == 0:
+                raise ValueError(
+                    f"expected a non-empty (M, C, H, W) batch, got shape {images.shape}"
+                )
+        except Exception as error:  # noqa: BLE001 - malformed input is the client's fault
+            self._reply(400, {"error": f"{type(error).__name__}: {error}"})
+            return
+        try:
+            # The bound is enforced *inside* submit, under the service
+            # lock — concurrent handler threads cannot jointly overshoot.
+            ticket = service.submit(images, max_queued_pixels=self.server.max_queued_pixels)
+        except BackPressureError as error:
+            self._reply(
+                429,
+                {
+                    "error": "labeling queue is full, retry later",
+                    "queued_pixels": error.queued_pixels,
+                    "max_queued_pixels": error.bound,
+                },
+                headers={"Retry-After": f"{self.server.retry_after:g}"},
+            )
+            return
+        except RuntimeError as error:  # not started / stopping
+            self._reply(503, {"error": str(error)})
+            return
+        self._reply(202, {"ticket": ticket})

@@ -34,7 +34,20 @@ import numpy as np
 from repro.core.goggles import Goggles, GogglesResult
 from repro.datasets.base import DevSet
 
-__all__ = ["LabelingService", "TicketStatus"]
+__all__ = ["BackPressureError", "LabelingService", "TicketStatus"]
+
+
+class BackPressureError(RuntimeError):
+    """A submission was shed because the queue is at its pixel bound."""
+
+    def __init__(self, queued_pixels: int, incoming: int, bound: int):
+        self.queued_pixels = queued_pixels
+        self.incoming = incoming
+        self.bound = bound
+        super().__init__(
+            f"labeling queue is full: {queued_pixels} pixels queued + {incoming} "
+            f"incoming would exceed the bound of {bound}; retry later"
+        )
 
 
 @dataclass(frozen=True)
@@ -127,6 +140,7 @@ class LabelingService:
         self._stopping = False
         self._n_batches = 0
         self._n_labeled = 0
+        self._inflight_pixels = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -185,11 +199,27 @@ class LabelingService:
         """Streamed instances labeled so far (excludes the seed corpus)."""
         return self._n_labeled
 
+    @property
+    def queued_pixels(self) -> int:
+        """Array elements of every submission not yet labeled (queued or
+        in flight) — the quantity the HTTP front-end's back-pressure
+        bound is measured in."""
+        with self._cond:
+            queued = sum(s.images.size for s in self._queue if s.images is not None)
+            return queued + self._inflight_pixels
+
     # ------------------------------------------------------------------
     # Submit / poll
     # ------------------------------------------------------------------
-    def submit(self, images: np.ndarray) -> str:
-        """Enqueue ``(M, C, H, W)`` images; returns a ticket id."""
+    def submit(self, images: np.ndarray, max_queued_pixels: int | None = None) -> str:
+        """Enqueue ``(M, C, H, W)`` images; returns a ticket id.
+
+        ``max_queued_pixels`` makes the call shed load instead: when the
+        currently queued + in-flight pixels plus this batch would exceed
+        the bound, :class:`BackPressureError` is raised.  The check and
+        the enqueue happen under one lock, so concurrent submitters
+        (e.g. the threaded HTTP front-end) cannot jointly overshoot.
+        """
         images = np.asarray(images)
         if images.ndim != 4 or images.shape[0] == 0:
             raise ValueError(f"expected a non-empty (M, C, H, W) batch, got shape {images.shape}")
@@ -198,6 +228,12 @@ class LabelingService:
                 raise RuntimeError("call start() before submit()")
             if self._stopping:
                 raise RuntimeError("LabelingService is stopped")
+            if max_queued_pixels is not None:
+                backlog = self._inflight_pixels + sum(
+                    s.images.size for s in self._queue if s.images is not None
+                )
+                if backlog + images.size > max_queued_pixels:
+                    raise BackPressureError(backlog, images.size, max_queued_pixels)
             self._counter += 1
             ticket = f"t{self._counter:06d}"
             submission = _Submission(ticket=ticket, images=images)
@@ -239,7 +275,14 @@ class LabelingService:
                     return
                 take = len(self._queue) if self.max_batch is None else self.max_batch
                 batch, self._queue = self._queue[:take], self._queue[take:]
-            self._process(batch)
+                self._inflight_pixels = sum(
+                    s.images.size for s in batch if s.images is not None
+                )
+            try:
+                self._process(batch)
+            finally:
+                with self._cond:
+                    self._inflight_pixels = 0
 
     def _process(self, batch: list[_Submission]) -> None:
         sizes = [s.images.shape[0] for s in batch]

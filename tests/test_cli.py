@@ -72,3 +72,44 @@ class TestCli:
                 "--n-per-class", "8", "--dev-per-class", "2",
                 "serve", "--dataset", "surface", "--initial-fraction", "1.0",
             ])
+
+
+class TestDistributedCli:
+    def test_coordinator_command_runs_local_cluster(self, capsys):
+        """The coordinator verb spawns workers, shards the job, and
+        reports shard stats alongside the accuracy."""
+        code = main([
+            "--n-per-class", "6", "--dev-per-class", "2",
+            "coordinator", "--dataset", "surface",
+            "--bind", "127.0.0.1:0", "--spawn-workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coordinator listening on" in out
+        assert "labeling accuracy" in out
+        assert "shards:" in out and "completed" in out
+
+    def test_worker_requires_valid_address(self):
+        with pytest.raises(SystemExit):
+            main(["worker"])  # --connect is required
+        with pytest.raises(ValueError, match="host:port"):
+            main(["worker", "--connect", "nonsense"])
+
+    def test_cache_info_reports_entries(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.engine import ArtifactCache
+
+        cache = ArtifactCache(str(tmp_path))
+        cache.save_arrays("shard", "a" * 64, {"best": np.zeros((2, 2))})
+        cache.save_arrays("affinity", "b" * 64, {"values": np.ones(3)})
+        code = main(["--cache-dir", str(tmp_path), "cache-info"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard" in out and "affinity" in out
+        assert "2 entries" in out  # the total line
+        assert "evictions" in out
+
+    def test_cache_info_requires_cache_dir(self):
+        with pytest.raises(SystemExit, match="cache-dir"):
+            main(["cache-info"])

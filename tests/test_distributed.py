@@ -1,0 +1,477 @@
+"""Tests for the distributed shard runtime (queue, planner, cluster).
+
+Three contracts matter:
+
+* **Fault tolerance** — a worker that dies mid-shard (lease expiry or
+  disconnect) loses nothing: the shard is reassigned, and a shard that
+  keeps failing surfaces a clear :class:`PoisonShardError` instead of
+  hanging the cluster.
+* **Bit-identity** — the merged affinity matrix and posteriors equal
+  the serial path exactly (atol=0), regardless of worker count (1, 2,
+  4) or executor mode, because shards are content-addressed pure tasks
+  cut at the serial tile boundaries with per-function seed streams.
+* **Cache short-circuiting** — with a shared artifact cache mounted, a
+  rerun of known content never recomputes (or even enqueues) a shard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from multiprocessing.connection import Client
+
+import numpy as np
+import pytest
+
+from repro.core import Goggles, GogglesConfig
+from repro.core.affinity import AffinityMatrix, compute_affinity_matrix
+from repro.core.inference.hierarchical import HierarchicalConfig, fit_all_base_functions
+from repro.datasets.base import DevSet
+from repro.distributed import (
+    Coordinator,
+    DistributedConfig,
+    PoisonShardError,
+    ShardPlanner,
+    TaskQueue,
+    Worker,
+    base_fit_task,
+    execute_shard,
+    parse_address,
+    similarity_task,
+)
+from repro.engine import ArtifactCache, EngineConfig, InferenceEngine
+from repro.engine.tiling import best_similarities
+from repro.utils.rng import derive_seed
+
+
+def thread_cluster(n_workers: int, **overrides) -> Coordinator:
+    """A localhost cluster with in-process (thread) workers: cheap and
+    fast, but still exercising the full lease protocol over TCP."""
+    defaults = dict(
+        n_workers=n_workers, worker_mode="thread",
+        lease_timeout=10.0, run_timeout=120.0,
+    )
+    defaults.update(overrides)
+    return Coordinator(DistributedConfig(**defaults))
+
+
+@pytest.fixture()
+def sim_data():
+    rng = np.random.default_rng(derive_seed(0, "distributed-sim"))
+    protos = rng.normal(size=(17, 5))
+    vectors = rng.normal(size=(11, 5, 7))
+    return protos, vectors
+
+
+@pytest.fixture()
+def random_affinity():
+    rng = np.random.default_rng(derive_seed(0, "distributed-aff"))
+    n, alpha = 16, 3
+    return AffinityMatrix(values=rng.uniform(-1.0, 1.0, size=(n, alpha * n)))
+
+
+def make_task(index: int = 0):
+    return similarity_task(
+        np.full((2, 3), float(index)), np.ones((2, 3, 2)) * (index + 1)
+    )
+
+
+# ----------------------------------------------------------------------
+# TaskQueue: leases, retries, poison
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTaskQueue:
+    def test_lease_complete_roundtrip(self):
+        queue = TaskQueue()
+        task = make_task()
+        assert queue.add(task)
+        assert not queue.add(task)  # content-addressed dedup
+        leased = queue.lease("w1")
+        assert leased is not None and leased.task_id == task.task_id
+        assert queue.lease("w2") is None  # nothing else pending
+        assert queue.complete(task.task_id, "w1", {"best": np.zeros(1)})
+        assert queue.wait([task.task_id], timeout=0.1)
+        assert queue.result(task.task_id) is not None
+
+    def test_expired_lease_is_reassigned(self):
+        clock = FakeClock()
+        queue = TaskQueue(lease_timeout=5.0, max_attempts=3, clock=clock)
+        task = make_task()
+        queue.add(task)
+        assert queue.lease("dead") is not None
+        clock.now = 4.0
+        assert queue.lease("w2") is None  # lease still live
+        clock.now = 6.0
+        reassigned = queue.lease("w2")
+        assert reassigned is not None and reassigned.task_id == task.task_id
+        assert queue.n_requeued == 1
+
+    def test_retry_budget_poisons(self):
+        clock = FakeClock()
+        queue = TaskQueue(lease_timeout=1.0, max_attempts=2, clock=clock)
+        task = make_task()
+        queue.add(task)
+        queue.lease("w1")
+        queue.fail(task.task_id, "w1", "boom 1")
+        queue.lease("w1")
+        queue.fail(task.task_id, "w1", "boom 2")
+        assert queue.lease("w1") is None  # poisoned, not requeued
+        poisoned = queue.poisoned_among([task.task_id])
+        assert len(poisoned) == 1
+        assert poisoned[0].attempts == 2
+        assert "boom 2" in poisoned[0].errors[-1]
+        # wait() returns promptly on poison rather than hanging.
+        assert queue.wait([task.task_id], timeout=5.0)
+
+    def test_stale_fail_from_expired_lease_ignored(self):
+        clock = FakeClock()
+        queue = TaskQueue(lease_timeout=1.0, max_attempts=2, clock=clock)
+        task = make_task()
+        queue.add(task)
+        queue.lease("slow")
+        clock.now = 2.0
+        assert queue.lease("w2") is not None  # reassigned
+        queue.fail(task.task_id, "slow", "late failure")  # stale: not the leaseholder
+        assert queue.n_failed == 0
+        # The current holder can still complete.
+        assert queue.complete(task.task_id, "w2", {"best": np.zeros(1)})
+
+    def test_late_duplicate_complete_ignored(self):
+        queue = TaskQueue()
+        task = make_task()
+        queue.add(task)
+        queue.lease("w1")
+        assert queue.complete(task.task_id, "w1", {"best": np.zeros(1)})
+        assert not queue.complete(task.task_id, "w2", {"best": np.ones(1)})
+        assert np.array_equal(queue.result(task.task_id)["best"], np.zeros(1))
+
+    def test_release_worker_requeues_all_its_leases(self):
+        queue = TaskQueue(max_attempts=3)
+        tasks = [make_task(i) for i in range(3)]
+        for task in tasks:
+            queue.add(task)
+        assert queue.lease("crashed") is not None
+        assert queue.lease("crashed") is not None
+        assert queue.lease("alive") is not None
+        assert queue.release_worker("crashed") == 2
+        # Both shards are pending again for the surviving worker.
+        assert queue.lease("alive") is not None
+        assert queue.lease("alive") is not None
+
+    def test_forget_drops_all_traces(self):
+        queue = TaskQueue()
+        task = make_task()
+        queue.add(task)
+        queue.lease("w1")
+        queue.complete(task.task_id, "w1", {"best": np.zeros(1)})
+        queue.forget([task.task_id])
+        assert queue.result(task.task_id) is None
+        assert queue.add(task)  # re-addable after forget
+
+
+# ----------------------------------------------------------------------
+# Planner and task execution (no cluster)
+# ----------------------------------------------------------------------
+class TestPlannerAndTasks:
+    def test_similarity_shards_merge_bit_identical(self, sim_data):
+        protos, vectors = sim_data
+        planner = ShardPlanner(row_tile=4, col_tile=6)
+        tasks, targets = planner.similarity_shards(protos, vectors)
+        assert len(tasks) >= 6  # 3 row tiles x 3 col tiles, minus dedup
+        out = np.empty((protos.shape[0], vectors.shape[0]))
+        for task in tasks:
+            best = execute_shard(task)["best"]
+            for (i0, i1), (j0, j1) in targets[task.task_id]:
+                out[j0:j1, i0:i1] = best
+        expected = best_similarities(protos, vectors, row_tile=4, col_tile=6)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_float32_shards_match_serial_float32(self, sim_data):
+        protos, vectors = sim_data
+        planner = ShardPlanner(row_tile=4, col_tile=None)
+        tasks, targets = planner.similarity_shards(protos, vectors, dtype=np.float32)
+        out = np.empty((protos.shape[0], vectors.shape[0]))
+        for task in tasks:
+            assert task.payload["prototypes"].dtype == np.float32
+            best = execute_shard(task)["best"]
+            for (i0, i1), (j0, j1) in targets[task.task_id]:
+                out[j0:j1, i0:i1] = best
+        expected = best_similarities(protos, vectors, row_tile=4, dtype=np.float32)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_content_addressing_is_stable_and_dedups(self):
+        protos = np.arange(12, dtype=np.float64).reshape(4, 3)
+        tile = np.ones((2, 3, 2))
+        vectors = np.concatenate([tile, tile], axis=0)  # two identical tiles
+        planner = ShardPlanner(row_tile=2, col_tile=None)
+        tasks, targets = planner.similarity_shards(protos, vectors)
+        assert len(tasks) == 1  # identical content collapsed
+        assert len(targets[tasks[0].task_id]) == 2  # ...but fills both slots
+        again, _ = planner.similarity_shards(protos, vectors)
+        assert again[0].task_id == tasks[0].task_id  # stable address
+
+    def test_base_fit_shard_matches_direct_fit(self, random_affinity):
+        from repro.core.inference.hierarchical import fit_base_function
+
+        config = HierarchicalConfig(n_classes=2, seed=0)
+        task = base_fit_task(random_affinity.block(1), config, 1)
+        result = execute_shard(task)
+        direct = fit_base_function(random_affinity.block(1), config, 1)
+        np.testing.assert_array_equal(result["responsibilities"], direct.responsibilities)
+        assert float(result["log_likelihood"]) == direct.log_likelihood
+        assert int(result["n_iterations"]) == direct.n_iterations
+
+    def test_warm_init_changes_the_content_address(self, random_affinity):
+        config = HierarchicalConfig(n_classes=2, seed=0)
+        cold = base_fit_task(random_affinity.block(0), config, 0)
+        init = np.full((random_affinity.n_examples, 2), 0.5)
+        warm = base_fit_task(random_affinity.block(0), config, 0, init=init)
+        assert cold.task_id != warm.task_id
+
+    def test_shard_results_cache_roundtrip(self, sim_data, tmp_path):
+        protos, vectors = sim_data
+        cache = ArtifactCache(str(tmp_path))
+        task = similarity_task(protos, vectors)
+        first = execute_shard(task, cache=cache)
+        assert cache.has("shard", task.task_id)
+        again = execute_shard(task, cache=cache)
+        np.testing.assert_array_equal(first["best"], again["best"])
+        assert cache.stats.hits.get("shard") == 1
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.1:41817") == ("10.0.0.1", 41817)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address(":123")
+
+    def test_default_authkey_refused_on_routable_bind(self):
+        """Pickle rides on the authkey handshake, so a routable endpoint
+        must never be 'secured' by the public built-in default."""
+        from repro.distributed import DEFAULT_AUTHKEY, require_safe_authkey
+
+        require_safe_authkey("127.0.0.1", DEFAULT_AUTHKEY)  # loopback: fine
+        require_safe_authkey("10.1.2.3", "a-real-secret")  # real key: fine
+        with pytest.raises(ValueError, match="authkey"):
+            require_safe_authkey("10.1.2.3", DEFAULT_AUTHKEY)
+        coordinator = Coordinator(
+            DistributedConfig(bind="0.0.0.0:0", authkey=DEFAULT_AUTHKEY)
+        )
+        with pytest.raises(ValueError, match="authkey"):
+            coordinator.start()
+
+
+# ----------------------------------------------------------------------
+# Coordinator + workers over the real protocol (thread workers)
+# ----------------------------------------------------------------------
+class TestCluster:
+    def test_best_similarities_bit_identical(self, sim_data):
+        protos, vectors = sim_data
+        with thread_cluster(2) as coordinator:
+            out = coordinator.best_similarities(protos, vectors, row_tile=4, col_tile=6)
+        expected = best_similarities(protos, vectors, row_tile=4, col_tile=6)
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_posterior_identical_any_worker_count(self, random_affinity, n_workers):
+        config = HierarchicalConfig(n_classes=2, seed=0)
+        serial = InferenceEngine(config, executor="serial").fit(random_affinity)
+        with thread_cluster(n_workers) as coordinator:
+            engine = InferenceEngine(
+                config, executor="distributed", coordinator=coordinator
+            )
+            distributed = engine.fit(random_affinity)
+        np.testing.assert_array_equal(distributed.posterior, serial.posterior)
+        np.testing.assert_array_equal(
+            distributed.label_predictions, serial.label_predictions
+        )
+        assert [r.n_iterations for r in distributed.base_results] == [
+            r.n_iterations for r in serial.base_results
+        ]
+
+    def test_shared_cache_short_circuits_rerun(self, sim_data, tmp_path):
+        protos, vectors = sim_data
+        cache = ArtifactCache(str(tmp_path))
+        with thread_cluster(1) as coordinator:
+            coordinator.cache = cache
+            first = coordinator.best_similarities(protos, vectors, row_tile=4)
+            planned = coordinator.stats["shards_planned"]
+            assert planned > 0
+            second = coordinator.best_similarities(protos, vectors, row_tile=4)
+            assert coordinator.stats["cache_hits"] == planned
+            assert coordinator.stats["shards_planned"] == planned  # nothing re-enqueued
+        np.testing.assert_array_equal(first, second)
+
+    def test_worker_crash_mid_shard_triggers_reassignment(self, sim_data):
+        """A connection that leases a shard and dies loses nothing: the
+        broker releases the lease on disconnect and a live worker picks
+        the shard up; the merged result is still exact."""
+        protos, vectors = sim_data
+        coordinator = thread_cluster(0, lease_timeout=30.0)
+        try:
+            coordinator.start()
+            outcome: dict = {}
+
+            def run() -> None:
+                outcome["out"] = coordinator.best_similarities(
+                    protos, vectors, row_tile=4, col_tile=6
+                )
+
+            runner = threading.Thread(target=run, daemon=True)
+            runner.start()
+            # Wait until shards are actually queued.
+            deadline = time.monotonic() + 10.0
+            while coordinator.queue.stats()["pending"] == 0:
+                assert time.monotonic() < deadline, "shards never enqueued"
+                time.sleep(0.01)
+            # A doomed worker leases one shard, then crashes (disconnect).
+            doomed = Client(coordinator.address, authkey=coordinator.config.authkey.encode())
+            doomed.send(("lease", "doomed"))
+            reply = doomed.recv()
+            assert reply[0] == "task"
+            doomed.close()
+            # Now a healthy worker drains everything, including the
+            # released shard.
+            worker = Worker(
+                coordinator.address, coordinator.config.authkey, poll_interval=0.01
+            )
+            rescuer = threading.Thread(target=worker.run, daemon=True)
+            rescuer.start()
+            runner.join(timeout=60.0)
+            assert not runner.is_alive(), "distributed run did not finish"
+            worker.stop()
+            stats = coordinator.queue.stats()
+            assert stats["requeued"] >= 1  # the crashed lease came back
+            expected = best_similarities(protos, vectors, row_tile=4, col_tile=6)
+            np.testing.assert_array_equal(outcome["out"], expected)
+        finally:
+            coordinator.close()
+
+    def test_poison_shard_raises_clear_error_instead_of_hanging(self):
+        # A 1-D "block" makes every fit attempt raise deterministically.
+        bad = base_fit_task(np.ones(7), HierarchicalConfig(n_classes=2, seed=0), 0)
+        with thread_cluster(1, max_attempts=2, run_timeout=60.0) as coordinator:
+            with pytest.raises(PoisonShardError, match="retry budget"):
+                coordinator.run([bad])
+            assert coordinator.queue.stats()["failed"] == 2
+
+    def test_timeout_with_no_workers_is_a_clear_error(self, sim_data):
+        protos, vectors = sim_data
+        config = DistributedConfig(
+            n_workers=0, lease_timeout=0.2, run_timeout=0.5
+        )
+        with Coordinator(config) as coordinator:
+            with pytest.raises(TimeoutError, match="incomplete"):
+                coordinator.best_similarities(protos, vectors, row_tile=4)
+
+    def test_dead_local_cluster_fails_fast(self, sim_data, monkeypatch):
+        """If every auto-spawned worker dies, the run errors promptly
+        instead of sitting out the full run_timeout."""
+        protos, vectors = sim_data
+        coordinator = thread_cluster(1, run_timeout=120.0)
+        # Sabotage the worker so its thread exits immediately.
+        monkeypatch.setattr(Worker, "run", lambda self: None)
+        start = time.monotonic()
+        try:
+            with pytest.raises(RuntimeError, match="local worker"):
+                coordinator.best_similarities(protos, vectors, row_tile=4)
+            assert time.monotonic() - start < 60.0
+        finally:
+            coordinator.close()
+
+
+# ----------------------------------------------------------------------
+# End-to-end through Goggles
+# ----------------------------------------------------------------------
+def _prefix_dev(dataset, n_prefix: int, per_class: int, seed: int = 0) -> DevSet:
+    rng = np.random.default_rng(seed)
+    indices: list[int] = []
+    for c in range(dataset.n_classes):
+        pool = np.flatnonzero(dataset.labels[:n_prefix] == c)
+        indices.extend(rng.choice(pool, size=per_class, replace=False).tolist())
+    chosen = np.array(sorted(indices))
+    return DevSet(indices=chosen, labels=dataset.labels[chosen])
+
+
+class TestEndToEnd:
+    def _config(self, executor: str) -> GogglesConfig:
+        # row_tile=8 forces a real multi-shard grid on the 24-image corpus.
+        return GogglesConfig(
+            n_classes=2, seed=0, top_z=3, layers=(1, 2),
+            engine=EngineConfig(executor=executor, row_tile=8),
+        )
+
+    def test_goggles_distributed_bit_identical_to_serial(self, vgg, small_surface):
+        images = small_surface.images
+        n0 = images.shape[0] - 6
+        dev = _prefix_dev(small_surface, n0, per_class=3)
+
+        serial = Goggles(self._config("serial"), model=vgg)
+        serial_full = serial.label(images[:n0], dev)
+        serial_inc = serial.label_incremental(images[n0:], dev)
+
+        with Goggles(
+            self._config("distributed"), model=vgg, coordinator=thread_cluster(2)
+        ) as distributed:
+            dist_full = distributed.label(images[:n0], dev)
+            dist_inc = distributed.label_incremental(images[n0:], dev)
+
+        # Build, incremental extension, and warm-started inference all
+        # route through the cluster — and all match serial exactly.
+        np.testing.assert_array_equal(
+            dist_full.affinity.values, serial_full.affinity.values
+        )
+        np.testing.assert_array_equal(
+            dist_full.probabilistic_labels, serial_full.probabilistic_labels
+        )
+        np.testing.assert_array_equal(
+            dist_inc.affinity.values, serial_inc.affinity.values
+        )
+        np.testing.assert_array_equal(
+            dist_inc.probabilistic_labels, serial_inc.probabilistic_labels
+        )
+
+    def test_process_workers_bit_identical(self, random_affinity):
+        """One real spawned worker process over the full wire protocol."""
+        config = HierarchicalConfig(n_classes=2, seed=0)
+        lp_serial, _ = fit_all_base_functions(random_affinity, config)
+        with Coordinator(
+            DistributedConfig(n_workers=1, worker_mode="process", run_timeout=120.0)
+        ) as coordinator:
+            results = coordinator.fit_base_models(random_affinity, config)
+        lp = np.concatenate([r.responsibilities for r in results], axis=1)
+        np.testing.assert_array_equal(lp, lp_serial)
+
+    def test_affinity_engine_closes_own_coordinator(self, sim_data):
+        """A lazily self-created session is owned and closed by the engine."""
+        from repro.engine.engine import AffinityEngine
+        from repro.engine.source import FeatureCosineSource
+
+        engine = AffinityEngine(
+            FeatureCosineSource(lambda images: images.reshape(len(images), -1), "flat"),
+            EngineConfig(executor="distributed", n_jobs=1),
+        )
+        coordinator = engine.coordinator()
+        assert coordinator is engine.coordinator()  # memoised
+        engine.close()
+        with pytest.raises(RuntimeError):
+            coordinator.run([make_task()])
+
+    def test_compute_affinity_matches_legacy_kernel(self, vgg, tiny_images):
+        """Distributed similarity equals the legacy whole-corpus kernel
+        through the engine path (same guarantee the tiled kernel has)."""
+        legacy = compute_affinity_matrix(vgg, tiny_images, top_z=2, layers=(1,))
+        config = GogglesConfig(
+            n_classes=2, seed=0, top_z=2, layers=(1,),
+            engine=EngineConfig(executor="distributed", row_tile=2),
+        )
+        with Goggles(config, model=vgg, coordinator=thread_cluster(2)) as goggles:
+            built = goggles.build_affinity_matrix(tiny_images)
+        np.testing.assert_allclose(built.values, legacy.values, atol=1e-12)

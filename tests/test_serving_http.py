@@ -1,0 +1,225 @@
+"""Tests for the HTTP front-end of the labeling service.
+
+Round-trips real HTTP requests (urllib against an ephemeral-port
+server) through submit → poll → healthz, and checks the back-pressure
+contract: a submission that would push queued pixels over the bound is
+shed with 429 + ``Retry-After`` instead of being absorbed.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import Goggles, GogglesConfig
+from repro.serving import LabelingHTTPServer, LabelingService, serve_http
+
+TIMEOUT = 120.0
+
+
+def _get(url: str) -> tuple[int, dict]:
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url: str, body: bytes, content_type: str) -> tuple[int, dict, dict]:
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": content_type}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def _npy_bytes(images: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, images)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def http_setup(vgg, small_surface):
+    """One started service + HTTP server shared by the module's tests."""
+    images = small_surface.images
+    n0 = images.shape[0] - 6
+    dev = small_surface.sample_dev_set(per_class=3, seed=0)
+    assert dev.indices.max() < n0
+    goggles = Goggles(
+        GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2), n_jobs=2), model=vgg
+    )
+    service = LabelingService(goggles, dev)
+    service.start(images[:n0])
+    server = serve_http(service)
+    yield server, service, images, n0
+    server.shutdown()
+    service.stop()
+
+
+class TestRoutes:
+    def test_submit_poll_roundtrip_npy(self, http_setup):
+        server, service, images, n0 = http_setup
+        code, payload, _ = _post(
+            f"{server.url}/submit", _npy_bytes(images[n0 : n0 + 3]),
+            "application/octet-stream",
+        )
+        assert code == 202
+        ticket = payload["ticket"]
+        # Poll over HTTP until the background worker resolves the batch.
+        deadline = time.monotonic() + TIMEOUT
+        while True:
+            code, status = _get(f"{server.url}/poll/{ticket}")
+            assert code == 200
+            if status["state"] != "pending":
+                break
+            assert time.monotonic() < deadline, "ticket never resolved"
+            time.sleep(0.1)
+        assert status["state"] == "done"
+        labels = np.asarray(status["probabilistic_labels"])
+        assert labels.shape == (3, 2)
+        np.testing.assert_allclose(labels.sum(axis=1), 1.0, atol=1e-8)
+        # The HTTP answer is exactly the service's answer.
+        direct = service.result(ticket, timeout=TIMEOUT)
+        np.testing.assert_array_equal(labels, direct.probabilistic_labels)
+        assert status["predictions"] == direct.predictions.tolist()
+
+    def test_submit_json_body(self, http_setup):
+        server, service, images, n0 = http_setup
+        body = json.dumps({"images": images[n0 + 3 : n0 + 4].tolist()}).encode()
+        code, payload, _ = _post(f"{server.url}/submit", body, "application/json")
+        assert code == 202
+        status = service.result(payload["ticket"], timeout=TIMEOUT)
+        assert status.done
+
+    def test_healthz_reports_load(self, http_setup):
+        server, service, _, n0 = http_setup
+        code, health = _get(f"{server.url}/healthz")
+        assert code == 200
+        assert health["status"] == "ok"
+        assert health["corpus_size"] >= n0
+        assert health["queued_pixels"] == 0
+        assert health["max_queued_pixels"] is None
+        assert health["n_batches"] >= 0
+
+    def test_unknown_ticket_404(self, http_setup):
+        server, *_ = http_setup
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/poll/t999999", timeout=30.0)
+        assert excinfo.value.code == 404
+
+    def test_unknown_route_404(self, http_setup):
+        server, *_ = http_setup
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope", timeout=30.0)
+        assert excinfo.value.code == 404
+
+    def test_garbage_body_400(self, http_setup):
+        server, *_ = http_setup
+        code, payload, _ = _post(
+            f"{server.url}/submit", b"not an array", "application/octet-stream"
+        )
+        assert code == 400
+        assert "error" in payload
+
+    def test_wrong_shape_400(self, http_setup):
+        server, *_ = http_setup
+        body = json.dumps({"images": [1.0, 2.0]}).encode()
+        code, payload, _ = _post(f"{server.url}/submit", body, "application/json")
+        assert code == 400
+        assert "(M, C, H, W)" in payload["error"]
+
+
+class TestBackPressure:
+    def test_429_with_retry_after_when_over_bound(self, http_setup):
+        _, service, images, n0 = http_setup
+        # A bound of 1 pixel sheds any real submission deterministically
+        # (the check runs before the queue is touched).
+        server = LabelingHTTPServer(
+            service, max_queued_pixels=1, retry_after=7.0
+        )
+        server.serve_in_background()
+        try:
+            code, payload, headers = _post(
+                f"{server.url}/submit", _npy_bytes(images[n0 : n0 + 1]),
+                "application/octet-stream",
+            )
+            assert code == 429
+            assert headers["Retry-After"] == "7"
+            assert payload["max_queued_pixels"] == 1
+            # healthz still serves; the bound is reported.
+            _, health = _get(f"{server.url}/healthz")
+            assert health["max_queued_pixels"] == 1
+        finally:
+            server.shutdown()
+
+    def test_submit_bound_is_atomic(self, http_setup):
+        """The bound check lives inside submit, under the service lock,
+        so concurrent submitters cannot jointly overshoot it."""
+        from repro.serving import BackPressureError
+
+        _, service, images, n0 = http_setup
+        batch = images[n0 : n0 + 1]
+        bound = int(batch.size * 1.5)  # room for exactly one batch
+        import threading
+
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def try_submit() -> None:
+            try:
+                ticket = service.submit(batch, max_queued_pixels=bound)
+                service.result(ticket, timeout=TIMEOUT)
+                with lock:
+                    outcomes.append("accepted")
+            except BackPressureError as error:
+                assert error.bound == bound
+                with lock:
+                    outcomes.append("shed")
+
+        threads = [threading.Thread(target=try_submit) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=TIMEOUT)
+        assert len(outcomes) == 6
+        assert "accepted" in outcomes  # at least one got through
+        # Never more than one batch in the backlog at a time means at
+        # most ceil = bound//batch.size accepted *concurrently*; the
+        # sequential stragglers may still land after drains, so the
+        # strong invariant is: nothing ever exceeded the bound inside
+        # submit — asserted by construction (no exception other than
+        # BackPressureError) — and shedding actually happened under
+        # contention unless the worker drained faster than submission.
+        assert service.queued_pixels == 0
+
+    def test_queued_pixels_counts_backlog(self, vgg, small_surface):
+        """queued_pixels covers both the queue and the in-flight batch."""
+        goggles = Goggles(
+            GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2)), model=vgg
+        )
+        dev = small_surface.sample_dev_set(per_class=3, seed=0)
+        service = LabelingService(goggles, dev)
+        assert service.queued_pixels == 0
+        images = small_surface.images
+        n0 = images.shape[0] - 4
+        service.start(images[:n0])
+        with service:
+            tickets = [service.submit(images[n0 + i : n0 + i + 1]) for i in range(4)]
+            for ticket in tickets:
+                assert service.result(ticket, timeout=TIMEOUT).done
+        assert service.queued_pixels == 0  # fully drained
+
+
+def test_validation():
+    service = object.__new__(LabelingService)  # bound checks need no service
+    with pytest.raises(ValueError, match="max_queued_pixels"):
+        LabelingHTTPServer(service, max_queued_pixels=0)
+    with pytest.raises(ValueError, match="retry_after"):
+        LabelingHTTPServer(service, retry_after=0.0)
