@@ -26,10 +26,14 @@ def test_inference_design_ablation(benchmark, settings, record_result):
         return out
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    lines = ["Inference ablation: labeling accuracy (%)", f"{'dataset':<10} {'hierarchical':>13} {'soft_ensemble':>14} {'single_gmm':>11}"]
+    lines = [
+        "Inference ablation: labeling accuracy (%)",
+        f"{'dataset':<10} {'hierarchical':>13} {'soft_ensemble':>14} {'single_gmm':>11}",
+    ]
     for dataset, row in results.items():
         lines.append(
-            f"{dataset:<10} {row['hierarchical']:13.1f} {row['soft_ensemble']:14.1f} {row['single_gmm']:11.1f}"
+            f"{dataset:<10} {row['hierarchical']:13.1f} "
+            f"{row['soft_ensemble']:14.1f} {row['single_gmm']:11.1f}"
         )
     lines.append("paper argument: hierarchy + one-hot Bernoulli ensemble is the strongest configuration")
     record_result("\n".join(lines))

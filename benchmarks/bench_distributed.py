@@ -29,6 +29,25 @@ JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
 N_WORKERS = 2
 
 
+def update_trajectory(path: Path, key: str, rows: list[dict]) -> None:
+    """Merge one section into the shared trajectory JSON.
+
+    ``BENCH_distributed.json`` holds one section per distributed
+    benchmark (``rows`` from this file, ``extraction`` from
+    ``bench_distributed_extraction.py``); merging instead of rewriting
+    lets the benchmarks run in any order — or alone — without erasing
+    each other's numbers.
+    """
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document[key] = rows
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+
 @pytest.mark.benchmark(group="distributed")
 def test_distributed_vs_serial_bit_identical(benchmark, settings, record_result):
     model = shared_model(settings)
@@ -79,7 +98,7 @@ def test_distributed_vs_serial_bit_identical(benchmark, settings, record_result)
         return rows
 
     measured = benchmark.pedantic(measure, rounds=1, iterations=1)
-    JSON_PATH.write_text(json.dumps({"rows": measured}, indent=2) + "\n")
+    update_trajectory(JSON_PATH, "rows", measured)
 
     row = measured[0]
     record_result(

@@ -1,0 +1,135 @@
+"""Distributed stage-1 feature extraction: 1/2/4-worker clusters vs serial.
+
+The acceptance contract of the extraction-shard runtime: at every
+worker count, ``executor="distributed"`` must reproduce the serial path
+**exactly** (atol=0) at all three levels —
+
+* the merged pool features (values *and* strides: the downstream GEMM
+  rounds by operand layout, so the merge re-views channels-last chunks),
+* the assembled :class:`AffinityMatrix`,
+* the final class-aligned labels.
+
+Each cluster uses real spawned worker processes over the full wire
+protocol, with result streaming forced on (``stream_threshold=0``) so
+the framed path is exercised under load.  Timings land in the
+``extraction`` section of the repo-root ``BENCH_distributed.json``
+trajectory; at this scale the cluster pays process-spawn and backbone
+rebuild overhead — the point is correctness under real multi-process
+execution at every worker count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_distributed import JSON_PATH, update_trajectory
+from repro.core import Goggles, GogglesConfig
+from repro.datasets import make_dataset
+from repro.distributed import Coordinator, DistributedConfig
+from repro.engine.features import extract_pool_features
+from repro.eval.harness import shared_model
+
+WORKER_COUNTS = (1, 2, 4)
+LAYERS = (0, 1, 2, 3, 4)
+BATCH_SIZE = 32
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_distributed_extraction_bit_identical_at_any_worker_count(
+    benchmark, settings, record_result
+):
+    model = shared_model(settings)
+    dataset = make_dataset("surface", n_per_class=settings.n_per_class, seed=0)
+    dev = dataset.sample_dev_set(settings.dev_per_class, seed=0)
+    rows: list[dict] = []
+
+    def measure() -> list[dict]:
+        rows.clear()
+        start = time.perf_counter()
+        serial_pools = extract_pool_features(
+            model, dataset.images, layers=LAYERS, batch_size=BATCH_SIZE
+        )
+        serial_extract_s = time.perf_counter() - start
+        start = time.perf_counter()
+        serial = Goggles(
+            GogglesConfig(n_classes=2, seed=0, executor="serial", batch_size=BATCH_SIZE),
+            model=model,
+        ).label(dataset.images, dev)
+        serial_s = time.perf_counter() - start
+
+        for n_workers in WORKER_COUNTS:
+            coordinator = Coordinator(
+                DistributedConfig(n_workers=n_workers, stream_threshold=0),
+            )
+            start = time.perf_counter()
+            with Goggles(
+                GogglesConfig(
+                    n_classes=2, seed=0, executor="distributed", batch_size=BATCH_SIZE
+                ),
+                model=model,
+                coordinator=coordinator,
+            ) as goggles:
+                distributed = goggles.label(dataset.images, dev)
+                labeled_s = time.perf_counter() - start
+                start = time.perf_counter()
+                merged_pools = coordinator.extract_pool_features(
+                    model.config, dataset.images, layers=LAYERS, batch_size=BATCH_SIZE
+                )
+                extract_s = time.perf_counter() - start
+                streamed = coordinator._broker.n_streamed if coordinator.started else 0
+                queue_stats = coordinator.queue.stats()
+
+            features_identical = all(
+                np.array_equal(merged_pools[layer], serial_pools[layer])
+                and merged_pools[layer].strides == serial_pools[layer].strides
+                for layer in LAYERS
+            )
+            affinity_identical = np.array_equal(
+                distributed.affinity.values, serial.affinity.values
+            )
+            labels_identical = np.array_equal(
+                distributed.probabilistic_labels, serial.probabilistic_labels
+            ) and np.array_equal(distributed.predictions, serial.predictions)
+            # The acceptance contract, enforced here so CI fails loudly.
+            assert features_identical, f"{n_workers}-worker pool features diverged"
+            assert affinity_identical, f"{n_workers}-worker affinity diverged"
+            assert labels_identical, f"{n_workers}-worker labels diverged"
+
+            rows.append(
+                {
+                    "n": dataset.n_examples,
+                    "workers": n_workers,
+                    "serial_extraction_seconds": round(serial_extract_s, 4),
+                    "distributed_extraction_seconds": round(extract_s, 4),
+                    "serial_pipeline_seconds": round(serial_s, 4),
+                    "distributed_pipeline_seconds": round(labeled_s, 4),
+                    "streamed_results": streamed,
+                    "shards_completed": queue_stats["completed"],
+                    "features_bit_identical": features_identical,
+                    "affinity_bit_identical": affinity_identical,
+                    "labels_bit_identical": labels_identical,
+                }
+            )
+        return rows
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    update_trajectory(JSON_PATH, "extraction", measured)
+
+    lines = [
+        f"Distributed feature extraction (N={measured[0]['n']}, layers={list(LAYERS)}, "
+        f"batch_size={BATCH_SIZE}, streaming forced on)"
+    ]
+    for row in measured:
+        lines.append(
+            f"  {row['workers']} worker(s): extraction {row['distributed_extraction_seconds']:.2f}s "
+            f"(serial {row['serial_extraction_seconds']:.2f}s), pipeline "
+            f"{row['distributed_pipeline_seconds']:.2f}s (serial {row['serial_pipeline_seconds']:.2f}s), "
+            f"{row['streamed_results']} streamed results — features/affinity/labels "
+            f"bit-identical: {row['features_bit_identical']}/{row['affinity_bit_identical']}"
+            f"/{row['labels_bit_identical']}"
+        )
+    lines.append(f"trajectory artifact: {JSON_PATH.name} (section 'extraction')")
+    record_result("\n".join(lines))

@@ -34,4 +34,6 @@ def test_fig2_affinity_score_distributions(benchmark, settings, record_result):
     assert best.auc > 0.75, "at least one affinity function must separate classes well"
     assert worst.auc < 0.6, "some affinity functions must be uninformative noise"
     assert best.separation > 0, "same-class pairs must score higher under the best function"
-    assert 1 <= result["n_discriminative"] < len(result["all"]), "discriminative functions are a strict subset"
+    assert 1 <= result["n_discriminative"] < len(result["all"]), (
+        "discriminative functions are a strict subset"
+    )

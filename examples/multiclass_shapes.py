@@ -10,8 +10,6 @@ Run:  python examples/multiclass_shapes.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import Goggles, GogglesConfig
 from repro.core.inference.theory import p_mapping_correct_lower_bound
 from repro.datasets import make_shapes

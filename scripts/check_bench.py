@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: freshly emitted trajectories vs baselines.
+
+CI snapshots the *committed* repo-root ``BENCH_*.json`` trajectories
+before the benchmark steps overwrite them, then runs this gate on the
+pair.  Two classes of change fail the build:
+
+* **wall-clock regression** — any ``*_seconds`` metric that grew by
+  more than ``--max-regression`` (default 25%) over its baseline.
+  Getting *faster* is always fine.  Metrics whose baseline is below
+  ``--min-seconds`` (default 0.5s) are exempt from the wall-clock
+  check: sub-second single-round timings are dominated by runner
+  jitter, and a gate that flakes gets deleted — the bound bites on the
+  multi-second cluster/pipeline metrics where a real regression shows.
+  When the benchmark environment changes (new runner class, new
+  BLAS), refresh the committed baselines from a green run's uploaded
+  ``BENCH-trajectories`` artifact rather than from a laptop.
+* **equality flag flip** — any boolean metric (``bit_identical``,
+  ``features_bit_identical``, ...) that was ``true`` in the baseline
+  and is no longer.  These flags encode the distributed runtime's
+  bit-identity acceptance contract; a flip means correctness, not
+  performance, regressed.  Flips from ``false`` to ``true`` are
+  improvements and pass.
+
+Structure is compared recursively; a fresh file may *add* keys or rows
+(new metrics, new worker counts), but dropping a baseline key or row
+fails — silently shrinking coverage must look like a regression, not a
+pass.  Other scalars (shard counts, iteration counts) are informational
+and ignored: they legitimately change as the planner evolves.
+
+Usage::
+
+    python scripts/check_bench.py --baseline .bench-baseline --fresh . \
+        BENCH_inference.json BENCH_distributed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(
+    baseline: object,
+    fresh: object,
+    path: str,
+    max_regression: float,
+    min_seconds: float,
+) -> list[str]:
+    """All gate violations between one baseline/fresh subtree pair."""
+    issues: list[str] = []
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            return [f"{path}: baseline is a mapping, fresh is {type(fresh).__name__}"]
+        for key, value in baseline.items():
+            if key not in fresh:
+                issues.append(f"{path}.{key}: present in baseline, missing from fresh run")
+            else:
+                issues.extend(
+                    compare(value, fresh[key], f"{path}.{key}", max_regression, min_seconds)
+                )
+        return issues
+    if isinstance(baseline, list):
+        if not isinstance(fresh, list):
+            return [f"{path}: baseline is a list, fresh is {type(fresh).__name__}"]
+        if len(fresh) < len(baseline):
+            issues.append(
+                f"{path}: coverage shrank from {len(baseline)} to {len(fresh)} rows"
+            )
+        for index, (base_row, fresh_row) in enumerate(zip(baseline, fresh)):
+            issues.extend(
+                compare(base_row, fresh_row, f"{path}[{index}]", max_regression, min_seconds)
+            )
+        return issues
+    # bool before int/float: Python booleans are ints.
+    if isinstance(baseline, bool):
+        if baseline and not fresh:
+            issues.append(
+                f"{path}: equality flag flipped true -> {json.dumps(fresh)} "
+                "(bit-identity contract broken)"
+            )
+        return issues
+    key = path.rsplit(".", 1)[-1]
+    if isinstance(baseline, (int, float)) and key.endswith("_seconds"):
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            return [f"{path}: baseline is a number, fresh is {json.dumps(fresh)}"]
+        if baseline < min_seconds:
+            return issues  # sub-floor timings are runner jitter, not signal
+        limit = baseline * (1.0 + max_regression)
+        if fresh > limit:
+            issues.append(
+                f"{path}: wall clock regressed {baseline:.4f}s -> {fresh:.4f}s "
+                f"(+{100.0 * (fresh - baseline) / baseline:.1f}%, "
+                f"limit +{100.0 * max_regression:.0f}%)"
+            )
+        return issues
+    return issues
+
+
+def check_file(
+    name: str,
+    baseline_dir: Path,
+    fresh_dir: Path,
+    max_regression: float,
+    min_seconds: float,
+) -> list[str]:
+    baseline_path = baseline_dir / name
+    fresh_path = fresh_dir / name
+    if not baseline_path.exists():
+        return [f"{name}: no committed baseline at {baseline_path}"]
+    if not fresh_path.exists():
+        return [f"{name}: benchmark step emitted no fresh trajectory at {fresh_path}"]
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except ValueError as error:
+        return [f"{name}: baseline is not valid JSON ({error})"]
+    try:
+        fresh = json.loads(fresh_path.read_text())
+    except ValueError as error:
+        return [f"{name}: fresh trajectory is not valid JSON ({error})"]
+    return compare(baseline, fresh, name, max_regression, min_seconds)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="+", help="trajectory file names present in both directories"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="directory holding the committed baseline trajectories",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, default=Path("."),
+        help="directory holding the freshly emitted trajectories (default: .)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="tolerated fractional wall-clock growth per metric (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.5,
+        help="baselines below this are exempt from the wall-clock check "
+        "(sub-second single-round timings are runner jitter; default 0.5)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_regression < 0:
+        parser.error(f"--max-regression must be >= 0, got {args.max_regression}")
+
+    failures: list[str] = []
+    for name in args.files:
+        issues = check_file(
+            name, args.baseline, args.fresh, args.max_regression, args.min_seconds
+        )
+        status = "FAIL" if issues else "ok"
+        print(f"[{status}] {name}")
+        for issue in issues:
+            print(f"    {issue}")
+        failures.extend(issues)
+    if failures:
+        print(f"\nbenchmark gate: {len(failures)} violation(s)")
+        return 1
+    print("\nbenchmark gate: all trajectories within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

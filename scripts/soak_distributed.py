@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Distributed soak: a 4-worker cluster under lease-expiry crash injection.
+
+Runs the full labeling pipeline through ``executor="distributed"`` for
+several rounds while a chaos thread repeatedly *steals leases*: it
+leases shards from the coordinator's queue under a fake worker identity
+and never reports back, so every stolen shard must be recovered by the
+queue's deadline machinery (the existing ``lease_timeout`` /
+``max_attempts`` knobs — no special test hooks).  Every round asserts
+the distributed result is still **bit-identical** to a serial reference
+run, and the run fails loudly if no lease was ever reassigned (i.e. the
+chaos did not actually bite).
+
+This is the scheduled (cron) CI soak job — deliberately outside the
+PR-blocking path, with its log uploaded as an artifact.  Locally::
+
+    PYTHONPATH=src python scripts/soak_distributed.py --workers 4 --rounds 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.core import Goggles, GogglesConfig
+from repro.datasets import make_dataset
+from repro.distributed import Coordinator, DistributedConfig
+from repro.nn.vgg import VGG16, VGGConfig
+
+
+class LeaseThief(threading.Thread):
+    """Chaos agent: leases shards under a doomed identity, never reports.
+
+    Every theft forces the shard through the full crash-recovery path —
+    the lease expires after ``lease_timeout`` and the queue requeues it
+    for a live worker.  Throttled so the retry budget (``max_attempts``)
+    is never exhausted by chaos alone.
+    """
+
+    def __init__(self, coordinator: Coordinator, interval: float):
+        super().__init__(name="lease-thief", daemon=True)
+        self.coordinator = coordinator
+        self.interval = interval
+        self.thefts = 0
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            task = self.coordinator.queue.lease(f"doomed-{self.thefts}")
+            if task is not None:
+                self.thefts += 1
+            self._halt.wait(self.interval)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4, help="spawned worker processes")
+    parser.add_argument("--rounds", type=int, default=3, help="labeling rounds to soak")
+    parser.add_argument("--n-per-class", type=int, default=24, help="corpus scale per round")
+    parser.add_argument(
+        "--lease-timeout", type=float, default=2.0,
+        help="seconds before a stolen/stuck lease is reassigned (the knob under test)",
+    )
+    parser.add_argument(
+        "--theft-interval", type=float, default=1.0,
+        help="seconds between lease thefts by the chaos thread",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=6,
+        help="retry budget per shard (headroom for chaos-induced expiries)",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"soak: {args.workers} workers, {args.rounds} rounds, "
+        f"n_per_class={args.n_per_class}, lease_timeout={args.lease_timeout}s, "
+        f"theft every {args.theft_interval}s"
+    )
+    model = VGG16(VGGConfig(seed=0))
+    total_thefts = 0
+    total_requeued = 0
+    for round_index in range(args.rounds):
+        dataset = make_dataset(
+            "surface", n_per_class=args.n_per_class, seed=round_index
+        )
+        dev = dataset.sample_dev_set(5, seed=round_index)
+        serial = Goggles(
+            GogglesConfig(n_classes=2, seed=0, executor="serial"), model=model
+        ).label(dataset.images, dev)
+
+        coordinator = Coordinator(
+            DistributedConfig(
+                n_workers=args.workers,
+                lease_timeout=args.lease_timeout,
+                max_attempts=args.max_attempts,
+                run_timeout=900.0,
+            )
+        )
+        thief = LeaseThief(coordinator, interval=args.theft_interval)
+        start = time.perf_counter()
+        with Goggles(
+            GogglesConfig(n_classes=2, seed=0, executor="distributed"),
+            model=model,
+            coordinator=coordinator,
+        ) as goggles:
+            thief.start()
+            try:
+                distributed = goggles.label(dataset.images, dev)
+            finally:
+                thief.stop()
+                thief.join(timeout=10.0)
+            elapsed = time.perf_counter() - start
+            stats = coordinator.queue.stats()
+
+        affinity_ok = np.array_equal(
+            distributed.affinity.values, serial.affinity.values
+        )
+        labels_ok = np.array_equal(
+            distributed.probabilistic_labels, serial.probabilistic_labels
+        )
+        total_thefts += thief.thefts
+        total_requeued += stats["requeued"]
+        print(
+            f"round {round_index}: {elapsed:.1f}s, {stats['completed']} shards "
+            f"completed, {thief.thefts} leases stolen, {stats['requeued']} requeued, "
+            f"{stats['poisoned']} poisoned — affinity bit-identical: {affinity_ok}, "
+            f"labels bit-identical: {labels_ok}"
+        )
+        if not (affinity_ok and labels_ok):
+            print("FAIL: distributed result diverged from serial under crash injection")
+            return 1
+        if stats["poisoned"]:
+            print("FAIL: chaos exhausted a shard's retry budget (tune knobs)")
+            return 1
+
+    if total_thefts == 0 or total_requeued == 0:
+        print(
+            f"FAIL: chaos never bit (thefts={total_thefts}, requeued={total_requeued}) "
+            "— the soak exercised nothing; lower --theft-interval"
+        )
+        return 1
+    print(
+        f"soak passed: {args.rounds} rounds bit-identical under {total_thefts} stolen "
+        f"leases ({total_requeued} deadline-recovered requeues)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

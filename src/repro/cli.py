@@ -201,6 +201,7 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
             n_workers=args.spawn_workers,
             lease_timeout=args.lease_timeout,
             max_attempts=args.max_attempts,
+            stream_threshold=args.stream_threshold,
         )
     )
     config = GogglesConfig(
@@ -239,7 +240,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         if args.cache_dir
         else None
     )
-    worker = Worker((host, port), args.authkey, cache=cache)
+    worker = Worker(
+        (host, port), args.authkey, cache=cache, stream_threshold=args.stream_threshold
+    )
     print(f"worker {worker.worker_id} polling {args.connect}")
     worker.run()
     print(
@@ -317,7 +320,8 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
     curve = run_fig9(_settings(args), args.dataset)
-    print(format_curve(curve, f"Figure 9: accuracy vs #affinity functions ({args.dataset})", "alpha", "acc %"))
+    title = f"Figure 9: accuracy vs #affinity functions ({args.dataset})"
+    print(format_curve(curve, title, "alpha", "acc %"))
     return 0
 
 
@@ -327,12 +331,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-per-class", type=int, default=40)
     parser.add_argument("--dev-per-class", type=int, default=5)
     parser.add_argument("--seeds", type=int, default=3, help="runs averaged per experiment cell")
-    parser.add_argument("--n-jobs", type=int, default=1, help="workers for affinity tiling and base-model fits")
+    parser.add_argument(
+        "--n-jobs", type=int, default=1, help="workers for affinity tiling and base-model fits"
+    )
     parser.add_argument(
         "--executor", choices=EXECUTORS, default="thread",
         help="worker model for base-model fits (process = shared-memory ProcessPoolExecutor)",
     )
-    parser.add_argument("--batch-size", type=int, default=32, help="images per backbone forward pass (0 = whole corpus)")
+    parser.add_argument(
+        "--batch-size", type=int, default=32,
+        help="images per backbone forward pass (0 = whole corpus)",
+    )
     parser.add_argument(
         "--precision", choices=("float64", "float32"), default="float64",
         help="engine compute precision (float32 is ~2x faster, allclose-exact)",
@@ -377,7 +386,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.set_defaults(fn=_cmd_serve)
 
-    from repro.distributed import DEFAULT_PORT, default_authkey
+    from repro.distributed import DEFAULT_PORT, DEFAULT_STREAM_THRESHOLD, default_authkey
 
     coordinator = sub.add_parser(
         "coordinator",
@@ -406,6 +415,11 @@ def main(argv: list[str] | None = None) -> int:
         "--max-attempts", type=int, default=3,
         help="lease grants per shard before it is poisoned (clear error, no hang)",
     )
+    coordinator.add_argument(
+        "--stream-threshold", type=int, default=DEFAULT_STREAM_THRESHOLD,
+        help="result bytes above which spawned workers stream shard results as "
+        "framed sub-messages instead of one message (0 = always stream)",
+    )
     coordinator.set_defaults(fn=_cmd_coordinator)
 
     worker = sub.add_parser("worker", help="serve shards to a coordinator")
@@ -415,6 +429,11 @@ def main(argv: list[str] | None = None) -> int:
     worker.add_argument(
         "--authkey", default=default_authkey(),
         help="shared connection secret (default $GOGGLES_AUTHKEY or built-in)",
+    )
+    worker.add_argument(
+        "--stream-threshold", type=int, default=DEFAULT_STREAM_THRESHOLD,
+        help="result bytes above which shard results stream as framed "
+        "sub-messages instead of one message (0 = always stream)",
     )
     worker.set_defaults(fn=_cmd_worker)
 

@@ -53,9 +53,10 @@ class GogglesConfig:
         executor: worker model for the base-model fits — ``"serial"``,
             ``"thread"`` (default), ``"process"`` (shared-memory
             ProcessPoolExecutor; scales EM past the GIL) or
-            ``"distributed"`` (affinity tiles *and* base fits sharded
-            over a coordinator/worker cluster, possibly spanning
-            machines).  Results are identical in every mode.
+            ``"distributed"`` (feature extraction, affinity tiles
+            *and* base fits all sharded over a coordinator/worker
+            cluster, possibly spanning machines).  Results are
+            identical in every mode.
         broker: ``host:port`` the distributed coordinator binds (only
             with ``executor="distributed"``; port 0 = ephemeral).
             ``None`` means a localhost cluster that auto-spawns
@@ -157,9 +158,10 @@ class Goggles:
     """The GOGGLES automatic image-labeling system.
 
     With ``executor="distributed"`` the pipeline owns one
-    coordinator/worker session (``self.coordinator``) shared by both
-    stages, so a worker connects once and serves affinity tiles and
-    base fits alike; :meth:`close` (or the context-manager form) shuts
+    coordinator/worker session (``self.coordinator``) shared by every
+    stage, so a worker connects once and serves extraction chunks,
+    affinity tiles, and base fits alike; :meth:`close` (or the
+    context-manager form) shuts
     it down.  An externally managed session can be injected via the
     ``coordinator`` argument (e.g. the CLI's ``coordinator`` verb,
     which binds a fixed address for remote workers).

@@ -152,7 +152,9 @@ class DiagonalGMM:
             )
         self.weights_ /= self.weights_.sum()
 
-    def _initialise(self, x: np.ndarray, init: GMMParams | np.ndarray | None, rng: np.random.Generator) -> None:
+    def _initialise(
+        self, x: np.ndarray, init: GMMParams | np.ndarray | None, rng: np.random.Generator
+    ) -> None:
         """Set the starting parameters for EM.
 
         ``init`` may be ``None`` (k-means++ initialisation, the cold

@@ -125,7 +125,9 @@ class BernoulliMixture:
         log_lik = x @ log_b.T + (1.0 - x) @ log_1mb.T
         return log_lik + np.log(np.maximum(weights, 1e-300))
 
-    def _run_em(self, x: np.ndarray, responsibilities: np.ndarray) -> tuple[np.ndarray, np.ndarray, float, int, bool, np.ndarray]:
+    def _run_em(
+        self, x: np.ndarray, responsibilities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float, int, bool, np.ndarray]:
         n, d = x.shape
         weights = np.full(self.n_components, 1.0 / self.n_components)
         probs = np.full((self.n_components, d), 0.5)
@@ -170,7 +172,9 @@ class BernoulliMixture:
                     f"init params shaped {init.weights.shape}/{init.probs.shape} "
                     f"do not match (K={self.n_components}, D={d})"
                 )
-            probs = np.clip(np.asarray(init.probs, dtype=np.float64), self.param_floor, 1.0 - self.param_floor)
+            probs = np.clip(
+                np.asarray(init.probs, dtype=np.float64), self.param_floor, 1.0 - self.param_floor
+            )
             weights = np.asarray(init.weights, dtype=np.float64)
             log_joint = self._log_prob(x, weights / weights.sum(), probs)
             responsibilities = np.exp(log_joint - logsumexp(log_joint, axis=1, keepdims=True))

@@ -23,7 +23,13 @@ from scipy.optimize import linear_sum_assignment
 from repro.datasets.base import DevSet
 from repro.utils.validation import check_labels, check_probabilities
 
-__all__ = ["ClusterMapping", "dev_set_weights", "map_clusters_to_classes", "brute_force_mapping", "apply_mapping"]
+__all__ = [
+    "ClusterMapping",
+    "dev_set_weights",
+    "map_clusters_to_classes",
+    "brute_force_mapping",
+    "apply_mapping",
+]
 
 
 @dataclass(frozen=True)

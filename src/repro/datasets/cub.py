@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.datasets._render import finish_image, jitter_colour, new_canvas
+from repro.datasets._render import finish_image, jitter_colour
 from repro.datasets.base import LabeledImageDataset
 from repro.utils.rng import spawn_rng
 from repro.vision.draw import draw_line, fill_disk, fill_ellipse, fill_polygon

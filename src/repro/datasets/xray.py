@@ -128,7 +128,9 @@ def _add_tb_findings(canvas: np.ndarray, lungs: dict, rng: np.random.Generator, 
             fill_ring(canvas, y, x, rng.uniform(3.0, 5.0) * scale, 1.4 * scale, 0.55, opacity=severity * 0.85)
 
 
-def _add_pneumonia_findings(canvas: np.ndarray, lungs: dict, rng: np.random.Generator, severity: float) -> None:
+def _add_pneumonia_findings(
+    canvas: np.ndarray, lungs: dict, rng: np.random.Generator, severity: float
+) -> None:
     """Diffuse pneumonia findings: interstitial infiltrates over the lungs.
 
     Pediatric pneumonia typically shows widespread hazy/patchy

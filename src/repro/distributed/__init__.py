@@ -1,10 +1,12 @@
 """The distributed shard runtime (see ENGINE.md, "Distributed stages").
 
-Shards GOGGLES' two embarrassingly parallel stages — affinity tile
-construction (paper §3) and per-affinity-function base GMM fits (§4,
-§5.3) — across worker processes that may live on other machines, over
-a lease-based fault-tolerant task queue, with results merged back
-bit-identically to the serial path:
+Shards GOGGLES' three embarrassingly parallel stages — chunked VGG
+feature extraction (paper §3, stage 1), affinity tile construction
+(§3, stage 2) and per-affinity-function base GMM fits (§4, §5.3) —
+across worker processes that may live on other machines, over a
+lease-based fault-tolerant task queue, with results merged back
+bit-identically to the serial path (large results stream back as
+framed sub-messages rather than one giant pickle):
 
 * :mod:`repro.distributed.tasks` — content-addressed shard tasks and
   the :class:`ShardPlanner` that cuts stage work into them.
@@ -30,14 +32,23 @@ from repro.distributed.tasks import (
     ShardTask,
     base_fit_task,
     execute_shard,
+    extraction_task,
     load_shard_result,
+    required_result_keys,
     similarity_task,
 )
-from repro.distributed.worker import Worker, run_worker_process
+from repro.distributed.worker import (
+    DEFAULT_FRAME_BYTES,
+    DEFAULT_STREAM_THRESHOLD,
+    Worker,
+    run_worker_process,
+)
 
 __all__ = [
     "DEFAULT_AUTHKEY",
+    "DEFAULT_FRAME_BYTES",
     "DEFAULT_PORT",
+    "DEFAULT_STREAM_THRESHOLD",
     "Broker",
     "Coordinator",
     "DistributedConfig",
@@ -49,9 +60,11 @@ __all__ = [
     "base_fit_task",
     "default_authkey",
     "execute_shard",
+    "extraction_task",
     "load_shard_result",
     "parse_address",
     "require_safe_authkey",
+    "required_result_keys",
     "run_worker_process",
     "similarity_task",
 ]

@@ -12,6 +12,21 @@ into :class:`~repro.distributed.queue.TaskQueue` calls:
     ("fail", worker_id, task_id, error_str)  -> ("ok",)
     ("bye", worker_id)                       -> connection closed
 
+Results above the worker's ``stream_threshold`` arrive as a *framed
+stream* instead of one monolithic pickle::
+
+    ("result-begin", worker_id, task_id, n_frames, total_bytes)   (no reply)
+    ("frame", worker_id, task_id, index, bytes)                    (no reply) ×n_frames
+    ("result-end", worker_id, task_id)        -> ("ok",) | ("error", reason)
+
+The handler buffers frames per task in thread-local state and only
+hands the reassembled result to the queue on a complete, length-checked
+``result-end``; a connection that dies mid-stream discards its partial
+frames on the spot and releases the worker's leases, so a reassigned
+shard can never be completed by garbage.  A malformed stream (missing
+header, out-of-order frame, length mismatch) is reported to the queue
+as a shard *failure* — burning a retry — rather than poisoning state.
+
 Fault tolerance is layered: a broken connection releases the worker's
 leases immediately (fast crash detection), and the queue's lease
 timeout catches workers that stay connected but stop responding.
@@ -19,7 +34,9 @@ timeout catches workers that stay connected but stop responding.
 
 from __future__ import annotations
 
+import pickle
 import threading
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, Listener
 
 from repro.distributed.queue import TaskQueue
@@ -28,6 +45,25 @@ __all__ = ["Broker", "DEFAULT_PORT"]
 
 #: Default TCP port of the `goggles-repro coordinator` verb.
 DEFAULT_PORT = 41817
+
+
+@dataclass
+class _ResultStream:
+    """Reassembly state of one in-flight streamed result."""
+
+    worker_id: str
+    n_frames: int
+    total_bytes: int
+    frames: list[bytes] = field(default_factory=list)
+
+    def error(self) -> str | None:
+        """Why the stream is malformed, or ``None`` if it is complete."""
+        if len(self.frames) != self.n_frames:
+            return f"expected {self.n_frames} frames, received {len(self.frames)}"
+        received = sum(len(frame) for frame in self.frames)
+        if received != self.total_bytes:
+            return f"expected {self.total_bytes} bytes, received {received}"
+        return None
 
 
 class Broker:
@@ -47,6 +83,8 @@ class Broker:
         self._connections: list[Connection] = []
         self._handlers: list[threading.Thread] = []
         self.n_connections = 0  # workers ever accepted
+        self.n_streamed = 0  # results reassembled from frames
+        self.n_stream_errors = 0  # malformed streams turned into failures
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="goggles-broker-accept", daemon=True
         )
@@ -92,6 +130,10 @@ class Broker:
 
     def _serve(self, conn: Connection) -> None:
         worker_id: str | None = None
+        # In-flight streamed results of THIS connection only.  Local by
+        # design: when the connection dies, partial frames die with it —
+        # a reassigned lease can never be completed by stale garbage.
+        streams: dict[str, _ResultStream] = {}
         try:
             while not self._closing.is_set():
                 message = conn.recv()
@@ -107,6 +149,25 @@ class Broker:
                     _, worker_id, task_id, arrays = message
                     self.queue.complete(task_id, worker_id, arrays)
                     conn.send(("ok",))
+                elif op == "result-begin":
+                    _, worker_id, task_id, n_frames, total_bytes = message
+                    streams[task_id] = _ResultStream(
+                        worker_id=worker_id,
+                        n_frames=int(n_frames),
+                        total_bytes=int(total_bytes),
+                    )
+                elif op == "frame":
+                    _, worker_id, task_id, index, frame = message
+                    stream = streams.get(task_id)
+                    if stream is not None and index == len(stream.frames):
+                        stream.frames.append(frame)
+                    elif stream is not None:
+                        # Out-of-order frame: poison the reassembly so
+                        # result-end reports a failure, not bad data.
+                        stream.n_frames = -1
+                elif op == "result-end":
+                    _, worker_id, task_id = message
+                    conn.send(self._finish_stream(streams, task_id, worker_id))
                 elif op == "fail":
                     _, worker_id, task_id, error = message
                     self.queue.fail(task_id, worker_id, error)
@@ -138,6 +199,35 @@ class Broker:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+
+    def _finish_stream(
+        self, streams: dict[str, _ResultStream], task_id: str, worker_id: str
+    ) -> tuple:
+        """Reassemble a completed stream into a queue completion.
+
+        Returns the reply to send: ``("ok",)`` on success, or
+        ``("error", reason)`` after reporting a malformed stream to the
+        queue as a shard failure (requeue/poison semantics apply).
+        """
+        stream = streams.pop(task_id, None)
+        if stream is None:
+            reason = f"result-end for {task_id[:12]} without result-begin"
+        else:
+            reason = stream.error()
+        if reason is None:
+            try:
+                arrays = pickle.loads(b"".join(stream.frames))
+            except Exception as error:  # noqa: BLE001 - corrupt blob
+                reason = f"stream deserialisation failed: {type(error).__name__}: {error}"
+        if reason is not None:
+            with self._lock:
+                self.n_stream_errors += 1
+            self.queue.fail(task_id, worker_id, f"streamed result discarded: {reason}")
+            return ("error", reason)
+        self.queue.complete(task_id, worker_id, arrays)
+        with self._lock:
+            self.n_streamed += 1
+        return ("ok",)
 
     # ------------------------------------------------------------------
     # Shutdown

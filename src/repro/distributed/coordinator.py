@@ -6,6 +6,12 @@ the :class:`~repro.distributed.broker.Broker` socket, optionally spawns
 local workers, and exposes the two stage-level operations the engines
 need:
 
+* :meth:`Coordinator.extract_pool_features` — stage 1: the corpus is
+  cut at the serial chunked-batch boundaries, shipped as
+  ``"extraction"`` shards (the worker rebuilds the deterministic
+  backbone from its config), and the pool-feature chunks are
+  concatenated back in corpus order — bit-identical to the serial
+  chunked extraction.
 * :meth:`Coordinator.best_similarities` — stage 2: the (images ×
   prototype-rows) grid is cut at the serial tile boundaries, shipped as
   ``"similarity"`` shards, and merged back into the exact array the
@@ -42,8 +48,14 @@ from repro.distributed.tasks import (
     load_shard_result,
     unpack_gmm_result,
 )
-from repro.distributed.worker import Worker, run_worker_process
+from repro.distributed.worker import (
+    DEFAULT_FRAME_BYTES,
+    DEFAULT_STREAM_THRESHOLD,
+    Worker,
+    run_worker_process,
+)
 from repro.engine.cache import ArtifactCache
+from repro.nn.vgg import VGGConfig
 
 __all__ = [
     "DEFAULT_AUTHKEY",
@@ -117,6 +129,11 @@ class DistributedConfig:
         run_timeout: overall deadline for one :meth:`Coordinator.run`;
             ``None`` waits forever.
         worker_poll_interval: idle poll period of spawned workers.
+        stream_threshold: result size (payload array bytes) above which
+            spawned workers stream a shard result back as framed
+            sub-messages instead of one monolithic pickle; below it the
+            single-message path is kept.  0 streams everything.
+        frame_bytes: frame size of a streamed result.
     """
 
     bind: str = "127.0.0.1:0"
@@ -127,6 +144,8 @@ class DistributedConfig:
     max_attempts: int = 3
     run_timeout: float | None = 600.0
     worker_poll_interval: float = 0.02
+    stream_threshold: int = DEFAULT_STREAM_THRESHOLD
+    frame_bytes: int = DEFAULT_FRAME_BYTES
 
     def __post_init__(self) -> None:
         parse_address(self.bind)  # fail fast on malformed addresses
@@ -138,6 +157,10 @@ class DistributedConfig:
             )
         if self.run_timeout is not None and self.run_timeout <= 0:
             raise ValueError(f"run_timeout must be > 0, got {self.run_timeout}")
+        if self.stream_threshold < 0:
+            raise ValueError(f"stream_threshold must be >= 0, got {self.stream_threshold}")
+        if self.frame_bytes < 1:
+            raise ValueError(f"frame_bytes must be >= 1, got {self.frame_bytes}")
 
 
 class Coordinator:
@@ -218,6 +241,8 @@ class Coordinator:
                 cache=self.cache,
                 worker_id=f"local-thread-{index}",
                 poll_interval=self.config.worker_poll_interval,
+                stream_threshold=self.config.stream_threshold,
+                frame_bytes=self.config.frame_bytes,
             )
             thread = threading.Thread(
                 target=worker.run, name=f"goggles-worker-{index}", daemon=True
@@ -232,7 +257,10 @@ class Coordinator:
             cache_max_bytes = self.cache.max_bytes if self.cache is not None else None
             process = context.Process(
                 target=run_worker_process,
-                args=(host, port, self.config.authkey, cache_dir, cache_max_bytes),
+                args=(
+                    host, port, self.config.authkey, cache_dir, cache_max_bytes,
+                    self.config.stream_threshold, self.config.frame_bytes,
+                ),
                 name=f"goggles-worker-{index}",
                 daemon=True,
             )
@@ -365,7 +393,7 @@ class Coordinator:
         raise RuntimeError(
             f"all {len(self._processes) + len(self._thread_workers)} local worker(s) "
             f"exited (exit codes {exit_codes}) with shards still outstanding and no "
-            f"external workers connected to "
+            "external workers connected to "
             f"{self._broker.address if self._broker else self.config.bind}; "
             "check the workers' stderr"
         )
@@ -373,6 +401,44 @@ class Coordinator:
     # ------------------------------------------------------------------
     # Stage-level operations (what the engines call)
     # ------------------------------------------------------------------
+    def extract_pool_features(
+        self,
+        vgg_config: VGGConfig,
+        images: np.ndarray,
+        *,
+        layers: tuple[int, ...],
+        batch_size: int | None = 32,
+    ) -> dict[int, np.ndarray]:
+        """Distributed drop-in for :func:`repro.engine.features.extract_pool_features`.
+
+        Merge invariant: the corpus is cut at the serial chunked-batch
+        boundaries, every shard runs the serial per-chunk forward pass
+        (the backbone is per-sample independent), and the chunks are
+        concatenated back in corpus order — so the assembled
+        ``{layer: (N, C_L, H_L, W_L)}`` mapping is bit-identical to a
+        serial extraction at the same ``batch_size``, *strides
+        included*: channels-last chunks travel as their contiguous
+        ``(N, H, W, C)`` form and are re-viewed here, because the
+        downstream similarity GEMM rounds by operand layout (see
+        :func:`repro.distributed.tasks.extraction_task`).
+        """
+        layers = tuple(int(layer) for layer in layers)
+        planner = ShardPlanner()
+        tasks, order = planner.extraction_shards(vgg_config, images, layers, batch_size)
+        results = self.run(tasks)
+        chunks: dict[int, list[np.ndarray]] = {layer: [] for layer in layers}
+        for task_id in order:
+            arrays = results[task_id]
+            for layer in layers:
+                part = np.asarray(arrays[f"pool_{layer}"])
+                if bool(arrays[f"channels_last_{layer}"]):
+                    part = part.transpose(0, 3, 1, 2)  # restore the serial view
+                chunks[layer].append(part)
+        return {
+            layer: parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+            for layer, parts in chunks.items()
+        }
+
     def best_similarities(
         self,
         prototypes: np.ndarray,

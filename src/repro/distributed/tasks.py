@@ -1,8 +1,17 @@
 """Shard tasks: the unit of work of the distributed runtime.
 
-Both embarrassingly parallel stages of the pipeline decompose into
-pure, content-addressed tasks that any worker can compute:
+All three embarrassingly parallel stages of the pipeline decompose
+into pure, content-addressed tasks that any worker can compute:
 
+* ``"extraction"`` — one chunked-batch VGG forward pass of stage 1
+  (paper §3, "all 5 max-pooling layers").  The :class:`ShardPlanner`
+  cuts the corpus at *exactly* the serial chunk boundaries
+  (:func:`repro.engine.features.iter_batches`); the backbone is fully
+  deterministic from its :class:`~repro.nn.vgg.VGGConfig`, so the
+  worker rebuilds it once per process (memoised) and runs the same
+  per-chunk ``forward_pools`` call as the serial engine — every conv /
+  ReLU / max-pool layer is per-sample independent, so the merged pool
+  features are bit-identical to a single-machine extraction.
 * ``"similarity"`` — one (image-tile × prototype-row-tile) block of the
   α·N² affinity computation (paper §3).  The :class:`ShardPlanner` cuts
   the grid at *exactly* the serial tile boundaries
@@ -34,15 +43,19 @@ import numpy as np
 from repro.core.inference.base_gmm import GMMFitResult
 from repro.core.inference.hierarchical import HierarchicalConfig, fit_base_function
 from repro.engine.cache import ArtifactCache, hash_arrays, hash_params
+from repro.engine.features import iter_batches
 from repro.engine.tiling import tile_bounds
+from repro.nn.vgg import VGG16, VGGConfig
 
 __all__ = [
     "ShardTask",
     "ShardPlanner",
+    "extraction_task",
     "similarity_task",
     "base_fit_task",
     "execute_shard",
     "load_shard_result",
+    "required_result_keys",
     "pack_gmm_result",
     "unpack_gmm_result",
     "shard_key",
@@ -78,6 +91,30 @@ class ShardTask:
 # ----------------------------------------------------------------------
 # Task builders
 # ----------------------------------------------------------------------
+def extraction_task(
+    vgg_config: VGGConfig, images: np.ndarray, layers: tuple[int, ...]
+) -> ShardTask:
+    """One chunked-batch VGG forward pass of stage-1 feature extraction.
+
+    The payload carries the *config*, not the model: the surrogate
+    backbone derives every weight deterministically from its
+    :class:`~repro.nn.vgg.VGGConfig` seed, so ``repr(config)`` is a
+    complete content address for the network and the worker can rebuild
+    it (memoised per process) instead of shipping megabytes of weights
+    with every shard.
+    """
+    images = np.ascontiguousarray(images)
+    layers = tuple(int(layer) for layer in layers)
+    task_id = shard_key(
+        "extraction", hash_arrays(images), {"vgg": repr(vgg_config), "layers": layers}
+    )
+    return ShardTask(
+        task_id=task_id,
+        kind="extraction",
+        payload={"images": images, "vgg": vgg_config, "layers": layers},
+    )
+
+
 def similarity_task(prototypes: np.ndarray, vectors: np.ndarray) -> ShardTask:
     """One tile of ``best_similarities``: score ``prototypes`` against
     the unit location vectors of a tile of images.
@@ -174,6 +211,50 @@ def unpack_gmm_result(arrays: dict[str, np.ndarray]) -> GMMFitResult:
 # ----------------------------------------------------------------------
 # Execution (worker side)
 # ----------------------------------------------------------------------
+#: Per-process backbone memo: building a VGG16 (calibration forward
+#: passes included) dwarfs a single chunk's forward pass, so a worker
+#: rebuilds each distinct config exactly once and reuses it for every
+#: extraction shard that names it.
+_BACKBONES: dict[str, VGG16] = {}
+
+
+def _backbone(config: VGGConfig) -> VGG16:
+    key = repr(config)
+    model = _BACKBONES.get(key)
+    if model is None:
+        model = _BACKBONES[key] = VGG16(config)
+    return model
+
+
+def _run_extraction(payload: dict) -> dict[str, np.ndarray]:
+    """Exactly the serial per-chunk call of
+    :func:`repro.engine.features.extract_pool_features`: the backbone is
+    per-sample independent, so a chunk's pool maps are bit-identical to
+    the same rows of a whole-corpus forward pass.
+
+    Like similarity tiles, extraction results ship their memory
+    **layout**, not just their values: the conv stack emits pool maps
+    channels-last in memory (an ``(N, H, W, C)`` buffer viewed as
+    ``(N, C, H, W)``), the downstream unit vectors inherit those
+    strides, and BLAS rounds the per-image GEMM differently (~1 ulp)
+    for C- vs F-ordered operands.  Channels-last maps therefore travel
+    as their natural ``(N, H, W, C)`` contiguous form plus a flag, and
+    the coordinator re-views them so the merged corpus carries exactly
+    the serial strides.
+    """
+    model = _backbone(payload["vgg"])
+    pools = model.forward_pools(payload["images"])
+    out: dict[str, np.ndarray] = {}
+    for layer in payload["layers"]:
+        pool = pools[layer]
+        channels_last = pool.strides[1] <= pool.strides[-1]  # channel axis is minor
+        out[f"pool_{layer}"] = np.ascontiguousarray(
+            pool.transpose(0, 2, 3, 1) if channels_last else pool
+        )
+        out[f"channels_last_{layer}"] = np.bool_(channels_last)
+    return out
+
+
 def _run_similarity(payload: dict) -> dict[str, np.ndarray]:
     """Exactly the serial ``score_block`` inner loop of
     :func:`repro.engine.tiling.best_similarities`: same per-image
@@ -198,11 +279,26 @@ def _run_base_fit(payload: dict) -> dict[str, np.ndarray]:
     return pack_gmm_result(result)
 
 
-#: kind -> (executor function, required result keys)
+#: kind -> (executor function, required result keys — static tuple or
+#: a function of the task for kinds whose schema depends on the payload)
 TASK_KINDS: dict[str, tuple] = {
+    "extraction": (
+        _run_extraction,
+        lambda task: tuple(
+            f"{prefix}_{layer}"
+            for layer in task.payload["layers"]
+            for prefix in ("pool", "channels_last")
+        ),
+    ),
     "similarity": (_run_similarity, ("best",)),
     "base-fit": (_run_base_fit, _GMM_KEYS),
 }
+
+
+def required_result_keys(task: ShardTask) -> tuple[str, ...]:
+    """The result keys a well-formed shard result of ``task`` must hold."""
+    _, required = TASK_KINDS[task.kind]
+    return tuple(required(task)) if callable(required) else required
 
 
 def load_shard_result(cache: ArtifactCache, task: ShardTask) -> dict[str, np.ndarray] | None:
@@ -210,8 +306,7 @@ def load_shard_result(cache: ArtifactCache, task: ShardTask) -> dict[str, np.nda
     arrays = cache.load_arrays("shard", task.task_id)
     if arrays is None:
         return None
-    _, required = TASK_KINDS[task.kind]
-    if any(name not in arrays for name in required):
+    if any(name not in arrays for name in required_result_keys(task)):
         cache.evict("shard", task.task_id)
         return None
     return arrays
@@ -242,10 +337,39 @@ class ShardPlanner:
     ``row_tile``/``col_tile`` mirror the engine's serial tile grid over
     (images × prototype rows); sharding at the same boundaries is what
     makes the distributed merge bit-identical to the serial kernel.
+    Extraction shards likewise cut the corpus at the serial chunked-batch
+    boundaries of :func:`repro.engine.features.iter_batches`.
     """
 
     row_tile: int | None = 32
     col_tile: int | None = None
+
+    def extraction_shards(
+        self,
+        vgg_config: VGGConfig,
+        images: np.ndarray,
+        layers: tuple[int, ...],
+        batch_size: int | None,
+    ) -> tuple[list[ShardTask], list[str]]:
+        """Shard one ``extract_pool_features`` call.
+
+        Returns ``(tasks, order)`` where ``order`` lists one task id per
+        corpus chunk *in corpus order* — the merge concatenates chunk
+        results along axis 0 in exactly this order, which is what makes
+        the assembled pool features bit-identical to the serial chunked
+        extraction.  Identical chunks de-duplicate into a single task
+        whose id then appears at every slot it fills.
+        """
+        tasks: list[ShardTask] = []
+        order: list[str] = []
+        known: set[str] = set()
+        for batch in iter_batches(images.shape[0], batch_size):
+            task = extraction_task(vgg_config, images[batch], layers)
+            if task.task_id not in known:
+                known.add(task.task_id)
+                tasks.append(task)
+            order.append(task.task_id)
+        return tasks, order
 
     def similarity_shards(
         self,

@@ -8,6 +8,15 @@ when one is mounted, so identical reruns are disk hits for the whole
 cluster).  Crash tolerance therefore costs nothing here — a worker that
 dies mid-shard is simply a lease the coordinator reassigns.
 
+Results above ``stream_threshold`` payload bytes are *streamed*: the
+worker sends a ``result-begin`` header, then ``frame_bytes``-sized
+``frame`` sub-messages, then ``result-end``, and the broker reassembles
+them (see :mod:`repro.distributed.broker` for the wire format).  Huge
+extraction or tile payloads therefore never need one giant pickle on
+the wire, and a disconnect mid-stream simply discards the partial
+frames and releases the lease.  Small results keep the single-message
+path.
+
 Workers connect with patience (the coordinator may not be up yet) and
 reconnect after connection loss; once the retry budget is exhausted the
 loop returns, which is how a worker notices the coordinator is gone.
@@ -16,15 +25,28 @@ loop returns, which is how a worker notices the coordinator is gone.
 from __future__ import annotations
 
 import os
+import pickle
 import socket
 import threading
 from multiprocessing import AuthenticationError
 from multiprocessing.connection import Client, Connection
 
-from repro.distributed.tasks import execute_shard
+import numpy as np
+
+from repro.distributed.tasks import ShardTask, execute_shard
 from repro.engine.cache import ArtifactCache
 
-__all__ = ["Worker", "run_worker_process"]
+__all__ = [
+    "DEFAULT_STREAM_THRESHOLD",
+    "DEFAULT_FRAME_BYTES",
+    "Worker",
+    "run_worker_process",
+]
+
+#: Result payload bytes above which a shard result streams as frames.
+DEFAULT_STREAM_THRESHOLD = 4 * 1024 * 1024
+#: Frame size of a streamed result.
+DEFAULT_FRAME_BYTES = 1024 * 1024
 
 
 class Worker:
@@ -43,6 +65,10 @@ class Worker:
         connect_retries / retry_delay: patience for the initial connect
             and for reconnects after a dropped connection; once
             exhausted, :meth:`run` returns.
+        stream_threshold: result size (total array bytes) above which
+            the result is streamed as framed sub-messages; 0 streams
+            every result, a huge value keeps everything single-message.
+        frame_bytes: chunk size of a streamed result blob.
     """
 
     _instances = 0
@@ -57,9 +83,15 @@ class Worker:
         poll_interval: float = 0.05,
         connect_retries: int = 40,
         retry_delay: float = 0.25,
+        stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
+        frame_bytes: int = DEFAULT_FRAME_BYTES,
     ):
         if poll_interval <= 0:
             raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
+        if stream_threshold < 0:
+            raise ValueError(f"stream_threshold must be >= 0, got {stream_threshold}")
+        if frame_bytes < 1:
+            raise ValueError(f"frame_bytes must be >= 1, got {frame_bytes}")
         self.address = (str(address[0]), int(address[1]))
         self.authkey = authkey.encode() if isinstance(authkey, str) else bytes(authkey)
         self.cache = cache
@@ -70,8 +102,11 @@ class Worker:
         self.poll_interval = float(poll_interval)
         self.connect_retries = int(connect_retries)
         self.retry_delay = float(retry_delay)
+        self.stream_threshold = int(stream_threshold)
+        self.frame_bytes = int(frame_bytes)
         self.tasks_completed = 0
         self.tasks_failed = 0
+        self.results_streamed = 0
         self._stop = threading.Event()
 
     def stop(self) -> None:
@@ -91,6 +126,26 @@ class Worker:
                 self._stop.wait(self.retry_delay)
         return None
 
+    def _send_result(self, conn: Connection, task: ShardTask, arrays: dict) -> None:
+        """Report one shard result: single message, or framed stream.
+
+        The size gate uses the arrays' raw byte footprint — cheap to
+        compute and within a constant of the pickled size — so small
+        results never pay for a serialise-then-measure round trip.
+        """
+        payload_bytes = sum(int(np.asarray(value).nbytes) for value in arrays.values())
+        if payload_bytes <= self.stream_threshold:
+            conn.send(("result", self.worker_id, task.task_id, arrays))
+            return
+        blob = pickle.dumps(arrays, protocol=pickle.HIGHEST_PROTOCOL)
+        n_frames = max(1, -(-len(blob) // self.frame_bytes))
+        conn.send(("result-begin", self.worker_id, task.task_id, n_frames, len(blob)))
+        for index in range(n_frames):
+            frame = blob[index * self.frame_bytes : (index + 1) * self.frame_bytes]
+            conn.send(("frame", self.worker_id, task.task_id, index, frame))
+        conn.send(("result-end", self.worker_id, task.task_id))
+        self.results_streamed += 1
+
     def run(self) -> None:
         """Poll/compute until stopped or the coordinator goes away."""
         conn = self._connect()
@@ -105,6 +160,7 @@ class Worker:
             kind = reply[0]
             if kind == "task":
                 task = reply[1]
+                arrays: dict | None = None
                 try:
                     arrays = execute_shard(task, cache=self.cache)
                 except Exception as error:  # noqa: BLE001 - report, don't die
@@ -113,9 +169,12 @@ class Worker:
                                f"{type(error).__name__}: {error}")
                 else:
                     self.tasks_completed += 1
-                    message = ("result", self.worker_id, task.task_id, arrays)
+                    message = None  # reported via _send_result below
                 try:
-                    conn.send(message)
+                    if arrays is not None:
+                        self._send_result(conn, task, arrays)
+                    else:
+                        conn.send(message)
                     conn.recv()  # ack; on loss the lease timeout recovers
                 except (EOFError, OSError, BrokenPipeError):
                     conn.close()
@@ -140,6 +199,8 @@ def run_worker_process(
     authkey: str,
     cache_dir: str | None,
     cache_max_bytes: int | None = None,
+    stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
+    frame_bytes: int = DEFAULT_FRAME_BYTES,
 ) -> None:
     """Entry point of a spawned local worker process.
 
@@ -149,4 +210,10 @@ def run_worker_process(
     :class:`ArtifactCache` handle does not cross process boundaries.
     """
     cache = ArtifactCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir else None
-    Worker((host, int(port)), authkey, cache=cache).run()
+    Worker(
+        (host, int(port)),
+        authkey,
+        cache=cache,
+        stream_threshold=stream_threshold,
+        frame_bytes=frame_bytes,
+    ).run()

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+import tempfile
+import threading
 import zipfile
 from dataclasses import dataclass, field
 
@@ -86,6 +88,17 @@ class ArtifactCache:
     least-recently-used entries (by mtime; reads refresh it) are
     evicted oldest-first until the directory fits again.  The entry
     just written is never evicted, even if it alone exceeds the budget.
+
+    Concurrency contract: the cache directory may be shared by many
+    threads *and processes* (the distributed runtime mounts one cache
+    under the coordinator, its broker handler threads, and every worker
+    process).  Writes are publish-by-rename: each writer streams into
+    its own unique ``*.tmp`` scratch file (invisible to entry listing,
+    eviction, and ``total_bytes``) and atomically ``os.replace``-s it
+    into place, so a reader — or the eviction scan racing a concurrent
+    shard write — can only ever observe a complete entry or a miss,
+    never a half-written one.  In-process counters and the eviction
+    walk are additionally serialised by a lock.
     """
 
     def __init__(self, cache_dir: str, max_bytes: int | None = None):
@@ -95,6 +108,11 @@ class ArtifactCache:
         self.max_bytes = max_bytes
         os.makedirs(self.cache_dir, exist_ok=True)
         self.stats = CacheStats()
+        self._lock = threading.RLock()
+
+    def _record(self, kind: str, hit: bool) -> None:
+        with self._lock:
+            self.stats.record(kind, hit=hit)
 
     def key(self, data_hash: str, params: dict[str, object]) -> str:
         """Combine a data hash and a parameter mapping into one address."""
@@ -112,25 +130,41 @@ class ArtifactCache:
     def load_arrays(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
         path = self.path(kind, key)
         if not os.path.exists(path):
-            self.stats.record(kind, hit=False)
+            self._record(kind, hit=False)
             return None
         try:
             with np.load(path) as data:
                 arrays = {name: data[name] for name in data.files}
         except _CORRUPT_ERRORS:
             self._evict_corrupt(path)
-            self.stats.record(kind, hit=False)
+            self._record(kind, hit=False)
             return None
-        self.stats.record(kind, hit=True)
+        self._record(kind, hit=True)
         self._touch(path)
         return arrays
 
+    def _scratch(self, kind: str) -> tuple[int, str]:
+        """A unique scratch file for one writer.
+
+        Unique per call (``mkstemp``), so concurrent writers of the
+        *same* key — two workers racing on a deduplicated shard — never
+        interleave bytes in a shared temp file; and suffixed ``.tmp``,
+        not ``.npz``, so in-progress writes are invisible to
+        :meth:`_entries` and can never be evicted mid-write or counted
+        against the budget.
+        """
+        return tempfile.mkstemp(prefix=f"{kind}-", suffix=".tmp", dir=self.cache_dir)
+
     def save_arrays(self, kind: str, key: str, arrays: dict[str, np.ndarray]) -> str:
         path = self.path(kind, key)
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
-        os.replace(tmp, path)  # atomic: concurrent readers never see partial files
+        fd, tmp = self._scratch(kind)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            os.replace(tmp, path)  # atomic: readers never see partial files
+        except BaseException:
+            self._evict_corrupt(tmp)
+            raise
         self._enforce_budget(keep=path)
         return path
 
@@ -140,23 +174,32 @@ class ArtifactCache:
     def load_affinity(self, key: str) -> AffinityMatrix | None:
         path = self.path("affinity", key)
         if not os.path.exists(path):
-            self.stats.record("affinity", hit=False)
+            self._record("affinity", hit=False)
             return None
         try:
             matrix = AffinityMatrix.load(path)
         except _CORRUPT_ERRORS:
             self._evict_corrupt(path)
-            self.stats.record("affinity", hit=False)
+            self._record("affinity", hit=False)
             return None
-        self.stats.record("affinity", hit=True)
+        self._record("affinity", hit=True)
         self._touch(path)
         return matrix
 
     def save_affinity(self, key: str, matrix: AffinityMatrix) -> str:
         path = self.path("affinity", key)
-        tmp = path + ".tmp.npz"  # .npz suffix: numpy appends it to bare names
-        matrix.save(tmp)
-        os.replace(tmp, path)
+        # Write through an open handle: a bare ``.tmp`` name would have
+        # numpy append ``.npz`` — and a ``.tmp.npz`` scratch file is a
+        # half-written entry that the eviction scan could list, evict
+        # mid-write (breaking the rename), or count against the budget.
+        fd, tmp = self._scratch("affinity")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                matrix.save(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            self._evict_corrupt(tmp)
+            raise
         self._enforce_budget(keep=path)
         return path
 
@@ -208,25 +251,39 @@ class ArtifactCache:
         """
         if self.max_bytes is None:
             return
-        entries = self._entries()
-        total = sum(size for _, size, _ in entries)
-        for _, size, path in entries:
-            if total <= self.max_bytes:
-                break
-            if path == keep:
-                continue
-            try:
-                os.remove(path)
-            except OSError:  # pragma: no cover - racing eviction is fine
-                continue
-            total -= size
-            self.stats.evictions += 1
+        with self._lock:
+            entries = self._entries()
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                if path == keep:
+                    continue
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - racing eviction is fine
+                    continue
+                total -= size
+                self.stats.evictions += 1
 
     def clear(self) -> int:
-        """Delete every cached artifact; returns the number removed."""
+        """Delete every cached artifact; returns the number removed.
+
+        Also sweeps ``.tmp`` scratch files orphaned by crashed writers
+        (they are never listed as entries, but they do occupy disk).
+        Tolerates entries vanishing between the listing and the remove
+        — a concurrent eviction or clear() got there first.
+        """
         removed = 0
-        for name in os.listdir(self.cache_dir):
-            if name.endswith(".npz"):
-                os.remove(os.path.join(self.cache_dir, name))
-                removed += 1
+        with self._lock:
+            for name in os.listdir(self.cache_dir):
+                path = os.path.join(self.cache_dir, name)
+                if name.endswith(".npz"):
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        continue  # racing eviction/clear already took it
+                    removed += 1
+                elif name.endswith(".tmp"):
+                    self._evict_corrupt(path)
         return removed

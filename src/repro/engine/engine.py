@@ -54,9 +54,10 @@ class EngineConfig:
             (GIL-releasing EM loops on a thread pool), ``"process"``
             (ProcessPoolExecutor over shared-memory affinity blocks;
             scales EM past the GIL on many-core boxes) or
-            ``"distributed"`` (shard tasks leased to coordinator/worker
-            cluster processes, possibly on other machines).
-            Value-neutral, like ``n_jobs``.
+            ``"distributed"`` (feature extraction, similarity tiles,
+            and base fits shipped as shard tasks leased to
+            coordinator/worker cluster processes, possibly on other
+            machines).  Value-neutral, like ``n_jobs``.
         precision: ``"float64"`` (bit-compatible with the legacy path)
             or ``"float32"`` (≈2× faster similarity stage, equal to
             within ~1e-6 — inside ``np.allclose`` tolerance).

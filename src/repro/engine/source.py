@@ -57,10 +57,11 @@ class EngineRuntime:
 
     None of these change output values except ``dtype``.
     ``coordinator`` (a :class:`repro.distributed.Coordinator`, when the
-    engine runs with ``executor="distributed"``) reroutes the
-    similarity stage to the shard cluster; it is value-neutral because
-    shards are cut at the serial tile boundaries and merged back
-    bit-identically.
+    engine runs with ``executor="distributed"``) reroutes the feature
+    extraction and similarity stages to the shard cluster; it is
+    value-neutral because extraction shards are cut at the serial
+    chunked-batch boundaries, similarity shards at the serial tile
+    boundaries, and both merge back bit-identically.
     """
 
     batch_size: int | None = 32
@@ -75,6 +76,19 @@ class EngineRuntime:
         """Thread-pool width for local tile fan-out: 1 (no pool) when a
         coordinator handles the similarity stage instead."""
         return 1 if self.coordinator is not None else self.n_jobs
+
+    def pool_features(
+        self, model: VGG16, images: np.ndarray, layers: tuple[int, ...]
+    ) -> dict[int, np.ndarray]:
+        """Stage-1 extraction under this runtime: chunked local forward
+        passes, or ``"extraction"`` shards leased to the distributed
+        cluster (workers rebuild the deterministic backbone from
+        ``model.config``, so only image chunks travel)."""
+        if self.coordinator is not None:
+            return self.coordinator.extract_pool_features(
+                model.config, images, layers=layers, batch_size=self.batch_size
+            )
+        return extract_pool_features(model, images, layers=layers, batch_size=self.batch_size)
 
     def similarities(self, prototypes: np.ndarray, vectors: np.ndarray, pool) -> np.ndarray:
         """``best_similarities`` under this runtime: local tiles fanned
@@ -179,9 +193,7 @@ class PrototypeAffinitySource:
     def _layer_state(
         self, images: np.ndarray, runtime: EngineRuntime
     ) -> dict[int, tuple[np.ndarray, LayerPrototypes]]:
-        pools = extract_pool_features(
-            self.model, images, layers=self.layers, batch_size=runtime.batch_size
-        )
+        pools = runtime.pool_features(self.model, images, self.layers)
         return {
             layer: (unit_location_vectors(pools[layer]), unique_unit_prototypes(pools[layer], self.top_z))
             for layer in self.layers

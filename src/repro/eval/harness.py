@@ -17,7 +17,7 @@ module, so the exact experiment protocol lives in one place:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.core.inference.bernoulli import BernoulliMixture, one_hot_encode_lp
 from repro.core.inference.hierarchical import HierarchicalConfig, HierarchicalModel
 from repro.core.inference.mapping import apply_mapping, map_clusters_to_classes
 from repro.core.inference.theory import p_mapping_correct_lower_bound
-from repro.datasets import LabeledImageDataset, make_dataset
+from repro.datasets import make_dataset
 from repro.datasets.base import DevSet
 from repro.endmodel import TrainConfig, one_hot, train_head
 from repro.eval.metrics import labeling_accuracy, mask_excluding, roc_auc
@@ -205,13 +205,17 @@ def run_table1_row(
             lfs = attribute_lfs_from_dataset(dataset)
             votes = apply_labeling_functions(lfs, dataset.n_examples)
             lm = LabelModel(n_classes=k, seed=derive_seed(settings.seed, "snorkel", run_seed)).fit(votes)
-            out["snorkel"] = 100 * labeling_accuracy(lm.probabilistic_labels, dataset.labels, exclude=dev.indices)
+            out["snorkel"] = 100 * labeling_accuracy(
+                lm.probabilistic_labels, dataset.labels, exclude=dev.indices
+            )
 
     if "snuba" in methods:
         primitives = extract_snuba_primitives(model, dataset.images, n_components=10)
         snuba = Snuba(n_classes=k, seed=derive_seed(settings.seed, "snuba", run_seed))
         result_snuba = snuba.fit(primitives, dev.indices, dev.labels)
-        out["snuba"] = 100 * labeling_accuracy(result_snuba.probabilistic_labels, dataset.labels, exclude=dev.indices)
+        out["snuba"] = 100 * labeling_accuracy(
+            result_snuba.probabilistic_labels, dataset.labels, exclude=dev.indices
+        )
 
     if "hog" in methods:
         descriptors = hog_batch(dataset.images)
@@ -232,7 +236,8 @@ def run_table1_row(
     score_mask = mask_excluding(dataset.n_examples, dev.indices)
     if "kmeans" in methods:
         assert affinity is not None
-        clustering = KMeans(k, seed=derive_seed(settings.seed, "kmeans", run_seed)).fit_predict(affinity.values)
+        kmeans = KMeans(k, seed=derive_seed(settings.seed, "kmeans", run_seed))
+        clustering = kmeans.fit_predict(affinity.values)
         acc, _ = optimal_mapping_accuracy(clustering.labels[score_mask], dataset.labels[score_mask], k)
         out["kmeans"] = 100 * acc
 
@@ -252,7 +257,8 @@ def run_table1_row(
     if "spectral" in methods:
         assert affinity is not None
         shifted = (affinity.values + 1.0) / 2.0
-        spectral = SpectralCoclustering(k, seed=derive_seed(settings.seed, "spectral", run_seed)).fit_predict(shifted)
+        coclustering = SpectralCoclustering(k, seed=derive_seed(settings.seed, "spectral", run_seed))
+        spectral = coclustering.fit_predict(shifted)
         acc, _ = optimal_mapping_accuracy(spectral.row_labels[score_mask], dataset.labels[score_mask], k)
         out["spectral"] = 100 * acc
 
@@ -568,9 +574,13 @@ def run_fig9(
         pair_seed=run_seed,
     )
     k = dataset.n_classes
-    dev = dataset.sample_dev_set(settings.dev_per_class, seed=derive_seed(settings.seed, "fig9-dev", run_seed))
+    dev = dataset.sample_dev_set(
+        settings.dev_per_class, seed=derive_seed(settings.seed, "fig9-dev", run_seed)
+    )
     affinity = build_affinity(model, dataset.images, settings)
-    hier = HierarchicalModel(HierarchicalConfig(n_classes=k, seed=derive_seed(settings.seed, "fig9-inf", run_seed)))
+    hier = HierarchicalModel(
+        HierarchicalConfig(n_classes=k, seed=derive_seed(settings.seed, "fig9-inf", run_seed))
+    )
     label_predictions, _ = hier.fit_base_models(affinity)
     alpha = affinity.n_functions
     rng = np.random.default_rng(derive_seed(settings.seed, "fig9-subsets", run_seed))
@@ -623,7 +633,9 @@ def run_inference_ablation(
     affinity = build_affinity(model, dataset.images, settings)
     out: dict[str, float] = {}
 
-    hier = HierarchicalModel(HierarchicalConfig(n_classes=k, seed=derive_seed(settings.seed, "abl-h", run_seed)))
+    hier = HierarchicalModel(
+        HierarchicalConfig(n_classes=k, seed=derive_seed(settings.seed, "abl-h", run_seed))
+    )
     result = hier.fit(affinity)
     mapping = map_clusters_to_classes(result.posterior, dev, k)
     out["hierarchical"] = 100 * labeling_accuracy(

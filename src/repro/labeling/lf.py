@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.datasets.base import LabeledImageDataset
 
-__all__ = ["ABSTAIN", "LabelingFunction", "apply_labeling_functions", "attribute_lfs_from_dataset", "lf_summary"]
+__all__ = [
+    "ABSTAIN",
+    "LabelingFunction",
+    "apply_labeling_functions",
+    "attribute_lfs_from_dataset",
+    "lf_summary",
+]
 
 ABSTAIN = -1
 

@@ -61,7 +61,9 @@ def calibration_batch(n_images: int, size: int, channels: int, seed: int) -> np.
                     fill_disk(canvas, rng.uniform(0, size), rng.uniform(0, size), rng.uniform(4, 14), colour)
                 elif shape == 1:
                     top, left = rng.uniform(0, size, size=2)
-                    fill_rectangle(canvas, top, left, top + rng.uniform(5, 20), left + rng.uniform(5, 20), colour)
+                    fill_rectangle(
+                        canvas, top, left, top + rng.uniform(5, 20), left + rng.uniform(5, 20), colour
+                    )
                 else:
                     centre = rng.uniform(8, size - 8, size=2)
                     offsets = rng.uniform(-10, 10, size=(3, 2))

@@ -15,13 +15,13 @@ GOGGLES consumes the outputs of the **five max-pooling layers**
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.calibration import calibrate_conv_biases, calibration_batch
-from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.nn.layers import Conv2d, Linear, MaxPool2d, ReLU, Sequential
 from repro.nn.weights import conv_orthogonal, first_layer_bank, linear_orthogonal
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_images
@@ -100,7 +100,8 @@ class VGG16:
                         out_ch, in_ch, 3, seed=derive_seed(seed, "conv", block, conv_in_block)
                     )
                 bias = np.zeros(out_ch)
-                layers.append(Conv2d(weight, bias, stride=1, padding=1, name=f"conv{block + 1}_{conv_in_block + 1}"))
+                name = f"conv{block + 1}_{conv_in_block + 1}"
+                layers.append(Conv2d(weight, bias, stride=1, padding=1, name=name))
                 layers.append(ReLU(name=f"relu{block + 1}_{conv_in_block + 1}"))
                 in_ch = out_ch
                 conv_index += 1
@@ -163,7 +164,9 @@ class VGG16:
     def _ensure_fc1(self, flat_features: int) -> Linear:
         if self._fc1 is None or self._fc1.weight.shape[1] != flat_features:
             self._fc1 = Linear(
-                linear_orthogonal(self._fc_hidden, flat_features, derive_seed(self.config.seed, "fc1", flat_features)),
+                linear_orthogonal(
+                    self._fc_hidden, flat_features, derive_seed(self.config.seed, "fc1", flat_features)
+                ),
                 np.zeros(self._fc_hidden),
                 name="fc6",
             )

@@ -178,7 +178,9 @@ def conv_orthogonal(
     return flat.reshape(out_channels, in_channels, size, size)
 
 
-def linear_orthogonal(out_features: int, in_features: int, seed: int, scale: float | None = None) -> np.ndarray:
+def linear_orthogonal(
+    out_features: int, in_features: int, seed: int, scale: float | None = None
+) -> np.ndarray:
     """Seeded orthogonal linear weights with He-style gain."""
     rng = spawn_rng(seed, "linear", out_features, in_features)
     flat = rng.standard_normal((out_features, in_features))

@@ -65,7 +65,9 @@ def check_labels(labels: np.ndarray, *, n_classes: int | None = None, name: str 
     return labels
 
 
-def check_probabilities(p: np.ndarray, *, axis: int = -1, name: str = "probabilities", atol: float = 1e-6) -> np.ndarray:
+def check_probabilities(
+    p: np.ndarray, *, axis: int = -1, name: str = "probabilities", atol: float = 1e-6
+) -> np.ndarray:
     """Validate that ``p`` is a valid probability array summing to 1 on ``axis``."""
     p = check_array(np.asarray(p, dtype=np.float64), name=name)
     if p.min() < -atol or p.max() > 1 + atol:

@@ -58,7 +58,9 @@ def resize_bilinear(images: np.ndarray, height: int, width: int) -> np.ndarray:
     return cols_low * (1 - fx)[None, None, None, :] + cols_high * fx[None, None, None, :]
 
 
-def normalize_batch(images: np.ndarray, mean: np.ndarray | None = None, std: np.ndarray | None = None) -> np.ndarray:
+def normalize_batch(
+    images: np.ndarray, mean: np.ndarray | None = None, std: np.ndarray | None = None
+) -> np.ndarray:
     """Per-channel standardisation ``(x - mean) / std``.
 
     With no statistics given, uses the batch's own per-channel moments

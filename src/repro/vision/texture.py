@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.rng import spawn_rng
 from repro.vision.image import gaussian_blur
 
 __all__ = ["value_noise", "fractal_noise", "grating", "speckle", "vignette"]
@@ -88,7 +87,9 @@ def grating(
     return 0.5 * (carrier + 1.0)
 
 
-def speckle(height: int, width: int, rng: np.random.Generator, grain: float = 1.0, sigma: float = 0.0) -> np.ndarray:
+def speckle(
+    height: int, width: int, rng: np.random.Generator, grain: float = 1.0, sigma: float = 0.0
+) -> np.ndarray:
     """Multiplicative speckle field with unit mean.
 
     ``grain`` scales the noise amplitude; ``sigma`` optionally blurs the

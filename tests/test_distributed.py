@@ -245,6 +245,44 @@ class TestPlannerAndTasks:
         np.testing.assert_array_equal(first["best"], again["best"])
         assert cache.stats.hits.get("shard") == 1
 
+    def test_extraction_shards_cut_at_serial_chunk_boundaries(self, vgg, tiny_images):
+        planner = ShardPlanner()
+        tasks, order = planner.extraction_shards(vgg.config, tiny_images, (1,), batch_size=2)
+        assert len(order) == 2  # ceil(4 / 2) chunks, in corpus order
+        assert [task.task_id for task in tasks] == order
+        again, _ = planner.extraction_shards(vgg.config, tiny_images, (1,), batch_size=2)
+        assert [task.task_id for task in again] == order  # stable addresses
+
+    def test_extraction_shards_dedup_identical_chunks(self, vgg):
+        tile = np.full((2, 3, 32, 32), 0.25)
+        images = np.concatenate([tile, tile], axis=0)
+        planner = ShardPlanner()
+        tasks, order = planner.extraction_shards(vgg.config, images, (1,), batch_size=2)
+        assert len(tasks) == 1  # identical content collapsed...
+        assert order == [tasks[0].task_id] * 2  # ...but fills both slots
+
+    def test_extraction_shard_matches_serial_chunk(self, vgg, tiny_images):
+        from repro.distributed import extraction_task
+        from repro.engine.features import extract_pool_features
+
+        task = extraction_task(vgg.config, tiny_images, (1, 2))
+        result = execute_shard(task)
+        serial = extract_pool_features(vgg, tiny_images, layers=(1, 2))
+        for layer in (1, 2):
+            shipped = result[f"pool_{layer}"]
+            if bool(result[f"channels_last_{layer}"]):
+                shipped = shipped.transpose(0, 3, 1, 2)
+            np.testing.assert_array_equal(shipped, serial[layer])
+
+    def test_extraction_content_address_covers_model_and_layers(self, vgg, tiny_images):
+        from repro.distributed import extraction_task
+        from repro.nn.vgg import VGGConfig
+
+        base = extraction_task(vgg.config, tiny_images, (1,))
+        assert base.task_id == extraction_task(vgg.config, tiny_images, (1,)).task_id
+        assert base.task_id != extraction_task(vgg.config, tiny_images, (1, 2)).task_id
+        assert base.task_id != extraction_task(VGGConfig(seed=1), tiny_images, (1,)).task_id
+
     def test_parse_address(self):
         assert parse_address("10.0.0.1:41817") == ("10.0.0.1", 41817)
         with pytest.raises(ValueError):
@@ -308,6 +346,133 @@ class TestCluster:
             assert coordinator.stats["cache_hits"] == planned
             assert coordinator.stats["shards_planned"] == planned  # nothing re-enqueued
         np.testing.assert_array_equal(first, second)
+
+    def test_extract_pool_features_bit_identical_with_strides(self, vgg, tiny_images):
+        """Distributed extraction reproduces the serial pool features
+        exactly — values *and* memory layout, because the downstream
+        similarity GEMM rounds by operand strides."""
+        from repro.engine.features import extract_pool_features
+
+        serial = extract_pool_features(vgg, tiny_images, layers=(1, 2), batch_size=2)
+        with thread_cluster(2) as coordinator:
+            merged = coordinator.extract_pool_features(
+                vgg.config, tiny_images, layers=(1, 2), batch_size=2
+            )
+        for layer in (1, 2):
+            np.testing.assert_array_equal(merged[layer], serial[layer])
+            assert merged[layer].strides == serial[layer].strides
+
+    def test_streamed_results_bit_identical(self, sim_data):
+        """stream_threshold=0 forces every result through the framed
+        path; the merged output is still exact and the broker counts
+        the reassemblies."""
+        protos, vectors = sim_data
+        with thread_cluster(2, stream_threshold=0, frame_bytes=256) as coordinator:
+            out = coordinator.best_similarities(protos, vectors, row_tile=4, col_tile=6)
+            assert coordinator._broker.n_streamed > 0
+            assert coordinator._broker.n_stream_errors == 0
+        expected = best_similarities(protos, vectors, row_tile=4, col_tile=6)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_small_results_keep_single_message_path(self, sim_data):
+        protos, vectors = sim_data
+        with thread_cluster(1, stream_threshold=1 << 30) as coordinator:
+            out = coordinator.best_similarities(protos, vectors, row_tile=4)
+            assert coordinator._broker.n_streamed == 0
+        np.testing.assert_array_equal(
+            out, best_similarities(protos, vectors, row_tile=4)
+        )
+
+    def test_mid_stream_disconnect_discards_partial_frames(self, sim_data):
+        """A worker that dies halfway through streaming a result loses
+        nothing and corrupts nothing: its partial frames are discarded
+        with the connection, the lease is reassigned, and the healthy
+        completion is still bit-identical."""
+        protos, vectors = sim_data
+        coordinator = thread_cluster(0, lease_timeout=30.0, stream_threshold=0, frame_bytes=128)
+        try:
+            coordinator.start()
+            outcome: dict = {}
+
+            def run() -> None:
+                outcome["out"] = coordinator.best_similarities(
+                    protos, vectors, row_tile=4, col_tile=6
+                )
+
+            runner = threading.Thread(target=run, daemon=True)
+            runner.start()
+            deadline = time.monotonic() + 10.0
+            while coordinator.queue.stats()["pending"] == 0:
+                assert time.monotonic() < deadline, "shards never enqueued"
+                time.sleep(0.01)
+            # The doomed worker leases a shard and dies mid-stream:
+            # header and one frame sent, then the connection drops.
+            doomed = Client(coordinator.address, authkey=coordinator.config.authkey.encode())
+            doomed.send(("lease", "doomed"))
+            reply = doomed.recv()
+            assert reply[0] == "task"
+            task_id = reply[1].task_id
+            doomed.send(("result-begin", "doomed", task_id, 4, 512))
+            doomed.send(("frame", "doomed", task_id, 0, b"x" * 128))
+            doomed.close()
+            worker = Worker(
+                coordinator.address, coordinator.config.authkey,
+                poll_interval=0.01, stream_threshold=0, frame_bytes=128,
+            )
+            rescuer = threading.Thread(target=worker.run, daemon=True)
+            rescuer.start()
+            runner.join(timeout=60.0)
+            assert not runner.is_alive(), "distributed run did not finish"
+            worker.stop()
+            stats = coordinator.queue.stats()
+            assert stats["requeued"] >= 1  # the dropped lease came back
+            assert worker.results_streamed > 0  # rescue used the framed path
+            # Partial frames never reached the queue as a completion.
+            assert coordinator._broker.n_stream_errors == 0
+            expected = best_similarities(protos, vectors, row_tile=4, col_tile=6)
+            np.testing.assert_array_equal(outcome["out"], expected)
+        finally:
+            coordinator.close()
+
+    def test_malformed_stream_is_a_shard_failure_not_a_completion(self):
+        """Length mismatches and orphan result-ends burn a retry via
+        queue.fail instead of completing a shard with garbage."""
+        coordinator = thread_cluster(0, lease_timeout=30.0)
+        try:
+            coordinator.start()
+            task = make_task()
+            coordinator.queue.add(task)
+            conn = Client(coordinator.address, authkey=coordinator.config.authkey.encode())
+            conn.send(("lease", "liar"))
+            reply = conn.recv()
+            assert reply[0] == "task"
+            # Claim 2 frames / 100 bytes, deliver one short frame.
+            conn.send(("result-begin", "liar", task.task_id, 2, 100))
+            conn.send(("frame", "liar", task.task_id, 0, b"short"))
+            conn.send(("result-end", "liar", task.task_id))
+            reply = conn.recv()
+            assert reply[0] == "error"
+            assert coordinator.queue.stats()["failed"] == 1
+            assert coordinator._broker.n_stream_errors == 1
+            # An orphan result-end (no begin) is likewise a failure.
+            conn.send(("lease", "liar"))
+            reply = conn.recv()  # the requeued shard comes back
+            assert reply[0] == "task"
+            conn.send(("result-end", "liar", task.task_id))
+            reply = conn.recv()
+            assert reply[0] == "error"
+            assert coordinator.queue.stats()["failed"] == 2
+            # A correct single-message completion still lands.
+            conn.send(("lease", "liar"))
+            reply = conn.recv()
+            assert reply[0] == "task"
+            conn.send(("result", "liar", task.task_id, {"best": np.zeros((2, 2))}))
+            assert conn.recv() == ("ok",)
+            assert coordinator.queue.result(task.task_id) is not None
+            conn.send(("bye", "liar"))
+            conn.close()
+        finally:
+            coordinator.close()
 
     def test_worker_crash_mid_shard_triggers_reassignment(self, sim_data):
         """A connection that leases a shard and dies loses nothing: the
@@ -402,10 +567,12 @@ def _prefix_dev(dataset, n_prefix: int, per_class: int, seed: int = 0) -> DevSet
 
 class TestEndToEnd:
     def _config(self, executor: str) -> GogglesConfig:
-        # row_tile=8 forces a real multi-shard grid on the 24-image corpus.
+        # row_tile=8 forces a real multi-shard similarity grid and
+        # batch_size=8 a real multi-shard extraction on the 24-image
+        # corpus, so the distributed path exercises every stage.
         return GogglesConfig(
             n_classes=2, seed=0, top_z=3, layers=(1, 2),
-            engine=EngineConfig(executor=executor, row_tile=8),
+            engine=EngineConfig(executor=executor, row_tile=8, batch_size=8),
         )
 
     def test_goggles_distributed_bit_identical_to_serial(self, vgg, small_surface):

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import threading
+import unittest.mock
+
 import numpy as np
 import pytest
 
@@ -282,3 +286,122 @@ class TestEngineConfigValidation:
         engine = config.engine_config()
         assert engine.executor == "process"
         assert engine.cache_max_bytes == 1024
+
+
+class TestConcurrentWriteEvictionRaces:
+    """Cache eviction racing concurrent shard writes (distributed runtime).
+
+    The broker's coordinator thread, its handler threads, and every
+    worker process share one cache directory; writes publish by
+    atomically renaming a *unique* ``.tmp`` scratch file, so eviction —
+    or a reader — can only ever observe a complete entry or a miss.
+    """
+
+    def test_scratch_files_invisible_to_entries_and_budget(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=10_000)
+        cache.save_arrays("shard", "a" * 64, {"x": np.arange(8)})
+        # A crashed writer's orphaned scratch file must not be listed,
+        # counted against the budget, or served as anything.
+        orphan = tmp_path / "shard-orphan.tmp"
+        orphan.write_bytes(b"half-written garbage")
+        paths = [path for _, _, path in cache._entries()]
+        assert all(".tmp" not in path for path in paths)
+        assert cache.total_bytes() == sum(
+            size for _, size, _ in cache._entries()
+        )
+        # clear() sweeps the orphan alongside real entries.
+        assert cache.clear() == 1
+        assert not orphan.exists()
+
+    def test_half_written_entry_never_published(self, tmp_path, monkeypatch):
+        """A writer that dies mid-write leaves no ``.npz`` behind: the
+        half-written bytes live only in its private scratch file, which
+        is cleaned up — a later read is a miss, never a corrupt hit."""
+        cache = ArtifactCache(str(tmp_path))
+        key = "b" * 64
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"PK\x03\x04 partial zip header")
+            raise OSError("disk full mid-write")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError, match="disk full"):
+            cache.save_arrays("shard", key, {"x": np.arange(4)})
+        monkeypatch.undo()
+        assert list(tmp_path.glob("*.npz")) == []
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.load_arrays("shard", key) is None
+
+    def test_eviction_never_breaks_an_in_flight_affinity_write(self, tmp_path, vgg, tiny_images):
+        """Regression: the affinity scratch file used to be named
+        ``*.tmp.npz`` — visible to the eviction scan, which could delete
+        it mid-write and break the publishing rename.  Scratch files now
+        never match the entry pattern, so a concurrent over-budget write
+        cannot touch them."""
+        from repro.core.affinity import compute_affinity_matrix
+
+        matrix = compute_affinity_matrix(vgg, tiny_images, top_z=2, layers=(1,))
+        cache = ArtifactCache(str(tmp_path), max_bytes=1)  # evict everything else
+        original_replace = os.replace
+        interposed = threading.Event()
+
+        def replace_with_concurrent_eviction(src, dst):
+            # Model the race once: while the affinity write sits between
+            # its scratch file and the publishing rename, another
+            # thread's shard write runs the over-budget eviction scan.
+            if not interposed.is_set():
+                interposed.set()
+                cache.save_arrays("shard", "c" * 64, {"x": np.arange(16)})
+            return original_replace(src, dst)
+
+        with unittest.mock.patch.object(
+            os, "replace", side_effect=replace_with_concurrent_eviction
+        ):
+            cache.save_affinity("d" * 64, matrix)
+        assert interposed.is_set()
+        loaded = cache.load_affinity("d" * 64)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.values, matrix.values)
+
+    def test_concurrent_same_key_shard_writes_never_serve_partial(self, tmp_path):
+        """Two workers racing on a de-duplicated shard key write through
+        *separate* scratch files (a shared one interleaves bytes into a
+        corrupt zip); readers see a miss or the complete entry only."""
+        cache = ArtifactCache(str(tmp_path), max_bytes=4096)
+        key = "e" * 64
+        expected = {"best": np.arange(64, dtype=np.float64).reshape(8, 8)}
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for _ in range(30):
+                    cache.save_arrays("shard", key, expected)
+            except BaseException as err:  # pragma: no cover - the failure
+                errors.append(err)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    loaded = cache.load_arrays("shard", key)
+                    if loaded is not None:
+                        assert set(loaded) == {"best"}
+                        np.testing.assert_array_equal(loaded["best"], expected["best"])
+            except BaseException as err:  # pragma: no cover - the failure
+                errors.append(err)
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads[:3]:
+            thread.start()
+        for thread in threads[3:]:
+            thread.start()
+        for thread in threads[:3]:
+            thread.join(timeout=30.0)
+        stop.set()
+        for thread in threads[3:]:
+            thread.join(timeout=30.0)
+        assert not errors, errors
+        loaded = cache.load_arrays("shard", key)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["best"], expected["best"])

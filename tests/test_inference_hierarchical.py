@@ -9,7 +9,6 @@ from repro.core.affinity import AffinityMatrix
 from repro.core.inference.hierarchical import (
     HierarchicalConfig,
     HierarchicalModel,
-    HierarchicalResult,
     hierarchical_parameter_count,
     naive_parameter_count,
 )

@@ -63,7 +63,8 @@ class TestMapClustersToClasses:
         np.testing.assert_array_equal(mapping.cluster_to_class, [1, 0])
 
     def test_empty_dev_set_identity(self):
-        mapping = map_clusters_to_classes(_posterior(4, 3), DevSet(np.empty(0, np.int64), np.empty(0, np.int64)), 3)
+        empty_dev = DevSet(np.empty(0, np.int64), np.empty(0, np.int64))
+        mapping = map_clusters_to_classes(_posterior(4, 3), empty_dev, 3)
         np.testing.assert_array_equal(mapping.cluster_to_class, [0, 1, 2])
 
     def test_k2_closed_form(self):

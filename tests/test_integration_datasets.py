@@ -7,7 +7,6 @@ behaviour: on every one of the five paper datasets, GOGGLES with a
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import Goggles, GogglesConfig

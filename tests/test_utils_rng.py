@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.rng import derive_seed, spawn_rng
