@@ -20,9 +20,7 @@ def test_inference_design_ablation(benchmark, settings, record_result):
         out = {}
         for dataset in ("cub", "surface"):
             rows = [run_inference_ablation(settings, dataset, run_seed=s) for s in range(settings.n_seeds)]
-            out[dataset] = {
-                variant: float(np.mean([row[variant] for row in rows])) for variant in rows[0]
-            }
+            out[dataset] = {variant: float(np.mean([row[variant] for row in rows])) for variant in rows[0]}
         return out
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -38,9 +38,7 @@ BATCH_SIZE = 32
 
 
 @pytest.mark.benchmark(group="distributed")
-def test_distributed_extraction_bit_identical_at_any_worker_count(
-    benchmark, settings, record_result
-):
+def test_distributed_extraction_bit_identical_at_any_worker_count(benchmark, settings, record_result):
     model = shared_model(settings)
     dataset = make_dataset("surface", n_per_class=settings.n_per_class, seed=0)
     dev = dataset.sample_dev_set(settings.dev_per_class, seed=0)
@@ -49,9 +47,7 @@ def test_distributed_extraction_bit_identical_at_any_worker_count(
     def measure() -> list[dict]:
         rows.clear()
         start = time.perf_counter()
-        serial_pools = extract_pool_features(
-            model, dataset.images, layers=LAYERS, batch_size=BATCH_SIZE
-        )
+        serial_pools = extract_pool_features(model, dataset.images, layers=LAYERS, batch_size=BATCH_SIZE)
         serial_extract_s = time.perf_counter() - start
         start = time.perf_counter()
         serial = Goggles(
@@ -66,9 +62,7 @@ def test_distributed_extraction_bit_identical_at_any_worker_count(
             )
             start = time.perf_counter()
             with Goggles(
-                GogglesConfig(
-                    n_classes=2, seed=0, executor="distributed", batch_size=BATCH_SIZE
-                ),
+                GogglesConfig(n_classes=2, seed=0, executor="distributed", batch_size=BATCH_SIZE),
                 model=model,
                 coordinator=coordinator,
             ) as goggles:
@@ -87,9 +81,7 @@ def test_distributed_extraction_bit_identical_at_any_worker_count(
                 and merged_pools[layer].strides == serial_pools[layer].strides
                 for layer in LAYERS
             )
-            affinity_identical = np.array_equal(
-                distributed.affinity.values, serial.affinity.values
-            )
+            affinity_identical = np.array_equal(distributed.affinity.values, serial.affinity.values)
             labels_identical = np.array_equal(
                 distributed.probabilistic_labels, serial.probabilistic_labels
             ) and np.array_equal(distributed.predictions, serial.predictions)

@@ -26,9 +26,7 @@ def test_fig8_accuracy_vs_dev_set_size(benchmark, settings, record_result):
                 run_fig8(settings, dataset, dev_sizes=DEV_SIZES, run_seed=s)
                 for s in range(settings.n_seeds)
             ]
-            curves[dataset] = {
-                size: float(np.mean([run[size] for run in per_seed])) for size in DEV_SIZES
-            }
+            curves[dataset] = {size: float(np.mean([run[size] for run in per_seed])) for size in DEV_SIZES}
         return curves
 
     curves = benchmark.pedantic(sweep, rounds=1, iterations=1)

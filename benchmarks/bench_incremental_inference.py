@@ -11,12 +11,12 @@ artifact for CI to archive.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
+from bench_distributed import update_trajectory
 
 from repro.core import Goggles, GogglesConfig
 from repro.core.inference.hierarchical import HierarchicalConfig
@@ -62,9 +62,7 @@ def test_incremental_inference_modes(benchmark, settings, record_result):
             cold = InferenceEngine(hier_config, executor="serial").fit(extended)
             cold_s = time.perf_counter() - start
             start = time.perf_counter()
-            warm = InferenceEngine(hier_config, executor="serial").fit(
-                extended, warm_start=state
-            )
+            warm = InferenceEngine(hier_config, executor="serial").fit(extended, warm_start=state)
             warm_s = time.perf_counter() - start
             start = time.perf_counter()
             process = InferenceEngine(hier_config, executor="process", n_jobs=4).fit(extended)
@@ -89,15 +87,15 @@ def test_incremental_inference_modes(benchmark, settings, record_result):
                     "process_seconds": round(process_s, 4),
                     "cold_em_iterations": cold.total_em_iterations,
                     "warm_em_iterations": warm.total_em_iterations,
-                    "posterior_max_abs_diff": float(
-                        np.abs(warm.posterior - cold.posterior).max()
-                    ),
+                    "posterior_max_abs_diff": float(np.abs(warm.posterior - cold.posterior).max()),
                 }
             )
         return rows
 
     measured = benchmark.pedantic(measure, rounds=1, iterations=1)
-    JSON_PATH.write_text(json.dumps({"rows": measured}, indent=2) + "\n")
+    # Merge: BENCH_inference.json is shared with bench_online_inference.py
+    # ("online" section), so each benchmark only rewrites its own rows.
+    update_trajectory(JSON_PATH, "rows", measured)
 
     lines = []
     for row in measured:
@@ -111,7 +109,9 @@ def test_incremental_inference_modes(benchmark, settings, record_result):
     record_result(
         format_curve(
             {row["n"]: row["warm_em_iterations"] for row in measured},
-            "Warm-started EM iterations vs N", "N", "EM iters",
+            "Warm-started EM iterations vs N",
+            "N",
+            "EM iters",
         )
         + "\n" + "\n".join(lines)
         + f"\ntrajectory artifact: {JSON_PATH.name}"

@@ -101,9 +101,7 @@ def test_tiled_vs_naive_affinity_construction(benchmark, settings, record_result
         )
         naive = np.concatenate([b for lb in naive_blocks for b in lb], axis=1)
 
-        timings["tiled_f64"], tiled64 = timed(
-            lambda: tiled_affinity_matrix(pool_map, 10, layers, n_jobs=4)
-        )
+        timings["tiled_f64"], tiled64 = timed(lambda: tiled_affinity_matrix(pool_map, 10, layers, n_jobs=4))
         timings["tiled_f32"], tiled32 = timed(
             lambda: tiled_affinity_matrix(pool_map, 10, layers, n_jobs=4, dtype=np.float32)
         )

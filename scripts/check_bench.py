@@ -58,21 +58,15 @@ def compare(
             if key not in fresh:
                 issues.append(f"{path}.{key}: present in baseline, missing from fresh run")
             else:
-                issues.extend(
-                    compare(value, fresh[key], f"{path}.{key}", max_regression, min_seconds)
-                )
+                issues.extend(compare(value, fresh[key], f"{path}.{key}", max_regression, min_seconds))
         return issues
     if isinstance(baseline, list):
         if not isinstance(fresh, list):
             return [f"{path}: baseline is a list, fresh is {type(fresh).__name__}"]
         if len(fresh) < len(baseline):
-            issues.append(
-                f"{path}: coverage shrank from {len(baseline)} to {len(fresh)} rows"
-            )
+            issues.append(f"{path}: coverage shrank from {len(baseline)} to {len(fresh)} rows")
         for index, (base_row, fresh_row) in enumerate(zip(baseline, fresh)):
-            issues.extend(
-                compare(base_row, fresh_row, f"{path}[{index}]", max_regression, min_seconds)
-            )
+            issues.extend(compare(base_row, fresh_row, f"{path}[{index}]", max_regression, min_seconds))
         return issues
     # bool before int/float: Python booleans are ints.
     if isinstance(baseline, bool):
@@ -125,9 +119,7 @@ def check_file(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "files", nargs="+", help="trajectory file names present in both directories"
-    )
+    parser.add_argument("files", nargs="+", help="trajectory file names present in both directories")
     parser.add_argument(
         "--baseline", type=Path, required=True,
         help="directory holding the committed baseline trajectories",
@@ -151,9 +143,7 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     for name in args.files:
-        issues = check_file(
-            name, args.baseline, args.fresh, args.max_regression, args.min_seconds
-        )
+        issues = check_file(name, args.baseline, args.fresh, args.max_regression, args.min_seconds)
         status = "FAIL" if issues else "ok"
         print(f"[{status}] {name}")
         for issue in issues:

@@ -65,15 +65,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=3, help="labeling rounds to soak")
     parser.add_argument("--n-per-class", type=int, default=24, help="corpus scale per round")
     parser.add_argument(
-        "--lease-timeout", type=float, default=2.0,
+        "--lease-timeout",
+        type=float,
+        default=2.0,
         help="seconds before a stolen/stuck lease is reassigned (the knob under test)",
     )
     parser.add_argument(
-        "--theft-interval", type=float, default=1.0,
+        "--theft-interval",
+        type=float,
+        default=1.0,
         help="seconds between lease thefts by the chaos thread",
     )
     parser.add_argument(
-        "--max-attempts", type=int, default=6,
+        "--max-attempts",
+        type=int,
+        default=6,
         help="retry budget per shard (headroom for chaos-induced expiries)",
     )
     args = parser.parse_args(argv)
@@ -87,9 +93,7 @@ def main(argv: list[str] | None = None) -> int:
     total_thefts = 0
     total_requeued = 0
     for round_index in range(args.rounds):
-        dataset = make_dataset(
-            "surface", n_per_class=args.n_per_class, seed=round_index
-        )
+        dataset = make_dataset("surface", n_per_class=args.n_per_class, seed=round_index)
         dev = dataset.sample_dev_set(5, seed=round_index)
         serial = Goggles(
             GogglesConfig(n_classes=2, seed=0, executor="serial"), model=model
@@ -119,12 +123,8 @@ def main(argv: list[str] | None = None) -> int:
             elapsed = time.perf_counter() - start
             stats = coordinator.queue.stats()
 
-        affinity_ok = np.array_equal(
-            distributed.affinity.values, serial.affinity.values
-        )
-        labels_ok = np.array_equal(
-            distributed.probabilistic_labels, serial.probabilistic_labels
-        )
+        affinity_ok = np.array_equal(distributed.affinity.values, serial.affinity.values)
+        labels_ok = np.array_equal(distributed.probabilistic_labels, serial.probabilistic_labels)
         total_thefts += thief.thefts
         total_requeued += stats["requeued"]
         print(

@@ -124,11 +124,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     dev = DevSet(indices=np.array(sorted(indices)), labels=dataset.labels[np.array(sorted(indices))])
 
-    goggles = Goggles(_goggles_config(args, k, keep_corpus_state=True))
-    service = LabelingService(goggles, dev, warm_start=not args.no_warm_start)
+    config = _goggles_config(args, k, keep_corpus_state=True)
+    mode = "batch"
+    if args.online:
+        from repro.online import OnlineConfig
+
+        mode = "online"
+        config = replace(
+            config,
+            online=OnlineConfig(
+                drift_threshold=args.drift_threshold,
+                refit_every=args.refit_every,
+            ),
+        )
+    goggles = Goggles(config)
+    service = LabelingService(goggles, dev, warm_start=not args.no_warm_start, mode=mode)
     start = time.perf_counter()
     service.start(dataset.images[:n0])
     print(f"seed corpus: {n0} images labeled in {time.perf_counter() - start:.2f}s")
+    if service.online_stats is not None:
+        resumed = "resumed from cached online state" if service.session.resumed else "fresh online state"
+        print(f"online mode: {resumed} (step {service.online_stats['step']})")
 
     if args.http_port is not None:
         # Network mode: expose submit/poll/healthz over HTTP instead of
@@ -176,6 +192,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     accuracy = 100 * correct / max(streamed, 1)
     print(f"streamed: {streamed} images in {service.n_batches} incremental runs")
     print(f"streaming accuracy: {accuracy:.2f}%  (corpus now {service.corpus_size} images)")
+    stats = service.online_stats
+    if stats is not None:
+        print(
+            f"online session: {stats['step']} absorb steps, {stats['refits']} refit(s), "
+            f"drift {stats['drift']:.4f} nats (threshold {stats['drift_threshold']:g})"
+        )
     goggles.close()
     return 0
 
@@ -235,14 +257,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     # Shard payloads are unpickled: never trust a routable coordinator
     # that is "authenticated" only by the public built-in key.
     require_safe_authkey(host, args.authkey)
-    cache = (
-        ArtifactCache(args.cache_dir, max_bytes=args.cache_max_bytes)
-        if args.cache_dir
-        else None
-    )
-    worker = Worker(
-        (host, port), args.authkey, cache=cache, stream_threshold=args.stream_threshold
-    )
+    cache = ArtifactCache(args.cache_dir, max_bytes=args.cache_max_bytes) if args.cache_dir else None
+    worker = Worker((host, port), args.authkey, cache=cache, stream_threshold=args.stream_threshold)
     print(f"worker {worker.worker_id} polling {args.connect}")
     worker.run()
     print(
@@ -374,6 +390,22 @@ def main(argv: list[str] | None = None) -> int:
         help="cold-refit inference on every batch (the warm-start escape hatch)",
     )
     serve.add_argument(
+        "--online", action="store_true",
+        help="absorb arrivals with O(batch) mini-batch EM over sufficient statistics "
+        "instead of a full incremental run per batch (escalates to a warm refit on "
+        "drift; with --cache-dir the online state persists across restarts)",
+    )
+    serve.add_argument(
+        "--drift-threshold", type=float, default=1.0,
+        help="nats/row the held-out log-likelihood EWMA may fall below the seed "
+        "baseline before --online escalates to a full warm refit",
+    )
+    serve.add_argument(
+        "--refit-every", type=int, default=0,
+        help="with --online, force a full warm refit every this many absorbed "
+        "batches regardless of drift (0 = only on drift / mapping instability)",
+    )
+    serve.add_argument(
         "--http-port", type=int, default=None,
         help="expose the service over HTTP on this port instead of streaming locally "
         "(POST /submit, GET /poll/<ticket>, GET /healthz)",
@@ -423,9 +455,7 @@ def main(argv: list[str] | None = None) -> int:
     coordinator.set_defaults(fn=_cmd_coordinator)
 
     worker = sub.add_parser("worker", help="serve shards to a coordinator")
-    worker.add_argument(
-        "--connect", required=True, help="coordinator host:port to pull shards from"
-    )
+    worker.add_argument("--connect", required=True, help="coordinator host:port to pull shards from")
     worker.add_argument(
         "--authkey", default=default_authkey(),
         help="shared connection secret (default $GOGGLES_AUTHKEY or built-in)",

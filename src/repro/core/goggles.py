@@ -19,6 +19,7 @@ Typical usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from repro.engine.inference import InferenceEngine, InferenceState
 from repro.engine.source import PrototypeAffinitySource
 from repro.nn.vgg import VGG16, VGGConfig
 from repro.utils.validation import check_images
+
+if TYPE_CHECKING:  # runtime import would cycle (repro.online builds on the engines)
+    from repro.online import OnlineConfig
 
 __all__ = ["GogglesConfig", "GogglesResult", "Goggles"]
 
@@ -82,6 +86,11 @@ class GogglesConfig:
         engine: full engine override (tile sizes, precision).  When
             given, its ``n_jobs``/``batch_size``/``cache_dir`` win over
             the top-level convenience fields.
+        online: knobs of the online serving loop
+            (:class:`~repro.online.OnlineConfig` — step-size schedule,
+            drift threshold, refit cadence) picked up by
+            ``LabelingService(mode="online")``; ``None`` means the
+            online defaults.
     """
 
     n_classes: int = 2
@@ -99,6 +108,7 @@ class GogglesConfig:
     vgg: VGGConfig = field(default_factory=VGGConfig)
     inference: HierarchicalConfig = field(default_factory=HierarchicalConfig)
     engine: EngineConfig | None = None
+    online: OnlineConfig | None = None
 
     def hierarchical_config(self) -> HierarchicalConfig:
         """The inference config with n_classes/seed overridden."""

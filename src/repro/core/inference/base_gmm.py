@@ -147,9 +147,7 @@ class DiagonalGMM:
             self.weights_[k] = nk[k] / n
             self.means_[k] = responsibilities[:, k] @ x / nk[k]
             diff_sq = (x - self.means_[k]) ** 2
-            self.variances_[k] = np.maximum(
-                responsibilities[:, k] @ diff_sq / nk[k], self.variance_floor
-            )
+            self.variances_[k] = np.maximum(responsibilities[:, k] @ diff_sq / nk[k], self.variance_floor)
         self.weights_ /= self.weights_.sum()
 
     def _initialise(
@@ -181,17 +179,13 @@ class DiagonalGMM:
             self.weights_ = np.asarray(init.weights, dtype=np.float64).copy()
             self.weights_ /= self.weights_.sum()
             self.means_ = np.asarray(init.means, dtype=np.float64).copy()
-            self.variances_ = np.maximum(
-                np.asarray(init.variances, dtype=np.float64), self.variance_floor
-            )
+            self.variances_ = np.maximum(np.asarray(init.variances, dtype=np.float64), self.variance_floor)
             return
         responsibilities = check_array(
             np.asarray(init, dtype=np.float64), name="init responsibilities", ndim=2
         )
         if responsibilities.shape != (n, k):
-            raise ValueError(
-                f"init responsibilities shaped {responsibilities.shape}, expected ({n}, {k})"
-            )
+            raise ValueError(f"init responsibilities shaped {responsibilities.shape}, expected ({n}, {k})")
         self.means_ = np.empty((k, d))
         self.variances_ = np.empty((k, d))
         self.weights_ = np.empty(k)

@@ -69,9 +69,7 @@ def dev_set_weights(responsibilities: np.ndarray, dev_set: DevSet, n_classes: in
     return weights
 
 
-def map_clusters_to_classes(
-    responsibilities: np.ndarray, dev_set: DevSet, n_classes: int
-) -> ClusterMapping:
+def map_clusters_to_classes(responsibilities: np.ndarray, dev_set: DevSet, n_classes: int) -> ClusterMapping:
     """Solve Eq. 14 via the assignment problem.
 
     With an empty development set the mapping degenerates to identity
@@ -87,9 +85,7 @@ def map_clusters_to_classes(
     return ClusterMapping(cluster_to_class=mapping, goodness=float(weights[rows, cols].sum()))
 
 
-def brute_force_mapping(
-    responsibilities: np.ndarray, dev_set: DevSet, n_classes: int
-) -> ClusterMapping:
+def brute_force_mapping(responsibilities: np.ndarray, dev_set: DevSet, n_classes: int) -> ClusterMapping:
     """O(K!) reference implementation of Eq. 14 (used in tests)."""
     if dev_set.size == 0:
         return ClusterMapping(cluster_to_class=np.arange(n_classes), goodness=0.0)

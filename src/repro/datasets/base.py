@@ -68,9 +68,7 @@ class LabeledImageDataset:
         images = check_images(self.images)
         labels = check_labels(self.labels, n_classes=len(self.class_names))
         if images.shape[0] != labels.shape[0]:
-            raise ValueError(
-                f"images ({images.shape[0]}) and labels ({labels.shape[0]}) disagree on N"
-            )
+            raise ValueError(f"images ({images.shape[0]}) and labels ({labels.shape[0]}) disagree on N")
         if self.attributes is not None:
             if self.attributes.shape[0] != images.shape[0]:
                 raise ValueError("attributes must have one row per image")

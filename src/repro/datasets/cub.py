@@ -246,9 +246,7 @@ def make_cub(
     for _ in range(100):
         first, second = pair_rng.choice(len(SPECIES_PALETTE), size=2, replace=False)
         a, b = SPECIES_PALETTE[first], SPECIES_PALETTE[second]
-        colour_diffs = sum(
-            getattr(a, part) != getattr(b, part) for part in ("body", "head", "wing", "beak")
-        )
+        colour_diffs = sum(getattr(a, part) != getattr(b, part) for part in ("body", "head", "wing", "beak"))
         bodies_distinct = a.body != b.body and (a.body in chromatic or b.body in chromatic)
         if colour_diffs >= 2 and bodies_distinct:
             break

@@ -103,9 +103,7 @@ def _draw_sign_face(canvas: np.ndarray, sign: SignClass, cy: float, cx: float, r
         fill_disk(canvas, cy, cx, r, _BLUE)
         sign.glyph(canvas, cy, cx, r * 0.95, _WHITE)
     elif sign.family == "warning":
-        vertices = np.array(
-            [[cy - r, cx], [cy + 0.8 * r, cx - 0.95 * r], [cy + 0.8 * r, cx + 0.95 * r]]
-        )
+        vertices = np.array([[cy - r, cx], [cy + 0.8 * r, cx - 0.95 * r], [cy + 0.8 * r, cx + 0.95 * r]])
         fill_polygon(canvas, vertices, _WHITE)
         # Red border drawn as three edges.
         border = 0.16 * r

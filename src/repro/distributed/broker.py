@@ -122,8 +122,10 @@ class Broker:
                 self._connections.append(conn)
                 self.n_connections += 1
                 handler = threading.Thread(
-                    target=self._serve, args=(conn,),
-                    name=f"goggles-broker-conn-{self.n_connections}", daemon=True,
+                    target=self._serve,
+                    args=(conn,),
+                    name=f"goggles-broker-conn-{self.n_connections}",
+                    daemon=True,
                 )
                 self._handlers.append(handler)
             handler.start()
@@ -200,9 +202,7 @@ class Broker:
             except OSError:  # pragma: no cover - already closed
                 pass
 
-    def _finish_stream(
-        self, streams: dict[str, _ResultStream], task_id: str, worker_id: str
-    ) -> tuple:
+    def _finish_stream(self, streams: dict[str, _ResultStream], task_id: str, worker_id: str) -> tuple:
         """Reassemble a completed stream into a queue completion.
 
         Returns the reply to send: ``("ok",)`` on success, or

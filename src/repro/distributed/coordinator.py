@@ -152,9 +152,7 @@ class DistributedConfig:
         if self.n_workers < 0:
             raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
         if self.worker_mode not in _WORKER_MODES:
-            raise ValueError(
-                f"worker_mode must be one of {_WORKER_MODES}, got {self.worker_mode!r}"
-            )
+            raise ValueError(f"worker_mode must be one of {_WORKER_MODES}, got {self.worker_mode!r}")
         if self.run_timeout is not None and self.run_timeout <= 0:
             raise ValueError(f"run_timeout must be > 0, got {self.run_timeout}")
         if self.stream_threshold < 0:
@@ -244,9 +242,7 @@ class Coordinator:
                 stream_threshold=self.config.stream_threshold,
                 frame_bytes=self.config.frame_bytes,
             )
-            thread = threading.Thread(
-                target=worker.run, name=f"goggles-worker-{index}", daemon=True
-            )
+            thread = threading.Thread(target=worker.run, name=f"goggles-worker-{index}", daemon=True)
             thread.start()
             self._thread_workers.append((worker, thread))
         else:
@@ -258,8 +254,13 @@ class Coordinator:
             process = context.Process(
                 target=run_worker_process,
                 args=(
-                    host, port, self.config.authkey, cache_dir, cache_max_bytes,
-                    self.config.stream_threshold, self.config.frame_bytes,
+                    host,
+                    port,
+                    self.config.authkey,
+                    cache_dir,
+                    cache_max_bytes,
+                    self.config.stream_threshold,
+                    self.config.frame_bytes,
                 ),
                 name=f"goggles-worker-{index}",
                 daemon=True,
@@ -358,10 +359,7 @@ class Coordinator:
 
     def _wait(self, ids: list[str]) -> bool:
         """Wait for shards in slices, watching local-cluster liveness."""
-        deadline = (
-            None if self.config.run_timeout is None
-            else time.monotonic() + self.config.run_timeout
-        )
+        deadline = None if self.config.run_timeout is None else time.monotonic() + self.config.run_timeout
         while True:
             remaining = None if deadline is None else deadline - time.monotonic()
             if remaining is not None and remaining <= 0:

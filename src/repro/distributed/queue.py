@@ -228,9 +228,7 @@ class TaskQueue:
     def _reap(self, now: float) -> None:
         for tracked in list(self._tracked.values()):
             if tracked.leased and tracked.deadline is not None and tracked.deadline < now:
-                tracked.errors.append(
-                    f"lease expired after {self.lease_timeout}s (worker {tracked.worker})"
-                )
+                tracked.errors.append(f"lease expired after {self.lease_timeout}s (worker {tracked.worker})")
                 self._requeue_or_poison(tracked)
 
     # ------------------------------------------------------------------

@@ -91,9 +91,7 @@ class ShardTask:
 # ----------------------------------------------------------------------
 # Task builders
 # ----------------------------------------------------------------------
-def extraction_task(
-    vgg_config: VGGConfig, images: np.ndarray, layers: tuple[int, ...]
-) -> ShardTask:
+def extraction_task(vgg_config: VGGConfig, images: np.ndarray, layers: tuple[int, ...]) -> ShardTask:
     """One chunked-batch VGG forward pass of stage-1 feature extraction.
 
     The payload carries the *config*, not the model: the surrogate
@@ -105,9 +103,7 @@ def extraction_task(
     """
     images = np.ascontiguousarray(images)
     layers = tuple(int(layer) for layer in layers)
-    task_id = shard_key(
-        "extraction", hash_arrays(images), {"vgg": repr(vgg_config), "layers": layers}
-    )
+    task_id = shard_key("extraction", hash_arrays(images), {"vgg": repr(vgg_config), "layers": layers})
     return ShardTask(
         task_id=task_id,
         kind="extraction",
@@ -136,9 +132,7 @@ def similarity_task(prototypes: np.ndarray, vectors: np.ndarray) -> ShardTask:
     # Per-image layout: F-ordered when the channel axis is the minor one.
     transposed = vectors.strides[-2] <= vectors.strides[-1]
     shipped = np.ascontiguousarray(vectors.transpose(0, 2, 1) if transposed else vectors)
-    task_id = shard_key(
-        "similarity", hash_arrays(prototypes, shipped), {"transposed": transposed}
-    )
+    task_id = shard_key("similarity", hash_arrays(prototypes, shipped), {"transposed": transposed})
     return ShardTask(
         task_id=task_id,
         kind="similarity",
@@ -178,8 +172,12 @@ def base_fit_task(
 # mapping, so it ships over a connection and caches as an .npz alike.
 # ----------------------------------------------------------------------
 _GMM_KEYS = (
-    "responsibilities", "log_likelihood", "n_iterations",
-    "converged", "degenerate", "reinitialized",
+    "responsibilities",
+    "log_likelihood",
+    "n_iterations",
+    "converged",
+    "degenerate",
+    "reinitialized",
 )
 
 
@@ -248,9 +246,7 @@ def _run_extraction(payload: dict) -> dict[str, np.ndarray]:
     for layer in payload["layers"]:
         pool = pools[layer]
         channels_last = pool.strides[1] <= pool.strides[-1]  # channel axis is minor
-        out[f"pool_{layer}"] = np.ascontiguousarray(
-            pool.transpose(0, 2, 3, 1) if channels_last else pool
-        )
+        out[f"pool_{layer}"] = np.ascontiguousarray(pool.transpose(0, 2, 3, 1) if channels_last else pool)
         out[f"channels_last_{layer}"] = np.bool_(channels_last)
     return out
 

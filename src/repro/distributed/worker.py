@@ -96,9 +96,7 @@ class Worker:
         self.authkey = authkey.encode() if isinstance(authkey, str) else bytes(authkey)
         self.cache = cache
         Worker._instances += 1
-        self.worker_id = worker_id or (
-            f"{socket.gethostname()}-{os.getpid()}-w{Worker._instances}"
-        )
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}-w{Worker._instances}"
         self.poll_interval = float(poll_interval)
         self.connect_retries = int(connect_retries)
         self.retry_delay = float(retry_delay)
@@ -165,8 +163,7 @@ class Worker:
                     arrays = execute_shard(task, cache=self.cache)
                 except Exception as error:  # noqa: BLE001 - report, don't die
                     self.tasks_failed += 1
-                    message = ("fail", self.worker_id, task.task_id,
-                               f"{type(error).__name__}: {error}")
+                    message = ("fail", self.worker_id, task.task_id, f"{type(error).__name__}: {error}")
                 else:
                     self.tasks_completed += 1
                     message = None  # reported via _send_result below

@@ -87,9 +87,7 @@ class EngineConfig:
 
     def __post_init__(self) -> None:
         if self.precision not in _PRECISIONS:
-            raise ValueError(
-                f"precision must be one of {sorted(_PRECISIONS)}, got {self.precision!r}"
-            )
+            raise ValueError(f"precision must be one of {sorted(_PRECISIONS)}, got {self.precision!r}")
         if self.executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {self.executor!r}")
         if self.n_jobs < 1:

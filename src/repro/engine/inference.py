@@ -94,9 +94,7 @@ class InferenceState:
         )
 
 
-def warm_start_responsibilities(
-    state: InferenceState, affinity: AffinityMatrix
-) -> list[np.ndarray]:
+def warm_start_responsibilities(state: InferenceState, affinity: AffinityMatrix) -> list[np.ndarray]:
     """Per-function initial responsibilities for a (possibly grown) corpus.
 
     Rows present in the previous fit reuse their posterior verbatim.
@@ -245,9 +243,7 @@ class InferenceEngine:
         # excluded: it cannot change values.
         params: dict[str, object] = {"stage": "inference", **asdict(self.config)}
         if warm is not None:
-            params["warm"] = hash_arrays(
-                warm.label_predictions, warm.ensemble.weights, warm.ensemble.probs
-            )
+            params["warm"] = hash_arrays(warm.label_predictions, warm.ensemble.weights, warm.ensemble.probs)
         return params
 
     def _key(self, affinity: AffinityMatrix, warm: InferenceState | None) -> str | None:
@@ -317,9 +313,7 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Full fit
     # ------------------------------------------------------------------
-    def fit(
-        self, affinity: AffinityMatrix, warm_start: InferenceState | None = None
-    ) -> HierarchicalResult:
+    def fit(self, affinity: AffinityMatrix, warm_start: InferenceState | None = None) -> HierarchicalResult:
         """Run the staged hierarchy: base fits → one-hot → ensemble.
 
         ``warm_start`` resumes EM from a previous fit's state (silently
@@ -359,9 +353,19 @@ class InferenceEngine:
     # Cache plumbing
     # ------------------------------------------------------------------
     _SCHEMA = (
-        "posterior", "label_predictions", "ens_weights", "ens_probs",
-        "base_ll", "base_iters", "base_converged", "base_reinit", "base_degenerate",
-        "ens_ll", "ens_iters", "ens_converged", "n_classes",
+        "posterior",
+        "label_predictions",
+        "ens_weights",
+        "ens_probs",
+        "base_ll",
+        "base_iters",
+        "base_converged",
+        "base_reinit",
+        "base_degenerate",
+        "ens_ll",
+        "ens_iters",
+        "ens_converged",
+        "n_classes",
     )
 
     def _save_cached(self, key: str, result: HierarchicalResult) -> None:

@@ -26,7 +26,12 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.affinity import AffinityFunctionId, AffinityMatrix, affinity_from_features
+from repro.core.affinity import (
+    AffinityFunctionId,
+    AffinityMatrix,
+    affinity_from_features,
+    cosine_similarity,
+)
 from repro.engine.features import extract_pool_features, iter_batches
 from repro.engine.tiling import (
     LayerPrototypes,
@@ -95,12 +100,19 @@ class EngineRuntime:
         over ``pool``, or shard tasks leased to the distributed cluster."""
         if self.coordinator is not None:
             return self.coordinator.best_similarities(
-                prototypes, vectors,
-                row_tile=self.row_tile, col_tile=self.col_tile, dtype=self.dtype,
+                prototypes,
+                vectors,
+                row_tile=self.row_tile,
+                col_tile=self.col_tile,
+                dtype=self.dtype,
             )
         return best_similarities(
-            prototypes, vectors,
-            row_tile=self.row_tile, col_tile=self.col_tile, executor=pool, dtype=self.dtype,
+            prototypes,
+            vectors,
+            row_tile=self.row_tile,
+            col_tile=self.col_tile,
+            executor=pool,
+            dtype=self.dtype,
         )
 
 
@@ -220,17 +232,46 @@ class PrototypeAffinitySource:
         matrix = AffinityMatrix(values=np.concatenate(blocks, axis=1), function_ids=ids)
         return CorpusState(affinity=matrix, n_images=images.shape[0], arrays=arrays)
 
-    def extend_state(
-        self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime
-    ) -> CorpusState:
-        new_images = check_images(new_images)
-        n, m = state.n_images, new_images.shape[0]
+    def _check_state_alpha(self, state: CorpusState) -> None:
         expected_alpha = len(self.layers) * self.top_z
         if state.affinity.n_functions != expected_alpha:
             raise ValueError(
                 f"corpus state has {state.affinity.n_functions} affinity functions, "
                 f"source produces {expected_alpha}"
             )
+
+    def extend_rows(
+        self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime
+    ) -> list[np.ndarray]:
+        """Affinity rows of ``new_images`` against the *frozen* corpus only.
+
+        Returns one ``(M, N)`` block per affinity function, in function
+        order — exactly the ``[n:, :n]`` quadrant :meth:`extend_state`
+        would produce, bit-identically, but computing *only* it: no new
+        prototypes are extracted from the arrivals, no (old images ×
+        new prototypes) columns, no (N+M)² assembly.  This is the
+        online serving loop's hot path (``OnlineSession.absorb``),
+        where the corpus is deliberately not extended.
+        """
+        new_images = check_images(new_images)
+        self._check_state_alpha(state)
+        pools = runtime.pool_features(self.model, new_images, self.layers)
+        rows: list[np.ndarray] = []
+        with tile_executor(runtime.local_jobs) as pool:
+            for layer in self.layers:
+                old_protos = LayerPrototypes(
+                    vectors=state.arrays[f"proto_{layer}"],
+                    rank_rows=state.arrays[f"rank_{layer}"],
+                )
+                new_vectors = unit_location_vectors(pools[layer])
+                best_old_new = runtime.similarities(old_protos.vectors, new_vectors, pool)
+                rows.extend(assemble_blocks(best_old_new, old_protos.rank_rows))
+        return rows
+
+    def extend_state(self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime) -> CorpusState:
+        new_images = check_images(new_images)
+        n, m = state.n_images, new_images.shape[0]
+        self._check_state_alpha(state)
         per_layer_new = self._layer_state(new_images, runtime)
         blocks: list[np.ndarray] = []
         arrays: dict[str, np.ndarray] = {}
@@ -257,9 +298,7 @@ class PrototypeAffinitySource:
                     block[:, n:] = new_cols[rank]
                     blocks.append(block)
                 arrays[f"uv_{layer}"] = all_vectors
-                arrays[f"proto_{layer}"] = np.concatenate(
-                    [old_protos.vectors, new_protos.vectors], axis=0
-                )
+                arrays[f"proto_{layer}"] = np.concatenate([old_protos.vectors, new_protos.vectors], axis=0)
                 arrays[f"rank_{layer}"] = np.concatenate(
                     [old_protos.rank_rows, new_protos.shifted(old_protos.n_rows).rank_rows], axis=0
                 )
@@ -311,12 +350,15 @@ class FeatureCosineSource:
             arrays={"features": features},
         )
 
-    def extend_state(
+    def extend_rows(
         self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime
-    ) -> CorpusState:
-        features = np.concatenate(
-            [state.arrays["features"], self._features(new_images, runtime)], axis=0
-        )
+    ) -> list[np.ndarray]:
+        """Cosine rows of the new images against the frozen corpus only."""
+        new_features = self._features(new_images, runtime)
+        return [cosine_similarity(new_features, state.arrays["features"])]
+
+    def extend_state(self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime) -> CorpusState:
+        features = np.concatenate([state.arrays["features"], self._features(new_images, runtime)], axis=0)
         return CorpusState(
             affinity=affinity_from_features(features),
             n_images=features.shape[0],

@@ -216,8 +216,12 @@ def tiled_layer_affinity_blocks(
     vectors = unit_location_vectors(filter_maps)
     prototypes = unique_unit_prototypes(filter_maps, z)
     best = best_similarities(
-        prototypes.vectors, vectors,
-        row_tile=row_tile, col_tile=col_tile, executor=executor, dtype=dtype,
+        prototypes.vectors,
+        vectors,
+        row_tile=row_tile,
+        col_tile=col_tile,
+        executor=executor,
+        dtype=dtype,
     )
     return assemble_blocks(best, prototypes.rank_rows)
 
@@ -246,8 +250,12 @@ def tiled_affinity_matrix(
     with tile_executor(n_jobs) as pool:
         for layer in layers:
             layer_blocks = tiled_layer_affinity_blocks(
-                pool_features[layer], top_z,
-                row_tile=row_tile, col_tile=col_tile, executor=pool, dtype=dtype,
+                pool_features[layer],
+                top_z,
+                row_tile=row_tile,
+                col_tile=col_tile,
+                executor=pool,
+                dtype=dtype,
             )
             for rank in range(top_z):
                 blocks.append(layer_blocks[rank])

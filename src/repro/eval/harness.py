@@ -132,9 +132,7 @@ def build_affinity(
     is set) the content-addressed artifact cache, so sweep experiments
     that revisit the same corpus skip step 1 entirely.
     """
-    engine = AffinityEngine(
-        PrototypeAffinitySource(model, top_z=top_z), settings.engine_config()
-    )
+    engine = AffinityEngine(PrototypeAffinitySource(model, top_z=top_z), settings.engine_config())
     return engine.build(images, keep_state=False)
 
 
@@ -220,16 +218,24 @@ def run_table1_row(
     if "hog" in methods:
         descriptors = hog_batch(dataset.images)
         posterior = _infer_with_affinity(
-            affinity_from_features(descriptors), dev, k, derive_seed(settings.seed, "hog", run_seed),
-            n_jobs=settings.n_jobs, executor=settings.executor,
+            affinity_from_features(descriptors),
+            dev,
+            k,
+            derive_seed(settings.seed, "hog", run_seed),
+            n_jobs=settings.n_jobs,
+            executor=settings.executor,
         )
         out["hog"] = 100 * labeling_accuracy(posterior, dataset.labels, exclude=dev.indices)
 
     if "logits" in methods:
         logits = model.logits(dataset.images)
         posterior = _infer_with_affinity(
-            affinity_from_features(logits), dev, k, derive_seed(settings.seed, "logits", run_seed),
-            n_jobs=settings.n_jobs, executor=settings.executor,
+            affinity_from_features(logits),
+            dev,
+            k,
+            derive_seed(settings.seed, "logits", run_seed),
+            n_jobs=settings.n_jobs,
+            executor=settings.executor,
         )
         out["logits"] = 100 * labeling_accuracy(posterior, dataset.labels, exclude=dev.indices)
 
@@ -333,7 +339,10 @@ def run_table2_row(
             votes = apply_labeling_functions(lfs, train.n_examples)
             lm = LabelModel(n_classes=k, seed=derive_seed(settings.seed, "snorkel2", run_seed)).fit(votes)
             out["snorkel"] = _train_and_score(
-                features_train, lm.probabilistic_labels, features_test, test.labels,
+                features_train,
+                lm.probabilistic_labels,
+                features_test,
+                test.labels,
                 derive_seed(settings.seed, "end-snorkel", run_seed),
             )
 
@@ -343,7 +352,10 @@ def run_table2_row(
             primitives, dev.indices, dev.labels
         )
         out["snuba"] = _train_and_score(
-            features_train, snuba_result.probabilistic_labels, features_test, test.labels,
+            features_train,
+            snuba_result.probabilistic_labels,
+            features_test,
+            test.labels,
             derive_seed(settings.seed, "end-snuba", run_seed),
         )
 
@@ -359,13 +371,19 @@ def run_table2_row(
         )
         goggles_result = goggles.label(train.images, dev)
         out["goggles"] = _train_and_score(
-            features_train, goggles_result.probabilistic_labels, features_test, test.labels,
+            features_train,
+            goggles_result.probabilistic_labels,
+            features_test,
+            test.labels,
             derive_seed(settings.seed, "end-goggles", run_seed),
         )
 
     if "upper_bound" in methods:
         out["upper_bound"] = _train_and_score(
-            features_train, one_hot(train.labels, k), features_test, test.labels,
+            features_train,
+            one_hot(train.labels, k),
+            features_test,
+            test.labels,
             derive_seed(settings.seed, "end-upper", run_seed),
         )
 

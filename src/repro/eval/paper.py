@@ -34,24 +34,54 @@ TABLE1_METHODS: tuple[str, ...] = (
 # Table 1: labeling accuracy (%) on the training set.
 TABLE1_PAPER: dict[str, dict[str, float | None]] = {
     "cub": {
-        "goggles": 97.83, "snorkel": 89.17, "snuba": 58.83, "hog": 62.93,
-        "logits": 96.35, "kmeans": 98.67, "gmm": 97.62, "spectral": 72.08,
+        "goggles": 97.83,
+        "snorkel": 89.17,
+        "snuba": 58.83,
+        "hog": 62.93,
+        "logits": 96.35,
+        "kmeans": 98.67,
+        "gmm": 97.62,
+        "spectral": 72.08,
     },
     "gtsrb": {
-        "goggles": 70.51, "snorkel": None, "snuba": 62.74, "hog": 75.48,
-        "logits": 64.77, "kmeans": 70.74, "gmm": 69.64, "spectral": 62.40,
+        "goggles": 70.51,
+        "snorkel": None,
+        "snuba": 62.74,
+        "hog": 75.48,
+        "logits": 64.77,
+        "kmeans": 70.74,
+        "gmm": 69.64,
+        "spectral": 62.40,
     },
     "surface": {
-        "goggles": 89.18, "snorkel": None, "snuba": 57.86, "hog": 85.82,
-        "logits": 54.08, "kmeans": 69.08, "gmm": 69.14, "spectral": 60.82,
+        "goggles": 89.18,
+        "snorkel": None,
+        "snuba": 57.86,
+        "hog": 85.82,
+        "logits": 54.08,
+        "kmeans": 69.08,
+        "gmm": 69.14,
+        "spectral": 60.82,
     },
     "tbxray": {
-        "goggles": 76.89, "snorkel": None, "snuba": 59.47, "hog": 69.13,
-        "logits": 67.16, "kmeans": 76.33, "gmm": 76.70, "spectral": 75.00,
+        "goggles": 76.89,
+        "snorkel": None,
+        "snuba": 59.47,
+        "hog": 69.13,
+        "logits": 67.16,
+        "kmeans": 76.33,
+        "gmm": 76.70,
+        "spectral": 75.00,
     },
     "pnxray": {
-        "goggles": 74.39, "snorkel": None, "snuba": 55.50, "hog": 53.11,
-        "logits": 71.18, "kmeans": 50.66, "gmm": 68.66, "spectral": 75.90,
+        "goggles": 74.39,
+        "snorkel": None,
+        "snuba": 55.50,
+        "hog": 53.11,
+        "logits": 71.18,
+        "kmeans": 50.66,
+        "gmm": 68.66,
+        "spectral": 75.90,
     },
 }
 

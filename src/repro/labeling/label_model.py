@@ -126,9 +126,7 @@ class LabelModel:
         tables /= tables.sum(axis=2, keepdims=True)
         return prior, tables
 
-    def _e_step(
-        self, symbols: np.ndarray, prior: np.ndarray, tables: np.ndarray
-    ) -> tuple[np.ndarray, float]:
+    def _e_step(self, symbols: np.ndarray, prior: np.ndarray, tables: np.ndarray) -> tuple[np.ndarray, float]:
         n, m = symbols.shape
         k = self.n_classes
         log_joint = np.tile(np.log(prior), (n, 1))

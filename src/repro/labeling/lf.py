@@ -82,11 +82,7 @@ def attribute_lfs_from_dataset(dataset: LabeledImageDataset) -> list[LabelingFun
             # not usable as a discriminating LF.
             continue
         owner = int(owners[0])
-        name = (
-            dataset.attribute_names[a]
-            if a < len(dataset.attribute_names)
-            else f"attribute_{a}"
-        )
+        name = dataset.attribute_names[a] if a < len(dataset.attribute_names) else f"attribute_{a}"
 
         def vote(index: int, column: int = a, klass: int = owner) -> int:
             return klass if attributes[index, column] == 1 else ABSTAIN

@@ -17,9 +17,7 @@ from repro.vision.pca import PCA
 __all__ = ["extract_snuba_primitives"]
 
 
-def extract_snuba_primitives(
-    model: VGG16, images: np.ndarray, n_components: int = 10
-) -> np.ndarray:
+def extract_snuba_primitives(model: VGG16, images: np.ndarray, n_components: int = 10) -> np.ndarray:
     """Logits -> top-``n_components`` PCA projection, shape ``(N, n_components)``."""
     logits = model.logits(images)
     pca = PCA(n_components=n_components)

@@ -82,9 +82,7 @@ def vgg16_pool_geometry() -> list[LayerGeometry]:
     return out
 
 
-def receptive_field_box(
-    layer: int, h: int, w: int, image_height: int, image_width: int
-) -> ReceptiveField:
+def receptive_field_box(layer: int, h: int, w: int, image_height: int, image_width: int) -> ReceptiveField:
     """The input patch seen by unit ``(h, w)`` of max-pool layer ``layer``.
 
     Coordinates are clipped to the image bounds, mirroring how padding

@@ -1,0 +1,20 @@
+"""The online labeling subsystem (see ENGINE.md, "Online stages").
+
+Sits between the batch inference engine and the serving loop: the
+finished seed fit is summarised as O(K·d) sufficient statistics
+(:mod:`repro.online.stats`), arrivals are folded in by stepwise
+mini-batch EM at O(batch) per step, and a drift monitor escalates to a
+full warm-started refit through the existing engines when the online
+approximation stops being trustworthy (:mod:`repro.online.session`).
+"""
+
+from repro.online.session import OnlineConfig, OnlineSession
+from repro.online.stats import BernoulliStats, GMMStats, step_size
+
+__all__ = [
+    "OnlineConfig",
+    "OnlineSession",
+    "BernoulliStats",
+    "GMMStats",
+    "step_size",
+]

@@ -1,0 +1,546 @@
+"""The online labeling session: mini-batch EM, drift detection, refits.
+
+Batch GOGGLES refits the whole hierarchy per arrival batch; warm starts
+(ENGINE.md, "Warm-start semantics") cut *iterations* but every
+iteration still touches all N corpus rows.  The :class:`OnlineSession`
+removes N from the serving path entirely:
+
+* the seed fit is summarised as O(K·d) sufficient statistics per
+  mixture (:mod:`repro.online.stats`) with the feature space frozen at
+  the seed corpus — a new arrival is described by its affinity row to
+  the *frozen* corpus, so dimensions never grow between refits;
+* :meth:`absorb_rows` folds a batch of affinity rows into those
+  statistics with a stepwise (Cappé–Moulines) EM update and a
+  ``tol``-driven local refinement loop — O(batch·d) per step, whatever
+  the corpus size;
+* a drift monitor tracks the prequential (scored-before-updated)
+  per-row ensemble log-likelihood as an EWMA and re-derives the
+  dev-set cluster→class vote each step; when the EWMA falls
+  ``drift_threshold`` nats below the seed baseline, the vote flips, or
+  ``refit_every`` batches have passed, the session escalates to a full
+  warm-started refit through the existing engines
+  (:meth:`~repro.core.goggles.Goggles.label_incremental`) and
+  re-freezes itself on the grown corpus;
+* memory stays bounded: between refits the corpus does not grow, the
+  online state is O(α·K·d), and arrivals awaiting the next refit are
+  buffered up to ``buffer_cap`` rows (older arrivals are dropped from
+  the refit buffer — their labels were already served and their
+  influence lives on in the statistics).
+
+The mutable online state (accumulators, step counter, drift EWMA)
+persists through the :class:`~repro.engine.cache.ArtifactCache` as an
+``online-*.npz`` entry keyed by the seed fit's identity, so a restarted
+service resumes mid-stream instead of starting the schedule over.
+
+Accuracy contract: on the shapes corpora the online path must agree
+with a full warm refit at ≥99% posterior agreement (1 − mean total
+variation) and *exact* hard-label agreement —
+``benchmarks/bench_online_inference.py`` enforces both in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.core.inference.base_gmm import DiagonalGMM, GMMParams
+from repro.core.inference.bernoulli import BernoulliParams, one_hot_encode_lp
+from repro.core.inference.mapping import apply_mapping, map_clusters_to_classes
+from repro.datasets.base import DevSet
+from repro.engine.cache import hash_arrays
+from repro.online.stats import BernoulliStats, GMMStats, step_size
+from repro.utils.validation import check_images
+
+if TYPE_CHECKING:  # imported lazily to keep core/goggles import-cycle free
+    from repro.core.goggles import Goggles, GogglesResult
+
+__all__ = ["OnlineConfig", "OnlineSession"]
+
+# Clamp applied to the ensemble's Bernoulli parameters, matching the
+# default of repro.core.inference.bernoulli.BernoulliMixture.
+_ENSEMBLE_PARAM_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Knobs of the online mini-batch EM serving loop.
+
+    Attributes:
+        step_decay: κ of the Cappé–Moulines step size
+            ``ρ_t = (t₀+t)^{-κ}``; must lie in (0.5, 1] for the
+            stepwise-EM convergence guarantees.
+        step_delay: t₀, damping the earliest (largest) steps.
+        refine_tol: the local refinement loop re-scores the batch under
+            the candidate parameters until the posterior moves less
+            than this (max abs change), up to ``refine_max_iter``.
+        refine_max_iter: cap on refinement passes per absorbed batch.
+        drift_threshold: nats/row the prequential log-likelihood EWMA
+            may fall below the seed baseline before a full refit is
+            forced.
+        drift_alpha: EWMA smoothing factor in (0, 1].
+        refit_every: escalate to a full warm-started refit every this
+            many absorbed batches regardless of drift (0 = only on
+            drift / mapping instability).
+        buffer_cap: max arrival rows retained for the next refit;
+            older arrivals beyond the cap are dropped from the buffer
+            (bounded memory — their statistics contribution remains).
+    """
+
+    step_decay: float = 0.7
+    step_delay: float = 2.0
+    refine_tol: float = 1e-4
+    refine_max_iter: int = 3
+    drift_threshold: float = 1.0
+    drift_alpha: float = 0.2
+    refit_every: int = 0
+    buffer_cap: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0.5 < self.step_decay <= 1.0:
+            raise ValueError(f"step_decay must be in (0.5, 1], got {self.step_decay}")
+        if self.step_delay < 0:
+            raise ValueError(f"step_delay must be >= 0, got {self.step_delay}")
+        if self.refine_tol <= 0:
+            raise ValueError(f"refine_tol must be > 0, got {self.refine_tol}")
+        if self.refine_max_iter < 1:
+            raise ValueError(f"refine_max_iter must be >= 1, got {self.refine_max_iter}")
+        if self.drift_threshold <= 0:
+            raise ValueError(f"drift_threshold must be > 0, got {self.drift_threshold}")
+        if not 0.0 < self.drift_alpha <= 1.0:
+            raise ValueError(f"drift_alpha must be in (0, 1], got {self.drift_alpha}")
+        if self.refit_every < 0:
+            raise ValueError(f"refit_every must be >= 0, got {self.refit_every}")
+        if self.buffer_cap < 1:
+            raise ValueError(f"buffer_cap must be >= 1, got {self.buffer_cap}")
+
+
+class OnlineSession:
+    """Owns the accumulators, the frozen mapping, and the drift monitor.
+
+    Parameters:
+        goggles: the pipeline whose engines back this session.  Its
+            affinity engine must hold the corpus state of the seed fit
+            (``keep_corpus_state=True`` and a prior ``label`` call).
+        dev_set: the cluster→class development set; indices refer to
+            the seed corpus and stay valid as refits grow it.
+        result: the seed fit (what ``goggles.label`` returned).
+        config: online knobs; defaults to :class:`OnlineConfig`.
+        resume: with the engine's artifact cache configured, try to
+            restore a previously persisted online state for the same
+            seed fit (accumulators + step counter + drift EWMA) so a
+            restarted service continues mid-stream.
+
+    Thread contract: like the engines, the session is driven by a
+    single worker thread (``LabelingService``'s); it has no internal
+    locking.
+    """
+
+    def __init__(
+        self,
+        goggles: "Goggles",
+        dev_set: "DevSet",
+        result: "GogglesResult",
+        config: OnlineConfig | None = None,
+        *,
+        resume: bool = True,
+    ):
+        if goggles.engine.state is None:
+            raise ValueError(
+                "OnlineSession needs the engine's corpus state: run goggles.label "
+                "first with keep_corpus_state=True"
+            )
+        self.goggles = goggles
+        self.dev_set = dev_set
+        self.config = config or OnlineConfig()
+        hier = goggles.config.hierarchical_config()
+        self.n_classes = hier.n_classes
+        self._variance_floor = hier.variance_floor
+        self.n_refits = 0
+        self.n_absorbed = 0
+        self.n_batches = 0
+        self.n_buffer_dropped = 0
+        self.resumed = False
+        self._session_key = self._make_key(result)
+        self._freeze(result)
+        if resume:
+            self._try_resume()
+
+    # ------------------------------------------------------------------
+    # Seed snapshot
+    # ------------------------------------------------------------------
+    def _freeze(self, result: "GogglesResult") -> None:
+        """(Re)build the frozen snapshot and fresh online state from a fit.
+
+        Parameters are *derived from the statistics* (one M-step over
+        the fit's final responsibilities) rather than copied from the
+        fit, so the fresh-fit and cache-restored paths — where the
+        fitted parameters are not persisted — are one code path.
+        """
+        state = self.goggles.engine.state
+        assert state is not None
+        affinity = state.affinity
+        k = self.n_classes
+        lp = result.hierarchical.label_predictions
+        self.n_seed = affinity.n_examples
+        self.alpha = affinity.n_functions
+        self._base_stats = [
+            GMMStats.from_responsibilities(affinity.block(f), lp[:, f * k : (f + 1) * k])
+            for f in range(self.alpha)
+        ]
+        self._base_params = [stats.params(self._variance_floor) for stats in self._base_stats]
+        one_hot = result.hierarchical.one_hot
+        posterior = result.hierarchical.posterior
+        self._ensemble_stats = BernoulliStats.from_responsibilities(one_hot, posterior)
+        self._ensemble_params = self._ensemble_stats.params(_ENSEMBLE_PARAM_FLOOR)
+        self.mapping = result.mapping
+        # Dev rows in the frozen feature space, for the vote-stability check.
+        self._dev_rows = (
+            [np.array(affinity.block(f)[self.dev_set.indices, :], copy=True) for f in range(self.alpha)]
+            if self.dev_set.size
+            else None
+        )
+        self._baseline_ll = self._mean_log_likelihood(one_hot, self._ensemble_params)
+        self._ewma_ll = self._baseline_ll
+        self._step = 0
+        self._buffer: list[np.ndarray] = []
+
+    def _make_key(self, result: "GogglesResult") -> str | None:
+        """Content address of this session's persisted state.
+
+        Keyed by the seed fit's identity — the cached corpus-state key
+        plus the seed posterior hash — and the online config, so a
+        restarted service (which replays the seed fit bit-identically
+        from the cache) derives the same key, while any change to the
+        corpus, the inference config, or the online knobs misses.
+        """
+        cache = self.goggles.engine.cache
+        state_key = self.goggles.engine.state_key
+        if cache is None or state_key is None:
+            return None
+        data_hash = hash_arrays(result.hierarchical.posterior)
+        params = {"stage": "online", "seed_state": state_key, **asdict(self.config)}
+        return cache.key(data_hash, params)
+
+    # ------------------------------------------------------------------
+    # Scoring under the current parameters
+    # ------------------------------------------------------------------
+    def _base_posterior(self, rows: np.ndarray, params: GMMParams) -> np.ndarray:
+        model = DiagonalGMM(self.n_classes, variance_floor=self._variance_floor)
+        model.weights_, model.means_, model.variances_ = params.weights, params.means, params.variances
+        return model.predict_proba(rows)
+
+    @staticmethod
+    def _ensemble_log_joint(one_hot: np.ndarray, params: BernoulliParams) -> np.ndarray:
+        log_b = np.log(params.probs)
+        log_1mb = np.log1p(-params.probs)
+        log_lik = one_hot @ log_b.T + (1.0 - one_hot) @ log_1mb.T
+        return log_lik + np.log(np.maximum(params.weights, 1e-300))
+
+    def _mean_log_likelihood(self, one_hot: np.ndarray, params: BernoulliParams) -> float:
+        log_joint = self._ensemble_log_joint(one_hot, params)
+        return float(logsumexp(log_joint, axis=1).mean())
+
+    def _score_batch(
+        self, rows: list[np.ndarray], base_params: list[GMMParams], ens_params: BernoulliParams
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """One hierarchical E-step on a batch: LP, one-hot, posterior, mean ll."""
+        lp = np.concatenate(
+            [self._base_posterior(rows[f], base_params[f]) for f in range(self.alpha)], axis=1
+        )
+        one_hot = one_hot_encode_lp(lp, self.n_classes)
+        log_joint = self._ensemble_log_joint(one_hot, ens_params)
+        log_norm = logsumexp(log_joint, axis=1, keepdims=True)
+        posterior = np.exp(log_joint - log_norm)
+        return lp, one_hot, posterior, float(log_norm.mean())
+
+    # ------------------------------------------------------------------
+    # The O(batch) absorb step
+    # ------------------------------------------------------------------
+    def absorb_rows(self, rows: list[np.ndarray]) -> np.ndarray:
+        """Fold one batch of affinity rows into the online model.
+
+        ``rows[f]`` holds the batch's affinities to the frozen corpus
+        under function f, shape ``(M, n_seed)``.  Returns the
+        class-aligned probabilistic labels ``(M, K)`` for the batch.
+        Cost is O(M·d) per refinement pass — the corpus size never
+        appears.  Pure math: no refit escalation happens here (see
+        :meth:`absorb`), but the drift monitor is updated.
+        """
+        if len(rows) != self.alpha:
+            raise ValueError(f"expected {self.alpha} per-function row blocks, got {len(rows)}")
+        for f, block in enumerate(rows):
+            if block.ndim != 2 or block.shape[1] != self.n_seed or block.shape[0] == 0:
+                raise ValueError(f"rows[{f}] shaped {block.shape}, expected (M > 0, {self.n_seed})")
+        k = self.n_classes
+        config = self.config
+        self._step += 1
+        rho = step_size(self._step, config.step_decay, config.step_delay)
+
+        # Local refinement: re-score the batch under the candidate
+        # parameters until its posterior settles (or the pass cap).
+        # Every candidate re-blends from the *committed* statistics
+        # with the same ρ, so one batch's influence stays one ρ-step.
+        base_params, ens_params = self._base_params, self._ensemble_params
+        cand_base_stats, cand_ens_stats = self._base_stats, self._ensemble_stats
+        previous_posterior: np.ndarray | None = None
+        lp, one_hot, posterior, mean_ll = self._score_batch(rows, base_params, ens_params)
+        # Prequential drift signal: the score under the *committed*
+        # (pre-update) parameters, captured before the refinement loop
+        # adapts them to this batch — a distribution shift must show up
+        # as a held-out log-likelihood drop, not be masked by the very
+        # update it should trigger on.
+        prequential_ll = mean_ll
+        for _ in range(config.refine_max_iter):
+            cand_base_stats = [
+                self._base_stats[f].blend(
+                    GMMStats.from_responsibilities(rows[f], lp[:, f * k : (f + 1) * k]), rho
+                )
+                for f in range(self.alpha)
+            ]
+            cand_ens_stats = self._ensemble_stats.blend(
+                BernoulliStats.from_responsibilities(one_hot, posterior), rho
+            )
+            base_params = [stats.params(self._variance_floor) for stats in cand_base_stats]
+            ens_params = cand_ens_stats.params(_ENSEMBLE_PARAM_FLOOR)
+            previous_posterior = posterior
+            lp, one_hot, posterior, mean_ll = self._score_batch(rows, base_params, ens_params)
+            if np.abs(posterior - previous_posterior).max() < config.refine_tol:
+                break
+
+        self._base_stats, self._ensemble_stats = cand_base_stats, cand_ens_stats
+        self._base_params, self._ensemble_params = base_params, ens_params
+        self._ewma_ll = (
+            1.0 - config.drift_alpha
+        ) * self._ewma_ll + config.drift_alpha * prequential_ll
+        self.n_batches += 1
+        self.n_absorbed += int(posterior.shape[0])
+        return apply_mapping(posterior, self.mapping)
+
+    # ------------------------------------------------------------------
+    # Drift / escalation state machine
+    # ------------------------------------------------------------------
+    @property
+    def drift(self) -> float:
+        """Nats/row the prequential log-likelihood EWMA sits below baseline."""
+        return self._baseline_ll - self._ewma_ll
+
+    def mapping_stable(self) -> bool:
+        """Whether the dev set still votes for the frozen cluster→class map."""
+        if self._dev_rows is None:
+            return True
+        _, _, posterior, _ = self._score_batch(self._dev_rows, self._base_params, self._ensemble_params)
+        local = DevSet(indices=np.arange(self.dev_set.size), labels=self.dev_set.labels)
+        fresh = map_clusters_to_classes(posterior, local, self.n_classes)
+        return bool(np.array_equal(fresh.cluster_to_class, self.mapping.cluster_to_class))
+
+    def should_refit(self) -> bool:
+        """Escalation predicate: schedule, drift, or an unstable mapping."""
+        if self.config.refit_every and self._step >= self.config.refit_every:
+            return True
+        if self.drift > self.config.drift_threshold:
+            return True
+        return not self.mapping_stable()
+
+    # ------------------------------------------------------------------
+    # The serving-loop entry point
+    # ------------------------------------------------------------------
+    def absorb(self, images: np.ndarray) -> np.ndarray:
+        """Label a batch of arrival images online.
+
+        Computes the batch's affinity rows against the frozen corpus
+        (rows only — the corpus state is *not* extended; O(M·d) for the
+        unavoidable feature computation, where d = n_seed is the frozen
+        feature dimension), folds them in via :meth:`absorb_rows`
+        (O(M·d) per refinement pass), then runs the escalation check:
+        when it trips, the buffered arrivals are absorbed into the
+        corpus by a full warm-started refit and the session re-freezes
+        on the grown corpus.  Returns the class-aligned probabilistic
+        labels for exactly this batch.
+        """
+        images = check_images(images)
+        rows = self._arrival_rows(images)
+        # Atomic with respect to the session: if anything below fails
+        # (including an escalated refit — label_incremental already
+        # rolls the corpus back on its own), the statistics, schedule,
+        # drift state, and buffer are restored, so a failed batch can
+        # simply be resubmitted without being double-counted.
+        snapshot = self._snapshot()
+        try:
+            labels = self.absorb_rows(rows)
+            self._buffer.append(images)
+            while (
+                sum(batch.shape[0] for batch in self._buffer) > self.config.buffer_cap
+                and len(self._buffer) > 1
+            ):
+                self.n_buffer_dropped += int(self._buffer.pop(0).shape[0])
+            if self.should_refit():
+                labels = self._refit()[-images.shape[0] :]
+        except Exception:
+            self._restore(snapshot)
+            raise
+        self._persist()
+        return labels
+
+    def _arrival_rows(self, images: np.ndarray) -> list[np.ndarray]:
+        """The batch's ``(M, n_seed)`` affinity rows to the frozen corpus.
+
+        Sources that implement ``extend_rows`` (the VGG-prototype and
+        feature-cosine backends) compute exactly these blocks — no new
+        prototypes, no old-row columns, no (N+M)² assembly; otherwise
+        fall back to a throwaway ``extend_state`` and slice it.  The
+        engine's corpus state is never touched either way.
+        """
+        engine = self.goggles.engine
+        assert engine.state is not None
+        runtime = engine._runtime()
+        if hasattr(engine.source, "extend_rows"):
+            return engine.source.extend_rows(engine.state, images, runtime)
+        extended = engine.source.extend_state(engine.state, images, runtime)
+        return [
+            np.array(extended.affinity.block(f)[self.n_seed :, : self.n_seed], copy=True)
+            for f in range(self.alpha)
+        ]
+
+    def _snapshot(self) -> tuple:
+        """The mutable online state (statistics are immutable — shallow is enough)."""
+        return (
+            list(self._base_stats),
+            list(self._base_params),
+            self._ensemble_stats,
+            self._ensemble_params,
+            self._step,
+            self._ewma_ll,
+            self.n_batches,
+            self.n_absorbed,
+            self.n_refits,
+            self.n_buffer_dropped,
+            list(self._buffer),
+        )
+
+    def _restore(self, snapshot: tuple) -> None:
+        (
+            self._base_stats,
+            self._base_params,
+            self._ensemble_stats,
+            self._ensemble_params,
+            self._step,
+            self._ewma_ll,
+            self.n_batches,
+            self.n_absorbed,
+            self.n_refits,
+            self.n_buffer_dropped,
+            self._buffer,
+        ) = snapshot
+
+    def _refit(self) -> np.ndarray:
+        """Escalate: full warm-started refit over the buffered arrivals.
+
+        Goes through ``Goggles.label_incremental`` — incremental
+        affinity extension plus warm-started EM in the existing
+        :class:`~repro.engine.inference.InferenceEngine` — permanently
+        growing the corpus by the buffered rows, then re-freezes the
+        session (new statistics, new baseline, step counter and EWMA
+        reset).  Returns class-aligned labels for the whole corpus.
+        """
+        assert self._buffer, "refit requested with an empty arrival buffer"
+        buffered = self._buffer[0] if len(self._buffer) == 1 else np.concatenate(self._buffer, axis=0)
+        result = self.goggles.label_incremental(buffered, self.dev_set, warm_start=True)
+        self.n_refits += 1
+        self._freeze(result)
+        return result.probabilistic_labels
+
+    # ------------------------------------------------------------------
+    # Persistence (kind "online" in the artifact cache)
+    # ------------------------------------------------------------------
+    def _persist(self) -> None:
+        """Write the mutable online state as one ``online-*.npz`` entry."""
+        if self._session_key is None:
+            return
+        cache = self.goggles.engine.cache
+        assert cache is not None
+        arrays: dict[str, np.ndarray] = {
+            "step": np.int64(self._step),
+            "ewma_ll": np.float64(self._ewma_ll),
+            "baseline_ll": np.float64(self._baseline_ll),
+            "n_seed": np.int64(self.n_seed),
+            "n_refits": np.int64(self.n_refits),
+            "n_absorbed": np.int64(self.n_absorbed),
+            "n_batches": np.int64(self.n_batches),
+            "n_buffer_dropped": np.int64(self.n_buffer_dropped),
+            "mapping": self.mapping.cluster_to_class,
+        }
+        arrays.update(self._ensemble_stats.arrays("ens"))
+        for f, stats in enumerate(self._base_stats):
+            arrays.update(stats.arrays(f"f{f:03d}"))
+        cache.save_arrays("online", self._session_key, arrays)
+
+    def _try_resume(self) -> None:
+        """Restore persisted accumulators/step/EWMA for this seed fit.
+
+        Silently a no-op when there is nothing usable: no cache, no
+        entry, or an entry whose shapes no longer line up (e.g. the
+        previous process refit onto a grown corpus this process cannot
+        reconstruct without the arrival images).
+        """
+        if self._session_key is None:
+            return
+        cache = self.goggles.engine.cache
+        assert cache is not None
+        stored = cache.load_arrays("online", self._session_key)
+        if stored is None:
+            return
+        required = {"step", "ewma_ll", "baseline_ll", "n_seed", "mapping", "ens_nk", "ens_sx", "ens_n"}
+        if not required.issubset(stored):
+            cache.evict("online", self._session_key)
+            return
+        if int(stored["n_seed"]) != self.n_seed:
+            return  # the previous session refit onto a grown corpus
+        if not np.array_equal(stored["mapping"], self.mapping.cluster_to_class):
+            return
+        try:
+            base_stats = [GMMStats.from_arrays(stored, f"f{f:03d}") for f in range(self.alpha)]
+        except KeyError:
+            cache.evict("online", self._session_key)
+            return
+        k = self.n_classes
+        if any(s.sx.shape != (k, self.n_seed) or s.nk.shape != (k,) for s in base_stats):
+            return
+        ensemble_stats = BernoulliStats.from_arrays(stored, "ens")
+        if ensemble_stats.sx.shape != (k, self.alpha * k):
+            return
+        self._base_stats = base_stats
+        self._base_params = [s.params(self._variance_floor) for s in base_stats]
+        self._ensemble_stats = ensemble_stats
+        self._ensemble_params = ensemble_stats.params(_ENSEMBLE_PARAM_FLOOR)
+        self._step = int(stored["step"])
+        self._ewma_ll = float(stored["ewma_ll"])
+        self._baseline_ll = float(stored["baseline_ll"])
+        self.n_refits = int(stored.get("n_refits", 0))
+        self.n_absorbed = int(stored.get("n_absorbed", 0))
+        self.n_batches = int(stored.get("n_batches", 0))
+        self.n_buffer_dropped = int(stored.get("n_buffer_dropped", 0))
+        self.resumed = True
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-serialisable snapshot for healthz / the CLI demo."""
+        return {
+            "step": self._step,
+            "batches": self.n_batches,
+            "absorbed": self.n_absorbed,
+            "refits": self.n_refits,
+            "buffered_rows": int(sum(batch.shape[0] for batch in self._buffer)),
+            "buffer_dropped": self.n_buffer_dropped,
+            "drift": round(self.drift, 6),
+            "drift_threshold": self.config.drift_threshold,
+            "ewma_log_likelihood": round(self._ewma_ll, 6),
+            "baseline_log_likelihood": round(self._baseline_ll, 6),
+            "n_seed": self.n_seed,
+            "resumed": self.resumed,
+            "persisted": self._session_key is not None,
+        }

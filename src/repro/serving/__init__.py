@@ -7,12 +7,13 @@ inference.
 """
 
 from repro.serving.http import LabelingHTTPServer, serve_http
-from repro.serving.service import BackPressureError, LabelingService, TicketStatus
+from repro.serving.service import SERVICE_MODES, BackPressureError, LabelingService, TicketStatus
 
 __all__ = [
     "BackPressureError",
     "LabelingHTTPServer",
     "LabelingService",
+    "SERVICE_MODES",
     "TicketStatus",
     "serve_http",
 ]

@@ -15,9 +15,11 @@ routes —
   (with the class-aligned probabilistic labels and hard predictions),
   or ``failed`` (with the error).  Unknown tickets are 404 — including
   old ones the service already expired per ``ticket_retention``.
-* ``GET /healthz`` — liveness plus the service's load counters (corpus
-  size, queued pixels, batches run), which is also what an operator's
-  load balancer should watch.
+* ``GET /healthz`` — liveness plus the service's *queue depth*
+  (``queued_pixels`` against the bound, ``tickets_outstanding``) and
+  load counters (corpus size, batches run), so a load balancer can
+  shed before the 429 path engages; in online mode the online
+  session's step/drift snapshot rides along under ``"online"``.
 
 Each request is handled on its own thread (``ThreadingHTTPServer``);
 all actual labeling still funnels through the service's single
@@ -82,9 +84,7 @@ class LabelingHTTPServer(ThreadingHTTPServer):
 
     def serve_in_background(self) -> threading.Thread:
         """Run ``serve_forever`` on a daemon thread; returns the thread."""
-        thread = threading.Thread(
-            target=self.serve_forever, name="goggles-http", daemon=True
-        )
+        thread = threading.Thread(target=self.serve_forever, name="goggles-http", daemon=True)
         thread.start()
         return thread
 
@@ -153,14 +153,23 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
         if self.path == "/healthz":
-            self._reply(200, {
-                "status": "ok" if service.running else "stopped",
-                "corpus_size": service.corpus_size,
-                "queued_pixels": service.queued_pixels,
-                "max_queued_pixels": self.server.max_queued_pixels,
-                "n_batches": service.n_batches,
-                "n_labeled": service.n_labeled,
-            })
+            queued = service.queued_pixels
+            bound = self.server.max_queued_pixels
+            self._reply(
+                200,
+                {
+                    "status": "ok" if service.running else "stopped",
+                    "mode": service.mode,
+                    "corpus_size": service.corpus_size,
+                    "queued_pixels": queued,
+                    "max_queued_pixels": bound,
+                    "queue_fill": None if bound is None else round(queued / bound, 4),
+                    "tickets_outstanding": service.tickets_outstanding,
+                    "n_batches": service.n_batches,
+                    "n_labeled": service.n_labeled,
+                    "online": service.online_stats,
+                },
+            )
             return
         if self.path.startswith("/poll/"):
             ticket = self.path[len("/poll/"):]
@@ -183,9 +192,7 @@ class _Handler(BaseHTTPRequestHandler):
             body = self.rfile.read(length)
             images = _parse_images(body, self.headers.get("Content-Type", ""))
             if images.ndim != 4 or images.shape[0] == 0:
-                raise ValueError(
-                    f"expected a non-empty (M, C, H, W) batch, got shape {images.shape}"
-                )
+                raise ValueError(f"expected a non-empty (M, C, H, W) batch, got shape {images.shape}")
         except Exception as error:  # noqa: BLE001 - malformed input is the client's fault
             self._reply(400, {"error": f"{type(error).__name__}: {error}"})
             return

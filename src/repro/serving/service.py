@@ -33,8 +33,11 @@ import numpy as np
 
 from repro.core.goggles import Goggles, GogglesResult
 from repro.datasets.base import DevSet
+from repro.online import OnlineConfig, OnlineSession
 
-__all__ = ["BackPressureError", "LabelingService", "TicketStatus"]
+__all__ = ["BackPressureError", "LabelingService", "TicketStatus", "SERVICE_MODES"]
+
+SERVICE_MODES = ("batch", "online")
 
 
 class BackPressureError(RuntimeError):
@@ -106,6 +109,14 @@ class LabelingService:
             before the oldest are expired (a long-lived service must
             not accumulate every result ever produced; submitted images
             are already released as soon as their batch is processed).
+        mode: ``"batch"`` (each coalesced batch is a full
+            ``label_incremental`` run that grows the corpus) or
+            ``"online"`` (batches are absorbed by the O(batch)
+            mini-batch EM of an :class:`~repro.online.OnlineSession`,
+            which only escalates to a full refit on drift or schedule —
+            see ENGINE.md, "Online stages").
+        online: online-loop knobs for ``mode="online"``; defaults to
+            ``goggles.config.online`` and then :class:`OnlineConfig`.
     """
 
     def __init__(
@@ -116,9 +127,13 @@ class LabelingService:
         max_batch: int | None = None,
         warm_start: bool = True,
         ticket_retention: int = 1024,
+        mode: str = "batch",
+        online: OnlineConfig | None = None,
     ):
         if max_batch is not None and max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if mode not in SERVICE_MODES:
+            raise ValueError(f"mode must be one of {SERVICE_MODES}, got {mode!r}")
         if ticket_retention < 1:
             raise ValueError(f"ticket_retention must be >= 1, got {ticket_retention}")
         if not goggles.config.keep_corpus_state:
@@ -131,6 +146,9 @@ class LabelingService:
         self.max_batch = max_batch
         self.warm_start = warm_start
         self.ticket_retention = ticket_retention
+        self.mode = mode
+        self._online_config = online
+        self.session: OnlineSession | None = None
         self._cond = threading.Condition()
         self._queue: list[_Submission] = []
         self._tickets: dict[str, _Submission] = {}
@@ -155,9 +173,10 @@ class LabelingService:
         if self._worker is not None:
             raise RuntimeError("LabelingService.start may only be called once")
         result = self.goggles.label(corpus_images, self.dev_set)
-        self._worker = threading.Thread(
-            target=self._run, name="labeling-service-worker", daemon=True
-        )
+        if self.mode == "online":
+            config = self._online_config or self.goggles.config.online or OnlineConfig()
+            self.session = OnlineSession(self.goggles, self.dev_set, result, config)
+        self._worker = threading.Thread(target=self._run, name="labeling-service-worker", daemon=True)
         self._worker.start()
         return result
 
@@ -198,6 +217,19 @@ class LabelingService:
     def n_labeled(self) -> int:
         """Streamed instances labeled so far (excludes the seed corpus)."""
         return self._n_labeled
+
+    @property
+    def tickets_outstanding(self) -> int:
+        """Submitted tickets not yet resolved (queued or in flight) — the
+        queue-depth signal a load balancer should watch next to
+        :attr:`queued_pixels`."""
+        with self._cond:
+            return sum(1 for s in self._tickets.values() if s.status is None)
+
+    @property
+    def online_stats(self) -> dict | None:
+        """The online session's drift/step snapshot (``None`` in batch mode)."""
+        return None if self.session is None else self.session.stats()
 
     @property
     def queued_pixels(self) -> int:
@@ -275,9 +307,7 @@ class LabelingService:
                     return
                 take = len(self._queue) if self.max_batch is None else self.max_batch
                 batch, self._queue = self._queue[:take], self._queue[take:]
-                self._inflight_pixels = sum(
-                    s.images.size for s in batch if s.images is not None
-                )
+                self._inflight_pixels = sum(s.images.size for s in batch if s.images is not None)
             try:
                 self._process(batch)
             finally:
@@ -292,20 +322,21 @@ class LabelingService:
                 if len(batch) == 1
                 else np.concatenate([s.images for s in batch], axis=0)
             )
-            # label_incremental is atomic: on failure the corpus rolls
-            # back, so a failed ticket's images are truly not absorbed
-            # and the submission can simply be retried.
-            result = self.goggles.label_incremental(
-                images, self.dev_set, warm_start=self.warm_start
-            )
-            labels = result.probabilistic_labels[-images.shape[0] :]
+            if self.session is not None:
+                # Online mode: O(batch) absorb; the session only runs a
+                # full (corpus-growing) refit when its drift monitor or
+                # refit schedule escalates.
+                labels = self.session.absorb(images)
+            else:
+                # label_incremental is atomic: on failure the corpus rolls
+                # back, so a failed ticket's images are truly not absorbed
+                # and the submission can simply be retried.
+                result = self.goggles.label_incremental(images, self.dev_set, warm_start=self.warm_start)
+                labels = result.probabilistic_labels[-images.shape[0] :]
         except Exception as error:  # noqa: BLE001 - a bad batch must not kill the worker
             self._resolve(
                 batch,
-                [
-                    TicketStatus(ticket=s.ticket, state="failed", error=str(error))
-                    for s in batch
-                ],
+                [TicketStatus(ticket=s.ticket, state="failed", error=str(error)) for s in batch],
             )
             return
         offset = 0

@@ -121,8 +121,14 @@ def fill_polygon(canvas: np.ndarray, vertices: np.ndarray, colour, opacity: floa
 
 
 def draw_line(
-    canvas: np.ndarray, y0: float, x0: float, y1: float, x1: float,
-    thickness: float, colour, opacity: float = 1.0,
+    canvas: np.ndarray,
+    y0: float,
+    x0: float,
+    y1: float,
+    x1: float,
+    thickness: float,
+    colour,
+    opacity: float = 1.0,
 ) -> None:
     """Draw a line segment with round caps and the given thickness."""
     ys, xs = coordinate_grid(canvas.shape[1], canvas.shape[2])

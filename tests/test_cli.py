@@ -36,11 +36,22 @@ class TestCli:
     def test_label_with_engine_knobs(self, capsys, tmp_path):
         """--executor/--precision/--cache knobs reach the engine."""
         code = main([
-            "--n-per-class", "8", "--dev-per-class", "2",
-            "--executor", "serial", "--precision", "float32",
-            "--cache-dir", str(tmp_path), "--cache-max-bytes", "100000000",
+            "--n-per-class",
+            "8",
+            "--dev-per-class",
+            "2",
+            "--executor",
+            "serial",
+            "--precision",
+            "float32",
+            "--cache-dir",
+            str(tmp_path),
+            "--cache-max-bytes",
+            "100000000",
             "--no-keep-corpus-state",
-            "label", "--dataset", "surface",
+            "label",
+            "--dataset",
+            "surface",
         ])
         assert code == 0
         out = capsys.readouterr().out
@@ -57,8 +68,15 @@ class TestCli:
 
     def test_serve_command(self, capsys):
         code = main([
-            "--n-per-class", "8", "--dev-per-class", "2",
-            "serve", "--dataset", "surface", "--stream-batch", "3",
+            "--n-per-class",
+            "8",
+            "--dev-per-class",
+            "2",
+            "serve",
+            "--dataset",
+            "surface",
+            "--stream-batch",
+            "3",
         ])
         assert code == 0
         out = capsys.readouterr().out
@@ -66,11 +84,60 @@ class TestCli:
         assert "streaming accuracy" in out
         assert "incremental runs" in out
 
+    def test_serve_online_command(self, capsys):
+        """--online streams through the O(batch) mini-batch EM loop and
+        reports the session's drift/refit stats."""
+        code = main([
+            "--n-per-class",
+            "8",
+            "--dev-per-class",
+            "2",
+            "serve",
+            "--dataset",
+            "surface",
+            "--stream-batch",
+            "3",
+            "--online",
+            "--drift-threshold",
+            "50.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "online mode: fresh online state" in out
+        assert "streaming accuracy" in out
+        assert "online session:" in out and "drift" in out
+
+    def test_serve_online_refit_every(self, capsys):
+        code = main([
+            "--n-per-class",
+            "8",
+            "--dev-per-class",
+            "2",
+            "serve",
+            "--dataset",
+            "surface",
+            "--stream-batch",
+            "4",
+            "--online",
+            "--refit-every",
+            "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refit(s)" in out
+
     def test_serve_initial_fraction_validated(self):
         with pytest.raises(SystemExit, match="initial"):
             main([
-                "--n-per-class", "8", "--dev-per-class", "2",
-                "serve", "--dataset", "surface", "--initial-fraction", "1.0",
+                "--n-per-class",
+                "8",
+                "--dev-per-class",
+                "2",
+                "serve",
+                "--dataset",
+                "surface",
+                "--initial-fraction",
+                "1.0",
             ])
 
 
@@ -79,9 +146,17 @@ class TestDistributedCli:
         """The coordinator verb spawns workers, shards the job, and
         reports shard stats alongside the accuracy."""
         code = main([
-            "--n-per-class", "6", "--dev-per-class", "2",
-            "coordinator", "--dataset", "surface",
-            "--bind", "127.0.0.1:0", "--spawn-workers", "2",
+            "--n-per-class",
+            "6",
+            "--dev-per-class",
+            "2",
+            "coordinator",
+            "--dataset",
+            "surface",
+            "--bind",
+            "127.0.0.1:0",
+            "--spawn-workers",
+            "2",
         ])
         assert code == 0
         out = capsys.readouterr().out

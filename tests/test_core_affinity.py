@@ -103,9 +103,7 @@ class TestAffinityMatrixContainer:
             np.testing.assert_array_equal(sub.block(f), blocks[f][np.ix_(indices, indices)])
         # A second level of subsetting still agrees with direct subsetting.
         again = sub.subset_examples(np.array([2, 0]))
-        np.testing.assert_array_equal(
-            again.block(1), blocks[1][np.ix_(indices[[2, 0]], indices[[2, 0]])]
-        )
+        np.testing.assert_array_equal(again.block(1), blocks[1][np.ix_(indices[[2, 0]], indices[[2, 0]])])
 
     def test_block_out_of_range(self):
         matrix = AffinityMatrix(values=np.ones((2, 4)))

@@ -85,9 +85,7 @@ class TestCub:
             a_name, b_name = ds.class_names
             a = next(s for s in SPECIES_PALETTE if s.name == a_name)
             b = next(s for s in SPECIES_PALETTE if s.name == b_name)
-            diffs = sum(
-                getattr(a, part) != getattr(b, part) for part in ("body", "head", "wing", "beak")
-            )
+            diffs = sum(getattr(a, part) != getattr(b, part) for part in ("body", "head", "wing", "beak"))
             assert diffs >= 2
             assert a.body != b.body
 

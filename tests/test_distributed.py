@@ -48,8 +48,10 @@ def thread_cluster(n_workers: int, **overrides) -> Coordinator:
     """A localhost cluster with in-process (thread) workers: cheap and
     fast, but still exercising the full lease protocol over TCP."""
     defaults = dict(
-        n_workers=n_workers, worker_mode="thread",
-        lease_timeout=10.0, run_timeout=120.0,
+        n_workers=n_workers,
+        worker_mode="thread",
+        lease_timeout=10.0,
+        run_timeout=120.0,
     )
     defaults.update(overrides)
     return Coordinator(DistributedConfig(**defaults))
@@ -71,9 +73,7 @@ def random_affinity():
 
 
 def make_task(index: int = 0):
-    return similarity_task(
-        np.full((2, 3), float(index)), np.ones((2, 3, 2)) * (index + 1)
-    )
+    return similarity_task(np.full((2, 3), float(index)), np.ones((2, 3, 2)) * (index + 1))
 
 
 # ----------------------------------------------------------------------
@@ -299,9 +299,7 @@ class TestPlannerAndTasks:
         require_safe_authkey("10.1.2.3", "a-real-secret")  # real key: fine
         with pytest.raises(ValueError, match="authkey"):
             require_safe_authkey("10.1.2.3", DEFAULT_AUTHKEY)
-        coordinator = Coordinator(
-            DistributedConfig(bind="0.0.0.0:0", authkey=DEFAULT_AUTHKEY)
-        )
+        coordinator = Coordinator(DistributedConfig(bind="0.0.0.0:0", authkey=DEFAULT_AUTHKEY))
         with pytest.raises(ValueError, match="authkey"):
             coordinator.start()
 
@@ -322,14 +320,10 @@ class TestCluster:
         config = HierarchicalConfig(n_classes=2, seed=0)
         serial = InferenceEngine(config, executor="serial").fit(random_affinity)
         with thread_cluster(n_workers) as coordinator:
-            engine = InferenceEngine(
-                config, executor="distributed", coordinator=coordinator
-            )
+            engine = InferenceEngine(config, executor="distributed", coordinator=coordinator)
             distributed = engine.fit(random_affinity)
         np.testing.assert_array_equal(distributed.posterior, serial.posterior)
-        np.testing.assert_array_equal(
-            distributed.label_predictions, serial.label_predictions
-        )
+        np.testing.assert_array_equal(distributed.label_predictions, serial.label_predictions)
         assert [r.n_iterations for r in distributed.base_results] == [
             r.n_iterations for r in serial.base_results
         ]
@@ -355,9 +349,7 @@ class TestCluster:
 
         serial = extract_pool_features(vgg, tiny_images, layers=(1, 2), batch_size=2)
         with thread_cluster(2) as coordinator:
-            merged = coordinator.extract_pool_features(
-                vgg.config, tiny_images, layers=(1, 2), batch_size=2
-            )
+            merged = coordinator.extract_pool_features(vgg.config, tiny_images, layers=(1, 2), batch_size=2)
         for layer in (1, 2):
             np.testing.assert_array_equal(merged[layer], serial[layer])
             assert merged[layer].strides == serial[layer].strides
@@ -379,9 +371,7 @@ class TestCluster:
         with thread_cluster(1, stream_threshold=1 << 30) as coordinator:
             out = coordinator.best_similarities(protos, vectors, row_tile=4)
             assert coordinator._broker.n_streamed == 0
-        np.testing.assert_array_equal(
-            out, best_similarities(protos, vectors, row_tile=4)
-        )
+        np.testing.assert_array_equal(out, best_similarities(protos, vectors, row_tile=4))
 
     def test_mid_stream_disconnect_discards_partial_frames(self, sim_data):
         """A worker that dies halfway through streaming a result loses
@@ -395,9 +385,7 @@ class TestCluster:
             outcome: dict = {}
 
             def run() -> None:
-                outcome["out"] = coordinator.best_similarities(
-                    protos, vectors, row_tile=4, col_tile=6
-                )
+                outcome["out"] = coordinator.best_similarities(protos, vectors, row_tile=4, col_tile=6)
 
             runner = threading.Thread(target=run, daemon=True)
             runner.start()
@@ -416,8 +404,11 @@ class TestCluster:
             doomed.send(("frame", "doomed", task_id, 0, b"x" * 128))
             doomed.close()
             worker = Worker(
-                coordinator.address, coordinator.config.authkey,
-                poll_interval=0.01, stream_threshold=0, frame_bytes=128,
+                coordinator.address,
+                coordinator.config.authkey,
+                poll_interval=0.01,
+                stream_threshold=0,
+                frame_bytes=128,
             )
             rescuer = threading.Thread(target=worker.run, daemon=True)
             rescuer.start()
@@ -485,9 +476,7 @@ class TestCluster:
             outcome: dict = {}
 
             def run() -> None:
-                outcome["out"] = coordinator.best_similarities(
-                    protos, vectors, row_tile=4, col_tile=6
-                )
+                outcome["out"] = coordinator.best_similarities(protos, vectors, row_tile=4, col_tile=6)
 
             runner = threading.Thread(target=run, daemon=True)
             runner.start()
@@ -504,9 +493,7 @@ class TestCluster:
             doomed.close()
             # Now a healthy worker drains everything, including the
             # released shard.
-            worker = Worker(
-                coordinator.address, coordinator.config.authkey, poll_interval=0.01
-            )
+            worker = Worker(coordinator.address, coordinator.config.authkey, poll_interval=0.01)
             rescuer = threading.Thread(target=worker.run, daemon=True)
             rescuer.start()
             runner.join(timeout=60.0)
@@ -529,9 +516,7 @@ class TestCluster:
 
     def test_timeout_with_no_workers_is_a_clear_error(self, sim_data):
         protos, vectors = sim_data
-        config = DistributedConfig(
-            n_workers=0, lease_timeout=0.2, run_timeout=0.5
-        )
+        config = DistributedConfig(n_workers=0, lease_timeout=0.2, run_timeout=0.5)
         with Coordinator(config) as coordinator:
             with pytest.raises(TimeoutError, match="incomplete"):
                 coordinator.best_similarities(protos, vectors, row_tile=4)
@@ -571,7 +556,10 @@ class TestEndToEnd:
         # batch_size=8 a real multi-shard extraction on the 24-image
         # corpus, so the distributed path exercises every stage.
         return GogglesConfig(
-            n_classes=2, seed=0, top_z=3, layers=(1, 2),
+            n_classes=2,
+            seed=0,
+            top_z=3,
+            layers=(1, 2),
             engine=EngineConfig(executor=executor, row_tile=8, batch_size=8),
         )
 
@@ -584,26 +572,16 @@ class TestEndToEnd:
         serial_full = serial.label(images[:n0], dev)
         serial_inc = serial.label_incremental(images[n0:], dev)
 
-        with Goggles(
-            self._config("distributed"), model=vgg, coordinator=thread_cluster(2)
-        ) as distributed:
+        with Goggles(self._config("distributed"), model=vgg, coordinator=thread_cluster(2)) as distributed:
             dist_full = distributed.label(images[:n0], dev)
             dist_inc = distributed.label_incremental(images[n0:], dev)
 
         # Build, incremental extension, and warm-started inference all
         # route through the cluster — and all match serial exactly.
-        np.testing.assert_array_equal(
-            dist_full.affinity.values, serial_full.affinity.values
-        )
-        np.testing.assert_array_equal(
-            dist_full.probabilistic_labels, serial_full.probabilistic_labels
-        )
-        np.testing.assert_array_equal(
-            dist_inc.affinity.values, serial_inc.affinity.values
-        )
-        np.testing.assert_array_equal(
-            dist_inc.probabilistic_labels, serial_inc.probabilistic_labels
-        )
+        np.testing.assert_array_equal(dist_full.affinity.values, serial_full.affinity.values)
+        np.testing.assert_array_equal(dist_full.probabilistic_labels, serial_full.probabilistic_labels)
+        np.testing.assert_array_equal(dist_inc.affinity.values, serial_inc.affinity.values)
+        np.testing.assert_array_equal(dist_inc.probabilistic_labels, serial_inc.probabilistic_labels)
 
     def test_process_workers_bit_identical(self, random_affinity):
         """One real spawned worker process over the full wire protocol."""
@@ -636,7 +614,10 @@ class TestEndToEnd:
         through the engine path (same guarantee the tiled kernel has)."""
         legacy = compute_affinity_matrix(vgg, tiny_images, top_z=2, layers=(1,))
         config = GogglesConfig(
-            n_classes=2, seed=0, top_z=2, layers=(1,),
+            n_classes=2,
+            seed=0,
+            top_z=2,
+            layers=(1,),
             engine=EngineConfig(executor="distributed", row_tile=2),
         )
         with Goggles(config, model=vgg, coordinator=thread_cluster(2)) as goggles:

@@ -102,12 +102,8 @@ class TestEngineCaching:
 
     def test_precision_changes_key(self, tmp_path, vgg, tiny_images):
         source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
-        AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path))).build(
-            tiny_images, keep_state=False
-        )
-        engine32 = AffinityEngine(
-            source, EngineConfig(cache_dir=str(tmp_path), precision="float32")
-        )
+        AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path))).build(tiny_images, keep_state=False)
+        engine32 = AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path), precision="float32"))
         engine32.build(tiny_images, keep_state=False)
         assert engine32.cache.stats.total_hits == 0
 
@@ -250,9 +246,7 @@ class TestSizeBudget:
 
     def test_affinity_writes_respect_budget(self, tmp_path, vgg, tiny_images):
         source = PrototypeAffinitySource(vgg, top_z=2, layers=(0,))
-        engine = AffinityEngine(
-            source, EngineConfig(cache_dir=str(tmp_path), cache_max_bytes=1)
-        )
+        engine = AffinityEngine(source, EngineConfig(cache_dir=str(tmp_path), cache_max_bytes=1))
         engine.build(tiny_images, keep_state=False)
         engine.build(tiny_images + 1e-6, keep_state=False)  # different key
         import os
@@ -306,9 +300,7 @@ class TestConcurrentWriteEvictionRaces:
         orphan.write_bytes(b"half-written garbage")
         paths = [path for _, _, path in cache._entries()]
         assert all(".tmp" not in path for path in paths)
-        assert cache.total_bytes() == sum(
-            size for _, size, _ in cache._entries()
-        )
+        assert cache.total_bytes() == sum(size for _, size, _ in cache._entries())
         # clear() sweeps the orphan alongside real entries.
         assert cache.clear() == 1
         assert not orphan.exists()
@@ -354,9 +346,7 @@ class TestConcurrentWriteEvictionRaces:
                 cache.save_arrays("shard", "c" * 64, {"x": np.arange(16)})
             return original_replace(src, dst)
 
-        with unittest.mock.patch.object(
-            os, "replace", side_effect=replace_with_concurrent_eviction
-        ):
+        with unittest.mock.patch.object(os, "replace", side_effect=replace_with_concurrent_eviction):
             cache.save_affinity("d" * 64, matrix)
         assert interposed.is_set()
         loaded = cache.load_affinity("d" * 64)

@@ -68,17 +68,11 @@ class TestGogglesIncremental:
 
         from repro.datasets.base import DevSet
 
-        partial_dev = DevSet(
-            indices=np.arange(4), labels=small_surface.labels[:4]
-        )
+        partial_dev = DevSet(indices=np.arange(4), labels=small_surface.labels[:4])
         goggles.label(images[:n0], partial_dev)
         incremental = goggles.label_incremental(images[n0:], dev)
-        np.testing.assert_allclose(
-            incremental.affinity.values, full.affinity.values, atol=1e-12, rtol=0.0
-        )
-        np.testing.assert_allclose(
-            incremental.probabilistic_labels, full.probabilistic_labels, atol=1e-8
-        )
+        np.testing.assert_allclose(incremental.affinity.values, full.affinity.values, atol=1e-12, rtol=0.0)
+        np.testing.assert_allclose(incremental.probabilistic_labels, full.probabilistic_labels, atol=1e-8)
 
     def test_incremental_without_prior_build_raises(self, vgg, tiny_images, small_surface):
         goggles = Goggles(GogglesConfig(n_classes=2, top_z=2, layers=(0,)), model=vgg)

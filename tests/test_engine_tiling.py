@@ -71,9 +71,7 @@ class TestUniquePrototypes:
         reference_sets = extract_prototypes(filter_maps, z)
         offset = 0
         for j, pset in enumerate(reference_sets):
-            unit = pset.vectors / np.maximum(
-                np.linalg.norm(pset.vectors, axis=1, keepdims=True), _EPS
-            )
+            unit = pset.vectors / np.maximum(np.linalg.norm(pset.vectors, axis=1, keepdims=True), _EPS)
             rows = table.vectors[offset : offset + pset.n_prototypes]
             np.testing.assert_array_equal(rows, unit)
             padded = pset.padded_vectors(z)
@@ -149,9 +147,7 @@ class TestTiledVsNaive:
         serial = tiled_layer_affinity_blocks(filter_maps, 4)
         pools = {0: filter_maps}
         parallel = tiled_affinity_matrix(pools, 4, (0,), row_tile=2, col_tile=4, n_jobs=4)
-        np.testing.assert_array_equal(
-            parallel.values, np.concatenate(list(serial), axis=1)
-        )
+        np.testing.assert_array_equal(parallel.values, np.concatenate(list(serial), axis=1))
 
     def test_float32_within_allclose(self, filter_maps):
         naive = _layer_affinity_blocks(filter_maps, 5)

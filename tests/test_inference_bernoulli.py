@@ -34,9 +34,7 @@ class TestOneHotEncodeLP:
         rng = np.random.default_rng(1)
         lp = rng.random((5, 4))
         out = one_hot_encode_lp(lp, 2)
-        np.testing.assert_array_equal(
-            out.reshape(5, 2, 2).argmax(axis=2), lp.reshape(5, 2, 2).argmax(axis=2)
-        )
+        np.testing.assert_array_equal(out.reshape(5, 2, 2).argmax(axis=2), lp.reshape(5, 2, 2).argmax(axis=2))
 
 
 def _planted_votes(n_per=40, n_funcs=8, flip=0.1, seed=0):

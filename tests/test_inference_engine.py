@@ -83,9 +83,7 @@ class TestGMMWarmStart:
         cold = DiagonalGMM(2, seed=0).fit(blob_data)
         with pytest.raises(ValueError, match="init"):
             DiagonalGMM(2, seed=0).fit(blob_data, init=cold.responsibilities[:5])
-        bad = GMMParams(
-            weights=np.array([0.5, 0.5]), means=np.zeros((2, 3)), variances=np.ones((2, 3))
-        )
+        bad = GMMParams(weights=np.array([0.5, 0.5]), means=np.zeros((2, 3)), variances=np.ones((2, 3)))
         with pytest.raises(ValueError, match="init"):
             DiagonalGMM(2, seed=0).fit(blob_data, init=bad)
 
@@ -122,9 +120,7 @@ class TestDegenerateRetry:
         assert result.reinitialized  # retried (data is hopeless either way)
 
     def test_healthy_fit_not_flagged(self, small_affinity):
-        result = fit_base_function(
-            small_affinity.block(0), HierarchicalConfig(n_classes=2, seed=0), 0
-        )
+        result = fit_base_function(small_affinity.block(0), HierarchicalConfig(n_classes=2, seed=0), 0)
         assert not result.reinitialized
 
     def test_hierarchical_fit_warns_on_collapse(self):
@@ -189,9 +185,7 @@ class TestWarmStartCorrectness:
         ds = shapes_dataset
         n0 = ds.n_examples - 8
         dev = _prefix_dev(ds, n0, per_class=3)
-        cfg = GogglesConfig(
-            n_classes=ds.n_classes, seed=0, top_z=3, layers=(1, 2, 3), n_jobs=2
-        )
+        cfg = GogglesConfig(n_classes=ds.n_classes, seed=0, top_z=3, layers=(1, 2, 3), n_jobs=2)
         warm_goggles = Goggles(cfg, model=vgg)
         warm_goggles.label(ds.images[:n0], dev)
         warm = warm_goggles.label_incremental(ds.images[n0:], dev, warm_start=True)
@@ -202,9 +196,7 @@ class TestWarmStartCorrectness:
 
     def test_posterior_within_documented_tolerance(self, incremental_runs):
         warm, cold = incremental_runs
-        np.testing.assert_allclose(
-            warm.probabilistic_labels, cold.probabilistic_labels, atol=WARM_ATOL
-        )
+        np.testing.assert_allclose(warm.probabilistic_labels, cold.probabilistic_labels, atol=WARM_ATOL)
 
     def test_predictions_identical(self, incremental_runs):
         warm, cold = incremental_runs
@@ -224,9 +216,7 @@ class TestWarmStartCorrectness:
         incremental.label(ds.images[:n0], dev)
         warm = incremental.label_incremental(ds.images[n0:], dev)
         full = Goggles(cfg, model=vgg).label(ds.images, dev)
-        np.testing.assert_allclose(
-            warm.probabilistic_labels, full.probabilistic_labels, atol=WARM_ATOL
-        )
+        np.testing.assert_allclose(warm.probabilistic_labels, full.probabilistic_labels, atol=WARM_ATOL)
 
     def test_incompatible_state_silently_ignored(self, small_affinity):
         """A warm-start state from a different task falls back to cold."""
@@ -297,9 +287,7 @@ class TestInferenceCache:
 
         n = 12
         rng = np.random.default_rng(0)
-        matrix = AffinityMatrix(
-            values=np.concatenate([rng.random((n, n)), np.ones((n, n))], axis=1)
-        )
+        matrix = AffinityMatrix(values=np.concatenate([rng.random((n, n)), np.ones((n, n))], axis=1))
         cfg = HierarchicalConfig(n_classes=2, seed=0)
         cache = ArtifactCache(str(tmp_path))
         with pytest.warns(RuntimeWarning, match="collapsed"):
@@ -308,9 +296,7 @@ class TestInferenceCache:
             replay = InferenceEngine(cfg, executor="serial", cache=cache).fit(matrix)
         assert cache.stats.hits.get("inference") == 1
         assert replay.reinitialized_functions == first.reinitialized_functions == (1,)
-        assert [r.degenerate for r in replay.base_results] == [
-            r.degenerate for r in first.base_results
-        ]
+        assert [r.degenerate for r in replay.base_results] == [r.degenerate for r in first.base_results]
 
     def test_config_changes_key(self, tmp_path, small_affinity):
         cache = ArtifactCache(str(tmp_path))
@@ -320,16 +306,12 @@ class TestInferenceCache:
 
     def test_goggles_shares_cache_between_engines(self, tmp_path, vgg, small_surface):
         """Affinity and inference artifacts land in the same cache dir."""
-        config = GogglesConfig(
-            n_classes=2, seed=0, top_z=2, layers=(2, 3), cache_dir=str(tmp_path)
-        )
+        config = GogglesConfig(n_classes=2, seed=0, top_z=2, layers=(2, 3), cache_dir=str(tmp_path))
         dev = small_surface.sample_dev_set(per_class=3, seed=0)
         first = Goggles(config, model=vgg).label(small_surface.images, dev)
         fresh = Goggles(config, model=vgg)
         second = fresh.label(small_surface.images, dev)
-        np.testing.assert_array_equal(
-            first.probabilistic_labels, second.probabilistic_labels
-        )
+        np.testing.assert_array_equal(first.probabilistic_labels, second.probabilistic_labels)
         assert fresh.engine.cache.stats.hits.get("affinity") == 1
         assert fresh.engine.cache.stats.hits.get("inference") == 1
         # The restored inference state warm-starts incremental labeling.

@@ -74,9 +74,7 @@ class TestPClassCorrect:
 class TestMappingBound:
     def test_is_kth_power(self):
         d, k, eta = 5, 3, 0.7
-        assert p_mapping_correct_lower_bound(d, k, eta) == pytest.approx(
-            p_class_correct(d, k, eta) ** k
-        )
+        assert p_mapping_correct_lower_bound(d, k, eta) == pytest.approx(p_class_correct(d, k, eta) ** k)
 
     def test_bound_in_unit_interval(self):
         for d in (1, 4, 9):

@@ -36,9 +36,7 @@ class TestAffinityMatrixProperties:
     @given(affinity_matrices())
     @settings(max_examples=30, deadline=None)
     def test_blocks_partition_columns(self, matrix):
-        reassembled = np.concatenate(
-            [matrix.block(f) for f in range(matrix.n_functions)], axis=1
-        )
+        reassembled = np.concatenate([matrix.block(f) for f in range(matrix.n_functions)], axis=1)
         np.testing.assert_array_equal(reassembled, matrix.values)
 
     @given(affinity_matrices(), st.integers(min_value=0, max_value=1000))
@@ -54,9 +52,7 @@ class TestAffinityMatrixProperties:
     @settings(max_examples=20, deadline=None)
     def test_subset_functions_roundtrip(self, matrix):
         all_functions = list(range(matrix.n_functions))
-        np.testing.assert_array_equal(
-            matrix.subset_functions(all_functions).values, matrix.values
-        )
+        np.testing.assert_array_equal(matrix.subset_functions(all_functions).values, matrix.values)
 
 
 class TestOneHotProperties:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -40,9 +42,7 @@ class TestRoundTrip:
         direct = Goggles(config, model=vgg)
         direct.label(images[:n0], dev)
         expected = direct.label_incremental(images[n0:], dev)
-        np.testing.assert_array_equal(
-            status.probabilistic_labels, expected.probabilistic_labels[n0:]
-        )
+        np.testing.assert_array_equal(status.probabilistic_labels, expected.probabilistic_labels[n0:])
 
     def test_sequential_submissions_extend_corpus(self, service_setup):
         service, images, n0, dev, _ = service_setup
@@ -175,3 +175,76 @@ class TestFailureIsolation:
         dev = small_surface.sample_dev_set(per_class=2, seed=0)
         with pytest.raises(ValueError, match="keep_corpus_state"):
             LabelingService(Goggles(config, model=vgg), dev)
+
+
+class TestConcurrentSubmitters:
+    """The ticket table under concurrent submitters (the threaded HTTP
+    front-end's traffic shape): every submission resolves exactly once,
+    and expiry honours ``ticket_retention`` without losing labels for
+    retained tickets."""
+
+    def _start_service(self, vgg, small_surface, ticket_retention):
+        images = small_surface.images
+        n0 = images.shape[0] - 6
+        dev = small_surface.sample_dev_set(per_class=3, seed=0)
+        config = GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2))
+        service = LabelingService(Goggles(config, model=vgg), dev, ticket_retention=ticket_retention)
+        service.start(images[:n0])
+        return service, images, n0
+
+    def _submit_concurrently(self, service, images, n0, n_threads):
+        """Each thread submits one 1-image batch and waits for its result."""
+        outcomes: list[tuple[int, object]] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(n_threads)
+
+        def submitter(i: int) -> None:
+            barrier.wait()
+            try:
+                ticket = service.submit(images[n0 + i : n0 + i + 1])
+                status = service.result(ticket, timeout=TIMEOUT)
+                outcome: object = status
+            except KeyError as error:  # resolved then expired before the read
+                outcome = error
+            with lock:
+                outcomes.append((i, outcome))
+
+        threads = [threading.Thread(target=submitter, args=(i,)) for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return outcomes
+
+    def test_all_tickets_resolve_within_retention(self, vgg, small_surface):
+        service, images, n0 = self._start_service(vgg, small_surface, ticket_retention=64)
+        with service:
+            outcomes = self._submit_concurrently(service, images, n0, n_threads=6)
+        assert len(outcomes) == 6
+        for _, status in outcomes:
+            assert not isinstance(status, KeyError)
+            assert status.done
+            assert status.probabilistic_labels.shape == (1, 2)
+        assert service.n_labeled == 6
+        assert service.corpus_size == images.shape[0]
+        assert service.tickets_outstanding == 0
+        # Every resolved submission released its pixels.
+        assert all(s.images is None for s in service._tickets.values())
+
+    def test_expiry_under_concurrent_submitters(self, vgg, small_surface):
+        """With retention below the submission count, some tickets may
+        expire before their submitter polls — but every image is still
+        labeled exactly once and the table never exceeds the bound."""
+        service, images, n0 = self._start_service(vgg, small_surface, ticket_retention=2)
+        with service:
+            outcomes = self._submit_concurrently(service, images, n0, n_threads=6)
+        assert len(outcomes) == 6
+        resolved = [s for _, s in outcomes if not isinstance(s, KeyError)]
+        for status in resolved:
+            assert status.done
+        # All six images were absorbed regardless of ticket visibility ...
+        assert service.n_labeled == 6
+        assert service.corpus_size == images.shape[0]
+        # ... and the resolved-ticket table respects the retention bound.
+        assert len(service._tickets) <= 2
+        assert service.tickets_outstanding == 0

@@ -29,9 +29,7 @@ def _get(url: str) -> tuple[int, dict]:
 
 
 def _post(url: str, body: bytes, content_type: str) -> tuple[int, dict, dict]:
-    request = urllib.request.Request(
-        url, data=body, headers={"Content-Type": content_type}, method="POST"
-    )
+    request = urllib.request.Request(url, data=body, headers={"Content-Type": content_type}, method="POST")
     try:
         with urllib.request.urlopen(request, timeout=30.0) as response:
             return response.status, json.loads(response.read()), dict(response.headers)
@@ -52,9 +50,7 @@ def http_setup(vgg, small_surface):
     n0 = images.shape[0] - 6
     dev = small_surface.sample_dev_set(per_class=3, seed=0)
     assert dev.indices.max() < n0
-    goggles = Goggles(
-        GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2), n_jobs=2), model=vgg
-    )
+    goggles = Goggles(GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2), n_jobs=2), model=vgg)
     service = LabelingService(goggles, dev)
     service.start(images[:n0])
     server = serve_http(service)
@@ -67,7 +63,8 @@ class TestRoutes:
     def test_submit_poll_roundtrip_npy(self, http_setup):
         server, service, images, n0 = http_setup
         code, payload, _ = _post(
-            f"{server.url}/submit", _npy_bytes(images[n0 : n0 + 3]),
+            f"{server.url}/submit",
+            _npy_bytes(images[n0 : n0 + 3]),
             "application/octet-stream",
         )
         assert code == 202
@@ -103,10 +100,63 @@ class TestRoutes:
         code, health = _get(f"{server.url}/healthz")
         assert code == 200
         assert health["status"] == "ok"
+        assert health["mode"] == "batch"
         assert health["corpus_size"] >= n0
         assert health["queued_pixels"] == 0
         assert health["max_queued_pixels"] is None
+        assert health["queue_fill"] is None  # no bound configured
+        assert health["tickets_outstanding"] == service.tickets_outstanding
         assert health["n_batches"] >= 0
+        assert health["online"] is None  # batch mode carries no online stats
+
+    def test_healthz_queue_fill_against_bound(self, http_setup):
+        _, service, *_ = http_setup
+        server = LabelingHTTPServer(service, max_queued_pixels=10_000)
+        server.serve_in_background()
+        try:
+            _, health = _get(f"{server.url}/healthz")
+            assert health["max_queued_pixels"] == 10_000
+            # The shed-before-429 signal a load balancer watches.
+            assert health["queue_fill"] == pytest.approx(health["queued_pixels"] / 10_000)
+        finally:
+            server.shutdown()
+
+    def test_healthz_reports_online_session(self, vgg, small_surface):
+        """An online-mode service surfaces the session's step/drift
+        snapshot through /healthz."""
+        from repro.online import OnlineConfig
+
+        images = small_surface.images
+        n0 = images.shape[0] - 6
+        dev = small_surface.sample_dev_set(per_class=3, seed=0)
+        config = GogglesConfig(
+            n_classes=2,
+            seed=0,
+            top_z=3,
+            layers=(1, 2),
+            online=OnlineConfig(drift_threshold=100.0),
+        )
+        service = LabelingService(Goggles(config, model=vgg), dev, mode="online")
+        service.start(images[:n0])
+        server = serve_http(service)
+        try:
+            code, payload, _ = _post(
+                f"{server.url}/submit", _npy_bytes(images[n0:]), "application/octet-stream"
+            )
+            assert code == 202
+            assert service.result(payload["ticket"], timeout=TIMEOUT).done
+            _, health = _get(f"{server.url}/healthz")
+            assert health["mode"] == "online"
+            online = health["online"]
+            assert online is not None
+            assert online["step"] >= 1
+            assert online["absorbed"] == 6
+            assert online["refits"] == 0
+            assert online["drift_threshold"] == 100.0
+            assert "ewma_log_likelihood" in online
+        finally:
+            server.shutdown()
+            service.stop()
 
     def test_unknown_ticket_404(self, http_setup):
         server, *_ = http_setup
@@ -122,9 +172,7 @@ class TestRoutes:
 
     def test_garbage_body_400(self, http_setup):
         server, *_ = http_setup
-        code, payload, _ = _post(
-            f"{server.url}/submit", b"not an array", "application/octet-stream"
-        )
+        code, payload, _ = _post(f"{server.url}/submit", b"not an array", "application/octet-stream")
         assert code == 400
         assert "error" in payload
 
@@ -141,13 +189,12 @@ class TestBackPressure:
         _, service, images, n0 = http_setup
         # A bound of 1 pixel sheds any real submission deterministically
         # (the check runs before the queue is touched).
-        server = LabelingHTTPServer(
-            service, max_queued_pixels=1, retry_after=7.0
-        )
+        server = LabelingHTTPServer(service, max_queued_pixels=1, retry_after=7.0)
         server.serve_in_background()
         try:
             code, payload, headers = _post(
-                f"{server.url}/submit", _npy_bytes(images[n0 : n0 + 1]),
+                f"{server.url}/submit",
+                _npy_bytes(images[n0 : n0 + 1]),
                 "application/octet-stream",
             )
             assert code == 429
@@ -201,9 +248,7 @@ class TestBackPressure:
 
     def test_queued_pixels_counts_backlog(self, vgg, small_surface):
         """queued_pixels covers both the queue and the in-flight batch."""
-        goggles = Goggles(
-            GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2)), model=vgg
-        )
+        goggles = Goggles(GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2)), model=vgg)
         dev = small_surface.sample_dev_set(per_class=3, seed=0)
         service = LabelingService(goggles, dev)
         assert service.queued_pixels == 0
