@@ -1,15 +1,20 @@
-"""Distributed shard runtime: 2-worker cluster vs the serial path.
+"""Distributed shard runtime: cluster vs the serial path, with crossover.
 
-Boots a coordinator with two spawned local worker processes, labels the
-N=80 protocol corpus through ``executor="distributed"`` (affinity tiles
-*and* base-model fits sharded over the lease-based task queue), and
-asserts the acceptance contract: the merged :class:`AffinityMatrix` is
-**bit-identical** to the serial build and the class-aligned labels are
-exactly equal (atol=0).  Timings land in the repo-root
-``BENCH_distributed.json`` trajectory; at this scale the cluster pays
-spawn/transport overhead — the point here is correctness under real
-multi-process execution, with the speedup story living on corpora big
-enough to amortise a cluster.
+Two benchmarks share the repo-root ``BENCH_distributed.json``:
+
+* ``test_distributed_vs_serial_bit_identical`` — the original N=80
+  cold-cluster smoke: one coordinator, two spawned workers, and the
+  acceptance contract that the merged :class:`AffinityMatrix` is
+  **bit-identical** to the serial build and the class-aligned labels
+  are exactly equal (atol=0).
+* ``test_distributed_crossover_sweep`` — the "does distributed ever
+  win" question, answered with numbers: N ∈ {80, 160, 320} ×
+  workers ∈ {2, 4} against a *warm* :class:`WorkerPool` (the cold
+  first run — spawn + import + per-process backbone build — is timed
+  separately per pool), every cell asserted bit-identical, and a
+  ``crossover`` section recording the smallest N where distributed ≤
+  serial per worker count (or null).  The sweep also asserts the warm
+  pool spawned **zero** new workers after its first run.
 """
 
 from __future__ import annotations
@@ -23,20 +28,25 @@ import pytest
 
 from repro.core import Goggles, GogglesConfig
 from repro.datasets import make_dataset
+from repro.distributed import DistributedConfig, WorkerPool
 from repro.eval.harness import shared_model
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
 N_WORKERS = 2
+#: Crossover sweep grid: images per class (2 classes → N = 80/160/320)
+#: and warm-pool worker counts.
+SWEEP_N_PER_CLASS = (40, 80, 160)
+SWEEP_WORKERS = (2, 4)
 
 
-def update_trajectory(path: Path, key: str, rows: list[dict]) -> None:
+def update_trajectory(path: Path, key: str, rows: list[dict] | dict) -> None:
     """Merge one section into the shared trajectory JSON.
 
     ``BENCH_distributed.json`` holds one section per distributed
-    benchmark (``rows`` from this file, ``extraction`` from
-    ``bench_distributed_extraction.py``); merging instead of rewriting
-    lets the benchmarks run in any order — or alone — without erasing
-    each other's numbers.
+    benchmark (``rows`` and ``crossover`` from this file,
+    ``extraction`` from ``bench_distributed_extraction.py``); merging
+    instead of rewriting lets the benchmarks run in any order — or
+    alone — without erasing each other's numbers.
     """
     try:
         document = json.loads(path.read_text())
@@ -109,3 +119,116 @@ def test_distributed_vs_serial_bit_identical(benchmark, settings, record_result)
         f"  affinity matrix and labels bit-identical to serial: {row['bit_identical']}\n"
         f"trajectory artifact: {JSON_PATH.name}"
     )
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_distributed_crossover_sweep(benchmark, settings, record_result):
+    """Warm-pool N-sweep: where does distributed stop losing to serial?
+
+    Serial is timed once per N; each worker count gets one persistent
+    :class:`WorkerPool` whose cold first run (process spawn + imports +
+    per-process backbone build) is timed separately and excluded from
+    the sweep rows — those measure warm steady-state, which is what a
+    long-lived service actually sees.  Every cell must stay
+    bit-identical to serial, and the pool must spawn zero new workers
+    after warm-up.
+    """
+    model = shared_model(settings)
+    datasets = {
+        npc: make_dataset("surface", n_per_class=npc, seed=0) for npc in SWEEP_N_PER_CLASS
+    }
+    devs = {
+        npc: datasets[npc].sample_dev_set(settings.dev_per_class, seed=0)
+        for npc in SWEEP_N_PER_CLASS
+    }
+    section: dict = {}
+
+    def measure() -> dict:
+        section.clear()
+        serial_out: dict[int, object] = {}
+        serial_s: dict[int, float] = {}
+        for npc in SWEEP_N_PER_CLASS:
+            start = time.perf_counter()
+            serial_out[npc] = Goggles(
+                GogglesConfig(n_classes=2, seed=0, executor="serial"), model=model
+            ).label(datasets[npc].images, devs[npc])
+            serial_s[npc] = time.perf_counter() - start
+
+        rows: list[dict] = []
+        warmups: list[dict] = []
+        config = GogglesConfig(n_classes=2, seed=0, executor="distributed")
+        for n_workers in SWEEP_WORKERS:
+            with WorkerPool(DistributedConfig(n_workers=n_workers)) as pool:
+                warm_npc = SWEEP_N_PER_CLASS[0]
+                start = time.perf_counter()
+                with Goggles(config, model=model, coordinator=pool) as goggles:
+                    goggles.label(datasets[warm_npc].images, devs[warm_npc])
+                warmups.append(
+                    {
+                        "workers": n_workers,
+                        "cold_first_run_seconds": round(time.perf_counter() - start, 4),
+                        "workers_spawned": pool.workers_spawned,
+                    }
+                )
+                spawned_after_warmup = pool.workers_spawned
+                for npc in SWEEP_N_PER_CLASS:
+                    start = time.perf_counter()
+                    with Goggles(config, model=model, coordinator=pool) as goggles:
+                        distributed = goggles.label(datasets[npc].images, devs[npc])
+                    distributed_s = time.perf_counter() - start
+                    serial = serial_out[npc]
+                    assert np.array_equal(
+                        distributed.affinity.values, serial.affinity.values
+                    ), f"warm distributed affinity diverged at N={datasets[npc].n_examples}"
+                    assert np.array_equal(
+                        distributed.probabilistic_labels, serial.probabilistic_labels
+                    )
+                    assert np.array_equal(distributed.predictions, serial.predictions)
+                    rows.append(
+                        {
+                            "n": datasets[npc].n_examples,
+                            "workers": n_workers,
+                            "serial_seconds": round(serial_s[npc], 4),
+                            "distributed_seconds": round(distributed_s, 4),
+                            "speedup": round(serial_s[npc] / distributed_s, 3),
+                            "bit_identical": True,
+                        }
+                    )
+                assert pool.workers_spawned == spawned_after_warmup, (
+                    "warm pool spawned new workers mid-sweep "
+                    f"({spawned_after_warmup} -> {pool.workers_spawned})"
+                )
+
+        crossover_n: dict[str, int | None] = {}
+        for n_workers in SWEEP_WORKERS:
+            wins = [
+                row["n"]
+                for row in rows
+                if row["workers"] == n_workers
+                and row["distributed_seconds"] <= row["serial_seconds"]
+            ]
+            crossover_n[str(n_workers)] = min(wins) if wins else None
+        section.update({"rows": rows, "warmup": warmups, "crossover_n": crossover_n})
+        return section
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    update_trajectory(JSON_PATH, "crossover", measured)
+
+    lines = [
+        f"Distributed crossover sweep (warm pools, N in "
+        f"{sorted({2 * npc for npc in SWEEP_N_PER_CLASS})}, workers in {list(SWEEP_WORKERS)})"
+    ]
+    for row in measured["rows"]:
+        lines.append(
+            f"  N={row['n']:<4d} workers={row['workers']}  serial {row['serial_seconds']:6.2f}s"
+            f"  distributed {row['distributed_seconds']:6.2f}s"
+            f"  speedup {row['speedup']:.2f}x  bit_identical={row['bit_identical']}"
+        )
+    for warm in measured["warmup"]:
+        lines.append(
+            f"  cold first run ({warm['workers']} workers): "
+            f"{warm['cold_first_run_seconds']:.2f}s, {warm['workers_spawned']} spawns"
+        )
+    lines.append(f"  crossover N (distributed <= serial): {measured['crossover_n']}")
+    lines.append(f"trajectory artifact: {JSON_PATH.name}")
+    record_result("\n".join(lines))

@@ -21,6 +21,11 @@ pair.  Two classes of change fail the build:
   bit-identity acceptance contract; a flip means correctness, not
   performance, regressed.  Flips from ``false`` to ``true`` are
   improvements and pass.
+* **lost crossover** — a ``crossover_n`` entry (smallest N where the
+  warm distributed path beats serial, per worker count) that was a
+  measured N in the baseline and is ``null`` in the fresh run:
+  distributed stopped winning everywhere, which is a regression even
+  when no individual timing tripped the wall-clock bound.
 
 Structure is compared recursively; a fresh file may *add* keys or rows
 (new metrics, new worker counts), but dropping a baseline key or row
@@ -75,6 +80,15 @@ def compare(
                 f"{path}: equality flag flipped true -> {json.dumps(fresh)} "
                 "(bit-identity contract broken)"
             )
+        return issues
+    if ".crossover_n" in path and baseline is not None and fresh is None:
+        # A measured serial->distributed crossover that vanishes means
+        # distributed stopped winning at every swept N — a perf
+        # regression even if no single *_seconds metric tripped.
+        issues.append(
+            f"{path}: serial->distributed crossover disappeared "
+            f"(was N={json.dumps(baseline)}, now null)"
+        )
         return issues
     key = path.rsplit(".", 1)[-1]
     if isinstance(baseline, (int, float)) and key.endswith("_seconds"):

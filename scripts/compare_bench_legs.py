@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Cross-interpreter benchmark leg comparison: flags must agree.
+
+The ``tests`` matrix job uploads one ``BENCH-inference-py3.x`` artifact
+per interpreter, each holding that leg's ``BENCH_inference.json``.  The
+``compare-legs`` job downloads them side by side and runs this script,
+which enforces one invariant and prints one report:
+
+* **equality-flag agreement** — every boolean metric
+  (``posterior_agreement_ok``, ``labels_exact``, ``bit_identical``,
+  ...) must hold the *same* value on every interpreter.  The numeric
+  pipeline is supposed to be bit-identical across 3.10/3.11/3.12; a
+  flag that is true on one interpreter and false on another means the
+  divergence is interpreter-dependent — the worst kind of correctness
+  bug, invisible to any single-leg gate.
+* **merged latency table** — every ``*_seconds`` metric printed with
+  all legs side by side.  Informational only: absolute timings differ
+  across interpreters and runners, so no wall-clock bound applies
+  here (that is ``check_bench.py``'s job, per leg).
+
+Usage (CI downloads artifacts into ``<dir>/BENCH-inference-py3.x/``)::
+
+    python scripts/compare_bench_legs.py --root bench-legs \
+        --pattern 'BENCH-inference-py*' --file BENCH_inference.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def flatten(node: object, path: str, out: dict[str, object]) -> None:
+    """Flatten a JSON tree into ``{dotted.path[i]: scalar}``."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            flatten(node[key], f"{path}.{key}" if path else key, out)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            flatten(item, f"{path}[{index}]", out)
+    else:
+        out[path] = node
+
+
+def load_legs(root: Path, pattern: str, file_name: str) -> dict[str, dict[str, object]]:
+    """``{leg label: flattened trajectory}`` for every matching artifact dir."""
+    legs: dict[str, dict[str, object]] = {}
+    for artifact_dir in sorted(root.glob(pattern)):
+        trajectory = artifact_dir / file_name
+        if not trajectory.is_file():
+            continue
+        label = artifact_dir.name.rsplit("-", 1)[-1]  # BENCH-inference-py3.12 -> py3.12
+        flat: dict[str, object] = {}
+        flatten(json.loads(trajectory.read_text()), "", flat)
+        legs[label] = flat
+    return legs
+
+
+def flag_divergences(legs: dict[str, dict[str, object]]) -> list[str]:
+    """Boolean metrics that do not agree across every leg."""
+    issues: list[str] = []
+    paths = sorted({p for flat in legs.values() for p in flat if isinstance(flat[p], bool)})
+    for path in paths:
+        values = {label: flat.get(path) for label, flat in legs.items()}
+        if len({json.dumps(v) for v in values.values()}) > 1:
+            rendered = ", ".join(f"{label}={json.dumps(v)}" for label, v in sorted(values.items()))
+            issues.append(f"{path}: equality flag diverges across interpreters ({rendered})")
+    return issues
+
+
+def latency_table(legs: dict[str, dict[str, object]]) -> str:
+    """Merged ``*_seconds`` table, one column per interpreter leg."""
+    labels = sorted(legs)
+    paths = sorted(
+        {
+            p
+            for flat in legs.values()
+            for p in flat
+            if p.rsplit(".", 1)[-1].endswith("_seconds")
+            and isinstance(flat[p], (int, float))
+            and not isinstance(flat[p], bool)
+        }
+    )
+    if not paths:
+        return "(no *_seconds metrics found)"
+    width = max(len(p) for p in paths)
+    lines = ["  ".join([f"{'metric':<{width}}"] + [f"{label:>10}" for label in labels])]
+    for path in paths:
+        cells = []
+        for label in labels:
+            value = legs[label].get(path)
+            cells.append(f"{value:10.4f}" if isinstance(value, (int, float)) else f"{'—':>10}")
+        lines.append("  ".join([f"{path:<{width}}"] + cells))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path("."),
+        help="directory the per-interpreter artifacts were downloaded into",
+    )
+    parser.add_argument(
+        "--pattern", default="BENCH-inference-py*",
+        help="glob matching one artifact directory per interpreter leg",
+    )
+    parser.add_argument(
+        "--file", default="BENCH_inference.json", dest="file_name",
+        help="trajectory file name inside each artifact directory",
+    )
+    parser.add_argument(
+        "--min-legs", type=int, default=2,
+        help="fail when fewer legs are found (a missing artifact must not "
+        "silently shrink the comparison to a self-agreement; default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    legs = load_legs(args.root, args.pattern, args.file_name)
+    print(f"legs: {', '.join(sorted(legs)) or '(none)'}")
+    if len(legs) < args.min_legs:
+        print(
+            f"\ncompare-legs: only {len(legs)} leg(s) matched "
+            f"{args.pattern!r}/{args.file_name} under {args.root} "
+            f"(need >= {args.min_legs})"
+        )
+        return 1
+
+    print("\nmerged latency table (informational):")
+    print(latency_table(legs))
+
+    issues = flag_divergences(legs)
+    if issues:
+        print(f"\ncompare-legs: {len(issues)} equality-flag divergence(s)")
+        for issue in issues:
+            print(f"    {issue}")
+        return 1
+    print("\ncompare-legs: all equality flags agree across interpreters")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,7 +137,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 refit_every=args.refit_every,
             ),
         )
-    goggles = Goggles(config)
+    pool = None
+    if config.engine.executor == "distributed":
+        # A long-lived service wants a *warm* cluster: one pool of
+        # spawned workers serves the seed labeling and every streamed
+        # batch after it, instead of re-paying spawn + import per run.
+        from repro.distributed import WorkerPool
+
+        pool = WorkerPool(n_workers=max(1, config.engine.n_workers or config.engine.n_jobs))
+    goggles = Goggles(config, coordinator=pool)
     service = LabelingService(goggles, dev, warm_start=not args.no_warm_start, mode=mode)
     start = time.perf_counter()
     service.start(dataset.images[:n0])
@@ -166,6 +174,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server.shutdown()
             service.stop()
             goggles.close()
+            if pool is not None:
+                pool.close()
         return 0
 
     correct = 0
@@ -199,6 +209,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"drift {stats['drift']:.4f} nats (threshold {stats['drift_threshold']:g})"
         )
     goggles.close()
+    if pool is not None:
+        pool.close()
     return 0
 
 
@@ -224,6 +236,8 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
             lease_timeout=args.lease_timeout,
             max_attempts=args.max_attempts,
             stream_threshold=args.stream_threshold,
+            lease_batch=args.lease_batch,
+            lease_target_seconds=args.lease_target_seconds,
         )
     )
     config = GogglesConfig(
@@ -258,7 +272,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     # that is "authenticated" only by the public built-in key.
     require_safe_authkey(host, args.authkey)
     cache = ArtifactCache(args.cache_dir, max_bytes=args.cache_max_bytes) if args.cache_dir else None
-    worker = Worker((host, port), args.authkey, cache=cache, stream_threshold=args.stream_threshold)
+    worker = Worker(
+        (host, port), args.authkey, cache=cache,
+        stream_threshold=args.stream_threshold, lease_batch=args.lease_batch,
+    )
     print(f"worker {worker.worker_id} polling {args.connect}")
     worker.run()
     print(
@@ -418,7 +435,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.set_defaults(fn=_cmd_serve)
 
-    from repro.distributed import DEFAULT_PORT, DEFAULT_STREAM_THRESHOLD, default_authkey
+    from repro.distributed import (
+        DEFAULT_LEASE_BATCH,
+        DEFAULT_PORT,
+        DEFAULT_STREAM_THRESHOLD,
+        default_authkey,
+    )
 
     coordinator = sub.add_parser(
         "coordinator",
@@ -452,6 +474,16 @@ def main(argv: list[str] | None = None) -> int:
         help="result bytes above which spawned workers stream shard results as "
         "framed sub-messages instead of one message (0 = always stream)",
     )
+    coordinator.add_argument(
+        "--lease-batch", type=int, default=DEFAULT_LEASE_BATCH,
+        help="most shards one worker lease round-trip may request (the autotuner "
+        "usually grants fewer; 1 = one shard per round-trip)",
+    )
+    coordinator.add_argument(
+        "--lease-target-seconds", type=float, default=0.1,
+        help="estimated compute seconds one lease grant aims to carry once the "
+        "shard autotuner has calibrated a shard kind",
+    )
     coordinator.set_defaults(fn=_cmd_coordinator)
 
     worker = sub.add_parser("worker", help="serve shards to a coordinator")
@@ -464,6 +496,11 @@ def main(argv: list[str] | None = None) -> int:
         "--stream-threshold", type=int, default=DEFAULT_STREAM_THRESHOLD,
         help="result bytes above which shard results stream as framed "
         "sub-messages instead of one message (0 = always stream)",
+    )
+    worker.add_argument(
+        "--lease-batch", type=int, default=DEFAULT_LEASE_BATCH,
+        help="most shards one lease round-trip may request (the coordinator's "
+        "autotuner usually grants fewer; 1 = one shard per round-trip)",
     )
     worker.set_defaults(fn=_cmd_worker)
 

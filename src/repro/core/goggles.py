@@ -174,7 +174,10 @@ class Goggles:
     context-manager form) shuts
     it down.  An externally managed session can be injected via the
     ``coordinator`` argument (e.g. the CLI's ``coordinator`` verb,
-    which binds a fixed address for remote workers).
+    which binds a fixed address for remote workers) — including a warm
+    :class:`repro.distributed.WorkerPool`, whose persistent coordinator
+    ignores the per-run :meth:`close` so consecutive ``Goggles`` runs
+    reuse the same spawned workers.
     """
 
     def __init__(
@@ -190,7 +193,9 @@ class Goggles:
             PrototypeAffinitySource(self.model, top_z=self.config.top_z, layers=self.config.layers),
             engine_config,
         )
-        self.coordinator = coordinator
+        from repro.distributed import as_coordinator
+
+        self.coordinator = as_coordinator(coordinator)  # WorkerPool-aware unwrap
         if engine_config.executor == "distributed" and self.coordinator is None:
             from repro.distributed import Coordinator
 

@@ -15,8 +15,13 @@ framed sub-messages rather than one giant pickle):
 * :mod:`repro.distributed.worker` — the pull/compute/report loop.
 * :mod:`repro.distributed.coordinator` — the session object the
   engines drive (``executor="distributed"``).
+* :mod:`repro.distributed.wire` — wire format v2: raw npy result
+  buffers behind a framed header (no monolithic pickles).
+* :mod:`repro.distributed.pool` — warm :class:`WorkerPool` shared
+  across runs in one process (zero re-spawns).
 """
 
+from repro.distributed import wire
 from repro.distributed.broker import DEFAULT_PORT, Broker
 from repro.distributed.coordinator import (
     DEFAULT_AUTHKEY,
@@ -26,7 +31,8 @@ from repro.distributed.coordinator import (
     parse_address,
     require_safe_authkey,
 )
-from repro.distributed.queue import PoisonShardError, TaskQueue
+from repro.distributed.pool import WorkerPool, as_coordinator
+from repro.distributed.queue import PoisonShardError, ShardAutotuner, TaskQueue
 from repro.distributed.tasks import (
     ShardPlanner,
     ShardTask,
@@ -39,26 +45,37 @@ from repro.distributed.tasks import (
 )
 from repro.distributed.worker import (
     DEFAULT_FRAME_BYTES,
+    DEFAULT_LEASE_BATCH,
+    DEFAULT_POLL_INTERVAL_MAX,
     DEFAULT_STREAM_THRESHOLD,
     Worker,
     run_worker_process,
 )
+from repro.distributed.wire import WireFormatError, decode_arrays, encode_arrays
 
 __all__ = [
     "DEFAULT_AUTHKEY",
     "DEFAULT_FRAME_BYTES",
+    "DEFAULT_LEASE_BATCH",
+    "DEFAULT_POLL_INTERVAL_MAX",
     "DEFAULT_PORT",
     "DEFAULT_STREAM_THRESHOLD",
     "Broker",
     "Coordinator",
     "DistributedConfig",
     "PoisonShardError",
+    "ShardAutotuner",
     "ShardPlanner",
     "ShardTask",
     "TaskQueue",
+    "WireFormatError",
     "Worker",
+    "WorkerPool",
+    "as_coordinator",
     "base_fit_task",
+    "decode_arrays",
     "default_authkey",
+    "encode_arrays",
     "execute_shard",
     "extraction_task",
     "load_shard_result",
@@ -67,4 +84,5 @@ __all__ = [
     "required_result_keys",
     "run_worker_process",
     "similarity_task",
+    "wire",
 ]

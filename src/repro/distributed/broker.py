@@ -8,16 +8,31 @@ connection gets its own handler thread that translates wire messages
 into :class:`~repro.distributed.queue.TaskQueue` calls:
 
     ("lease", worker_id)                     -> ("task", ShardTask) | ("idle",) | ("stop",)
-    ("result", worker_id, task_id, arrays)   -> ("ok",)
+    ("lease_many", worker_id, limit)         -> ("tasks", [ShardTask, ...]) | ("idle",) | ("stop",)
+    ("result", worker_id, task_id, arrays[, seconds])  -> ("ok",)
+    ("report_many", worker_id, [(task_id, arrays, seconds), ...]) -> ("ok", n_accepted)
     ("fail", worker_id, task_id, error_str)  -> ("ok",)
     ("bye", worker_id)                       -> connection closed
 
-Results above the worker's ``stream_threshold`` arrive as a *framed
-stream* instead of one monolithic pickle::
+``lease_many`` grants up to ``limit`` shards in one round-trip — the
+actual batch size is planned by the queue's shard autotuner toward a
+target of compute-per-lease, so chatty per-shard polling collapses into
+a handful of messages.  ``report_many`` is the symmetric upload: many
+small results (each with its measured compute seconds, which feed the
+autotuner) in one message and one ack.
 
-    ("result-begin", worker_id, task_id, n_frames, total_bytes)   (no reply)
+Results above the worker's ``stream_threshold`` arrive as a *framed
+stream* instead of one monolithic message::
+
+    ("result-begin", worker_id, task_id, n_frames, total_bytes[, encoding])  (no reply)
     ("frame", worker_id, task_id, index, bytes)                    (no reply) ×n_frames
-    ("result-end", worker_id, task_id)        -> ("ok",) | ("error", reason)
+    ("result-end", worker_id, task_id[, seconds]) -> ("ok",) | ("error", reason)
+
+The optional ``encoding`` field selects how the reassembled blob is
+decoded: ``"pickle"`` (v1, the default when absent, kept for old
+workers) or ``"npy"`` (wire format v2 — raw npy buffers behind a small
+framed header, decoded zero-copy by :func:`repro.distributed.wire.decode_arrays`
+and never unpickled).
 
 The handler buffers frames per task in thread-local state and only
 hands the reassembled result to the queue on a complete, length-checked
@@ -40,6 +55,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, Listener
 
 from repro.distributed.queue import TaskQueue
+from repro.distributed.wire import WireFormatError, decode_arrays
 
 __all__ = ["Broker", "DEFAULT_PORT"]
 
@@ -54,6 +70,7 @@ class _ResultStream:
     worker_id: str
     n_frames: int
     total_bytes: int
+    encoding: str = "pickle"
     frames: list[bytes] = field(default_factory=list)
 
     def error(self) -> str | None:
@@ -85,6 +102,8 @@ class Broker:
         self.n_connections = 0  # workers ever accepted
         self.n_streamed = 0  # results reassembled from frames
         self.n_stream_errors = 0  # malformed streams turned into failures
+        self.n_lease_batches = 0  # lease_many grants of more than one shard
+        self.n_report_batches = 0  # report_many uploads received
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="goggles-broker-accept", daemon=True
         )
@@ -147,16 +166,40 @@ class Broker:
                         break
                     task = self.queue.lease(worker_id)
                     conn.send(("task", task) if task is not None else ("idle",))
+                elif op == "lease_many":
+                    _, worker_id, limit = message
+                    if self._closing.is_set():
+                        conn.send(("stop",))
+                        break
+                    tasks = self.queue.lease_many(worker_id, int(limit))
+                    if len(tasks) > 1:
+                        with self._lock:
+                            self.n_lease_batches += 1
+                    conn.send(("tasks", tasks) if tasks else ("idle",))
                 elif op == "result":
-                    _, worker_id, task_id, arrays = message
-                    self.queue.complete(task_id, worker_id, arrays)
+                    _, worker_id, task_id, arrays, *rest = message
+                    seconds = float(rest[0]) if rest else None
+                    self.queue.complete(task_id, worker_id, arrays, seconds)
                     conn.send(("ok",))
+                elif op == "report_many":
+                    _, worker_id, reports = message
+                    accepted = 0
+                    for task_id, arrays, seconds in reports:
+                        if self.queue.complete(
+                            task_id, worker_id, arrays,
+                            None if seconds is None else float(seconds),
+                        ):
+                            accepted += 1
+                    with self._lock:
+                        self.n_report_batches += 1
+                    conn.send(("ok", accepted))
                 elif op == "result-begin":
-                    _, worker_id, task_id, n_frames, total_bytes = message
+                    _, worker_id, task_id, n_frames, total_bytes, *rest = message
                     streams[task_id] = _ResultStream(
                         worker_id=worker_id,
                         n_frames=int(n_frames),
                         total_bytes=int(total_bytes),
+                        encoding=str(rest[0]) if rest else "pickle",
                     )
                 elif op == "frame":
                     _, worker_id, task_id, index, frame = message
@@ -168,8 +211,9 @@ class Broker:
                         # result-end reports a failure, not bad data.
                         stream.n_frames = -1
                 elif op == "result-end":
-                    _, worker_id, task_id = message
-                    conn.send(self._finish_stream(streams, task_id, worker_id))
+                    _, worker_id, task_id, *rest = message
+                    seconds = float(rest[0]) if rest else None
+                    conn.send(self._finish_stream(streams, task_id, worker_id, seconds))
                 elif op == "fail":
                     _, worker_id, task_id, error = message
                     self.queue.fail(task_id, worker_id, error)
@@ -202,7 +246,13 @@ class Broker:
             except OSError:  # pragma: no cover - already closed
                 pass
 
-    def _finish_stream(self, streams: dict[str, _ResultStream], task_id: str, worker_id: str) -> tuple:
+    def _finish_stream(
+        self,
+        streams: dict[str, _ResultStream],
+        task_id: str,
+        worker_id: str,
+        seconds: float | None = None,
+    ) -> tuple:
         """Reassemble a completed stream into a queue completion.
 
         Returns the reply to send: ``("ok",)`` on success, or
@@ -215,16 +265,25 @@ class Broker:
         else:
             reason = stream.error()
         if reason is None:
-            try:
-                arrays = pickle.loads(b"".join(stream.frames))
-            except Exception as error:  # noqa: BLE001 - corrupt blob
-                reason = f"stream deserialisation failed: {type(error).__name__}: {error}"
+            blob = b"".join(stream.frames)
+            if stream.encoding == "npy":
+                try:
+                    arrays = decode_arrays(blob)
+                except WireFormatError as error:
+                    reason = f"wire v2 decode failed: {error}"
+            elif stream.encoding == "pickle":
+                try:
+                    arrays = pickle.loads(blob)
+                except Exception as error:  # noqa: BLE001 - corrupt blob
+                    reason = f"stream deserialisation failed: {type(error).__name__}: {error}"
+            else:
+                reason = f"unknown result encoding {stream.encoding!r}"
         if reason is not None:
             with self._lock:
                 self.n_stream_errors += 1
             self.queue.fail(task_id, worker_id, f"streamed result discarded: {reason}")
             return ("error", reason)
-        self.queue.complete(task_id, worker_id, arrays)
+        self.queue.complete(task_id, worker_id, arrays, seconds)
         with self._lock:
             self.n_streamed += 1
         return ("ok",)

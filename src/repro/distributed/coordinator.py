@@ -41,7 +41,7 @@ import numpy as np
 from repro.core.inference.base_gmm import GMMFitResult
 from repro.core.inference.hierarchical import HierarchicalConfig
 from repro.distributed.broker import Broker
-from repro.distributed.queue import PoisonShardError, TaskQueue
+from repro.distributed.queue import PoisonShardError, ShardAutotuner, TaskQueue
 from repro.distributed.tasks import (
     ShardPlanner,
     ShardTask,
@@ -50,6 +50,8 @@ from repro.distributed.tasks import (
 )
 from repro.distributed.worker import (
     DEFAULT_FRAME_BYTES,
+    DEFAULT_LEASE_BATCH,
+    DEFAULT_POLL_INTERVAL_MAX,
     DEFAULT_STREAM_THRESHOLD,
     Worker,
     run_worker_process,
@@ -128,11 +130,21 @@ class DistributedConfig:
         max_attempts: lease grants per shard before it is poisoned.
         run_timeout: overall deadline for one :meth:`Coordinator.run`;
             ``None`` waits forever.
-        worker_poll_interval: idle poll period of spawned workers.
+        worker_poll_interval: initial idle poll period of spawned
+            workers (they back off exponentially up to
+            ``worker_poll_max`` while the queue stays idle).
+        worker_poll_max: ceiling of the idle backoff.
+        lease_batch: most shards one worker ``lease_many`` round-trip
+            may request; the queue's autotuner usually grants fewer
+            (about ``lease_target_seconds`` of estimated compute).
+            1 restores one-shard-per-round-trip.
+        lease_target_seconds: compute seconds one lease grant aims to
+            carry once the autotuner has calibrated a shard kind.
         stream_threshold: result size (payload array bytes) above which
             spawned workers stream a shard result back as framed
-            sub-messages instead of one monolithic pickle; below it the
-            single-message path is kept.  0 streams everything.
+            sub-messages instead of one monolithic message; below it
+            results batch into ``report_many`` uploads.  0 streams
+            everything.
         frame_bytes: frame size of a streamed result.
     """
 
@@ -144,6 +156,9 @@ class DistributedConfig:
     max_attempts: int = 3
     run_timeout: float | None = 600.0
     worker_poll_interval: float = 0.02
+    worker_poll_max: float = DEFAULT_POLL_INTERVAL_MAX
+    lease_batch: int = DEFAULT_LEASE_BATCH
+    lease_target_seconds: float = 0.1
     stream_threshold: int = DEFAULT_STREAM_THRESHOLD
     frame_bytes: int = DEFAULT_FRAME_BYTES
 
@@ -155,6 +170,15 @@ class DistributedConfig:
             raise ValueError(f"worker_mode must be one of {_WORKER_MODES}, got {self.worker_mode!r}")
         if self.run_timeout is not None and self.run_timeout <= 0:
             raise ValueError(f"run_timeout must be > 0, got {self.run_timeout}")
+        if self.worker_poll_max < self.worker_poll_interval:
+            raise ValueError(
+                f"worker_poll_max ({self.worker_poll_max}) must be >= "
+                f"worker_poll_interval ({self.worker_poll_interval})"
+            )
+        if self.lease_batch < 1:
+            raise ValueError(f"lease_batch must be >= 1, got {self.lease_batch}")
+        if self.lease_target_seconds <= 0:
+            raise ValueError(f"lease_target_seconds must be > 0, got {self.lease_target_seconds}")
         if self.stream_threshold < 0:
             raise ValueError(f"stream_threshold must be >= 0, got {self.stream_threshold}")
         if self.frame_bytes < 1:
@@ -162,20 +186,43 @@ class DistributedConfig:
 
 
 class Coordinator:
-    """Coordinator/worker session over the fault-tolerant task queue."""
+    """Coordinator/worker session over the fault-tolerant task queue.
 
-    def __init__(self, config: DistributedConfig | None = None, *, cache: ArtifactCache | None = None):
+    A ``persistent=True`` coordinator ignores plain :meth:`close` calls
+    (``close(force=True)`` still shuts it down) so it can be shared
+    across consecutive ``Goggles``/engine runs — the warm-pool shape
+    that :class:`repro.distributed.pool.WorkerPool` wraps.  Workers and
+    the broker socket survive between runs; spawned worker processes
+    keep their imported modules and memoised VGG backbone, which is
+    most of what a cold run pays for.
+    """
+
+    def __init__(
+        self,
+        config: DistributedConfig | None = None,
+        *,
+        cache: ArtifactCache | None = None,
+        persistent: bool = False,
+    ):
         self.config = config or DistributedConfig()
         self.cache = cache
+        self.persistent = bool(persistent)
         self.queue = TaskQueue(
             lease_timeout=self.config.lease_timeout,
             max_attempts=self.config.max_attempts,
+            autotuner=ShardAutotuner(target_lease_seconds=self.config.lease_target_seconds),
         )
         self._broker: Broker | None = None
         self._thread_workers: list[tuple[Worker, threading.Thread]] = []
         self._processes: list[multiprocessing.process.BaseProcess] = []
         self._closed = False
-        self.stats = {"runs": 0, "shards_planned": 0, "cache_hits": 0}
+        self.stats = {
+            "runs": 0,
+            "shards_planned": 0,
+            "cache_hits": 0,
+            "workers_spawned": 0,
+            "cache_writebacks": 0,
+        }
 
     @classmethod
     def for_engine(
@@ -232,6 +279,7 @@ class Coordinator:
     def _spawn_worker(self, index: int) -> None:
         assert self._broker is not None
         host, port = self._broker.address
+        self.stats["workers_spawned"] += 1
         if self.config.worker_mode == "thread":
             worker = Worker(
                 (host, port),
@@ -239,6 +287,8 @@ class Coordinator:
                 cache=self.cache,
                 worker_id=f"local-thread-{index}",
                 poll_interval=self.config.worker_poll_interval,
+                poll_interval_max=self.config.worker_poll_max,
+                lease_batch=self.config.lease_batch,
                 stream_threshold=self.config.stream_threshold,
                 frame_bytes=self.config.frame_bytes,
             )
@@ -261,6 +311,9 @@ class Coordinator:
                     cache_max_bytes,
                     self.config.stream_threshold,
                     self.config.frame_bytes,
+                    self.config.worker_poll_interval,
+                    self.config.worker_poll_max,
+                    self.config.lease_batch,
                 ),
                 name=f"goggles-worker-{index}",
                 daemon=True,
@@ -268,8 +321,18 @@ class Coordinator:
             process.start()
             self._processes.append(process)
 
-    def close(self) -> None:
-        """Shut the session down: workers, broker, socket. Idempotent."""
+    def close(self, *, force: bool = False) -> None:
+        """Shut the session down: workers, broker, socket. Idempotent.
+
+        A ``persistent`` coordinator ignores plain ``close()`` — that is
+        the whole point of a warm pool: ``Goggles.close()`` and engine
+        teardown may fire between runs without tearing the workers
+        down.  The owning :class:`~repro.distributed.pool.WorkerPool`
+        (or anyone holding the coordinator directly) passes
+        ``force=True`` for the real shutdown.
+        """
+        if self.persistent and not force:
+            return
         if self._closed:
             return
         self._closed = True
@@ -350,12 +413,24 @@ class Coordinator:
                 f"{incomplete} shard(s) incomplete — are any workers connected to "
                 f"{self._broker.address if self._broker else self.config.bind}?"
             )
-        for task_id in ids:
-            result = self.queue.result(task_id)
+        for task in outstanding:
+            result = self.queue.result(task.task_id)
             assert result is not None
-            results[task_id] = result
+            results[task.task_id] = result
+            if self.cache is not None and not self.cache.has("shard", task.task_id):
+                # Coordinator-side write-back: workers with a mounted
+                # cache already saved this, but cacheless (e.g. remote)
+                # workers did not — persisting here makes a coordinator
+                # restart resume a half-finished plan from `shard` cache
+                # hits instead of recomputing.
+                self.cache.save_arrays("shard", task.task_id, result)
+                self.stats["cache_writebacks"] += 1
         self.queue.forget(ids)
         return results
+
+    def as_coordinator(self) -> "Coordinator":
+        """Uniform unwrap: engines accept a Coordinator or a WorkerPool."""
+        return self
 
     def _wait(self, ids: list[str]) -> bool:
         """Wait for shards in slices, watching local-cluster liveness."""

@@ -26,7 +26,74 @@ from typing import Callable, Iterable
 
 from repro.distributed.tasks import ShardTask
 
-__all__ = ["PoisonShardError", "TaskQueue"]
+__all__ = ["PoisonShardError", "ShardAutotuner", "TaskQueue"]
+
+
+class ShardAutotuner:
+    """Calibrates how many shards one lease round-trip should carry.
+
+    The per-shard compute of a run is unknown until shards complete, so
+    the tuner starts conservative — one shard per lease — and re-plans
+    from measurements: workers report each shard's compute seconds with
+    its result, the tuner keeps a per-kind exponential moving average,
+    and :meth:`plan` grants shards until their *estimated* combined
+    compute reaches ``target_lease_seconds`` (default 100ms).  Tiny
+    shards therefore batch aggressively (one round-trip carries dozens)
+    while heavyweight extraction shards stay near one per lease, and a
+    mixed queue gets a mixed batch that still lands near the target.
+
+    Thread-safety is the caller's: :class:`TaskQueue` drives the tuner
+    under its own condition lock.
+    """
+
+    def __init__(self, target_lease_seconds: float = 0.1, smoothing: float = 0.3):
+        if target_lease_seconds <= 0:
+            raise ValueError(f"target_lease_seconds must be > 0, got {target_lease_seconds}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.target_lease_seconds = float(target_lease_seconds)
+        self.smoothing = float(smoothing)
+        self._seconds: dict[str, float] = {}  # kind -> EWMA of compute seconds
+        self.n_observations = 0
+
+    def observe(self, kind: str, seconds: float) -> None:
+        """Fold one completed shard's measured compute into the EWMA."""
+        seconds = max(float(seconds), 0.0)
+        previous = self._seconds.get(kind)
+        if previous is None:
+            self._seconds[kind] = seconds
+        else:
+            self._seconds[kind] = previous + self.smoothing * (seconds - previous)
+        self.n_observations += 1
+
+    def estimate(self, kind: str) -> float | None:
+        """EWMA compute seconds of one ``kind`` shard (``None`` = uncalibrated)."""
+        return self._seconds.get(kind)
+
+    def plan(self, kinds: Iterable[str], limit: int) -> int:
+        """How many of the next pending shards to grant in one lease.
+
+        ``kinds`` lists the pending shards in grant order; the count
+        returned is the longest prefix whose estimated compute stays
+        within ``target_lease_seconds`` — always at least one, never
+        more than ``limit``, and exactly one for any kind that has no
+        measurement yet (the calibration grant that produces one).
+        """
+        granted = 0
+        budget = self.target_lease_seconds
+        for kind in kinds:
+            if granted >= limit:
+                break
+            estimate = self._seconds.get(kind)
+            if estimate is None:
+                # Uncalibrated kind: grant it alone so its measurement
+                # arrives before anything batches behind a guess.
+                return granted if granted else 1
+            if granted and estimate > budget:
+                break
+            granted += 1
+            budget -= estimate
+        return max(granted, 1)
 
 
 class PoisonShardError(RuntimeError):
@@ -73,6 +140,7 @@ class TaskQueue:
         lease_timeout: float = 30.0,
         max_attempts: int = 3,
         clock: Callable[[], float] = time.monotonic,
+        autotuner: ShardAutotuner | None = None,
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
@@ -80,6 +148,7 @@ class TaskQueue:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = int(max_attempts)
+        self.autotuner = autotuner or ShardAutotuner()
         self._clock = clock
         self._cond = threading.Condition()
         self._tracked: dict[str, _Tracked] = {}
@@ -157,21 +226,48 @@ class TaskQueue:
     # ------------------------------------------------------------------
     def lease(self, worker_id: str) -> ShardTask | None:
         """Grant the next pending shard to ``worker_id`` (or ``None``)."""
+        granted = self.lease_many(worker_id, 1)
+        return granted[0] if granted else None
+
+    def lease_many(self, worker_id: str, limit: int) -> list[ShardTask]:
+        """Grant up to ``limit`` pending shards in one call.
+
+        The actual grant size is the smaller of ``limit`` (the worker's
+        appetite) and the :class:`ShardAutotuner`'s plan for the shards
+        at the head of the queue — about ``target_lease_seconds`` of
+        estimated compute, so one round-trip carries many tiny shards
+        but a single heavyweight one.  Every granted shard burns one
+        unit of its retry budget and carries the usual lease deadline.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
         now = self._clock()
+        granted: list[ShardTask] = []
         with self._cond:
             self._reap(now)
-            while self._pending:
+            pending: list[_Tracked] = []
+            while self._pending and len(pending) < limit:
                 tid = self._pending.popleft()
                 tracked = self._tracked.get(tid)
                 if tracked is None or tracked.leased:
                     continue  # completed elsewhere or stale entry
+                pending.append(tracked)
+            take = (
+                self.autotuner.plan((t.task.kind for t in pending), limit) if pending else 0
+            )
+            # Ungranted overflow returns to the head, original order kept.
+            for tracked in reversed(pending[take:]):
+                self._pending.appendleft(tracked.task.task_id)
+            for tracked in pending[:take]:
                 tracked.attempts += 1
                 tracked.worker = worker_id
                 tracked.deadline = now + self.lease_timeout
-                return tracked.task
-            return None
+                granted.append(tracked.task)
+        return granted
 
-    def complete(self, task_id: str, worker_id: str, result: dict) -> bool:
+    def complete(
+        self, task_id: str, worker_id: str, result: dict, seconds: float | None = None
+    ) -> bool:
         """Record a shard result (idempotent; late duplicates ignored).
 
         Results are accepted even from expired or reassigned leases —
@@ -184,6 +280,8 @@ class TaskQueue:
                 tracked = self._poisoned.pop(task_id, None)
                 if tracked is None:
                     return False  # already done or never known
+            if seconds is not None:
+                self.autotuner.observe(tracked.task.kind, seconds)
             self._results[task_id] = result
             self.n_completed += 1
             self._cond.notify_all()

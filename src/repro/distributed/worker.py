@@ -8,14 +8,25 @@ when one is mounted, so identical reruns are disk hits for the whole
 cluster).  Crash tolerance therefore costs nothing here — a worker that
 dies mid-shard is simply a lease the coordinator reassigns.
 
-Results above ``stream_threshold`` payload bytes are *streamed*: the
-worker sends a ``result-begin`` header, then ``frame_bytes``-sized
-``frame`` sub-messages, then ``result-end``, and the broker reassembles
-them (see :mod:`repro.distributed.broker` for the wire format).  Huge
-extraction or tile payloads therefore never need one giant pickle on
-the wire, and a disconnect mid-stream simply discards the partial
-frames and releases the lease.  Small results keep the single-message
-path.
+The hot path is *batched*: one ``lease_many`` round-trip pulls a whole
+autotuned batch of shards, each shard's compute is timed, and every
+small result rides back in a single ``report_many`` message whose
+measured seconds feed the broker-side autotuner.  Results above
+``stream_threshold`` payload bytes are *streamed* instead: the worker
+sends a ``result-begin`` header (encoding ``"npy"`` — wire format v2,
+raw npy buffers framed without a monolithic pickle, see
+:mod:`repro.distributed.wire`), then ``frame_bytes``-sized ``frame``
+sub-messages, then ``result-end``, and the broker reassembles them.
+A disconnect mid-stream simply discards the partial frames and
+releases the lease.  Results that cannot travel as raw buffers
+(object dtypes) fall back to the v1 pickle encoding, as does the whole
+batched protocol when the broker replies ``("error", ...)`` — so a new
+worker still speaks to an old broker.
+
+An idle worker backs off exponentially (with jitter, so a fleet that
+went idle together does not re-poll in lockstep) instead of hammering
+the broker at a fixed period; the first granted lease resets the
+backoff.
 
 Workers connect with patience (the coordinator may not be up yet) and
 reconnect after connection loss; once the retry budget is exhausted the
@@ -26,19 +37,24 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import socket
 import threading
+import time
 from multiprocessing import AuthenticationError
 from multiprocessing.connection import Client, Connection
 
 import numpy as np
 
+from repro.distributed import wire
 from repro.distributed.tasks import ShardTask, execute_shard
 from repro.engine.cache import ArtifactCache
 
 __all__ = [
     "DEFAULT_STREAM_THRESHOLD",
     "DEFAULT_FRAME_BYTES",
+    "DEFAULT_LEASE_BATCH",
+    "DEFAULT_POLL_INTERVAL_MAX",
     "Worker",
     "run_worker_process",
 ]
@@ -47,6 +63,10 @@ __all__ = [
 DEFAULT_STREAM_THRESHOLD = 4 * 1024 * 1024
 #: Frame size of a streamed result.
 DEFAULT_FRAME_BYTES = 1024 * 1024
+#: Shards one lease_many round-trip may carry (the autotuner may grant fewer).
+DEFAULT_LEASE_BATCH = 32
+#: Ceiling of the idle-poll exponential backoff.
+DEFAULT_POLL_INTERVAL_MAX = 1.0
 
 
 class Worker:
@@ -60,8 +80,14 @@ class Worker:
             computing, so a re-run of known content is a disk hit.
         worker_id: stable identity used for leases; defaults to
             ``{hostname}-{pid}``-based and unique per instance.
-        poll_interval: sleep between lease attempts while the queue is
-            idle.
+        poll_interval: initial sleep between lease attempts while the
+            queue is idle; consecutive idle polls back off
+            exponentially (with jitter) up to ``poll_interval_max``,
+            and the next granted lease resets the schedule.
+        poll_interval_max: ceiling of the idle backoff.
+        lease_batch: most shards one ``lease_many`` round-trip may
+            request; the broker's autotuner may grant fewer.  1 keeps
+            the chatty one-shard-per-round-trip behaviour.
         connect_retries / retry_delay: patience for the initial connect
             and for reconnects after a dropped connection; once
             exhausted, :meth:`run` returns.
@@ -81,6 +107,8 @@ class Worker:
         cache: ArtifactCache | None = None,
         worker_id: str | None = None,
         poll_interval: float = 0.05,
+        poll_interval_max: float = DEFAULT_POLL_INTERVAL_MAX,
+        lease_batch: int = DEFAULT_LEASE_BATCH,
         connect_retries: int = 40,
         retry_delay: float = 0.25,
         stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
@@ -88,6 +116,12 @@ class Worker:
     ):
         if poll_interval <= 0:
             raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
+        if poll_interval_max < poll_interval:
+            raise ValueError(
+                f"poll_interval_max ({poll_interval_max}) must be >= poll_interval ({poll_interval})"
+            )
+        if lease_batch < 1:
+            raise ValueError(f"lease_batch must be >= 1, got {lease_batch}")
         if stream_threshold < 0:
             raise ValueError(f"stream_threshold must be >= 0, got {stream_threshold}")
         if frame_bytes < 1:
@@ -98,6 +132,8 @@ class Worker:
         Worker._instances += 1
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}-w{Worker._instances}"
         self.poll_interval = float(poll_interval)
+        self.poll_interval_max = float(poll_interval_max)
+        self.lease_batch = int(lease_batch)
         self.connect_retries = int(connect_retries)
         self.retry_delay = float(retry_delay)
         self.stream_threshold = int(stream_threshold)
@@ -105,6 +141,11 @@ class Worker:
         self.tasks_completed = 0
         self.tasks_failed = 0
         self.results_streamed = 0
+        self.results_batched = 0  # results reported via report_many
+        self.idle_polls = 0
+        self._idle_streak = 0
+        self._rng = random.Random()
+        self._v2_ops = True  # flips off when the broker rejects lease_many
         self._stop = threading.Event()
 
     def stop(self) -> None:
@@ -124,60 +165,136 @@ class Worker:
                 self._stop.wait(self.retry_delay)
         return None
 
-    def _send_result(self, conn: Connection, task: ShardTask, arrays: dict) -> None:
-        """Report one shard result: single message, or framed stream.
+    def _next_idle_wait(self) -> float:
+        """One idle sleep: exponential in the idle streak, jittered.
 
-        The size gate uses the arrays' raw byte footprint — cheap to
-        compute and within a constant of the pickled size — so small
-        results never pay for a serialise-then-measure round trip.
+        Starts at ``poll_interval`` and doubles per consecutive idle
+        reply up to ``poll_interval_max``; the multiplicative jitter
+        (uniform in [0.5, 1.0]) de-synchronises a fleet of workers
+        that went idle on the same queue drain.  Timing only — never
+        value-affecting — so plain :mod:`random` is fine here.
         """
-        payload_bytes = sum(int(np.asarray(value).nbytes) for value in arrays.values())
-        if payload_bytes <= self.stream_threshold:
-            conn.send(("result", self.worker_id, task.task_id, arrays))
-            return
-        blob = pickle.dumps(arrays, protocol=pickle.HIGHEST_PROTOCOL)
-        n_frames = max(1, -(-len(blob) // self.frame_bytes))
-        conn.send(("result-begin", self.worker_id, task.task_id, n_frames, len(blob)))
-        for index in range(n_frames):
-            frame = blob[index * self.frame_bytes : (index + 1) * self.frame_bytes]
-            conn.send(("frame", self.worker_id, task.task_id, index, frame))
-        conn.send(("result-end", self.worker_id, task.task_id))
+        base = min(self.poll_interval * (2.0 ** self._idle_streak), self.poll_interval_max)
+        self._idle_streak += 1
+        self.idle_polls += 1
+        return base * self._rng.uniform(0.5, 1.0)
+
+    def _request_lease(self, conn: Connection) -> tuple:
+        """One lease round-trip: batched v2 op, v1 fallback for old brokers."""
+        if self._v2_ops:
+            conn.send(("lease_many", self.worker_id, self.lease_batch))
+            reply = conn.recv()
+            if reply[0] != "error":
+                return reply
+            self._v2_ops = False  # broker predates the batched protocol
+        conn.send(("lease", self.worker_id))
+        return conn.recv()
+
+    def _stream_result(self, conn: Connection, task: ShardTask, arrays: dict, seconds: float) -> None:
+        """Stream one large result as framed wire-v2 npy buffers.
+
+        Falls back to a framed v1 pickle when the arrays cannot travel
+        as raw buffers (object dtypes) or when the broker is too old
+        for the 6-field ``result-begin``.
+        """
+        encoding = "npy" if self._v2_ops else "pickle"
+        if encoding == "npy":
+            try:
+                buffers: list = wire.encode_arrays(arrays)
+            except wire.WireFormatError:
+                encoding = "pickle"
+        if encoding == "pickle":
+            buffers = [pickle.dumps(arrays, protocol=pickle.HIGHEST_PROTOCOL)]
+        total = wire.encoded_nbytes(buffers)
+        n_frames = max(1, -(-total // self.frame_bytes))
+        if self._v2_ops:
+            conn.send(("result-begin", self.worker_id, task.task_id, n_frames, total, encoding))
+        else:
+            conn.send(("result-begin", self.worker_id, task.task_id, n_frames, total))
+        for index, frame in enumerate(wire.iter_frames(buffers, self.frame_bytes)):
+            conn.send(("frame", self.worker_id, task.task_id, index, bytes(frame)))
+        if self._v2_ops:
+            conn.send(("result-end", self.worker_id, task.task_id, seconds))
+        else:
+            conn.send(("result-end", self.worker_id, task.task_id))
+        conn.recv()  # ack; ("error", ...) means the broker burned a retry
         self.results_streamed += 1
+
+    def _flush_reports(self, conn: Connection, reports: list[tuple[str, dict, float]]) -> None:
+        """Upload a batch of small results in one ``report_many``."""
+        conn.send(("report_many", self.worker_id, reports))
+        reply = conn.recv()
+        if reply[0] == "error":
+            # Old broker: replay each result through the v1 op.
+            self._v2_ops = False
+            for task_id, arrays, _seconds in reports:
+                conn.send(("result", self.worker_id, task_id, arrays))
+                conn.recv()
+            return
+        self.results_batched += len(reports)
+
+    def _process_tasks(self, conn: Connection, tasks: list[ShardTask]) -> None:
+        """Compute a leased batch, timing each shard for the autotuner.
+
+        Small results accumulate into one ``report_many`` (flushed
+        early if they outgrow ``stream_threshold``); large results
+        stream individually.  Failures report immediately so the queue
+        can requeue while the rest of the batch still computes.
+        """
+        reports: list[tuple[str, dict, float]] = []
+        pending_bytes = 0
+        for task in tasks:
+            started = time.perf_counter()
+            try:
+                arrays = execute_shard(task, cache=self.cache)
+            except Exception as error:  # noqa: BLE001 - report, don't die
+                self.tasks_failed += 1
+                conn.send(("fail", self.worker_id, task.task_id, f"{type(error).__name__}: {error}"))
+                conn.recv()
+                continue
+            seconds = time.perf_counter() - started
+            self.tasks_completed += 1
+            # Size gate on the raw byte footprint — cheap to compute and
+            # within a constant of the encoded size.
+            nbytes = sum(int(np.asarray(value).nbytes) for value in arrays.values())
+            if nbytes > self.stream_threshold:
+                self._stream_result(conn, task, arrays, seconds)
+                continue
+            if not self._v2_ops:
+                conn.send(("result", self.worker_id, task.task_id, arrays))
+                conn.recv()
+                continue
+            reports.append((task.task_id, arrays, seconds))
+            pending_bytes += nbytes
+            if pending_bytes > self.stream_threshold:
+                self._flush_reports(conn, reports)
+                reports, pending_bytes = [], 0
+        if reports:
+            self._flush_reports(conn, reports)
 
     def run(self) -> None:
         """Poll/compute until stopped or the coordinator goes away."""
         conn = self._connect()
         while conn is not None and not self._stop.is_set():
             try:
-                conn.send(("lease", self.worker_id))
-                reply = conn.recv()
+                reply = self._request_lease(conn)
             except (EOFError, OSError, BrokenPipeError):
                 conn.close()
                 conn = self._connect()
                 continue
             kind = reply[0]
-            if kind == "task":
-                task = reply[1]
-                arrays: dict | None = None
+            if kind in ("task", "tasks"):
+                self._idle_streak = 0  # work granted: reset the backoff
+                tasks = list(reply[1]) if kind == "tasks" else [reply[1]]
                 try:
-                    arrays = execute_shard(task, cache=self.cache)
-                except Exception as error:  # noqa: BLE001 - report, don't die
-                    self.tasks_failed += 1
-                    message = ("fail", self.worker_id, task.task_id, f"{type(error).__name__}: {error}")
-                else:
-                    self.tasks_completed += 1
-                    message = None  # reported via _send_result below
-                try:
-                    if arrays is not None:
-                        self._send_result(conn, task, arrays)
-                    else:
-                        conn.send(message)
-                    conn.recv()  # ack; on loss the lease timeout recovers
+                    self._process_tasks(conn, tasks)
                 except (EOFError, OSError, BrokenPipeError):
+                    # Unreported shards of this batch are rescued by
+                    # release_worker / the lease timeout.
                     conn.close()
                     conn = self._connect()
             elif kind == "idle":
-                self._stop.wait(self.poll_interval)
+                self._stop.wait(self._next_idle_wait())
             elif kind == "stop":
                 break
             else:  # pragma: no cover - protocol drift guard
@@ -198,6 +315,9 @@ def run_worker_process(
     cache_max_bytes: int | None = None,
     stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
     frame_bytes: int = DEFAULT_FRAME_BYTES,
+    poll_interval: float = 0.05,
+    poll_interval_max: float = DEFAULT_POLL_INTERVAL_MAX,
+    lease_batch: int = DEFAULT_LEASE_BATCH,
 ) -> None:
     """Entry point of a spawned local worker process.
 
@@ -213,4 +333,7 @@ def run_worker_process(
         cache=cache,
         stream_threshold=stream_threshold,
         frame_bytes=frame_bytes,
+        poll_interval=poll_interval,
+        poll_interval_max=poll_interval_max,
+        lease_batch=lease_batch,
     ).run()

@@ -109,6 +109,17 @@ class EngineConfig:
         )
 
 
+def _unwrap_coordinator(candidate: object) -> object:
+    """Coordinator-or-WorkerPool -> the Coordinator inside.
+
+    Duck-typed on ``as_coordinator()`` (the warm-pool unwrap protocol,
+    see :mod:`repro.distributed.pool`) so this module never imports the
+    distributed runtime just to accept one.
+    """
+    unwrap = getattr(candidate, "as_coordinator", None)
+    return unwrap() if callable(unwrap) else candidate
+
+
 class AffinityEngine:
     """Builds, caches, and incrementally extends affinity matrices."""
 
@@ -125,7 +136,7 @@ class AffinityEngine:
             if self.config.cache_dir
             else None
         )
-        self._coordinator = coordinator
+        self._coordinator = _unwrap_coordinator(coordinator)
         self._owns_coordinator = False
         self._state: CorpusState | None = None
         self._state_key: str | None = None
@@ -134,8 +145,13 @@ class AffinityEngine:
     # Distributed session plumbing
     # ------------------------------------------------------------------
     def use_coordinator(self, coordinator: object) -> None:
-        """Inject a shared distributed session (the caller owns it)."""
-        self._coordinator = coordinator
+        """Inject a shared distributed session (the caller owns it).
+
+        Accepts a bare ``Coordinator`` or anything exposing
+        ``as_coordinator()`` — notably a warm
+        :class:`repro.distributed.WorkerPool`.
+        """
+        self._coordinator = _unwrap_coordinator(coordinator)
         self._owns_coordinator = False
 
     def coordinator(self):

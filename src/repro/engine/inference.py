@@ -199,7 +199,10 @@ class InferenceEngine:
         self.cache = cache
         self.broker = broker
         self.n_workers = n_workers
-        self._coordinator = coordinator
+        # Duck-typed warm-pool unwrap: a WorkerPool exposes the shared
+        # persistent Coordinator through as_coordinator().
+        unwrap = getattr(coordinator, "as_coordinator", None)
+        self._coordinator = unwrap() if callable(unwrap) else coordinator
         self._owns_coordinator = False
         self._state: InferenceState | None = None
 

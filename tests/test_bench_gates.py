@@ -1,0 +1,128 @@
+"""Gates around the benchmark trajectories: check_bench + compare_bench_legs.
+
+Loads the two scripts straight from ``scripts/`` (they are CLI tools,
+not packages) and drives their ``main()`` on synthetic trajectory
+files: the crossover-loss rule, the cross-interpreter equality-flag
+comparison, and the failure modes that must not pass silently.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_bench = _load("check_bench")
+compare_bench_legs = _load("compare_bench_legs")
+
+
+def _run_gate(tmp_path: Path, baseline: dict, fresh: dict) -> int:
+    (tmp_path / "base").mkdir(exist_ok=True)
+    (tmp_path / "fresh").mkdir(exist_ok=True)
+    (tmp_path / "base" / "BENCH_x.json").write_text(json.dumps(baseline))
+    (tmp_path / "fresh" / "BENCH_x.json").write_text(json.dumps(fresh))
+    return check_bench.main(
+        ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"), "BENCH_x.json"]
+    )
+
+
+class TestCrossoverGate:
+    def test_measured_crossover_going_null_fails(self, tmp_path, capsys):
+        baseline = {"crossover": {"crossover_n": {"2": 320, "4": 160}}}
+        fresh = {"crossover": {"crossover_n": {"2": 320, "4": None}}}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "crossover disappeared" in capsys.readouterr().out
+
+    def test_null_staying_null_passes(self, tmp_path):
+        document = {"crossover": {"crossover_n": {"2": None}}}
+        assert _run_gate(tmp_path, document, document) == 0
+
+    def test_crossover_moving_between_measured_ns_passes(self, tmp_path):
+        # 160 -> 320 is coarse sweep granularity, not a gated regression.
+        baseline = {"crossover": {"crossover_n": {"4": 160}}}
+        fresh = {"crossover": {"crossover_n": {"4": 320}}}
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_null_gaining_a_measurement_passes(self, tmp_path):
+        baseline = {"crossover": {"crossover_n": {"2": None}}}
+        fresh = {"crossover": {"crossover_n": {"2": 160}}}
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_bit_identity_flip_still_fails(self, tmp_path, capsys):
+        baseline = {"crossover": {"rows": [{"n": 80, "bit_identical": True}]}}
+        fresh = {"crossover": {"rows": [{"n": 80, "bit_identical": False}]}}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "flipped" in capsys.readouterr().out
+
+
+def _write_leg(root: Path, label: str, document: dict) -> None:
+    leg = root / f"BENCH-inference-{label}"
+    leg.mkdir(parents=True)
+    (leg / "BENCH_inference.json").write_text(json.dumps(document))
+
+
+def _run_legs(root: Path, min_legs: int = 2) -> int:
+    return compare_bench_legs.main(["--root", str(root), "--min-legs", str(min_legs)])
+
+
+class TestCompareBenchLegs:
+    DOCUMENT = {
+        "online": [
+            {"n": 80, "absorb_total_seconds": 0.05, "labels_exact": True,
+             "posterior_agreement_ok": True},
+        ]
+    }
+
+    def test_agreeing_legs_pass_and_print_table(self, tmp_path, capsys):
+        for label in ("py3.10", "py3.11", "py3.12"):
+            _write_leg(tmp_path, label, self.DOCUMENT)
+        assert _run_legs(tmp_path, min_legs=3) == 0
+        out = capsys.readouterr().out
+        assert "absorb_total_seconds" in out  # merged latency table
+        assert "py3.10" in out and "py3.12" in out
+        assert "all equality flags agree" in out
+
+    def test_flag_divergence_fails(self, tmp_path, capsys):
+        _write_leg(tmp_path, "py3.10", self.DOCUMENT)
+        diverged = json.loads(json.dumps(self.DOCUMENT))
+        diverged["online"][0]["labels_exact"] = False
+        _write_leg(tmp_path, "py3.12", diverged)
+        assert _run_legs(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "labels_exact" in out
+        assert "diverges across interpreters" in out
+
+    def test_missing_leg_fails(self, tmp_path, capsys):
+        _write_leg(tmp_path, "py3.12", self.DOCUMENT)
+        assert _run_legs(tmp_path, min_legs=3) == 1
+        assert "only 1 leg" in capsys.readouterr().out
+
+    def test_flag_missing_on_one_leg_counts_as_divergence(self, tmp_path, capsys):
+        _write_leg(tmp_path, "py3.10", self.DOCUMENT)
+        shrunk = {"online": [{"n": 80, "absorb_total_seconds": 0.05}]}
+        _write_leg(tmp_path, "py3.12", shrunk)
+        assert _run_legs(tmp_path) == 1
+        assert "diverges" in capsys.readouterr().out
+
+    def test_latency_differences_are_informational(self, tmp_path):
+        _write_leg(tmp_path, "py3.10", self.DOCUMENT)
+        slower = json.loads(json.dumps(self.DOCUMENT))
+        slower["online"][0]["absorb_total_seconds"] = 5.0  # 100x slower: still fine here
+        _write_leg(tmp_path, "py3.12", slower)
+        assert _run_legs(tmp_path) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
