@@ -26,6 +26,11 @@ pair.  Two classes of change fail the build:
   measured N in the baseline and is ``null`` in the fresh run:
   distributed stopped winning everywhere, which is a regression even
   when no individual timing tripped the wall-clock bound.
+* **speedup-ratio regression** — a ``speedup`` metric (e.g. the
+  sparse-vs-dense ratio in the ``sparse`` section) that fell more than
+  ``--max-regression`` below its baseline.  Ratios are jitter-robust
+  (numerator and denominator ride the same runner), so no
+  ``--min-seconds`` floor applies; growing is always fine.
 
 Structure is compared recursively; a fresh file may *add* keys or rows
 (new metrics, new worker counts), but dropping a baseline key or row
@@ -102,6 +107,17 @@ def compare(
                 f"{path}: wall clock regressed {baseline:.4f}s -> {fresh:.4f}s "
                 f"(+{100.0 * (fresh - baseline) / baseline:.1f}%, "
                 f"limit +{100.0 * max_regression:.0f}%)"
+            )
+        return issues
+    if isinstance(baseline, (int, float)) and (key == "speedup" or key.endswith("_speedup")):
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            return [f"{path}: baseline is a number, fresh is {json.dumps(fresh)}"]
+        floor = baseline * (1.0 - max_regression)
+        if fresh < floor:
+            issues.append(
+                f"{path}: speedup ratio regressed {baseline:.3f}x -> {fresh:.3f}x "
+                f"(-{100.0 * (baseline - fresh) / baseline:.1f}%, "
+                f"limit -{100.0 * max_regression:.0f}%)"
             )
         return issues
     return issues

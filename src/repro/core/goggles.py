@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.affinity import AffinityMatrix
+from repro.core.affinity import AffinityMatrix, SparseAffinityMatrix
 from repro.core.inference.hierarchical import (
     HierarchicalConfig,
     HierarchicalResult,
@@ -79,7 +79,16 @@ class GogglesConfig:
             pool feature maps) after :meth:`Goggles.label` so
             :meth:`Goggles.label_incremental` can extend it.  Set to
             ``False`` to free that memory when incremental labeling is
-            not needed.
+            not needed.  Ignored in sparse mode (the sparse path is
+            build-only).
+        affinity_mode: ``"dense"`` (default, bit-identity discipline)
+            or ``"sparse"`` — per-row top-k affinity blocks, float32
+            storage, ≥ 99% posterior agreement and exact labels vs
+            dense.
+        top_k: kept affinities per row in sparse mode (``None`` =
+            ``ceil(N / 4)``).
+        memmap: in sparse mode, densify blocks into memory-mapped
+            files so the corpus can exceed RAM.
         vgg: configuration of the surrogate-pretrained backbone.
         inference: hierarchical-model hyper-parameters (n_classes and
             seed fields here take precedence).
@@ -105,6 +114,9 @@ class GogglesConfig:
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
     keep_corpus_state: bool = True
+    affinity_mode: str = "dense"
+    top_k: int | None = None
+    memmap: bool = False
     vgg: VGGConfig = field(default_factory=VGGConfig)
     inference: HierarchicalConfig = field(default_factory=HierarchicalConfig)
     engine: EngineConfig | None = None
@@ -118,14 +130,21 @@ class GogglesConfig:
         """The affinity-engine config implied by this pipeline config."""
         if self.engine is not None:
             return self.engine
+        sparse = self.affinity_mode == "sparse"
         return EngineConfig(
             batch_size=self.batch_size,
             n_jobs=self.n_jobs,
             executor=self.executor,
+            # float32 end-to-end is the sparse-path default; dense keeps
+            # the bit-compatible float64 discipline.
+            precision="float32" if sparse else "float64",
             cache_dir=self.cache_dir,
             cache_max_bytes=self.cache_max_bytes,
             broker=self.broker,
             n_workers=self.n_workers,
+            affinity_mode=self.affinity_mode,
+            top_k=self.top_k,
+            memmap=self.memmap,
         )
 
 
@@ -142,7 +161,7 @@ class GogglesResult:
     """
 
     probabilistic_labels: np.ndarray
-    affinity: AffinityMatrix
+    affinity: AffinityMatrix | SparseAffinityMatrix
     hierarchical: HierarchicalResult
     mapping: ClusterMapping
 
@@ -230,7 +249,7 @@ class Goggles:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def build_affinity_matrix(self, images: np.ndarray) -> AffinityMatrix:
+    def build_affinity_matrix(self, images: np.ndarray) -> AffinityMatrix | SparseAffinityMatrix:
         """Step 1 (Figure 3): affinity matrix construction.
 
         Runs through the staged engine: chunked feature extraction,
@@ -239,11 +258,17 @@ class Goggles:
         so :meth:`label_incremental` can extend it later.
         """
         images = check_images(images)
-        return self.engine.build(images, keep_state=self.config.keep_corpus_state)
+        # The sparse path is build-only: never ask it to keep corpus
+        # state (incremental extension stays on the dense path).  The
+        # engine's resolved config is authoritative — an explicit
+        # ``GogglesConfig(engine=EngineConfig(affinity_mode="sparse"))``
+        # override must behave the same as the convenience field.
+        keep = self.config.keep_corpus_state and self.engine.config.affinity_mode == "dense"
+        return self.engine.build(images, keep_state=keep)
 
     def infer_labels(
         self,
-        affinity: AffinityMatrix,
+        affinity: AffinityMatrix | SparseAffinityMatrix,
         dev_set: DevSet,
         warm_start: InferenceState | None = None,
     ) -> GogglesResult:

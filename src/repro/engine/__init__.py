@@ -15,7 +15,7 @@ Splits the monolithic image→affinity-matrix path into reusable stages:
   parameters).
 """
 
-from repro.engine.cache import ArtifactCache, CacheStats, hash_arrays, hash_params
+from repro.engine.cache import ArtifactCache, CacheStats, MemmapBlockStore, hash_arrays, hash_params
 from repro.engine.engine import AffinityEngine, EngineConfig
 from repro.engine.features import extract_pool_features, iter_batches
 from repro.engine.inference import (
@@ -38,10 +38,12 @@ from repro.engine.tiling import (
     LayerPrototypes,
     assemble_blocks,
     best_similarities,
+    sparsify_affinity,
     tile_bounds,
     tile_executor,
     tiled_affinity_matrix,
     tiled_layer_affinity_blocks,
+    topk_block,
     unique_unit_prototypes,
     unit_location_vectors,
 )
@@ -55,6 +57,7 @@ __all__ = [
     "warm_start_responsibilities",
     "ArtifactCache",
     "CacheStats",
+    "MemmapBlockStore",
     "hash_arrays",
     "hash_params",
     "extract_pool_features",
@@ -70,10 +73,12 @@ __all__ = [
     "LayerPrototypes",
     "assemble_blocks",
     "best_similarities",
+    "sparsify_affinity",
     "tile_bounds",
     "tile_executor",
     "tiled_affinity_matrix",
     "tiled_layer_affinity_blocks",
+    "topk_block",
     "unique_unit_prototypes",
     "unit_location_vectors",
 ]

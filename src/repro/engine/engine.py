@@ -22,8 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.affinity import AffinityMatrix
-from repro.engine.cache import ArtifactCache, hash_arrays
+from repro.core.affinity import AffinityMatrix, SparseAffinityMatrix
+from repro.engine.cache import ArtifactCache, MemmapBlockStore, hash_arrays
 from repro.engine.inference import EXECUTORS
 from repro.engine.source import (
     AffinitySource,
@@ -31,6 +31,7 @@ from repro.engine.source import (
     EngineRuntime,
     IncrementalAffinitySource,
 )
+from repro.engine.tiling import sparsify_affinity, topk_block
 from repro.utils.validation import check_images
 
 __all__ = ["EngineConfig", "AffinityEngine"]
@@ -72,6 +73,16 @@ class EngineConfig:
         n_workers: local worker processes the distributed session
             spawns; 0 (with a ``broker``) means workers join externally
             via ``goggles-repro worker``.
+        affinity_mode: ``"dense"`` (the bit-identity path, default) or
+            ``"sparse"`` — keep only the ``top_k`` largest affinities
+            per row per function block (exact blocked top-k; accuracy
+            contract "≥ 99% posterior agreement and exact labels vs
+            dense", enforced by ``bench_sparse_affinity``).
+        top_k: kept entries per row on the sparse path; ``None`` means
+            ``ceil(N / 4)``.  Sparse mode only.
+        memmap: densify sparse blocks into memory-mapped ``.npy``
+            files instead of fresh in-RAM arrays, so N can exceed RAM.
+            Sparse mode only.
     """
 
     batch_size: int | None = 32
@@ -84,6 +95,9 @@ class EngineConfig:
     cache_max_bytes: int | None = None
     broker: str | None = None
     n_workers: int = 0
+    affinity_mode: str = "dense"
+    top_k: int | None = None
+    memmap: bool = False
 
     def __post_init__(self) -> None:
         if self.precision not in _PRECISIONS:
@@ -94,6 +108,12 @@ class EngineConfig:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
         if self.n_workers < 0:
             raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.affinity_mode not in ("dense", "sparse"):
+            raise ValueError(f"affinity_mode must be 'dense' or 'sparse', got {self.affinity_mode!r}")
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.affinity_mode != "sparse" and (self.top_k is not None or self.memmap):
+            raise ValueError("top_k and memmap require affinity_mode='sparse'")
 
     @property
     def dtype(self) -> type:
@@ -185,7 +205,14 @@ class AffinityEngine:
     # Keys
     # ------------------------------------------------------------------
     def _params(self) -> dict[str, object]:
-        return {**self.source.signature(), "precision": self.config.precision}
+        params = {**self.source.signature(), "precision": self.config.precision}
+        if self.config.affinity_mode == "sparse":
+            # The *configured* top_k addresses the artifact (None =
+            # "ceil(N/4)" as a policy, resolved per corpus; the image
+            # hash already covers N, so the resolved k is covered too).
+            params["affinity_mode"] = "sparse"
+            params["top_k"] = self.config.top_k
+        return params
 
     def _corpus_key(self, data_hash: str) -> str:
         assert self.cache is not None
@@ -221,14 +248,26 @@ class AffinityEngine:
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
-    def build(self, images: np.ndarray, keep_state: bool | None = None) -> AffinityMatrix:
+    def build(
+        self, images: np.ndarray, keep_state: bool | None = None
+    ) -> AffinityMatrix | SparseAffinityMatrix:
         """Affinity matrix for ``images``; cache-aware.
 
         ``keep_state`` (default: whenever the source supports it)
         additionally retains/caches the corpus state that
-        :meth:`extend` needs.
+        :meth:`extend` needs.  With ``affinity_mode="sparse"`` the
+        result is a :class:`SparseAffinityMatrix` (same ``block(f)``
+        accessor) and corpus state is not kept — the sparse path is
+        build-only.
         """
         images = check_images(images)
+        if self.config.affinity_mode == "sparse":
+            if keep_state:
+                raise ValueError(
+                    "affinity_mode='sparse' cannot keep corpus state: the sparse "
+                    "path is build-only (incremental extension stays dense)"
+                )
+            return self._build_sparse(images)
         if keep_state is None:
             keep_state = self.supports_incremental
         if keep_state and not self.supports_incremental:
@@ -253,6 +292,55 @@ class AffinityEngine:
                 self._save_state(key, self._state)
         return matrix
 
+    def _build_sparse(self, images: np.ndarray) -> SparseAffinityMatrix:
+        """The sparse build path: stream blocks, top-k each, never hold
+        the dense matrix (peak memory is one layer's blocks)."""
+        key = None
+        if self.cache is not None:
+            key = self._corpus_key(hash_arrays(images))
+            cached = self.cache.load_affinity_csr(key)
+            if cached is not None:
+                self._forget()
+                return self._attach_store(cached, key)
+        self._forget()
+        cfg = self.config
+        runtime = dataclasses.replace(self._runtime(), out_dtype=cfg.dtype)
+        n = int(images.shape[0])
+        k = min(cfg.top_k if cfg.top_k is not None else max(1, -(-n // 4)), n)
+        iterate = getattr(self.source, "iter_function_blocks", None)
+        if iterate is not None:
+            data_parts: list[np.ndarray] = []
+            index_parts: list[np.ndarray] = []
+            fill_parts: list[np.ndarray] = []
+            ids: list[object] = []
+            for fid, block in iterate(images, runtime):
+                data, indices, fill = topk_block(block, k, row_tile=cfg.row_tile)
+                data_parts.append(data)
+                index_parts.append(indices)
+                fill_parts.append(fill)
+                ids.append(fid)
+            sparse = SparseAffinityMatrix(
+                data=np.stack(data_parts),
+                indices=np.stack(index_parts),
+                fill=np.stack(fill_parts),
+                function_ids=tuple(ids),
+            )
+        else:
+            # Sources without a streaming hook: build dense, sparsify.
+            dense = self.source.build(images, runtime)
+            sparse = sparsify_affinity(dense, k, dtype=cfg.dtype, row_tile=cfg.row_tile)
+        if self.cache is not None and key is not None:
+            self.cache.save_affinity_csr(key, sparse)
+        return self._attach_store(sparse, key)
+
+    def _attach_store(self, sparse: SparseAffinityMatrix, key: str | None) -> SparseAffinityMatrix:
+        """Attach the out-of-core block store when ``memmap`` is on."""
+        if not self.config.memmap:
+            return sparse
+        base_key = key if key is not None else sparse.content_hash()
+        store = MemmapBlockStore(cache=self.cache, base_key=base_key)
+        return sparse.with_store(store)
+
     def extend(self, new_images: np.ndarray) -> AffinityMatrix:
         """Extend the last built corpus with ``new_images``.
 
@@ -262,6 +350,11 @@ class AffinityEngine:
         hit that restored the state.
         """
         new_images = check_images(new_images)
+        if self.config.affinity_mode != "dense":
+            raise RuntimeError(
+                "extend() requires affinity_mode='dense': the sparse path is "
+                "build-only (serving and online labeling stay on the dense path)"
+            )
         if not self.supports_incremental:
             raise ValueError(f"source {self.source.name!r} does not support incremental state")
         if self._state is None:

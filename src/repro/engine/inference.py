@@ -38,7 +38,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.core.affinity import AffinityMatrix
+from repro.core.affinity import AffinityMatrix, SparseAffinityMatrix, densify_topk_rows
 from repro.core.inference.base_gmm import GMMFitResult, GMMParams
 from repro.core.inference.bernoulli import (
     BernoulliFitResult,
@@ -141,6 +141,27 @@ def _fit_block_from_shm(
         block = np.array(values[:, function_index * n : (function_index + 1) * n], copy=True)
     finally:
         shm.close()
+    return fit_base_function(block, config, function_index, init=init)
+
+
+def _fit_block_from_csr(
+    data: np.ndarray,
+    indices: np.ndarray,
+    fill: np.ndarray,
+    n_examples: int,
+    function_index: int,
+    config: HierarchicalConfig,
+    init: GMMParams | np.ndarray | None,
+) -> GMMFitResult:
+    """Process-pool worker for the sparse path: densify one CSR block, fit.
+
+    Sparse blocks travel as their O(N·k) CSR arrays instead of a shared
+    O(α·N²) dense segment — pickling N·k floats per function is already
+    sublinear in the dense footprint, which is the point of the sparse
+    path; densification happens worker-side with the shared scatter
+    kernel, so the fitted block is bitwise the one serial mode sees.
+    """
+    block = densify_topk_rows(data, indices, fill, n_examples)
     return fit_base_function(block, config, function_index, init=init)
 
 
@@ -249,22 +270,32 @@ class InferenceEngine:
             params["warm"] = hash_arrays(warm.label_predictions, warm.ensemble.weights, warm.ensemble.probs)
         return params
 
-    def _key(self, affinity: AffinityMatrix, warm: InferenceState | None) -> str | None:
+    def _key(
+        self, affinity: AffinityMatrix | SparseAffinityMatrix, warm: InferenceState | None
+    ) -> str | None:
         if self.cache is None:
             return None
-        return self.cache.key(hash_arrays(affinity.values), self._params(warm))
+        # Duck-typed content address: a SparseAffinityMatrix hashes its
+        # CSR arrays (cheap, O(α·N·k)); a dense matrix hashes values.
+        content = getattr(affinity, "content_hash", None)
+        data_hash = content() if callable(content) else hash_arrays(affinity.values)
+        return self.cache.key(data_hash, self._params(warm))
 
     # ------------------------------------------------------------------
     # Stage 1: base-model fits (serial | thread | process)
     # ------------------------------------------------------------------
     def _fit_base_models(
-        self, affinity: AffinityMatrix, inits: list[np.ndarray] | None
+        self, affinity: AffinityMatrix | SparseAffinityMatrix, inits: list[np.ndarray] | None
     ) -> tuple[np.ndarray, tuple[GMMFitResult, ...]]:
         """Stage 1 with executor dispatch; returns (LP, per-function fits).
 
         Serial/thread delegate to the shared
         :func:`~repro.core.inference.hierarchical.fit_all_base_functions`;
-        only the process and distributed branches live here.
+        only the process and distributed branches live here.  Every
+        branch consumes the affinity through ``block(f)`` only, so a
+        sparse matrix flows through serial/thread/distributed unchanged;
+        the process branch ships CSR arrays instead of a dense
+        shared-memory segment when the matrix is sparse.
         """
         if self.executor == "distributed":
             results = self._get_coordinator().fit_base_models(affinity, self.config, inits)
@@ -272,7 +303,10 @@ class InferenceEngine:
             label_predictions = np.concatenate([r.responsibilities for r in results], axis=1)
             return label_predictions, results
         if self.executor == "process" and self.n_jobs > 1 and affinity.n_functions > 1:
-            results = self._fit_base_models_process(affinity, inits)
+            if isinstance(affinity, SparseAffinityMatrix):
+                results = self._fit_base_models_process_sparse(affinity, inits)
+            else:
+                results = self._fit_base_models_process(affinity, inits)
             warn_if_reinitialized(results)
             label_predictions = np.concatenate([r.responsibilities for r in results], axis=1)
             return label_predictions, results
@@ -313,10 +347,37 @@ class InferenceEngine:
             shm.close()
             shm.unlink()
 
+    def _fit_base_models_process_sparse(
+        self, affinity: SparseAffinityMatrix, inits: list[np.ndarray] | None
+    ) -> tuple[GMMFitResult, ...]:
+        """Process fan-out over sparse blocks: per-function CSR pickling.
+
+        No shared-memory staging — each submission carries only that
+        function's (N, k) CSR arrays, sublinear in the dense footprint.
+        """
+        n = affinity.n_examples
+        with ProcessPoolExecutor(max_workers=min(self.n_jobs, affinity.n_functions)) as pool:
+            futures = [
+                pool.submit(
+                    _fit_block_from_csr,
+                    *affinity.csr_block(f),
+                    n,
+                    f,
+                    self.config,
+                    inits[f] if inits is not None else None,
+                )
+                for f in range(affinity.n_functions)
+            ]
+            return tuple(future.result() for future in futures)
+
     # ------------------------------------------------------------------
     # Full fit
     # ------------------------------------------------------------------
-    def fit(self, affinity: AffinityMatrix, warm_start: InferenceState | None = None) -> HierarchicalResult:
+    def fit(
+        self,
+        affinity: AffinityMatrix | SparseAffinityMatrix,
+        warm_start: InferenceState | None = None,
+    ) -> HierarchicalResult:
         """Run the staged hierarchy: base fits → one-hot → ensemble.
 
         ``warm_start`` resumes EM from a previous fit's state (silently

@@ -75,6 +75,11 @@ class EngineRuntime:
     n_jobs: int = 1
     dtype: type = np.float64
     coordinator: object | None = None
+    # Storage dtype of the similarity *output* (None = historical
+    # float64, whatever the compute dtype).  The sparse path sets this
+    # to float32 so blocks are stored at half width end-to-end; compute
+    # precision is still governed by ``dtype``.
+    out_dtype: type | None = None
 
     @property
     def local_jobs(self) -> int:
@@ -88,7 +93,15 @@ class EngineRuntime:
         """Stage-1 extraction under this runtime: chunked local forward
         passes, or ``"extraction"`` shards leased to the distributed
         cluster (workers rebuild the deterministic backbone from
-        ``model.config``, so only image chunks travel)."""
+        ``model.config``, so only image chunks travel).
+
+        Under ``dtype=float32`` the batch is cast up front so the whole
+        backbone forward runs at half width (``check_images`` preserves
+        float32 and the layers follow the activation dtype).  Shard
+        payloads carry the cast batch, so distributed extraction runs
+        the same float32 forward as a local one."""
+        if np.dtype(self.dtype) == np.float32:
+            images = images.astype(np.float32, copy=False)
         if self.coordinator is not None:
             return self.coordinator.extract_pool_features(
                 model.config, images, layers=layers, batch_size=self.batch_size
@@ -99,13 +112,16 @@ class EngineRuntime:
         """``best_similarities`` under this runtime: local tiles fanned
         over ``pool``, or shard tasks leased to the distributed cluster."""
         if self.coordinator is not None:
-            return self.coordinator.best_similarities(
+            best = self.coordinator.best_similarities(
                 prototypes,
                 vectors,
                 row_tile=self.row_tile,
                 col_tile=self.col_tile,
                 dtype=self.dtype,
             )
+            if self.out_dtype is not None:
+                best = best.astype(self.out_dtype, copy=False)
+            return best
         return best_similarities(
             prototypes,
             vectors,
@@ -113,6 +129,7 @@ class EngineRuntime:
             col_tile=self.col_tile,
             executor=pool,
             dtype=self.dtype,
+            out_dtype=self.out_dtype,
         )
 
 
@@ -232,6 +249,31 @@ class PrototypeAffinitySource:
         matrix = AffinityMatrix(values=np.concatenate(blocks, axis=1), function_ids=ids)
         return CorpusState(affinity=matrix, n_images=images.shape[0], arrays=arrays)
 
+    def iter_function_blocks(self, images: np.ndarray, runtime: EngineRuntime):
+        """Stream ``(function_id, dense N×N block)`` pairs, one layer at
+        a time, in the same function order :meth:`build` concatenates.
+
+        The sparse build path consumes this instead of :meth:`build`:
+        only one layer's Z blocks are dense at any moment, so peak
+        memory is O(Z·N²) instead of the full matrix's O(α·N²) — which
+        is the point of building sparse in the first place.  Each
+        block's values are bit-identical to the corresponding
+        ``build()`` block under the same runtime.
+        """
+        images = check_images(images)
+        pools = runtime.pool_features(self.model, images, self.layers)
+        with tile_executor(runtime.local_jobs) as pool:
+            for layer in self.layers:
+                filter_maps = pools.pop(layer)  # free each layer as it is consumed
+                vectors = unit_location_vectors(filter_maps)
+                prototypes = unique_unit_prototypes(filter_maps, self.top_z)
+                del filter_maps
+                best = runtime.similarities(prototypes.vectors, vectors, pool)
+                layer_blocks = assemble_blocks(best, prototypes.rank_rows)
+                del best, vectors
+                for rank in range(self.top_z):
+                    yield AffinityFunctionId(layer=layer, z=rank), layer_blocks[rank]
+
     def _check_state_alpha(self, state: CorpusState) -> None:
         expected_alpha = len(self.layers) * self.top_z
         if state.affinity.n_functions != expected_alpha:
@@ -349,6 +391,14 @@ class FeatureCosineSource:
             n_images=features.shape[0],
             arrays={"features": features},
         )
+
+    def iter_function_blocks(self, images: np.ndarray, runtime: EngineRuntime):
+        """Stream the single cosine block (α = 1 for this source)."""
+        features = self._features(images, runtime)
+        sims = cosine_similarity(features, features)
+        if runtime.out_dtype is not None:
+            sims = sims.astype(runtime.out_dtype, copy=False)
+        yield AffinityFunctionId(layer=-1, z=0), sims
 
     def extend_rows(
         self, state: CorpusState, new_images: np.ndarray, runtime: EngineRuntime

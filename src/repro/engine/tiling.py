@@ -33,7 +33,12 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.core.affinity import AffinityFunctionId, AffinityMatrix, _EPS
+from repro.core.affinity import (
+    AffinityFunctionId,
+    AffinityMatrix,
+    SparseAffinityMatrix,
+    _EPS,
+)
 
 __all__ = [
     "tile_executor",
@@ -45,6 +50,8 @@ __all__ = [
     "assemble_blocks",
     "tiled_layer_affinity_blocks",
     "tiled_affinity_matrix",
+    "topk_block",
+    "sparsify_affinity",
 ]
 
 
@@ -161,6 +168,7 @@ def best_similarities(
     col_tile: int | None = None,
     executor: Executor | None = None,
     dtype: np.dtype | type = np.float64,
+    out_dtype: np.dtype | type | None = None,
 ) -> np.ndarray:
     """``B[r, i] = max_p <prototypes[r], unit_vectors[i, :, p]>`` (Eq. 2).
 
@@ -168,12 +176,18 @@ def best_similarities(
     ``executor`` when given; each task scores one block with per-image
     matmuls (the cache-optimal blocking for the small channel counts of
     a width-scaled VGG).
+
+    ``out_dtype`` controls the dtype of the returned table; ``None``
+    keeps the historical float64 output (bit-compatible with every
+    dense consumer, even when computing in float32).  The sparse path
+    passes ``out_dtype=np.float32`` so similarity values stay float32
+    end-to-end instead of being cast back.
     """
     dtype = np.dtype(dtype)
     protos = prototypes.astype(dtype, copy=False)
     vectors = unit_vectors.astype(dtype, copy=False)
     n_rows, n_images = protos.shape[0], vectors.shape[0]
-    out = np.empty((n_rows, n_images), dtype=np.float64)
+    out = np.empty((n_rows, n_images), dtype=np.float64 if out_dtype is None else np.dtype(out_dtype))
 
     def score_block(bounds: tuple[tuple[int, int], tuple[int, int]]) -> None:
         (i0, i1), (j0, j1) = bounds
@@ -261,3 +275,79 @@ def tiled_affinity_matrix(
                 blocks.append(layer_blocks[rank])
                 ids.append(AffinityFunctionId(layer=layer, z=rank))
     return AffinityMatrix(values=np.concatenate(blocks, axis=1), function_ids=tuple(ids))
+
+
+# ----------------------------------------------------------------------
+# Blocked top-k sparsification (the exact kernel of the sparse path)
+# ----------------------------------------------------------------------
+def topk_block(
+    block: np.ndarray, k: int, *, row_tile: int | None = 32
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact per-row top-k of one affinity block, row-tile blocked.
+
+    Returns ``(data, indices, fill)``: the ``min(k, C)`` largest values
+    of every row (column-ascending, CSR discipline), their column ids,
+    and the per-row mean of the dropped entries.  Deterministic under
+    ties — the stable sort keeps the lowest column index — so sparse
+    matrices are content-addressable like everything else the engine
+    produces.  ``row_tile`` bounds the argsort scratch to one tile of
+    rows (the same tiling axis the similarity kernel uses); results are
+    identical at any tile size.  ``data``/``fill`` keep the block's
+    dtype, so a float32 block stays float32.
+    """
+    block = np.asarray(block)
+    if block.ndim != 2:
+        raise ValueError(f"block must be 2-D, got shape {block.shape}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n_rows, n_cols = block.shape
+    kept = min(k, n_cols)
+    data = np.empty((n_rows, kept), dtype=block.dtype)
+    indices = np.empty((n_rows, kept), dtype=np.int64)
+    fill = np.zeros(n_rows, dtype=block.dtype)
+    for r0, r1 in tile_bounds(n_rows, row_tile):
+        tile = block[r0:r1]
+        # Stable argsort of the negated tile: value descending, column
+        # ascending on ties — then re-sorted ascending for CSR layout.
+        order = np.argsort(-tile, axis=1, kind="stable")[:, :kept]
+        order.sort(axis=1)
+        kept_values = np.take_along_axis(tile, order, axis=1)
+        data[r0:r1] = kept_values
+        indices[r0:r1] = order
+        if kept < n_cols:
+            # Mean of the dropped tail (float64 accumulation, stored in
+            # the block dtype): densified rows keep their overall mass.
+            dropped = tile.sum(axis=1, dtype=np.float64) - kept_values.sum(axis=1, dtype=np.float64)
+            fill[r0:r1] = (dropped / (n_cols - kept)).astype(block.dtype)
+    return data, indices, fill
+
+
+def sparsify_affinity(
+    matrix: AffinityMatrix,
+    top_k: int,
+    *,
+    dtype: np.dtype | type | None = None,
+    row_tile: int | None = 32,
+) -> SparseAffinityMatrix:
+    """Top-k sparsification of a dense affinity matrix, block by block.
+
+    Convenience wrapper over :func:`topk_block` for sources that only
+    produce a full dense matrix; the staged engine's sparse build path
+    instead sparsifies blocks as they stream out of the similarity
+    stage, never holding the dense matrix (see
+    ``AffinityEngine._build_sparse``).  ``dtype`` converts the stored
+    values (float32 on the default sparse path); selection happens on
+    the converted block so the kept entries are exactly the ones a
+    float32-end-to-end build would keep.
+    """
+    target = np.dtype(dtype) if dtype is not None else matrix.values.dtype
+    n = matrix.n_examples
+    kept = min(top_k, n)
+    alpha = matrix.n_functions
+    data = np.empty((alpha, n, kept), dtype=target)
+    indices = np.empty((alpha, n, kept), dtype=np.int64)
+    fill = np.empty((alpha, n), dtype=target)
+    for f in range(alpha):
+        block = matrix.block(f).astype(target, copy=False)
+        data[f], indices[f], fill[f] = topk_block(block, top_k, row_tile=row_tile)
+    return SparseAffinityMatrix(data=data, indices=indices, fill=fill, function_ids=matrix.function_ids)

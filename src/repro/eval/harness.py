@@ -79,10 +79,17 @@ class ExperimentSettings:
             engine (memory bound, value-neutral).
         precision: engine compute precision (``"float64"`` exact,
             ``"float32"`` fast — agreement within ``np.allclose``).
+            ``None`` picks the mode default: float64 dense, float32
+            sparse.
         cache_dir: artifact cache shared across the harness' runs;
             ``None`` disables on-disk caching.
         cache_max_bytes: size budget for that cache (LRU eviction);
             ``None`` means unbounded.
+        affinity_mode: ``"dense"`` (default) or ``"sparse"`` top-k
+            affinity (see :class:`repro.engine.engine.EngineConfig`).
+        top_k: kept affinities per row in sparse mode (``None`` =
+            ``ceil(N / 4)``).
+        memmap: memory-mapped block densification in sparse mode.
     """
 
     n_per_class: int = 40
@@ -94,18 +101,26 @@ class ExperimentSettings:
     n_jobs: int = 1
     executor: str = "thread"
     batch_size: int | None = 32
-    precision: str = "float64"
+    precision: str | None = None
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
+    affinity_mode: str = "dense"
+    top_k: int | None = None
+    memmap: bool = False
 
     def engine_config(self) -> EngineConfig:
+        sparse = self.affinity_mode == "sparse"
+        precision = self.precision or ("float32" if sparse else "float64")
         return EngineConfig(
             batch_size=self.batch_size,
             n_jobs=self.n_jobs,
             executor=self.executor,
-            precision=self.precision,
+            precision=precision,
             cache_dir=self.cache_dir,
             cache_max_bytes=self.cache_max_bytes,
+            affinity_mode=self.affinity_mode,
+            top_k=self.top_k,
+            memmap=self.memmap,
         )
 
 

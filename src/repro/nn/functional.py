@@ -3,7 +3,10 @@
 These implement the forward-pass primitives needed by the VGG-16
 feature extractor used for GOGGLES' affinity functions: 2-D convolution
 (via im2col + matmul), ReLU, max pooling, linear layers, and softmax.
-All functions take and return ``float64`` arrays in NCHW layout.
+All functions use NCHW layout and compute in the input's dtype —
+float64 on the default path, float32 when the sparse affinity path
+feeds half-width batches (the layer objects cast their parameters to
+match the activations).
 """
 
 from __future__ import annotations

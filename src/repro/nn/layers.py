@@ -68,10 +68,23 @@ class Conv2d(Layer):
         return self.weight.shape[2]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        weight, bias = _params_as(x.dtype, self.weight, self.bias)
+        return F.conv2d(x, weight, bias, stride=self.stride, padding=self.padding)
 
     def n_parameters(self) -> int:
         return self.weight.size + (self.bias.size if self.bias is not None else 0)
+
+
+def _params_as(
+    dtype: np.dtype, weight: np.ndarray, bias: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Parameters cast to the activation dtype, so the compute precision
+    follows the input batch (float64 inputs — the default — see the
+    stored parameters unchanged; float32 inputs keep the whole forward
+    pass in float32 instead of silently promoting at the first matmul)."""
+    if weight.dtype == dtype:
+        return weight, bias
+    return weight.astype(dtype), None if bias is None else bias.astype(dtype)
 
 
 @dataclass
@@ -105,7 +118,8 @@ class Linear(Layer):
             raise ValueError(f"Linear weight must be 2-D, got shape {self.weight.shape}")
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return F.linear(x, self.weight, self.bias)
+        weight, bias = _params_as(x.dtype, self.weight, self.bias)
+        return F.linear(x, weight, bias)
 
     def n_parameters(self) -> int:
         return self.weight.size + (self.bias.size if self.bias is not None else 0)

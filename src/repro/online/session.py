@@ -30,7 +30,12 @@ removes N from the serving path entirely:
 The mutable online state (accumulators, step counter, drift EWMA)
 persists through the :class:`~repro.engine.cache.ArtifactCache` as an
 ``online-*.npz`` entry keyed by the seed fit's identity, so a restarted
-service resumes mid-stream instead of starting the schedule over.
+service resumes mid-stream instead of starting the schedule over.  The
+batches each refit absorbed into the corpus persist alongside it as an
+``online-replay-*.npz`` log; a restarted session replays them through
+``label_incremental`` (cache hits make the replay a cheap bit-identical
+re-derivation) to regrow the corpus, so it resumes even *after* refits
+instead of cold-starting in that case.
 
 Accuracy contract: on the shapes corpora the online path must agree
 with a full warm refit at ≥99% posterior agreement (1 − mean total
@@ -163,9 +168,15 @@ class OnlineSession:
         self.n_batches = 0
         self.n_buffer_dropped = 0
         self.resumed = False
+        self.replayed = 0
+        # Every batch a refit ever absorbed into the corpus, in refit
+        # order — persisted (kind "online-replay") so a restarted
+        # process can re-derive the grown corpus from the seed fit.
+        self._replay_log: list[np.ndarray] = []
         self._session_key = self._make_key(result)
         self._freeze(result)
         if resume:
+            self._try_replay()
             self._try_resume()
 
     # ------------------------------------------------------------------
@@ -418,6 +429,7 @@ class OnlineSession:
             self.n_refits,
             self.n_buffer_dropped,
             list(self._buffer),
+            list(self._replay_log),
         )
 
     def _restore(self, snapshot: tuple) -> None:
@@ -433,6 +445,7 @@ class OnlineSession:
             self.n_refits,
             self.n_buffer_dropped,
             self._buffer,
+            self._replay_log,
         ) = snapshot
 
     def _refit(self) -> np.ndarray:
@@ -449,6 +462,8 @@ class OnlineSession:
         buffered = self._buffer[0] if len(self._buffer) == 1 else np.concatenate(self._buffer, axis=0)
         result = self.goggles.label_incremental(buffered, self.dev_set, warm_start=True)
         self.n_refits += 1
+        self._replay_log.append(buffered)
+        self._persist_replay()
         self._freeze(result)
         return result.probabilistic_labels
 
@@ -477,13 +492,82 @@ class OnlineSession:
             arrays.update(stats.arrays(f"f{f:03d}"))
         cache.save_arrays("online", self._session_key, arrays)
 
+    def _persist_replay(self) -> None:
+        """Write the refit batches as one ``online-replay-*.npz`` entry.
+
+        Keyed by the *seed* session key (fixed across refits — it is
+        the session's lineage address), so a restarted process finds
+        the log from the seed fit alone, before any replaying.
+        """
+        if self._session_key is None:
+            return
+        cache = self.goggles.engine.cache
+        assert cache is not None
+        arrays: dict[str, np.ndarray] = {"n_entries": np.int64(len(self._replay_log))}
+        for i, batch in enumerate(self._replay_log):
+            arrays[f"entry_{i:03d}"] = batch
+        cache.save_arrays("online-replay", self._session_key, arrays)
+
+    def _try_replay(self) -> None:
+        """Re-absorb persisted refit batches into the corpus.
+
+        A previous life of this session may have refit onto a grown
+        corpus; this process starts from the seed fit, so without the
+        replay the persisted online state (whose statistics live in the
+        grown feature space) is unusable and the session cold-starts.
+        Replaying each refit's buffered batch through
+        ``label_incremental`` — cache hits make it a bit-identical,
+        cheap re-derivation — regrows the corpus to where the previous
+        life left it, after which :meth:`_try_resume` succeeds.
+
+        Silently a no-op on any problem: no cache, no log, or a replay
+        failure (the corpus is restored to the seed state so the
+        session still serves, just cold).
+        """
+        if self._session_key is None:
+            return
+        cache = self.goggles.engine.cache
+        assert cache is not None
+        stored = cache.load_arrays("online-replay", self._session_key)
+        if stored is None:
+            return
+        if "n_entries" not in stored:
+            cache.evict("online-replay", self._session_key)
+            return
+        batches: list[np.ndarray] = []
+        for i in range(int(stored["n_entries"])):
+            batch = stored.get(f"entry_{i:03d}")
+            if batch is None or batch.ndim != 4:
+                cache.evict("online-replay", self._session_key)
+                return
+            batches.append(batch)
+        if not batches:
+            return
+        engine = self.goggles.engine
+        saved_state, saved_key = engine.state, engine.state_key
+        result = None
+        try:
+            for batch in batches:
+                result = self.goggles.label_incremental(batch, self.dev_set, warm_start=True)
+        except Exception:
+            # A failed replay must not leave a half-grown corpus: the
+            # failing call rolled itself back, restore the rest.
+            engine.restore_state(saved_state, saved_key)
+            return
+        assert result is not None
+        self.n_refits = len(batches)
+        self._freeze(result)
+        self._replay_log = batches
+        self.replayed = len(batches)
+
     def _try_resume(self) -> None:
         """Restore persisted accumulators/step/EWMA for this seed fit.
 
         Silently a no-op when there is nothing usable: no cache, no
-        entry, or an entry whose shapes no longer line up (e.g. the
-        previous process refit onto a grown corpus this process cannot
-        reconstruct without the arrival images).
+        entry, or an entry whose shapes no longer line up.  A previous
+        process that refit onto a grown corpus is handled by
+        :meth:`_try_replay` (which re-derives that corpus from the
+        persisted refit batches before this method runs).
         """
         if self._session_key is None:
             return
@@ -497,7 +581,11 @@ class OnlineSession:
             cache.evict("online", self._session_key)
             return
         if int(stored["n_seed"]) != self.n_seed:
-            return  # the previous session refit onto a grown corpus
+            # The previous session refit onto a corpus this one does not
+            # hold — normally prevented by the refit-buffer replay in
+            # _try_replay (resume=False, a failed replay, or an evicted
+            # replay log land here).
+            return
         if not np.array_equal(stored["mapping"], self.mapping.cluster_to_class):
             return
         try:
@@ -542,5 +630,6 @@ class OnlineSession:
             "baseline_log_likelihood": round(self._baseline_ll, 6),
             "n_seed": self.n_seed,
             "resumed": self.resumed,
+            "replayed": self.replayed,
             "persisted": self._session_key is not None,
         }

@@ -39,13 +39,22 @@ def check_array(
 
 
 def check_images(images: np.ndarray, *, name: str = "images") -> np.ndarray:
-    """Validate a batch of images shaped ``(N, C, H, W)`` with C in {1, 3}."""
+    """Validate a batch of images shaped ``(N, C, H, W)`` with C in {1, 3}.
+
+    Every dtype is canonicalised to float64 except float32, which is
+    preserved: the sparse affinity path casts batches to float32 before
+    extraction so the whole backbone forward runs at half width (the
+    layers follow the activation dtype), locally and on distributed
+    extraction workers alike.
+    """
     images = check_array(images, name=name, ndim=4)
     n, c, h, w = images.shape
     if c not in (1, 3):
         raise ValueError(f"{name} must have 1 or 3 channels, got {c}")
     if h < 8 or w < 8:
         raise ValueError(f"{name} must be at least 8x8 pixels, got {h}x{w}")
+    if images.dtype == np.float32:
+        return images
     return images.astype(np.float64, copy=False)
 
 

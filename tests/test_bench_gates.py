@@ -67,6 +67,42 @@ class TestCrossoverGate:
         assert "flipped" in capsys.readouterr().out
 
 
+class TestSpeedupGate:
+    def test_regressed_speedup_fails(self, tmp_path, capsys):
+        baseline = {"sparse": [{"n": 80, "speedup": 1.4}]}
+        fresh = {"sparse": [{"n": 80, "speedup": 1.0}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "speedup ratio regressed" in capsys.readouterr().out
+
+    def test_dip_within_tolerance_passes(self, tmp_path):
+        baseline = {"sparse": [{"n": 80, "speedup": 1.4}]}
+        fresh = {"sparse": [{"n": 80, "speedup": 1.1}]}  # -21%, inside the 25% bound
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_faster_passes(self, tmp_path):
+        baseline = {"sparse": [{"n": 80, "speedup": 1.2}]}
+        fresh = {"sparse": [{"n": 80, "speedup": 2.5}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_suffixed_key_is_gated_too(self, tmp_path, capsys):
+        baseline = {"sparse": [{"warm_speedup": 3.0}]}
+        fresh = {"sparse": [{"warm_speedup": 1.0}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "speedup ratio regressed" in capsys.readouterr().out
+
+    def test_type_drift_fails(self, tmp_path, capsys):
+        baseline = {"sparse": [{"speedup": 1.3}]}
+        fresh = {"sparse": [{"speedup": None}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "baseline is a number" in capsys.readouterr().out
+
+    def test_agreement_flag_flip_fails(self, tmp_path, capsys):
+        baseline = {"sparse": [{"posterior_agreement_ok": True, "labels_exact": True}]}
+        fresh = {"sparse": [{"posterior_agreement_ok": True, "labels_exact": False}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "flipped" in capsys.readouterr().out
+
+
 def _write_leg(root: Path, label: str, document: dict) -> None:
     leg = root / f"BENCH-inference-{label}"
     leg.mkdir(parents=True)

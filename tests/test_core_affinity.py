@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import io
+
 import numpy as np
 import pytest
 
@@ -183,3 +185,49 @@ class TestAffinityFromFeatures:
         features = np.random.default_rng(3).standard_normal((5, 8))
         matrix = affinity_from_features(features)
         np.testing.assert_allclose(matrix.values, matrix.values.T, atol=1e-12)
+
+
+class TestSaveLoadFileObject:
+    @pytest.fixture()
+    def matrix(self) -> AffinityMatrix:
+        rng = np.random.default_rng(9)
+        return AffinityMatrix(
+            values=rng.random((5, 2 * 5)),
+            function_ids=(AffinityFunctionId(layer=1, z=0), AffinityFunctionId(layer=1, z=1)),
+        )
+
+    def test_path_round_trip(self, matrix, tmp_path):
+        path = tmp_path / "affinity.npz"
+        matrix.save(str(path))
+        loaded = AffinityMatrix.load(str(path))
+        np.testing.assert_array_equal(loaded.values, matrix.values)
+        assert loaded.function_ids == matrix.function_ids
+
+    def test_binary_file_object_round_trip(self, matrix, tmp_path):
+        path = tmp_path / "affinity.npz"
+        with open(path, "wb") as handle:
+            matrix.save(handle)
+        with open(path, "rb") as handle:
+            loaded = AffinityMatrix.load(handle)
+        np.testing.assert_array_equal(loaded.values, matrix.values)
+        assert loaded.function_ids == matrix.function_ids
+
+    def test_in_memory_buffer_round_trip(self, matrix):
+        buffer = io.BytesIO()
+        matrix.save(buffer)
+        buffer.seek(0)
+        loaded = AffinityMatrix.load(buffer)
+        np.testing.assert_array_equal(loaded.values, matrix.values)
+        assert loaded.function_ids == matrix.function_ids
+
+    def test_corrupt_file_object_error_names_the_handle(self, matrix, tmp_path):
+        path = tmp_path / "broken.npz"
+        truncated = AffinityMatrix(values=matrix.values[:, :5], function_ids=matrix.function_ids[:1])
+        values = np.vstack([truncated.values, truncated.values[:1]])  # 6 rows, 5 cols: invalid
+        np.savez_compressed(
+            str(path), values=values, layers=np.array([1]), zs=np.array([0]),
+            n_functions=np.int64(1), has_function_ids=np.bool_(True),
+        )
+        with open(path, "rb") as handle:
+            with pytest.raises(ValueError, match="broken.npz"):
+                AffinityMatrix.load(handle)

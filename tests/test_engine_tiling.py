@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.affinity import _EPS, _layer_affinity_blocks, compute_affinity_matrix
 from repro.core.prototypes import extract_prototypes
@@ -115,6 +116,37 @@ class TestBestSimilarities:
         table = unique_unit_prototypes(filter_maps, 2)
         with pytest.raises(ValueError, match="tile"):
             best_similarities(table.vectors, vectors, row_tile=0)
+
+    def test_out_dtype_is_storage_only(self, filter_maps):
+        """``out_dtype`` changes the output array dtype, not the compute:
+        the float32-stored result is exactly the float64 result cast."""
+        vectors = unit_location_vectors(filter_maps)
+        table = unique_unit_prototypes(filter_maps, 3)
+        reference = best_similarities(table.vectors, vectors)
+        stored = best_similarities(table.vectors, vectors, out_dtype=np.float32)
+        assert stored.dtype == np.float32
+        np.testing.assert_array_equal(stored, reference.astype(np.float32))
+
+    @given(
+        n_images=st.integers(min_value=2, max_value=6),
+        n_rows=st.integers(min_value=2, max_value=10),
+        n_positions=st.integers(min_value=1, max_value=8),
+        depth=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_float32_kernel_tracks_float64(self, n_images, n_rows, n_positions, depth, seed):
+        """Property (sparse-path contract): the float32 similarity kernel
+        agrees with the float64 kernel to ~1e-6 on unit-scale inputs, at
+        every tiling."""
+        rng = np.random.default_rng(seed)
+        prototypes = rng.standard_normal((n_rows, depth))
+        prototypes /= np.maximum(np.linalg.norm(prototypes, axis=1, keepdims=True), _EPS)
+        vectors = rng.standard_normal((n_images, depth, n_positions))
+        vectors /= np.maximum(np.linalg.norm(vectors, axis=1, keepdims=True), _EPS)
+        exact = best_similarities(prototypes, vectors)
+        half = best_similarities(prototypes, vectors, dtype=np.float32, row_tile=3)
+        np.testing.assert_allclose(half, exact, atol=2e-6, rtol=0.0)
 
 
 class TestAssembleBlocks:

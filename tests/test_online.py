@@ -442,18 +442,50 @@ class TestOnlinePersistence:
         assert not second.resumed  # the online config is part of the key
         assert second.stats()["step"] == 0
 
-    def test_resume_skipped_after_refit_grew_corpus(self, vgg, small_surface, tmp_path):
+    def test_resume_after_refit_replays_buffer(self, vgg, small_surface, tmp_path):
         _, _, _, first, images, n0 = self._build(
             vgg, small_surface, tmp_path, config=OnlineConfig(drift_threshold=100.0, refit_every=1)
         )
         first.absorb(images[n0 : n0 + 3])
         assert first.n_refits == 1
+        assert first.n_seed == n0 + 3  # the refit grew the corpus
         _, _, _, second, _, _ = self._build(
             vgg, small_surface, tmp_path, config=OnlineConfig(drift_threshold=100.0, refit_every=1)
         )
-        # The persisted state describes a grown corpus this fresh seed
-        # fit does not hold; the session starts fresh instead of lying.
-        assert not second.resumed
+        # The persisted refit batches replay through label_incremental
+        # (cache hits all the way), regrowing the corpus to where the
+        # previous life left it — so the online state resumes instead
+        # of cold-starting.
+        assert second.replayed == 1
+        assert second.stats()["replayed"] == 1
+        assert second.n_seed == first.n_seed
+        assert second.resumed
+        assert second.n_refits == 1
+        np.testing.assert_allclose(second._ewma_ll, first._ewma_ll)
+        for mine, theirs in zip(second._base_stats, first._base_stats):
+            np.testing.assert_allclose(mine.sx, theirs.sx)
+        # And it keeps serving on the grown corpus.
+        again = second.absorb(images[n0 + 3 :])
+        assert again.shape == (3, 2)
+
+    def test_replay_skipped_without_resume(self, vgg, small_surface, tmp_path):
+        _, _, _, first, images, n0 = self._build(
+            vgg, small_surface, tmp_path, config=OnlineConfig(drift_threshold=100.0, refit_every=1)
+        )
+        first.absorb(images[n0 : n0 + 3])
+        assert first.n_refits == 1
+        dev = small_surface.sample_dev_set(per_class=3, seed=0)
+        goggles = Goggles(
+            GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2), cache_dir=str(tmp_path)),
+            model=vgg,
+        )
+        result = goggles.label(images[:n0], dev)
+        fresh = OnlineSession(
+            goggles, dev, result, OnlineConfig(drift_threshold=100.0, refit_every=1), resume=False
+        )
+        assert fresh.replayed == 0
+        assert not fresh.resumed
+        assert fresh.n_seed == n0  # the corpus stayed at the seed fit
 
     def test_no_cache_means_no_persistence(self, seeded):
         goggles, dev, result, images, n0 = seeded
