@@ -31,6 +31,15 @@ pair.  Two classes of change fail the build:
   ``--max-regression`` below its baseline.  Ratios are jitter-robust
   (numerator and denominator ride the same runner), so no
   ``--min-seconds`` floor applies; growing is always fine.
+* **tail-latency regression** — any ``*_p99_seconds`` metric (the
+  serving load benchmark's tail percentiles) that grew by more than
+  ``--max-regression``.  Tail latencies are legitimate sub-second
+  signal, so they get their own much lower ``--min-latency-seconds``
+  floor (default 0.05) instead of the generic ``--min-seconds`` one.
+* **shed-rate increase** — a ``shed_rate`` metric (fraction of
+  submissions shed with 429 at a fixed offered load) that rose more
+  than ``--max-shed-increase`` (absolute, default 0.10) above its
+  baseline: the service started refusing work it used to absorb.
 
 Structure is compared recursively; a fresh file may *add* keys or rows
 (new metrics, new worker counts), but dropping a baseline key or row
@@ -58,8 +67,17 @@ def compare(
     path: str,
     max_regression: float,
     min_seconds: float,
+    min_latency_seconds: float = 0.05,
+    max_shed_increase: float = 0.10,
 ) -> list[str]:
     """All gate violations between one baseline/fresh subtree pair."""
+
+    def recurse(base_node: object, fresh_node: object, sub_path: str) -> list[str]:
+        return compare(
+            base_node, fresh_node, sub_path,
+            max_regression, min_seconds, min_latency_seconds, max_shed_increase,
+        )
+
     issues: list[str] = []
     if isinstance(baseline, dict):
         if not isinstance(fresh, dict):
@@ -68,7 +86,7 @@ def compare(
             if key not in fresh:
                 issues.append(f"{path}.{key}: present in baseline, missing from fresh run")
             else:
-                issues.extend(compare(value, fresh[key], f"{path}.{key}", max_regression, min_seconds))
+                issues.extend(recurse(value, fresh[key], f"{path}.{key}"))
         return issues
     if isinstance(baseline, list):
         if not isinstance(fresh, list):
@@ -76,7 +94,7 @@ def compare(
         if len(fresh) < len(baseline):
             issues.append(f"{path}: coverage shrank from {len(baseline)} to {len(fresh)} rows")
         for index, (base_row, fresh_row) in enumerate(zip(baseline, fresh)):
-            issues.extend(compare(base_row, fresh_row, f"{path}[{index}]", max_regression, min_seconds))
+            issues.extend(recurse(base_row, fresh_row, f"{path}[{index}]"))
         return issues
     # bool before int/float: Python booleans are ints.
     if isinstance(baseline, bool):
@@ -96,6 +114,31 @@ def compare(
         )
         return issues
     key = path.rsplit(".", 1)[-1]
+    if isinstance(baseline, (int, float)) and key.endswith("_p99_seconds"):
+        # Tail latency first: the generic _seconds rule's jitter floor
+        # (0.5s) would exempt almost every real serving percentile.
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            return [f"{path}: baseline is a number, fresh is {json.dumps(fresh)}"]
+        if baseline < min_latency_seconds:
+            return issues
+        limit = baseline * (1.0 + max_regression)
+        if fresh > limit:
+            issues.append(
+                f"{path}: p99 latency regressed {baseline:.4f}s -> {fresh:.4f}s "
+                f"(+{100.0 * (fresh - baseline) / baseline:.1f}%, "
+                f"limit +{100.0 * max_regression:.0f}%)"
+            )
+        return issues
+    if isinstance(baseline, (int, float)) and key == "shed_rate":
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            return [f"{path}: baseline is a number, fresh is {json.dumps(fresh)}"]
+        limit = baseline + max_shed_increase
+        if fresh > limit:
+            issues.append(
+                f"{path}: shed rate rose {baseline:.3f} -> {fresh:.3f} at the same "
+                f"offered load (limit +{max_shed_increase:.2f} absolute)"
+            )
+        return issues
     if isinstance(baseline, (int, float)) and key.endswith("_seconds"):
         if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
             return [f"{path}: baseline is a number, fresh is {json.dumps(fresh)}"]
@@ -129,6 +172,8 @@ def check_file(
     fresh_dir: Path,
     max_regression: float,
     min_seconds: float,
+    min_latency_seconds: float = 0.05,
+    max_shed_increase: float = 0.10,
 ) -> list[str]:
     baseline_path = baseline_dir / name
     fresh_path = fresh_dir / name
@@ -144,7 +189,10 @@ def check_file(
         fresh = json.loads(fresh_path.read_text())
     except ValueError as error:
         return [f"{name}: fresh trajectory is not valid JSON ({error})"]
-    return compare(baseline, fresh, name, max_regression, min_seconds)
+    return compare(
+        baseline, fresh, name,
+        max_regression, min_seconds, min_latency_seconds, max_shed_increase,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -167,13 +215,27 @@ def main(argv: list[str] | None = None) -> int:
         help="baselines below this are exempt from the wall-clock check "
         "(sub-second single-round timings are runner jitter; default 0.5)",
     )
+    parser.add_argument(
+        "--min-latency-seconds", type=float, default=0.05,
+        help="*_p99_seconds baselines below this are exempt from the tail-latency "
+        "check (default 0.05)",
+    )
+    parser.add_argument(
+        "--max-shed-increase", type=float, default=0.10,
+        help="tolerated absolute shed_rate growth at the same offered load (default 0.10)",
+    )
     args = parser.parse_args(argv)
     if args.max_regression < 0:
         parser.error(f"--max-regression must be >= 0, got {args.max_regression}")
+    if args.max_shed_increase < 0:
+        parser.error(f"--max-shed-increase must be >= 0, got {args.max_shed_increase}")
 
     failures: list[str] = []
     for name in args.files:
-        issues = check_file(name, args.baseline, args.fresh, args.max_regression, args.min_seconds)
+        issues = check_file(
+            name, args.baseline, args.fresh, args.max_regression, args.min_seconds,
+            args.min_latency_seconds, args.max_shed_increase,
+        )
         status = "FAIL" if issues else "ok"
         print(f"[{status}] {name}")
         for issue in issues:

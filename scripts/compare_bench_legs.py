@@ -21,7 +21,15 @@ which enforces one invariant and prints one report:
 Usage (CI downloads artifacts into ``<dir>/BENCH-inference-py3.x/``)::
 
     python scripts/compare_bench_legs.py --root bench-legs \
-        --pattern 'BENCH-inference-py*' --file BENCH_inference.json
+        --pattern 'BENCH-inference-py*' \
+        --file BENCH_inference.json --file BENCH_serving.json
+
+``--file`` repeats: every named trajectory found inside a leg's
+artifact directory is merged into that leg (keys prefixed with the
+file's stem, so ``BENCH_serving.json``'s ``smoke`` section compares as
+``BENCH_serving:smoke...``).  A file missing from *every* leg is
+skipped; present on some legs but not others, its flags count as
+divergences like any other missing flag.
 """
 
 from __future__ import annotations
@@ -44,17 +52,28 @@ def flatten(node: object, path: str, out: dict[str, object]) -> None:
         out[path] = node
 
 
-def load_legs(root: Path, pattern: str, file_name: str) -> dict[str, dict[str, object]]:
-    """``{leg label: flattened trajectory}`` for every matching artifact dir."""
+def load_legs(root: Path, pattern: str, file_names: list[str]) -> dict[str, dict[str, object]]:
+    """``{leg label: flattened trajectories}`` for every matching artifact dir.
+
+    With several ``file_names``, each file's flattened keys are prefixed
+    with its stem (``BENCH_serving:smoke...``) so trajectories merge
+    without colliding; a leg joins the comparison when it holds at
+    least one of the named files.
+    """
     legs: dict[str, dict[str, object]] = {}
     for artifact_dir in sorted(root.glob(pattern)):
-        trajectory = artifact_dir / file_name
-        if not trajectory.is_file():
-            continue
         label = artifact_dir.name.rsplit("-", 1)[-1]  # BENCH-inference-py3.12 -> py3.12
         flat: dict[str, object] = {}
-        flatten(json.loads(trajectory.read_text()), "", flat)
-        legs[label] = flat
+        for file_name in file_names:
+            trajectory = artifact_dir / file_name
+            if not trajectory.is_file():
+                continue
+            prefix = "" if len(file_names) == 1 else f"{Path(file_name).stem}:"
+            scoped: dict[str, object] = {}
+            flatten(json.loads(trajectory.read_text()), "", scoped)
+            flat.update({f"{prefix}{key}": value for key, value in scoped.items()})
+        if flat:
+            legs[label] = flat
     return legs
 
 
@@ -107,8 +126,9 @@ def main(argv: list[str] | None = None) -> int:
         help="glob matching one artifact directory per interpreter leg",
     )
     parser.add_argument(
-        "--file", default="BENCH_inference.json", dest="file_name",
-        help="trajectory file name inside each artifact directory",
+        "--file", action="append", dest="file_names", default=None,
+        help="trajectory file name inside each artifact directory; repeatable "
+        "(default: BENCH_inference.json)",
     )
     parser.add_argument(
         "--min-legs", type=int, default=2,
@@ -116,13 +136,14 @@ def main(argv: list[str] | None = None) -> int:
         "silently shrink the comparison to a self-agreement; default 2)",
     )
     args = parser.parse_args(argv)
+    file_names = args.file_names or ["BENCH_inference.json"]
 
-    legs = load_legs(args.root, args.pattern, args.file_name)
+    legs = load_legs(args.root, args.pattern, file_names)
     print(f"legs: {', '.join(sorted(legs)) or '(none)'}")
     if len(legs) < args.min_legs:
         print(
             f"\ncompare-legs: only {len(legs)} leg(s) matched "
-            f"{args.pattern!r}/{args.file_name} under {args.root} "
+            f"{args.pattern!r}/{'|'.join(file_names)} under {args.root} "
             f"(need >= {args.min_legs})"
         )
         return 1

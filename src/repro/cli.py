@@ -166,7 +166,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service, host=args.http_host, port=args.http_port,
             max_queued_pixels=args.max_queued_pixels,
         )
-        print(f"HTTP front-end on {server.url}  (POST /submit, GET /poll/<ticket>, GET /healthz)")
+        print(
+            f"HTTP front-end on {server.url}  "
+            "(POST /submit, GET /poll/<ticket>, GET /healthz, GET /metrics)"
+        )
         print("Ctrl-C to stop")
         try:
             while True:
@@ -313,6 +316,26 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
         f"this process: {stats.total_hits} hits, {stats.total_misses} misses, "
         f"{stats.evictions} evictions"
     )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump metrics in Prometheus text format.
+
+    With ``--url`` the dump is scraped from a running server's
+    ``/metrics`` route; without, it renders this process's registry
+    (useful after an in-process run, or to check instrument wiring).
+    """
+    if args.url:
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/metrics"
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+        return 0
+    from repro.obs import default_registry
+
+    sys.stdout.write(default_registry().render())
     return 0
 
 
@@ -528,6 +551,17 @@ def main(argv: list[str] | None = None) -> int:
         "cache-info", help="inspect the shared artifact cache (entries, bytes, stats)"
     )
     cache_info.set_defaults(fn=_cmd_cache_info)
+
+    metrics = sub.add_parser(
+        "metrics", help="dump metrics in Prometheus text format (local registry or a server's /metrics)"
+    )
+    metrics.add_argument(
+        "--url", default=None,
+        help="base URL of a running serve --http-port instance; scrapes <url>/metrics "
+        "(default: render this process's registry)",
+    )
+    metrics.add_argument("--timeout", type=float, default=5.0, help="scrape timeout in seconds")
+    metrics.set_defaults(fn=_cmd_metrics)
 
     sub.add_parser("table1", help="reproduce Table 1").set_defaults(fn=_cmd_table1)
     sub.add_parser("table2", help="reproduce Table 2").set_defaults(fn=_cmd_table2)

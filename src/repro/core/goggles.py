@@ -34,6 +34,7 @@ from repro.engine.engine import AffinityEngine, EngineConfig
 from repro.engine.inference import InferenceEngine, InferenceState
 from repro.engine.source import PrototypeAffinitySource
 from repro.nn.vgg import VGG16, VGGConfig
+from repro.obs import span
 from repro.utils.validation import check_images
 
 if TYPE_CHECKING:  # runtime import would cycle (repro.online builds on the engines)
@@ -325,11 +326,12 @@ class Goggles:
         a failed call never leaves its images in the corpus and can be
         retried without duplicating rows.
         """
-        previous = self.inference.state if warm_start else None
-        saved_state, saved_key = self.engine.state, self.engine.state_key
-        affinity = self.engine.extend(new_images)
-        try:
-            return self.infer_labels(affinity, dev_set, warm_start=previous)
-        except Exception:
-            self.engine.restore_state(saved_state, saved_key)
-            raise
+        with span("label_incremental"):
+            previous = self.inference.state if warm_start else None
+            saved_state, saved_key = self.engine.state, self.engine.state_key
+            affinity = self.engine.extend(new_images)
+            try:
+                return self.infer_labels(affinity, dev_set, warm_start=previous)
+            except Exception:
+                self.engine.restore_state(saved_state, saved_key)
+                raise

@@ -56,6 +56,7 @@ from multiprocessing.connection import Connection, Listener
 
 from repro.distributed.queue import TaskQueue
 from repro.distributed.wire import WireFormatError, decode_arrays
+from repro.obs import default_registry
 
 __all__ = ["Broker", "DEFAULT_PORT"]
 
@@ -104,6 +105,24 @@ class Broker:
         self.n_stream_errors = 0  # malformed streams turned into failures
         self.n_lease_batches = 0  # lease_many grants of more than one shard
         self.n_report_batches = 0  # report_many uploads received
+        # Process-wide Prometheus mirrors of the counters above (totals
+        # across every broker this process has run).
+        registry = default_registry()
+        self._m_connections = registry.counter(
+            "goggles_broker_connections_total", "Worker connections ever accepted by brokers."
+        )
+        self._m_streamed = registry.counter(
+            "goggles_broker_streamed_results_total", "Results reassembled from framed streams."
+        )
+        self._m_stream_errors = registry.counter(
+            "goggles_broker_stream_errors_total", "Malformed result streams turned into failures."
+        )
+        self._m_lease_batches = registry.counter(
+            "goggles_broker_lease_batches_total", "lease_many grants of more than one shard."
+        )
+        self._m_report_batches = registry.counter(
+            "goggles_broker_report_batches_total", "report_many uploads received."
+        )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="goggles-broker-accept", daemon=True
         )
@@ -140,6 +159,7 @@ class Broker:
                     return
                 self._connections.append(conn)
                 self.n_connections += 1
+                self._m_connections.inc()
                 handler = threading.Thread(
                     target=self._serve,
                     args=(conn,),
@@ -175,6 +195,7 @@ class Broker:
                     if len(tasks) > 1:
                         with self._lock:
                             self.n_lease_batches += 1
+                        self._m_lease_batches.inc()
                     conn.send(("tasks", tasks) if tasks else ("idle",))
                 elif op == "result":
                     _, worker_id, task_id, arrays, *rest = message
@@ -192,6 +213,7 @@ class Broker:
                             accepted += 1
                     with self._lock:
                         self.n_report_batches += 1
+                    self._m_report_batches.inc()
                     conn.send(("ok", accepted))
                 elif op == "result-begin":
                     _, worker_id, task_id, n_frames, total_bytes, *rest = message
@@ -281,11 +303,13 @@ class Broker:
         if reason is not None:
             with self._lock:
                 self.n_stream_errors += 1
+            self._m_stream_errors.inc()
             self.queue.fail(task_id, worker_id, f"streamed result discarded: {reason}")
             return ("error", reason)
         self.queue.complete(task_id, worker_id, arrays, seconds)
         with self._lock:
             self.n_streamed += 1
+        self._m_streamed.inc()
         return ("ok",)
 
     # ------------------------------------------------------------------

@@ -58,6 +58,7 @@ from repro.distributed.worker import (
 )
 from repro.engine.cache import ArtifactCache
 from repro.nn.vgg import VGGConfig
+from repro.obs import default_registry
 
 __all__ = [
     "DEFAULT_AUTHKEY",
@@ -223,6 +224,13 @@ class Coordinator:
             "workers_spawned": 0,
             "cache_writebacks": 0,
         }
+        registry = default_registry()
+        self._m_spawned = registry.counter(
+            "goggles_pool_workers_spawned_total", "Local workers spawned by coordinators."
+        )
+        self._m_writebacks = registry.counter(
+            "goggles_pool_cache_writebacks_total", "Shard results written back into the artifact cache."
+        )
 
     @classmethod
     def for_engine(
@@ -280,6 +288,7 @@ class Coordinator:
         assert self._broker is not None
         host, port = self._broker.address
         self.stats["workers_spawned"] += 1
+        self._m_spawned.inc()
         if self.config.worker_mode == "thread":
             worker = Worker(
                 (host, port),
@@ -425,6 +434,7 @@ class Coordinator:
                 # hits instead of recomputing.
                 self.cache.save_arrays("shard", task.task_id, result)
                 self.stats["cache_writebacks"] += 1
+                self._m_writebacks.inc()
         self.queue.forget(ids)
         return results
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.distributed.tasks import ShardTask
+from repro.obs import default_registry
 
 __all__ = ["PoisonShardError", "ShardAutotuner", "TaskQueue"]
 
@@ -55,6 +56,11 @@ class ShardAutotuner:
         self.smoothing = float(smoothing)
         self._seconds: dict[str, float] = {}  # kind -> EWMA of compute seconds
         self.n_observations = 0
+        self._m_ewma = default_registry().gauge(
+            "goggles_autotuner_lease_seconds_ewma",
+            "Autotuner EWMA of per-shard compute seconds, by shard kind.",
+            labelnames=("kind",),
+        )
 
     def observe(self, kind: str, seconds: float) -> None:
         """Fold one completed shard's measured compute into the EWMA."""
@@ -65,6 +71,7 @@ class ShardAutotuner:
         else:
             self._seconds[kind] = previous + self.smoothing * (seconds - previous)
         self.n_observations += 1
+        self._m_ewma.set(self._seconds[kind], kind=kind)
 
     def estimate(self, kind: str) -> float | None:
         """EWMA compute seconds of one ``kind`` shard (``None`` = uncalibrated)."""

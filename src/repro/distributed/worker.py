@@ -49,6 +49,7 @@ import numpy as np
 from repro.distributed import wire
 from repro.distributed.tasks import ShardTask, execute_shard
 from repro.engine.cache import ArtifactCache
+from repro.obs import default_registry
 
 __all__ = [
     "DEFAULT_STREAM_THRESHOLD",
@@ -142,6 +143,19 @@ class Worker:
         self.tasks_failed = 0
         self.results_streamed = 0
         self.results_batched = 0  # results reported via report_many
+        # Prometheus mirrors.  Note these land in *this* worker's process
+        # registry: visible when workers run in-thread, per-process when
+        # they are spawned (each worker process scrapes its own).
+        registry = default_registry()
+        self._m_completed = registry.counter(
+            "goggles_worker_tasks_completed_total", "Shards computed successfully by workers."
+        )
+        self._m_failed = registry.counter(
+            "goggles_worker_tasks_failed_total", "Shards that raised during worker compute."
+        )
+        self._m_streamed = registry.counter(
+            "goggles_worker_results_streamed_total", "Large results streamed as framed buffers."
+        )
         self.idle_polls = 0
         self._idle_streak = 0
         self._rng = random.Random()
@@ -219,6 +233,7 @@ class Worker:
             conn.send(("result-end", self.worker_id, task.task_id))
         conn.recv()  # ack; ("error", ...) means the broker burned a retry
         self.results_streamed += 1
+        self._m_streamed.inc()
 
     def _flush_reports(self, conn: Connection, reports: list[tuple[str, dict, float]]) -> None:
         """Upload a batch of small results in one ``report_many``."""
@@ -249,11 +264,13 @@ class Worker:
                 arrays = execute_shard(task, cache=self.cache)
             except Exception as error:  # noqa: BLE001 - report, don't die
                 self.tasks_failed += 1
+                self._m_failed.inc()
                 conn.send(("fail", self.worker_id, task.task_id, f"{type(error).__name__}: {error}"))
                 conn.recv()
                 continue
             seconds = time.perf_counter() - started
             self.tasks_completed += 1
+            self._m_completed.inc()
             # Size gate on the raw byte footprint — cheap to compute and
             # within a constant of the encoded size.
             nbytes = sum(int(np.asarray(value).nbytes) for value in arrays.values())

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.affinity import AffinityMatrix, SparseAffinityMatrix, densify_topk_rows
+from repro.obs import default_registry
 
 # A cache read must never be able to crash a run: any unreadable or
 # internally inconsistent artifact (truncated download, disk-full
@@ -109,6 +110,25 @@ class ArtifactCache:
         self.max_bytes = max_bytes
         os.makedirs(self.cache_dir, exist_ok=True)
         self.stats = CacheStats()
+        # Process-wide mirrors of the per-instance stats: get-or-create
+        # is idempotent, so every cache in the process feeds the same
+        # Prometheus families (totals across instances).
+        registry = default_registry()
+        self._m_hits = registry.counter(
+            "goggles_cache_hits_total", "Artifact cache hits, by artifact kind.", labelnames=("kind",)
+        )
+        self._m_misses = registry.counter(
+            "goggles_cache_misses_total", "Artifact cache misses, by artifact kind.", labelnames=("kind",)
+        )
+        self._m_evictions = registry.counter(
+            "goggles_cache_evictions_total", "Artifact cache entries evicted (LRU budget or deferred)."
+        )
+        self._m_pins = registry.counter(
+            "goggles_cache_pins_total", "Memmap pin acquisitions (live readers registered)."
+        )
+        self._m_unpins = registry.counter(
+            "goggles_cache_unpins_total", "Memmap pin releases."
+        )
         self._lock = threading.RLock()
         # Memmap refcounts: a path with a positive pin count has live
         # readers whose pages are backed by the file — eviction of a
@@ -120,6 +140,7 @@ class ArtifactCache:
     def _record(self, kind: str, hit: bool) -> None:
         with self._lock:
             self.stats.record(kind, hit=hit)
+        (self._m_hits if hit else self._m_misses).inc(kind=kind)
 
     def key(self, data_hash: str, params: dict[str, object]) -> str:
         """Combine a data hash and a parameter mapping into one address."""
@@ -248,9 +269,11 @@ class ArtifactCache:
         """Register a live reader of ``path``; eviction is deferred."""
         with self._lock:
             self._pins[path] = self._pins.get(path, 0) + 1
+        self._m_pins.inc()
 
     def unpin(self, path: str) -> None:
         """Drop one reader; the last unpin applies any deferred eviction."""
+        self._m_unpins.inc()
         with self._lock:
             count = self._pins.get(path, 0) - 1
             if count > 0:
@@ -261,6 +284,7 @@ class ArtifactCache:
                 self._deferred.discard(path)
                 self._evict_corrupt(path)
                 self.stats.evictions += 1
+                self._m_evictions.inc()
 
     def pinned(self, path: str) -> bool:
         with self._lock:
@@ -341,6 +365,7 @@ class ArtifactCache:
                     continue
                 total -= size
                 self.stats.evictions += 1
+                self._m_evictions.inc()
 
     def clear(self) -> int:
         """Delete every cached artifact; returns the number removed.

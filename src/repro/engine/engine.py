@@ -32,6 +32,7 @@ from repro.engine.source import (
     IncrementalAffinitySource,
 )
 from repro.engine.tiling import sparsify_affinity, topk_block
+from repro.obs import span
 from repro.utils.validation import check_images
 
 __all__ = ["EngineConfig", "AffinityEngine"]
@@ -260,6 +261,12 @@ class AffinityEngine:
         accessor) and corpus state is not kept — the sparse path is
         build-only.
         """
+        with span("engine.build"):
+            return self._build(images, keep_state)
+
+    def _build(
+        self, images: np.ndarray, keep_state: bool | None
+    ) -> AffinityMatrix | SparseAffinityMatrix:
         images = check_images(images)
         if self.config.affinity_mode == "sparse":
             if keep_state:
@@ -349,6 +356,10 @@ class AffinityEngine:
         prior :meth:`build` (with state) in this engine, or a cache
         hit that restored the state.
         """
+        with span("engine.extend"):
+            return self._extend(new_images)
+
+    def _extend(self, new_images: np.ndarray) -> AffinityMatrix:
         new_images = check_images(new_images)
         if self.config.affinity_mode != "dense":
             raise RuntimeError(

@@ -54,6 +54,7 @@ from repro.core.inference.hierarchical import (
     warn_if_reinitialized,
 )
 from repro.engine.cache import ArtifactCache, hash_arrays
+from repro.obs import span
 
 __all__ = ["EXECUTORS", "InferenceState", "InferenceEngine", "warm_start_responsibilities"]
 
@@ -385,6 +386,14 @@ class InferenceEngine:
         Cache-aware: an identical (affinity, config, warm-start) triple
         is a disk load that also restores the warm-start state.
         """
+        with span("inference.fit"):
+            return self._fit(affinity, warm_start)
+
+    def _fit(
+        self,
+        affinity: AffinityMatrix | SparseAffinityMatrix,
+        warm_start: InferenceState | None,
+    ) -> HierarchicalResult:
         cfg = self.config
         if warm_start is not None and not warm_start.compatible_with(affinity, cfg.n_classes):
             warm_start = None

@@ -56,6 +56,7 @@ from repro.core.inference.bernoulli import BernoulliParams, one_hot_encode_lp
 from repro.core.inference.mapping import apply_mapping, map_clusters_to_classes
 from repro.datasets.base import DevSet
 from repro.engine.cache import hash_arrays
+from repro.obs import MetricsRegistry, default_registry, span
 from repro.online.stats import BernoulliStats, GMMStats, step_size
 from repro.utils.validation import check_images
 
@@ -151,6 +152,7 @@ class OnlineSession:
         config: OnlineConfig | None = None,
         *,
         resume: bool = True,
+        registry: MetricsRegistry | None = None,
     ):
         if goggles.engine.state is None:
             raise ValueError(
@@ -173,11 +175,40 @@ class OnlineSession:
         # order — persisted (kind "online-replay") so a restarted
         # process can re-derive the grown corpus from the seed fit.
         self._replay_log: list[np.ndarray] = []
+        self.registry = registry or default_registry()
+        self._init_metrics()
         self._session_key = self._make_key(result)
         self._freeze(result)
         if resume:
             self._try_replay()
             self._try_resume()
+
+    def _init_metrics(self) -> None:
+        """Declare the online metric family (see ENGINE.md catalogue)."""
+        reg = self.registry
+        self._m_steps = reg.counter(
+            "goggles_online_steps_total", "Stepwise-EM absorb steps executed."
+        )
+        self._m_rows = reg.counter(
+            "goggles_online_absorbed_rows_total", "Arrival rows folded into the online statistics."
+        )
+        self._m_refits = reg.counter(
+            "goggles_online_refits_total", "Escalations to a full warm-started refit."
+        )
+        self._m_dropped = reg.counter(
+            "goggles_online_buffer_dropped_total",
+            "Buffered arrival rows dropped past buffer_cap.",
+        )
+        # Drift and buffer fill are session state: read lazily at scrape
+        # time so absorb never pays for gauge bookkeeping.
+        reg.gauge(
+            "goggles_online_drift_nats",
+            "Nats/row the prequential log-likelihood EWMA sits below the seed baseline.",
+        ).set_function(lambda: self.drift)
+        reg.gauge(
+            "goggles_online_buffer_rows",
+            "Arrival rows buffered for the next refit.",
+        ).set_function(lambda: sum(batch.shape[0] for batch in self._buffer))
 
     # ------------------------------------------------------------------
     # Seed snapshot
@@ -285,6 +316,10 @@ class OnlineSession:
         for f, block in enumerate(rows):
             if block.ndim != 2 or block.shape[1] != self.n_seed or block.shape[0] == 0:
                 raise ValueError(f"rows[{f}] shaped {block.shape}, expected (M > 0, {self.n_seed})")
+        with span("absorb", self.registry):
+            return self._absorb_rows(rows)
+
+    def _absorb_rows(self, rows: list[np.ndarray]) -> np.ndarray:
         k = self.n_classes
         config = self.config
         self._step += 1
@@ -328,6 +363,8 @@ class OnlineSession:
         ) * self._ewma_ll + config.drift_alpha * prequential_ll
         self.n_batches += 1
         self.n_absorbed += int(posterior.shape[0])
+        self._m_steps.inc()
+        self._m_rows.inc(int(posterior.shape[0]))
         return apply_mapping(posterior, self.mapping)
 
     # ------------------------------------------------------------------
@@ -386,7 +423,9 @@ class OnlineSession:
                 sum(batch.shape[0] for batch in self._buffer) > self.config.buffer_cap
                 and len(self._buffer) > 1
             ):
-                self.n_buffer_dropped += int(self._buffer.pop(0).shape[0])
+                dropped = int(self._buffer.pop(0).shape[0])
+                self.n_buffer_dropped += dropped
+                self._m_dropped.inc(dropped)
             if self.should_refit():
                 labels = self._refit()[-images.shape[0] :]
         except Exception:
@@ -460,8 +499,10 @@ class OnlineSession:
         """
         assert self._buffer, "refit requested with an empty arrival buffer"
         buffered = self._buffer[0] if len(self._buffer) == 1 else np.concatenate(self._buffer, axis=0)
-        result = self.goggles.label_incremental(buffered, self.dev_set, warm_start=True)
+        with span("online.refit", self.registry):
+            result = self.goggles.label_incremental(buffered, self.dev_set, warm_start=True)
         self.n_refits += 1
+        self._m_refits.inc()
         self._replay_log.append(buffered)
         self._persist_replay()
         self._freeze(result)

@@ -19,7 +19,18 @@ routes —
   (``queued_pixels`` against the bound, ``tickets_outstanding``) and
   load counters (corpus size, batches run), so a load balancer can
   shed before the 429 path engages; in online mode the online
-  session's step/drift snapshot rides along under ``"online"``.
+  session's step/drift snapshot rides along under ``"online"``, and
+  the HTTP layer's own request/shed totals ride along under ``"http"``
+  (a scrape between polls can tell whether traffic is flowing).
+* ``GET /metrics`` — the process metrics registry in Prometheus text
+  exposition format: serving, online, engine/cache, and distributed
+  metric families (see ENGINE.md, "Observability").
+
+Every submission gets a **trace id** (minted here, or the client's
+``X-Trace-Id`` header), returned in the 202 payload and response
+header and threaded through the service worker into the online/
+incremental/inference spans, so one request's path across threads is
+reconstructable from ``repro.obs.recent_spans``.
 
 Each request is handled on its own thread (``ThreadingHTTPServer``);
 all actual labeling still funnels through the service's single
@@ -32,10 +43,12 @@ from __future__ import annotations
 import io
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, new_trace_id
 from repro.serving.service import BackPressureError, LabelingService, TicketStatus
 
 __all__ = ["LabelingHTTPServer", "serve_http"]
@@ -52,6 +65,9 @@ class LabelingHTTPServer(ThreadingHTTPServer):
             pixels would push the service's queued total above this
             returns 429; ``None`` disables shedding.
         retry_after: value of the 429 ``Retry-After`` header (seconds).
+        registry: metrics registry backing ``/metrics`` and the HTTP
+            request counters; defaults to the service's (which itself
+            defaults to the process-wide registry).
     """
 
     daemon_threads = True
@@ -63,6 +79,7 @@ class LabelingHTTPServer(ThreadingHTTPServer):
         *,
         max_queued_pixels: int | None = None,
         retry_after: float = 1.0,
+        registry: MetricsRegistry | None = None,
     ):
         if max_queued_pixels is not None and max_queued_pixels < 1:
             raise ValueError(f"max_queued_pixels must be >= 1, got {max_queued_pixels}")
@@ -71,6 +88,21 @@ class LabelingHTTPServer(ThreadingHTTPServer):
         self.service = service
         self.max_queued_pixels = max_queued_pixels
         self.retry_after = retry_after
+        self.registry = registry or service.registry
+        self.m_requests = self.registry.counter(
+            "goggles_http_requests_total",
+            "HTTP requests handled, by normalised route and status code.",
+            labelnames=("route", "status"),
+        )
+        self.m_request_seconds = self.registry.histogram(
+            "goggles_http_request_seconds",
+            "HTTP request handling wall time, by normalised route.",
+            labelnames=("route",),
+        )
+        self.m_shed = self.registry.counter(
+            "goggles_http_shed_total",
+            "Submissions shed with 429 by the HTTP back-pressure bound.",
+        )
         super().__init__(tuple(address), _Handler)
 
     @property
@@ -127,6 +159,20 @@ def _parse_images(body: bytes, content_type: str) -> np.ndarray:
     return np.asarray(loaded, dtype=np.float64)
 
 
+def _route_of(method: str, path: str) -> str:
+    """Normalise a request path to a bounded route-label set."""
+    if method == "GET":
+        if path == "/healthz":
+            return "/healthz"
+        if path == "/metrics":
+            return "/metrics"
+        if path.startswith("/poll/"):
+            return "/poll"
+    elif method == "POST" and path == "/submit":
+        return "/submit"
+    return "other"
+
+
 class _Handler(BaseHTTPRequestHandler):
     server: LabelingHTTPServer
 
@@ -139,18 +185,45 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _reply(self, code: int, payload: dict, headers: dict[str, str] | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send(code, body, "application/json", headers)
+
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._status_code = code
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
+    def _timed(self, method: str, handler) -> None:
+        """Run a route handler, recording request count and wall time."""
+        route = _route_of(method, self.path)
+        self._status_code = 0
+        started = time.monotonic()
+        try:
+            handler()
+        finally:
+            self.server.m_request_seconds.observe(time.monotonic() - started, route=route)
+            self.server.m_requests.inc(route=route, status=str(self._status_code or 500))
+
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._timed("GET", self._get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._timed("POST", self._post)
+
+    def _get(self) -> None:
         service = self.server.service
         if self.path == "/healthz":
             queued = service.queued_pixels
@@ -168,8 +241,16 @@ class _Handler(BaseHTTPRequestHandler):
                     "n_batches": service.n_batches,
                     "n_labeled": service.n_labeled,
                     "online": service.online_stats,
+                    "http": {
+                        "requests_total": int(self.server.m_requests.total()),
+                        "shed_total": int(self.server.m_shed.total()),
+                    },
                 },
             )
+            return
+        if self.path == "/metrics":
+            body = self.server.registry.render().encode("utf-8")
+            self._send(200, body, "text/plain; version=0.0.4; charset=utf-8")
             return
         if self.path.startswith("/poll/"):
             ticket = self.path[len("/poll/"):]
@@ -182,7 +263,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._reply(404, {"error": f"no route {self.path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _post(self) -> None:
         if self.path != "/submit":
             self._reply(404, {"error": f"no route {self.path!r}"})
             return
@@ -196,11 +277,17 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 - malformed input is the client's fault
             self._reply(400, {"error": f"{type(error).__name__}: {error}"})
             return
+        trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
         try:
             # The bound is enforced *inside* submit, under the service
             # lock — concurrent handler threads cannot jointly overshoot.
-            ticket = service.submit(images, max_queued_pixels=self.server.max_queued_pixels)
+            ticket = service.submit(
+                images,
+                max_queued_pixels=self.server.max_queued_pixels,
+                trace_id=trace_id,
+            )
         except BackPressureError as error:
+            self.server.m_shed.inc()
             self._reply(
                 429,
                 {
@@ -214,4 +301,8 @@ class _Handler(BaseHTTPRequestHandler):
         except RuntimeError as error:  # not started / stopping
             self._reply(503, {"error": str(error)})
             return
-        self._reply(202, {"ticket": ticket})
+        self._reply(
+            202,
+            {"ticket": ticket, "trace_id": trace_id},
+            headers={"X-Trace-Id": trace_id},
+        )

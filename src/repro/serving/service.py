@@ -27,12 +27,14 @@ dev images together" protocol (§2.2).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.goggles import Goggles, GogglesResult
 from repro.datasets.base import DevSet
+from repro.obs import MetricsRegistry, default_registry, span, trace_context
 from repro.online import OnlineConfig, OnlineSession
 
 __all__ = ["BackPressureError", "LabelingService", "TicketStatus", "SERVICE_MODES"]
@@ -87,6 +89,8 @@ class TicketStatus:
 class _Submission:
     ticket: str
     images: np.ndarray | None  # released once the batch is processed
+    trace_id: str | None = None  # threaded from the HTTP front-end
+    submitted_at: float = 0.0
     resolved: threading.Event = field(default_factory=threading.Event)
     status: TicketStatus | None = None
 
@@ -129,6 +133,7 @@ class LabelingService:
         ticket_retention: int = 1024,
         mode: str = "batch",
         online: OnlineConfig | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if max_batch is not None and max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -159,6 +164,52 @@ class LabelingService:
         self._n_batches = 0
         self._n_labeled = 0
         self._inflight_pixels = 0
+        self.registry = registry or default_registry()
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Declare the serving metric family (see ENGINE.md catalogue)."""
+        reg = self.registry
+        self._m_submits = reg.counter(
+            "goggles_service_submits_total", "Submissions accepted by LabelingService.submit."
+        )
+        self._m_shed = reg.counter(
+            "goggles_service_shed_total",
+            "Submissions shed by the back-pressure bound (BackPressureError).",
+        )
+        self._m_batches = reg.counter(
+            "goggles_service_batches_total", "Coalesced batches executed, by mode.", labelnames=("mode",)
+        )
+        self._m_labeled = reg.counter(
+            "goggles_service_labeled_rows_total", "Streamed rows labeled (seed corpus excluded)."
+        )
+        self._m_resolved = reg.counter(
+            "goggles_service_tickets_resolved_total", "Tickets resolved, by final state.",
+            labelnames=("state",),
+        )
+        self._m_expired = reg.counter(
+            "goggles_service_tickets_expired_total",
+            "Resolved tickets expired past ticket_retention.",
+        )
+        self._m_batch_seconds = reg.histogram(
+            "goggles_service_batch_seconds",
+            "Wall time of one coalesced labeling batch, by mode.",
+            labelnames=("mode",),
+        )
+        self._m_ticket_seconds = reg.histogram(
+            "goggles_service_ticket_seconds",
+            "Submit-to-resolution latency of individual tickets.",
+        )
+        # Queue-depth gauges read live service state at scrape time, so
+        # the hot path never updates them; a later service re-binds.
+        reg.gauge(
+            "goggles_service_queued_pixels",
+            "Array elements of submissions queued or in flight.",
+        ).set_function(lambda: self.queued_pixels)
+        reg.gauge(
+            "goggles_service_tickets_outstanding",
+            "Submitted tickets not yet resolved.",
+        ).set_function(lambda: self.tickets_outstanding)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -175,7 +226,9 @@ class LabelingService:
         result = self.goggles.label(corpus_images, self.dev_set)
         if self.mode == "online":
             config = self._online_config or self.goggles.config.online or OnlineConfig()
-            self.session = OnlineSession(self.goggles, self.dev_set, result, config)
+            self.session = OnlineSession(
+                self.goggles, self.dev_set, result, config, registry=self.registry
+            )
         self._worker = threading.Thread(target=self._run, name="labeling-service-worker", daemon=True)
         self._worker.start()
         return result
@@ -243,7 +296,12 @@ class LabelingService:
     # ------------------------------------------------------------------
     # Submit / poll
     # ------------------------------------------------------------------
-    def submit(self, images: np.ndarray, max_queued_pixels: int | None = None) -> str:
+    def submit(
+        self,
+        images: np.ndarray,
+        max_queued_pixels: int | None = None,
+        trace_id: str | None = None,
+    ) -> str:
         """Enqueue ``(M, C, H, W)`` images; returns a ticket id.
 
         ``max_queued_pixels`` makes the call shed load instead: when the
@@ -251,6 +309,8 @@ class LabelingService:
         the bound, :class:`BackPressureError` is raised.  The check and
         the enqueue happen under one lock, so concurrent submitters
         (e.g. the threaded HTTP front-end) cannot jointly overshoot.
+        ``trace_id`` tags the submission so spans recorded while its
+        batch executes can be tied back to the originating request.
         """
         images = np.asarray(images)
         if images.ndim != 4 or images.shape[0] == 0:
@@ -265,13 +325,17 @@ class LabelingService:
                     s.images.size for s in self._queue if s.images is not None
                 )
                 if backlog + images.size > max_queued_pixels:
+                    self._m_shed.inc()
                     raise BackPressureError(backlog, images.size, max_queued_pixels)
             self._counter += 1
             ticket = f"t{self._counter:06d}"
-            submission = _Submission(ticket=ticket, images=images)
+            submission = _Submission(
+                ticket=ticket, images=images, trace_id=trace_id, submitted_at=time.monotonic()
+            )
             self._queue.append(submission)
             self._tickets[ticket] = submission
             self._cond.notify_all()
+        self._m_submits.inc()
         return ticket
 
     def poll(self, ticket: str) -> TicketStatus:
@@ -316,29 +380,39 @@ class LabelingService:
 
     def _process(self, batch: list[_Submission]) -> None:
         sizes = [s.images.shape[0] for s in batch]
+        # A coalesced batch may merge several submissions; the first
+        # submission's trace id names the batch (its span ring records
+        # which tickets rode along via the resolution counters).
+        batch_trace = next((s.trace_id for s in batch if s.trace_id is not None), None)
+        started = time.perf_counter()
         try:
             images = (
                 batch[0].images
                 if len(batch) == 1
                 else np.concatenate([s.images for s in batch], axis=0)
             )
-            if self.session is not None:
-                # Online mode: O(batch) absorb; the session only runs a
-                # full (corpus-growing) refit when its drift monitor or
-                # refit schedule escalates.
-                labels = self.session.absorb(images)
-            else:
-                # label_incremental is atomic: on failure the corpus rolls
-                # back, so a failed ticket's images are truly not absorbed
-                # and the submission can simply be retried.
-                result = self.goggles.label_incremental(images, self.dev_set, warm_start=self.warm_start)
-                labels = result.probabilistic_labels[-images.shape[0] :]
+            with trace_context(batch_trace), span("service.batch", self.registry):
+                if self.session is not None:
+                    # Online mode: O(batch) absorb; the session only runs a
+                    # full (corpus-growing) refit when its drift monitor or
+                    # refit schedule escalates.
+                    labels = self.session.absorb(images)
+                else:
+                    # label_incremental is atomic: on failure the corpus rolls
+                    # back, so a failed ticket's images are truly not absorbed
+                    # and the submission can simply be retried.
+                    labels = self.goggles.label_incremental(
+                        images, self.dev_set, warm_start=self.warm_start
+                    ).probabilistic_labels[-images.shape[0] :]
         except Exception as error:  # noqa: BLE001 - a bad batch must not kill the worker
+            self._m_batch_seconds.observe(time.perf_counter() - started, mode=self.mode)
+            self._m_batches.inc(mode=self.mode)
             self._resolve(
                 batch,
                 [TicketStatus(ticket=s.ticket, state="failed", error=str(error)) for s in batch],
             )
             return
+        self._m_batch_seconds.observe(time.perf_counter() - started, mode=self.mode)
         offset = 0
         statuses = []
         for submission, rows in zip(batch, sizes):
@@ -353,14 +427,21 @@ class LabelingService:
         self._resolve(batch, statuses)
         self._n_batches += 1
         self._n_labeled += int(labels.shape[0])
+        self._m_batches.inc(mode=self.mode)
+        self._m_labeled.inc(int(labels.shape[0]))
 
     def _resolve(self, batch: list[_Submission], statuses: list[TicketStatus]) -> None:
         """Publish statuses, release the submitted pixels, expire old tickets."""
+        now = time.monotonic()
         with self._cond:
             for submission, status in zip(batch, statuses):
                 submission.status = status
                 submission.images = None  # the corpus/state hold what is needed
                 submission.resolved.set()
                 self._resolved_order.append(submission.ticket)
+                self._m_resolved.inc(state=status.state)
+                if submission.submitted_at:
+                    self._m_ticket_seconds.observe(now - submission.submitted_at)
             while len(self._resolved_order) > self.ticket_retention:
                 self._tickets.pop(self._resolved_order.pop(0), None)
+                self._m_expired.inc()

@@ -103,6 +103,61 @@ class TestSpeedupGate:
         assert "flipped" in capsys.readouterr().out
 
 
+class TestServingGates:
+    def test_p99_regression_fails(self, tmp_path, capsys):
+        baseline = {"load": [{"rps": 4, "submit_p99_seconds": 0.20, "shed_rate": 0.0}]}
+        fresh = {"load": [{"rps": 4, "submit_p99_seconds": 0.30, "shed_rate": 0.0}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "p99 latency regressed" in capsys.readouterr().out
+
+    def test_p99_below_latency_floor_is_exempt(self, tmp_path):
+        # 10ms -> 40ms is x4 but under the 50ms floor: runner jitter.
+        baseline = {"load": [{"submit_p99_seconds": 0.010}]}
+        fresh = {"load": [{"submit_p99_seconds": 0.040}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_p99_is_not_exempted_by_generic_seconds_floor(self, tmp_path, capsys):
+        # 0.2s is below the generic 0.5s _seconds floor but above the
+        # 0.05s latency floor — the dedicated tail rule must bite.
+        baseline = {"load": [{"e2e_p99_seconds": 0.20}]}
+        fresh = {"load": [{"e2e_p99_seconds": 0.40}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "p99 latency regressed" in capsys.readouterr().out
+
+    def test_p99_improvement_passes(self, tmp_path):
+        baseline = {"load": [{"submit_p99_seconds": 0.40}]}
+        fresh = {"load": [{"submit_p99_seconds": 0.10}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_shed_rate_increase_fails(self, tmp_path, capsys):
+        baseline = {"load": [{"rps": 8, "shed_rate": 0.05}]}
+        fresh = {"load": [{"rps": 8, "shed_rate": 0.30}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "shed rate rose" in capsys.readouterr().out
+
+    def test_shed_rate_within_tolerance_passes(self, tmp_path):
+        baseline = {"load": [{"shed_rate": 0.05}]}
+        fresh = {"load": [{"shed_rate": 0.10}]}  # +0.05 absolute, inside +0.10
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_shed_rate_drop_passes(self, tmp_path):
+        baseline = {"load": [{"shed_rate": 0.40}]}
+        fresh = {"load": [{"shed_rate": 0.0}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_reconciled_flag_flip_fails(self, tmp_path, capsys):
+        baseline = {"load": [{"reconciled": True}]}
+        fresh = {"load": [{"reconciled": False}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "flipped" in capsys.readouterr().out
+
+    def test_p99_type_drift_fails(self, tmp_path, capsys):
+        baseline = {"load": [{"submit_p99_seconds": 0.2}]}
+        fresh = {"load": [{"submit_p99_seconds": None}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "baseline is a number" in capsys.readouterr().out
+
+
 def _write_leg(root: Path, label: str, document: dict) -> None:
     leg = root / f"BENCH-inference-{label}"
     leg.mkdir(parents=True)
@@ -158,6 +213,45 @@ class TestCompareBenchLegs:
         slower["online"][0]["absorb_total_seconds"] = 5.0  # 100x slower: still fine here
         _write_leg(tmp_path, "py3.12", slower)
         assert _run_legs(tmp_path) == 0
+
+    SERVING = {"smoke": [{"rps": 4, "shed_rate": 0.0, "reconciled": True, "e2e_p99_seconds": 0.8}]}
+
+    def _write_serving(self, root: Path, label: str, document: dict) -> None:
+        (root / f"BENCH-inference-{label}" / "BENCH_serving.json").write_text(json.dumps(document))
+
+    def _run_multi(self, root: Path) -> int:
+        return compare_bench_legs.main(
+            ["--root", str(root), "--min-legs", "2",
+             "--file", "BENCH_inference.json", "--file", "BENCH_serving.json"]
+        )
+
+    def test_multi_file_legs_merge_and_agree(self, tmp_path, capsys):
+        for label in ("py3.10", "py3.12"):
+            _write_leg(tmp_path, label, self.DOCUMENT)
+            self._write_serving(tmp_path, label, self.SERVING)
+        assert self._run_multi(tmp_path) == 0
+        out = capsys.readouterr().out
+        # Both trajectories land in the merged table, scoped by stem.
+        assert "BENCH_inference:online" in out
+        assert "BENCH_serving:smoke" in out
+        assert "e2e_p99_seconds" in out
+
+    def test_multi_file_flag_divergence_fails(self, tmp_path, capsys):
+        for label in ("py3.10", "py3.12"):
+            _write_leg(tmp_path, label, self.DOCUMENT)
+        self._write_serving(tmp_path, "py3.10", self.SERVING)
+        diverged = json.loads(json.dumps(self.SERVING))
+        diverged["smoke"][0]["reconciled"] = False
+        self._write_serving(tmp_path, "py3.12", diverged)
+        assert self._run_multi(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "BENCH_serving:smoke[0].reconciled" in out
+
+    def test_serving_file_missing_everywhere_is_fine(self, tmp_path):
+        # Legs that never ran the serving smoke still compare on inference.
+        for label in ("py3.10", "py3.12"):
+            _write_leg(tmp_path, label, self.DOCUMENT)
+        assert self._run_multi(tmp_path) == 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,291 @@
+"""Observability spine: registry semantics, concurrency, rendering, spans."""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    clear_spans,
+    current_trace_id,
+    default_registry,
+    new_trace_id,
+    recent_spans,
+    span,
+    trace_context,
+)
+
+# ---------------------------------------------------------------------------
+# Prometheus text-format line grammar (the subset we emit)
+# ---------------------------------------------------------------------------
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) .*$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|histogram)$")
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+_SAMPLE_RE = re.compile(rf"^({_NAME})(?:\{{(.*)\}})? (\S+)$")
+
+
+def _parse_prometheus(text: str) -> dict[str, float]:
+    """Validate every line; return {sample-name-with-labels: value}."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP"):
+            assert _HELP_RE.match(line), line
+            continue
+        if line.startswith("# TYPE"):
+            assert _TYPE_RE.match(line), line
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, labels, value = match.groups()
+        if labels:
+            for pair in labels.split(","):
+                assert _LABEL_RE.match(pair), f"bad label pair {pair!r} in {line!r}"
+        key = f"{name}{{{labels}}}" if labels else name
+        assert key not in samples, f"duplicate sample {key!r}"
+        samples[key] = float(value)
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+        assert c.total() == pytest.approx(3.5)
+
+    def test_labels(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", "", labelnames=("route",))
+        c.inc(route="/a")
+        c.inc(3, route="/b")
+        assert c.value(route="/a") == 1
+        assert c.value(route="/b") == 3
+        assert c.value(route="/missing") == 0
+        assert c.total() == 4
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("t_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_wrong_labelset_rejected(self):
+        c = MetricsRegistry().counter("t_total", labelnames=("route",))
+        with pytest.raises(ValueError):
+            c.inc()  # missing the declared label
+        with pytest.raises(ValueError):
+            c.inc(route="/a", extra="x")
+
+    def test_parallel_increments_land_exactly(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", labelnames=("worker",))
+        n_threads, n_incs = 8, 2000
+
+        def hammer(index: int) -> None:
+            for _ in range(n_incs):
+                c.inc(worker=str(index % 2))
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.total() == n_threads * n_incs
+        assert c.value(worker="0") == n_threads // 2 * n_incs
+        assert c.value(worker="1") == n_threads // 2 * n_incs
+
+
+# ---------------------------------------------------------------------------
+# Gauges
+# ---------------------------------------------------------------------------
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("t_gauge")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == pytest.approx(6.0)
+
+    def test_function_backed(self):
+        g = MetricsRegistry().gauge("t_gauge")
+        backing = {"depth": 3}
+        g.set_function(lambda: backing["depth"])
+        assert g.value() == 3
+        backing["depth"] = 11
+        assert g.value() == 11  # read at scrape time, not bind time
+
+    def test_function_error_renders_nan(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("t_gauge")
+        g.set_function(lambda: 1 / 0)
+        assert math.isnan(g.value())
+        assert "NaN" in registry.render()
+
+
+# ---------------------------------------------------------------------------
+# Histograms
+# ---------------------------------------------------------------------------
+class TestHistogram:
+    def test_bucket_counts_sum_to_observation_count(self):
+        h = MetricsRegistry().histogram("t_seconds", buckets=(0.1, 1.0, 10.0))
+        observations = [0.05, 0.05, 0.5, 2.0, 100.0]
+        for value in observations:
+            h.observe(value)
+        counts = h.bucket_counts()
+        # Cumulative: every finite bucket <= the +Inf bucket, which holds all.
+        assert counts[0.1] == 2
+        assert counts[1.0] == 3
+        assert counts[10.0] == 4
+        assert counts[math.inf] == len(observations)
+        assert h.count() == len(observations)
+        assert h.sum() == pytest.approx(sum(observations))
+
+    def test_parallel_observations_land_exactly(self):
+        h = MetricsRegistry().histogram("t_seconds", buckets=(0.5,))
+        n_threads, n_obs = 8, 1500
+
+        def hammer() -> None:
+            for i in range(n_obs):
+                h.observe(0.25 if i % 2 else 0.75)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count() == n_threads * n_obs
+        assert h.bucket_counts()[math.inf] == n_threads * n_obs
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("t_total") is registry.counter("t_total")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("t_total")
+
+    def test_labelname_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("t_total", labelnames=("b",))
+
+    def test_bad_metric_name_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("0bad-name")
+
+    def test_default_registry_is_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_render_parses_line_by_line(self):
+        registry = MetricsRegistry()
+        c = registry.counter("goggles_requests_total", "Requests.", labelnames=("route", "status"))
+        c.inc(route="/submit", status="202")
+        c.inc(2, route="/poll", status="200")
+        g = registry.gauge("goggles_queue_depth", "Depth.")
+        g.set(7)
+        h = registry.histogram("goggles_latency_seconds", "Latency.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        samples = _parse_prometheus(registry.render())
+        assert samples['goggles_requests_total{route="/submit",status="202"}'] == 1
+        assert samples['goggles_requests_total{route="/poll",status="200"}'] == 2
+        assert samples["goggles_queue_depth"] == 7
+        assert samples['goggles_latency_seconds_bucket{le="0.1"}'] == 1
+        assert samples['goggles_latency_seconds_bucket{le="+Inf"}'] == 2
+        assert samples["goggles_latency_seconds_count"] == 2
+        assert samples["goggles_latency_seconds_sum"] == pytest.approx(5.05)
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", labelnames=("path",))
+        c.inc(path='a"b\\c\nd')
+        samples = _parse_prometheus(registry.render())
+        assert samples['t_total{path="a\\"b\\\\c\\nd"}'] == 1
+
+    def test_snapshot_is_json_friendly(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total").inc(2)
+        registry.histogram("t_seconds", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["t_total"]["t_total"] == 2
+        assert snap["t_seconds"]["t_seconds_count"] == 1
+        assert not any("_bucket" in key for key in snap["t_seconds"])
+
+
+# ---------------------------------------------------------------------------
+# Spans and trace ids
+# ---------------------------------------------------------------------------
+class TestSpans:
+    def setup_method(self):
+        clear_spans()
+
+    def test_span_records_duration_and_outcome(self):
+        registry = MetricsRegistry()
+        with span("unit", registry):
+            pass
+        h = registry.get("goggles_span_seconds")
+        assert h.count(span="unit", outcome="ok") == 1
+        records = recent_spans(name="unit")
+        assert len(records) == 1
+        assert records[0].outcome == "ok"
+        assert records[0].seconds >= 0
+
+    def test_span_error_outcome_propagates(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with span("unit", registry):
+                raise RuntimeError("boom")
+        assert registry.get("goggles_span_seconds").count(span="unit", outcome="error") == 1
+        assert recent_spans(name="unit")[0].outcome == "error"
+
+    def test_trace_id_threads_through_spans(self):
+        trace_id = new_trace_id()
+        registry = MetricsRegistry()
+        assert current_trace_id() is None
+        with trace_context(trace_id):
+            assert current_trace_id() == trace_id
+            with span("outer", registry), span("inner", registry):
+                pass
+        assert current_trace_id() is None
+        names = {record.name for record in recent_spans(trace_id=trace_id)}
+        assert names == {"outer", "inner"}
+
+    def test_trace_context_crosses_threads_explicitly(self):
+        trace_id = new_trace_id()
+        registry = MetricsRegistry()
+
+        def worker() -> None:
+            with trace_context(trace_id), span("worker-side", registry):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert recent_spans(trace_id=trace_id)[0].name == "worker-side"
+
+    def test_new_trace_ids_are_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64

@@ -262,6 +262,127 @@ class TestBackPressure:
         assert service.queued_pixels == 0  # fully drained
 
 
+class TestObservability:
+    def test_metrics_route_serves_prometheus_text(self, http_setup):
+        server, *_ = http_setup
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=30.0) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        # The serving families are present and every line is well-formed.
+        assert "goggles_http_requests_total" in text
+        assert "goggles_service_submits_total" in text
+        assert "goggles_service_queued_pixels" in text
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line, f"malformed line {line!r}"
+
+    def test_http_request_counters_reconcile(self, http_setup):
+        from repro.obs import MetricsRegistry
+
+        _, service, images, n0 = http_setup
+        registry = MetricsRegistry()
+        server = LabelingHTTPServer(service, registry=registry)
+        server.serve_in_background()
+        try:
+            code, payload, _ = _post(
+                f"{server.url}/submit", _npy_bytes(images[n0 : n0 + 1]), "application/octet-stream"
+            )
+            assert code == 202
+            assert service.result(payload["ticket"], timeout=TIMEOUT).done
+            _get(f"{server.url}/healthz")
+            counter = registry.get("goggles_http_requests_total")
+            # The status counter lands after the reply bytes go out, so a
+            # fresh client read can race it by a hair — wait it out.
+            deadline = time.monotonic() + 5.0
+            while counter.value(route="/healthz", status="200") < 1:
+                assert time.monotonic() < deadline, "healthz request never counted"
+                time.sleep(0.01)
+            assert counter.value(route="/submit", status="202") == 1
+            assert counter.value(route="/healthz", status="200") == 1
+            histogram = registry.get("goggles_http_request_seconds")
+            assert histogram.count(route="/submit") == 1
+        finally:
+            server.shutdown()
+
+    def test_healthz_http_section(self, http_setup):
+        _, service, *_ = http_setup
+        from repro.obs import MetricsRegistry
+
+        server = LabelingHTTPServer(service, registry=MetricsRegistry())
+        server.serve_in_background()
+        try:
+            _, first = _get(f"{server.url}/healthz")
+            # The healthz reply counts requests *completed before* it —
+            # the very first scrape on a fresh registry sees 0.
+            assert first["http"] == {"requests_total": 0, "shed_total": 0}
+            deadline = time.monotonic() + 5.0
+            while True:
+                _, health = _get(f"{server.url}/healthz")
+                if health["http"]["requests_total"] >= 1:
+                    break
+                assert time.monotonic() < deadline, "healthz never counted earlier requests"
+                time.sleep(0.01)
+        finally:
+            server.shutdown()
+
+    def test_shed_counter_tracks_429s(self, http_setup):
+        from repro.obs import MetricsRegistry
+
+        _, service, images, n0 = http_setup
+        registry = MetricsRegistry()
+        server = LabelingHTTPServer(service, max_queued_pixels=1, registry=registry)
+        server.serve_in_background()
+        try:
+            for _ in range(3):
+                code, *_ = _post(
+                    f"{server.url}/submit", _npy_bytes(images[n0 : n0 + 1]), "application/octet-stream"
+                )
+                assert code == 429
+            assert registry.get("goggles_http_shed_total").total() == 3
+            counter = registry.get("goggles_http_requests_total")
+            deadline = time.monotonic() + 5.0
+            while counter.value(route="/submit", status="429") < 3:
+                assert time.monotonic() < deadline, "429s never counted"
+                time.sleep(0.01)
+            _, health = _get(f"{server.url}/healthz")
+            assert health["http"]["shed_total"] == 3
+        finally:
+            server.shutdown()
+
+    def test_trace_id_round_trip(self, http_setup):
+        from repro.obs import clear_spans, recent_spans
+
+        server, service, images, n0 = http_setup
+        clear_spans()
+        # Client-supplied trace id is honoured and echoed.
+        request = urllib.request.Request(
+            f"{server.url}/submit",
+            data=_npy_bytes(images[n0 : n0 + 1]),
+            headers={"Content-Type": "application/octet-stream", "X-Trace-Id": "trace-abc-123"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            payload = json.loads(response.read())
+            assert response.headers["X-Trace-Id"] == "trace-abc-123"
+        assert payload["trace_id"] == "trace-abc-123"
+        assert service.result(payload["ticket"], timeout=TIMEOUT).done
+        # The service worker ran the batch under that trace id: the
+        # spans recorded on the worker thread carry it.
+        names = {record.name for record in recent_spans(trace_id="trace-abc-123")}
+        assert "service.batch" in names
+        assert "label_incremental" in names
+
+    def test_trace_id_minted_when_absent(self, http_setup):
+        server, service, images, n0 = http_setup
+        code, payload, headers = _post(
+            f"{server.url}/submit", _npy_bytes(images[n0 : n0 + 1]), "application/octet-stream"
+        )
+        assert code == 202
+        assert payload["trace_id"]
+        assert headers["X-Trace-Id"] == payload["trace_id"]
+        assert service.result(payload["ticket"], timeout=TIMEOUT).done
+
+
 def test_validation():
     service = object.__new__(LabelingService)  # bound checks need no service
     with pytest.raises(ValueError, match="max_queued_pixels"):
