@@ -50,7 +50,7 @@ from repro.datasets.base import DevSet
 from repro.eval.harness import shared_model
 from repro.obs import MetricsRegistry
 from repro.online import OnlineConfig
-from repro.serving import LabelingService, serve_http
+from repro.serving import LabelingService, TenantRegistry, serve_http
 from repro.utils.rng import derive_seed
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
@@ -108,9 +108,10 @@ class _Session:
         self.e2e_seconds: float | None = None
 
 
-def _run_session(url: str, body: bytes, session: _Session) -> None:
+def _run_session(url: str, body: bytes, session: _Session, tenant: str | None = None) -> None:
+    submit_url = f"{url}/v1/tenants/{tenant}/submit" if tenant else f"{url}/submit"
     request = urllib.request.Request(
-        f"{url}/submit", data=body,
+        submit_url, data=body,
         headers={"Content-Type": "application/json"}, method="POST",
     )
     started = time.perf_counter()
@@ -126,10 +127,13 @@ def _run_session(url: str, body: bytes, session: _Session) -> None:
         return
     session.submit_seconds = time.perf_counter() - started
     ticket = payload["ticket"]
+    poll_url = (
+        f"{url}/v1/tenants/{tenant}/poll/{ticket}" if tenant else f"{url}/poll/{ticket}"
+    )
     deadline = time.monotonic() + RESOLVE_TIMEOUT
     while time.monotonic() < deadline:
         try:
-            with urllib.request.urlopen(f"{url}/poll/{ticket}", timeout=30.0) as response:
+            with urllib.request.urlopen(poll_url, timeout=30.0) as response:
                 status = json.loads(response.read())
         except OSError:
             return
@@ -160,6 +164,7 @@ def _drive_cell(
     seconds: float,
     rps: float,
     seed: int,
+    tenant: str | None = None,
 ) -> list[_Session]:
     """Offer open-loop Poisson load for ``seconds``; join every session."""
     rng = random.Random(seed)
@@ -179,7 +184,9 @@ def _drive_cell(
         body = json.dumps({"images": images[start : start + batch_rows].tolist()}).encode()
         session = _Session()
         sessions.append(session)
-        thread = threading.Thread(target=_run_session, args=(url, body, session), daemon=True)
+        thread = threading.Thread(
+            target=_run_session, args=(url, body, session, tenant), daemon=True
+        )
         threads.append(thread)
         thread.start()
     for thread in threads:
@@ -187,7 +194,14 @@ def _drive_cell(
     return sessions
 
 
-def _cell_row(cell: dict, sessions: list[_Session], registry: MetricsRegistry, url: str) -> dict:
+def _cell_row(
+    cell: dict,
+    sessions: list[_Session],
+    registry: MetricsRegistry,
+    url: str,
+    route: str = "/submit",
+    tenant: str = "default",
+) -> dict:
     """Client percentiles + shed rate + metrics reconciliation for one cell."""
     done = [s for s in sessions if s.outcome == "done"]
     shed = [s for s in sessions if s.outcome == "shed"]
@@ -200,16 +214,18 @@ def _cell_row(cell: dict, sessions: list[_Session], registry: MetricsRegistry, u
     http_submits = registry.get("goggles_http_requests_total")
     quiesce = time.monotonic() + 5.0
     while (
-        http_submits.value(route="/submit", status="202") < expected_202
+        http_submits.value(route=route, status="202", tenant=tenant) < expected_202
         and time.monotonic() < quiesce
     ):
         time.sleep(0.02)
 
     samples = _scrape(url)
-    scraped_202 = samples.get('goggles_http_requests_total{route="/submit",status="202"}', 0.0)
-    scraped_shed = samples.get("goggles_http_shed_total", 0.0)
-    service_submits = samples.get("goggles_service_submits_total", 0.0)
-    service_shed = samples.get("goggles_service_shed_total", 0.0)
+    scraped_202 = samples.get(
+        f'goggles_http_requests_total{{route="{route}",status="202",tenant="{tenant}"}}', 0.0
+    )
+    scraped_shed = samples.get(f'goggles_http_shed_total{{tenant="{tenant}"}}', 0.0)
+    service_submits = samples.get(f'goggles_service_submits_total{{tenant="{tenant}"}}', 0.0)
+    service_shed = samples.get(f'goggles_service_shed_total{{tenant="{tenant}"}}', 0.0)
     reconciled = (
         scraped_202 == len(done)
         and service_submits == len(done)
@@ -322,6 +338,71 @@ def test_serving_load_sweep(settings, record_result, tmp_path_factory):
             f"{row['e2e_p99_seconds'] if row['e2e_p99_seconds'] is not None else float('nan'):>7.3f}"
         )
     record_result("\n".join(lines))
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_load_tenants(settings, record_result, tmp_path_factory):
+    """Two tenants with different label spaces driven concurrently
+    through the ``/v1`` API: per-tenant percentiles, shed rate, and a
+    per-tenant metrics reconciliation (one registry, labeled series).
+    Both tenants are unbounded, so the committed ``shed_rate`` baseline
+    is 0.0 and any cross-tenant shedding regression trips the gate."""
+    model, surface, n0, surface_dev = _serving_corpus(settings)
+    cub = make_dataset("cub", n_per_class=N_PER_CLASS, image_size=64, seed=1, pair_seed=0)
+    cub_n0 = cub.n_examples - max(4, cub.n_examples // 4)
+    cub_dev = _dev_from_seed(cub.labels, cub_n0, 3, 2)
+    tmp_path = tmp_path_factory.mktemp("serving-tenants")
+    metrics = MetricsRegistry()
+    config = GogglesConfig(
+        n_classes=2, seed=0, top_z=3, layers=(1, 2), cache_dir=str(tmp_path / "cache")
+    )
+    tenants = TenantRegistry(base_config=config, model=model, metrics=metrics)
+    tenants.register("surface", surface.images[:n0], surface_dev)
+    tenants.register("cub", cub.images[:cub_n0], cub_dev)
+    server = serve_http(tenants, registry=metrics)
+    pools = {"surface": surface.images[n0:], "cub": cub.images[cub_n0:]}
+    sessions: dict[str, list[_Session]] = {}
+    rows: list[dict] = []
+    try:
+        drivers = [
+            threading.Thread(
+                target=lambda t=tenant, s=seed: sessions.__setitem__(
+                    t,
+                    _drive_cell(
+                        server.url, pools[t], 1, min(LOAD_SECONDS, 3.0),
+                        OFFERED_RPS, seed=s, tenant=t,
+                    ),
+                ),
+                daemon=True,
+            )
+            for seed, tenant in enumerate(("surface", "cub"), start=2000)
+        ]
+        for driver in drivers:
+            driver.start()
+        for driver in drivers:
+            driver.join(timeout=RESOLVE_TIMEOUT)
+        for tenant in ("surface", "cub"):
+            cell = {"mode": "batch", "batch_rows": 1, "_bound": None}
+            row = _cell_row(
+                cell, sessions[tenant], metrics, server.url,
+                route="/v1/tenants/{id}/submit", tenant=tenant,
+            )
+            rows.append({"tenant": tenant, **row})
+    finally:
+        server.shutdown()
+        tenants.close()
+    assert all(row["errors"] == 0 for row in rows), rows
+    assert all(row["shed"] == 0 for row in rows), rows
+    assert all(row["reconciled"] for row in rows), rows
+    update_trajectory(JSON_PATH, "tenants", rows)
+    record_result(
+        "Serving 2-tenant cell: "
+        + "; ".join(
+            "%s %d offered, %d accepted, e2e p99 %s s"
+            % (row["tenant"], row["offered"], row["accepted"], row["e2e_p99_seconds"])
+            for row in rows
+        )
+    )
 
 
 @pytest.mark.benchmark(group="serving")

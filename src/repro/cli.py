@@ -19,6 +19,7 @@ run workers — on this machine or any other that can reach the broker)::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -149,7 +150,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         pool = WorkerPool(n_workers=max(1, config.engine.n_workers or config.engine.n_jobs))
     goggles = Goggles(config, coordinator=pool)
-    service = LabelingService(goggles, dev, warm_start=not args.no_warm_start, mode=mode)
+    service = LabelingService(
+        goggles, dev, tenant=args.tenant, warm_start=not args.no_warm_start, mode=mode
+    )
     start = time.perf_counter()
     service.start(dataset.images[:n0])
     print(f"seed corpus: {n0} images labeled in {time.perf_counter() - start:.2f}s")
@@ -158,17 +161,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"online mode: {resumed} (step {service.online_stats['step']})")
 
     if args.http_port is not None:
-        # Network mode: expose submit/poll/healthz over HTTP instead of
-        # streaming the rest of the dataset locally.
-        from repro.serving import serve_http
+        # Network mode: host the service as one tenant of a registry so
+        # further tenants can join over POST /v1/tenants (they inherit
+        # the CLI's engine flags through base_config); the seed recipe
+        # makes this tenant evictable + transparently reloadable.
+        from repro.serving import TenantConfig, TenantRegistry, serve_http
 
+        tenants = TenantRegistry(base_config=config, model=goggles.model)
+        tenants.adopt(
+            args.tenant,
+            service,
+            config=TenantConfig(
+                mode=mode,
+                max_queued_pixels=args.max_queued_pixels,
+                online=config.online,
+            ),
+            seed_images=dataset.images[:n0],
+            dev_set=dev,
+        )
         server = serve_http(
-            service, host=args.http_host, port=args.http_port,
-            max_queued_pixels=args.max_queued_pixels,
+            tenants, host=args.http_host, port=args.http_port, default_tenant=args.tenant
         )
         print(
-            f"HTTP front-end on {server.url}  "
-            "(POST /submit, GET /poll/<ticket>, GET /healthz, GET /metrics)"
+            f"HTTP front-end on {server.url} serving tenant {args.tenant!r}  "
+            "(POST /v1/tenants, POST /v1/tenants/<id>/submit, "
+            "GET /v1/tenants/<id>/poll/<ticket>, GET /healthz, GET /metrics)"
         )
         print("Ctrl-C to stop")
         try:
@@ -178,7 +195,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pass
         finally:
             server.shutdown()
-            service.stop()
+            tenants.close()
             goggles.close()
             if pool is not None:
                 pool.close()
@@ -325,17 +342,63 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     With ``--url`` the dump is scraped from a running server's
     ``/metrics`` route; without, it renders this process's registry
     (useful after an in-process run, or to check instrument wiring).
+    ``--tenant`` keeps only that tenant's series either way.
     """
     if args.url:
+        import urllib.parse
         import urllib.request
 
         url = args.url.rstrip("/") + "/metrics"
+        if args.tenant:
+            url += "?tenant=" + urllib.parse.quote(args.tenant)
         with urllib.request.urlopen(url, timeout=args.timeout) as response:
             sys.stdout.write(response.read().decode("utf-8"))
         return 0
-    from repro.obs import default_registry
+    from repro.obs import default_registry, filter_exposition
 
-    sys.stdout.write(default_registry().render())
+    text = default_registry().render()
+    if args.tenant:
+        text = filter_exposition(text, tenant=args.tenant)
+    sys.stdout.write(text)
+    return 0
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    """List — or evict / remove — the tenants of a running server.
+
+    ``goggles-repro tenants --url http://host:port`` prints one row per
+    tenant from ``GET /v1/tenants``; ``--evict ID`` drains it via
+    ``DELETE /v1/tenants/ID`` (add ``--forget`` to drop the
+    registration too, instead of leaving it evicted-but-reloadable).
+    """
+    import urllib.parse
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    if args.evict is not None:
+        url = f"{base}/v1/tenants/{urllib.parse.quote(args.evict)}"
+        if args.forget:
+            url += "?forget=true"
+        request = urllib.request.Request(url, method="DELETE")
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            payload = json.loads(response.read())
+        print(f"tenant {payload['tenant']}: {payload['state']}")
+        return 0
+    if args.forget:
+        raise SystemExit("--forget needs --evict ID")
+    with urllib.request.urlopen(f"{base}/v1/tenants", timeout=args.timeout) as response:
+        rows = json.loads(response.read())["tenants"]
+    if not rows:
+        print("no tenants registered")
+        return 0
+    print(f"{'tenant':<20} {'state':<8} {'mode':<7} {'reload':<7} {'queued_px':>10} {'resident_mb':>12}")
+    for row in rows:
+        print(
+            f"{row['id']:<20} {row['state']:<8} {row['mode']:<7} "
+            f"{'yes' if row['reloadable'] else 'no':<7} "
+            f"{row.get('queued_pixels', '-'):>10} "
+            f"{row['resident_bytes'] / 1e6:>12.1f}"
+        )
     return 0
 
 
@@ -476,6 +539,11 @@ def main(argv: list[str] | None = None) -> int:
         help="back-pressure bound: submissions pushing queued pixels above this "
         "get 429 + Retry-After (default unbounded)",
     )
+    serve.add_argument(
+        "--tenant", default="default",
+        help="tenant id this service registers under; with --http-port the legacy "
+        "unversioned routes alias it and more tenants can join via POST /v1/tenants",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     from repro.distributed import (
@@ -561,7 +629,24 @@ def main(argv: list[str] | None = None) -> int:
         "(default: render this process's registry)",
     )
     metrics.add_argument("--timeout", type=float, default=5.0, help="scrape timeout in seconds")
+    metrics.add_argument(
+        "--tenant", default=None,
+        help="keep only this tenant's series (filters locally, or scrapes "
+        "<url>/metrics?tenant=... when --url is set)",
+    )
     metrics.set_defaults(fn=_cmd_metrics)
+
+    tenants = sub.add_parser(
+        "tenants", help="list or evict the tenants of a running serve --http-port instance"
+    )
+    tenants.add_argument("--url", required=True, help="base URL of the running server")
+    tenants.add_argument("--evict", default=None, metavar="ID", help="evict this tenant (drain + drop state)")
+    tenants.add_argument(
+        "--forget", action="store_true",
+        help="with --evict, drop the registration too (no transparent reload)",
+    )
+    tenants.add_argument("--timeout", type=float, default=5.0, help="request timeout in seconds")
+    tenants.set_defaults(fn=_cmd_tenants)
 
     sub.add_parser("table1", help="reproduce Table 1").set_defaults(fn=_cmd_table1)
     sub.add_parser("table2", help="reproduce Table 2").set_defaults(fn=_cmd_table2)

@@ -110,24 +110,34 @@ class ArtifactCache:
         self.max_bytes = max_bytes
         os.makedirs(self.cache_dir, exist_ok=True)
         self.stats = CacheStats()
+        # The directory may be shared across tenants (content addressing
+        # prevents collisions); the metric label attributes traffic to
+        # whichever tenant this *instance* serves.  Mutable: the tenant
+        # registry stamps it right after the owning engine is built.
+        self.tenant = "default"
         # Process-wide mirrors of the per-instance stats: get-or-create
         # is idempotent, so every cache in the process feeds the same
         # Prometheus families (totals across instances).
         registry = default_registry()
         self._m_hits = registry.counter(
-            "goggles_cache_hits_total", "Artifact cache hits, by artifact kind.", labelnames=("kind",)
+            "goggles_cache_hits_total", "Artifact cache hits, by artifact kind and tenant.",
+            labelnames=("kind", "tenant"),
         )
         self._m_misses = registry.counter(
-            "goggles_cache_misses_total", "Artifact cache misses, by artifact kind.", labelnames=("kind",)
+            "goggles_cache_misses_total", "Artifact cache misses, by artifact kind and tenant.",
+            labelnames=("kind", "tenant"),
         )
         self._m_evictions = registry.counter(
-            "goggles_cache_evictions_total", "Artifact cache entries evicted (LRU budget or deferred)."
+            "goggles_cache_evictions_total", "Artifact cache entries evicted (LRU budget or deferred).",
+            labelnames=("tenant",),
         )
         self._m_pins = registry.counter(
-            "goggles_cache_pins_total", "Memmap pin acquisitions (live readers registered)."
+            "goggles_cache_pins_total", "Memmap pin acquisitions (live readers registered).",
+            labelnames=("tenant",),
         )
         self._m_unpins = registry.counter(
-            "goggles_cache_unpins_total", "Memmap pin releases."
+            "goggles_cache_unpins_total", "Memmap pin releases.",
+            labelnames=("tenant",),
         )
         self._lock = threading.RLock()
         # Memmap refcounts: a path with a positive pin count has live
@@ -140,7 +150,7 @@ class ArtifactCache:
     def _record(self, kind: str, hit: bool) -> None:
         with self._lock:
             self.stats.record(kind, hit=hit)
-        (self._m_hits if hit else self._m_misses).inc(kind=kind)
+        (self._m_hits if hit else self._m_misses).inc(kind=kind, tenant=self.tenant)
 
     def key(self, data_hash: str, params: dict[str, object]) -> str:
         """Combine a data hash and a parameter mapping into one address."""
@@ -269,11 +279,11 @@ class ArtifactCache:
         """Register a live reader of ``path``; eviction is deferred."""
         with self._lock:
             self._pins[path] = self._pins.get(path, 0) + 1
-        self._m_pins.inc()
+        self._m_pins.inc(tenant=self.tenant)
 
     def unpin(self, path: str) -> None:
         """Drop one reader; the last unpin applies any deferred eviction."""
-        self._m_unpins.inc()
+        self._m_unpins.inc(tenant=self.tenant)
         with self._lock:
             count = self._pins.get(path, 0) - 1
             if count > 0:
@@ -284,7 +294,7 @@ class ArtifactCache:
                 self._deferred.discard(path)
                 self._evict_corrupt(path)
                 self.stats.evictions += 1
-                self._m_evictions.inc()
+                self._m_evictions.inc(tenant=self.tenant)
 
     def pinned(self, path: str) -> bool:
         with self._lock:
@@ -365,7 +375,7 @@ class ArtifactCache:
                     continue
                 total -= size
                 self.stats.evictions += 1
-                self._m_evictions.inc()
+                self._m_evictions.inc(tenant=self.tenant)
 
     def clear(self) -> int:
         """Delete every cached artifact; returns the number removed.

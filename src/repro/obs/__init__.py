@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    filter_exposition,
 )
 from repro.obs.trace import (
     SpanRecord,
@@ -32,6 +33,7 @@ __all__ = [
     "clear_spans",
     "current_trace_id",
     "default_registry",
+    "filter_exposition",
     "new_trace_id",
     "recent_spans",
     "span",

@@ -41,6 +41,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "default_registry",
+    "filter_exposition",
 ]
 
 #: Fixed latency buckets (seconds) shared by every ``*_seconds``
@@ -371,6 +372,44 @@ class MetricsRegistry:
                     series[name_part] = math.nan
             out[metric.name] = series
         return out
+
+
+def filter_exposition(text: str, **labels: object) -> str:
+    """Filter Prometheus text exposition down to matching label pairs.
+
+    Keeps only sample lines whose label set carries *every* given
+    ``name="value"`` pair exactly (``filter_exposition(text,
+    tenant="alpha")`` is the ``/metrics?tenant=`` and ``goggles-repro
+    metrics --tenant`` server/CLI filter).  ``# HELP``/``# TYPE``
+    headers survive for families with at least one surviving sample;
+    unlabeled samples and non-matching series are dropped.
+    """
+    needles = [f',{name}="{_escape_label_value(str(value))}"' for name, value in labels.items()]
+    kept: list[str] = []
+    header: list[str] = []
+    header_name = ""
+    flushed_name = ""
+    for line in text.splitlines():
+        if line.startswith("# "):
+            parts = line.split(" ", 3)  # "# HELP <name> ..." / "# TYPE <name> <type>"
+            name = parts[2] if len(parts) > 2 else ""
+            if name != header_name:
+                header, header_name = [], name
+            header.append(line)
+            continue
+        brace = line.find("{")
+        if brace < 0:
+            continue  # an unlabeled sample cannot carry the pair
+        # Normalising "{" to "," lets one needle form match the first
+        # label pair too, and the closing quote in each needle prevents
+        # prefix collisions (tenant="a" vs tenant="ab").
+        hay = "," + line[brace + 1 : line.rfind("}")]
+        if all(needle in hay for needle in needles):
+            if header_name != flushed_name:
+                kept.extend(header)
+                flushed_name = header_name
+            kept.append(line)
+    return "\n".join(kept) + ("\n" if kept else "")
 
 
 _DEFAULT = MetricsRegistry()

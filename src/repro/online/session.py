@@ -138,6 +138,9 @@ class OnlineSession:
             restore a previously persisted online state for the same
             seed fit (accumulators + step counter + drift EWMA) so a
             restarted service continues mid-stream.
+        tenant: tenant id stamped on the ``goggles_online_*`` metric
+            families, so a multi-tenant process can attribute drift and
+            absorb throughput per tenant.
 
     Thread contract: like the engines, the session is driven by a
     single worker thread (``LabelingService``'s); it has no internal
@@ -153,6 +156,7 @@ class OnlineSession:
         *,
         resume: bool = True,
         registry: MetricsRegistry | None = None,
+        tenant: str = "default",
     ):
         if goggles.engine.state is None:
             raise ValueError(
@@ -176,6 +180,7 @@ class OnlineSession:
         # process can re-derive the grown corpus from the seed fit.
         self._replay_log: list[np.ndarray] = []
         self.registry = registry or default_registry()
+        self.tenant = tenant
         self._init_metrics()
         self._session_key = self._make_key(result)
         self._freeze(result)
@@ -187,28 +192,34 @@ class OnlineSession:
         """Declare the online metric family (see ENGINE.md catalogue)."""
         reg = self.registry
         self._m_steps = reg.counter(
-            "goggles_online_steps_total", "Stepwise-EM absorb steps executed."
+            "goggles_online_steps_total", "Stepwise-EM absorb steps executed.",
+            labelnames=("tenant",),
         )
         self._m_rows = reg.counter(
-            "goggles_online_absorbed_rows_total", "Arrival rows folded into the online statistics."
+            "goggles_online_absorbed_rows_total", "Arrival rows folded into the online statistics.",
+            labelnames=("tenant",),
         )
         self._m_refits = reg.counter(
-            "goggles_online_refits_total", "Escalations to a full warm-started refit."
+            "goggles_online_refits_total", "Escalations to a full warm-started refit.",
+            labelnames=("tenant",),
         )
         self._m_dropped = reg.counter(
             "goggles_online_buffer_dropped_total",
             "Buffered arrival rows dropped past buffer_cap.",
+            labelnames=("tenant",),
         )
         # Drift and buffer fill are session state: read lazily at scrape
         # time so absorb never pays for gauge bookkeeping.
         reg.gauge(
             "goggles_online_drift_nats",
             "Nats/row the prequential log-likelihood EWMA sits below the seed baseline.",
-        ).set_function(lambda: self.drift)
+            labelnames=("tenant",),
+        ).set_function(lambda: self.drift, tenant=self.tenant)
         reg.gauge(
             "goggles_online_buffer_rows",
             "Arrival rows buffered for the next refit.",
-        ).set_function(lambda: sum(batch.shape[0] for batch in self._buffer))
+            labelnames=("tenant",),
+        ).set_function(lambda: sum(batch.shape[0] for batch in self._buffer), tenant=self.tenant)
 
     # ------------------------------------------------------------------
     # Seed snapshot
@@ -363,8 +374,8 @@ class OnlineSession:
         ) * self._ewma_ll + config.drift_alpha * prequential_ll
         self.n_batches += 1
         self.n_absorbed += int(posterior.shape[0])
-        self._m_steps.inc()
-        self._m_rows.inc(int(posterior.shape[0]))
+        self._m_steps.inc(tenant=self.tenant)
+        self._m_rows.inc(int(posterior.shape[0]), tenant=self.tenant)
         return apply_mapping(posterior, self.mapping)
 
     # ------------------------------------------------------------------
@@ -425,7 +436,7 @@ class OnlineSession:
             ):
                 dropped = int(self._buffer.pop(0).shape[0])
                 self.n_buffer_dropped += dropped
-                self._m_dropped.inc(dropped)
+                self._m_dropped.inc(dropped, tenant=self.tenant)
             if self.should_refit():
                 labels = self._refit()[-images.shape[0] :]
         except Exception:
@@ -502,7 +513,7 @@ class OnlineSession:
         with span("online.refit", self.registry):
             result = self.goggles.label_incremental(buffered, self.dev_set, warm_start=True)
         self.n_refits += 1
-        self._m_refits.inc()
+        self._m_refits.inc(tenant=self.tenant)
         self._replay_log.append(buffered)
         self._persist_replay()
         self._freeze(result)

@@ -1,39 +1,52 @@
-"""Minimal HTTP front-end for the streaming labeling service.
+"""Versioned, tenant-scoped HTTP front-end for the labeling service.
 
 Stdlib-only (``http.server``): a :class:`LabelingHTTPServer` exposes a
-running :class:`~repro.serving.service.LabelingService` on three
-routes —
+:class:`~repro.serving.registry.TenantRegistry` — or a single started
+:class:`~repro.serving.service.LabelingService`, adopted as its default
+tenant — through one declarative **route table** (method, pattern,
+handler).  Dispatch, the bounded Prometheus ``route`` label, and the
+404 fall-through all derive from the same table, so there is exactly
+one place a route exists.
 
-* ``POST /submit`` — body is a batch of ``(M, C, H, W)`` images, either
-  a raw ``.npy``/``.npz`` payload (``np.save``/``np.savez`` bytes; an
-  npz must hold an ``"images"`` entry) or JSON ``{"images": [...]}``.
-  Replies ``202 {"ticket": ...}``, or **429 with a ``Retry-After``
-  header** when the service's queued pixels would exceed the
-  configurable back-pressure bound — clients shed load instead of the
-  service's memory absorbing an unbounded backlog.
-* ``GET /poll/<ticket>`` — non-blocking status: ``pending``, ``done``
-  (with the class-aligned probabilistic labels and hard predictions),
-  or ``failed`` (with the error).  Unknown tickets are 404 — including
-  old ones the service already expired per ``ticket_retention``.
-* ``GET /healthz`` — liveness plus the service's *queue depth*
-  (``queued_pixels`` against the bound, ``tickets_outstanding``) and
-  load counters (corpus size, batches run), so a load balancer can
-  shed before the 429 path engages; in online mode the online
-  session's step/drift snapshot rides along under ``"online"``, and
-  the HTTP layer's own request/shed totals ride along under ``"http"``
-  (a scrape between polls can tell whether traffic is flowing).
-* ``GET /metrics`` — the process metrics registry in Prometheus text
-  exposition format: serving, online, engine/cache, and distributed
-  metric families (see ENGINE.md, "Observability").
+The ``/v1`` API:
 
-Every submission gets a **trace id** (minted here, or the client's
-``X-Trace-Id`` header), returned in the 202 payload and response
-header and threaded through the service worker into the online/
-incremental/inference spans, so one request's path across threads is
-reconstructable from ``repro.obs.recent_spans``.
+* ``POST /v1/tenants`` — register a tenant: JSON body with
+  ``tenant_id``, ``images`` (the seed corpus), ``dev_indices`` +
+  ``dev_labels`` (the cluster→class dev set), and optional config
+  fields (``mode``, ``n_classes``, ``max_queued_pixels``,
+  ``retry_after``).  Fits synchronously; replies ``201`` with the
+  tenant row, ``409 tenant_exists`` on a duplicate id.
+* ``GET /v1/tenants`` — list every tenant's state row.
+* ``POST /v1/tenants/<id>/submit`` — submit an ``(M, C, H, W)`` batch
+  (JSON ``{"images": ...}`` or raw ``.npy``/``.npz`` bytes) to one
+  tenant; ``202 {"ticket": ...}``, or ``429 backpressure`` with a
+  ``Retry-After`` header when *that tenant's* queue bound is hit —
+  other tenants' traffic is never shed by it.
+* ``GET /v1/tenants/<id>/poll/<ticket>`` — non-blocking ticket status.
+* ``DELETE /v1/tenants/<id>`` — evict (drain + drop the fitted state,
+  keep the registration; the next submit transparently reloads it
+  bit-identically).  ``?forget=true`` removes the registration too.
+* ``GET /healthz`` — per-tenant queue/drift sections plus the legacy
+  top-level default-tenant fields; ``?tenant=<id>`` narrows to one
+  tenant's section.
+* ``GET /metrics`` — Prometheus text exposition; ``?tenant=<id>``
+  keeps only that tenant's series.
+
+**Error envelope**: every error path answers JSON
+``{"error": {"code", "message", "trace_id", ...}}`` with the request's
+trace id echoed in the ``X-Trace-Id`` header — codes are
+``unknown_route``, ``unknown_tenant``, ``unknown_ticket``,
+``bad_request``, ``payload_too_large`` (413, bodies above
+``max_body_bytes``), ``backpressure`` (429), ``tenant_exists`` (409),
+``tenant_unavailable`` / ``service_unavailable`` (503).
+
+**Deprecation policy**: the unversioned routes (``POST /submit``,
+``GET /poll/<ticket>``) remain as aliases onto the default tenant and
+answer with a ``Deprecation: true`` header; new clients must use the
+``/v1`` forms (see ENGINE.md, "Multi-tenant serving").
 
 Each request is handled on its own thread (``ThreadingHTTPServer``);
-all actual labeling still funnels through the service's single
+all actual labeling still funnels through each tenant service's single
 background worker, so the HTTP layer adds concurrency only where it is
 safe — parsing, queueing, and polling.
 """
@@ -42,66 +55,175 @@ from __future__ import annotations
 
 import io
 import json
+import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import NamedTuple
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
-from repro.obs import MetricsRegistry, new_trace_id
+from repro.datasets.base import DevSet
+from repro.obs import MetricsRegistry, filter_exposition, new_trace_id
+from repro.serving.registry import (
+    DEFAULT_TENANT,
+    TenantConfig,
+    TenantExistsError,
+    TenantRegistry,
+    TenantUnavailableError,
+    UnknownTenantError,
+)
 from repro.serving.service import BackPressureError, LabelingService, TicketStatus
 
-__all__ = ["LabelingHTTPServer", "serve_http"]
+__all__ = ["LabelingHTTPServer", "ROUTES", "Route", "serve_http"]
+
+#: Bodies above this many bytes answer 413 without being read.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class Route(NamedTuple):
+    """One row of the route table: dispatch + metrics label, together."""
+
+    method: str
+    pattern: re.Pattern
+    label: str  # bounded-cardinality Prometheus route label
+    handler: str  # _Handler method name
+    deprecated: bool = False
+
+
+#: The single source of routing truth: dispatch, the ``route`` metric
+#: label, and 404 fall-through all read this table.
+ROUTES: tuple[Route, ...] = (
+    Route("GET", re.compile(r"^/healthz$"), "/healthz", "_handle_healthz"),
+    Route("GET", re.compile(r"^/metrics$"), "/metrics", "_handle_metrics"),
+    Route("GET", re.compile(r"^/v1/tenants$"), "/v1/tenants", "_handle_tenants_list"),
+    Route("POST", re.compile(r"^/v1/tenants$"), "/v1/tenants", "_handle_tenants_register"),
+    Route(
+        "POST",
+        re.compile(r"^/v1/tenants/(?P<tenant>[^/]+)/submit$"),
+        "/v1/tenants/{id}/submit",
+        "_handle_submit",
+    ),
+    Route(
+        "GET",
+        re.compile(r"^/v1/tenants/(?P<tenant>[^/]+)/poll/(?P<ticket>[^/]+)$"),
+        "/v1/tenants/{id}/poll/{ticket}",
+        "_handle_poll",
+    ),
+    Route(
+        "DELETE",
+        re.compile(r"^/v1/tenants/(?P<tenant>[^/]+)$"),
+        "/v1/tenants/{id}",
+        "_handle_tenants_evict",
+    ),
+    # Legacy unversioned aliases onto the default tenant (Deprecation
+    # header; see the deprecation policy in ENGINE.md).
+    Route("POST", re.compile(r"^/submit$"), "/submit", "_handle_submit", deprecated=True),
+    Route("GET", re.compile(r"^/poll/(?P<ticket>[^/]+)$"), "/poll", "_handle_poll", deprecated=True),
+)
+
+
+def match_route(method: str, path: str) -> tuple[Route | None, re.Match | None]:
+    """The first table row whose method and pattern match, or ``(None, None)``."""
+    for route in ROUTES:
+        if route.method != method:
+            continue
+        match = route.pattern.match(path)
+        if match is not None:
+            return route, match
+    return None, None
+
+
+def _route_of(method: str, path: str) -> str:
+    """Normalise a request path to the table's bounded route-label set."""
+    route, _ = match_route(method, path.partition("?")[0])
+    return route.label if route is not None else "other"
 
 
 class LabelingHTTPServer(ThreadingHTTPServer):
-    """HTTP wrapper around a started :class:`LabelingService`.
+    """HTTP front-end over a tenant registry (or one adopted service).
 
     Parameters:
-        service: the (already started) service to expose.
+        service: either a :class:`TenantRegistry` (serves every
+            registered tenant) or a started :class:`LabelingService` —
+            which is adopted as the ``default`` tenant of an internal
+            registry, preserving the original single-tenant contract.
         address: ``(host, port)`` to bind; port 0 picks an ephemeral
             port (read it back from :attr:`port` / :attr:`url`).
-        max_queued_pixels: back-pressure bound — a submission whose
-            pixels would push the service's queued total above this
-            returns 429; ``None`` disables shedding.
-        retry_after: value of the 429 ``Retry-After`` header (seconds).
+        max_queued_pixels: back-pressure bound for the *adopted* default
+            tenant (ignored when a registry is passed — each tenant's
+            bound lives in its :class:`TenantConfig`); ``None`` disables
+            shedding.
+        retry_after: 429 ``Retry-After`` header for the adopted default
+            tenant (per-tenant via :class:`TenantConfig` otherwise).
         registry: metrics registry backing ``/metrics`` and the HTTP
-            request counters; defaults to the service's (which itself
-            defaults to the process-wide registry).
+            request counters; defaults to the service's / tenant
+            registry's.
+        max_body_bytes: request bodies above this answer ``413
+            payload_too_large`` without being read.
+        default_tenant: the tenant the legacy unversioned routes alias
+            (registry form only; an adopted service always aliases its
+            own tenant).  Defaults to ``"default"``.
     """
 
     daemon_threads = True
 
     def __init__(
         self,
-        service: LabelingService,
+        service: LabelingService | TenantRegistry,
         address: tuple[str, int] = ("127.0.0.1", 0),
         *,
         max_queued_pixels: int | None = None,
         retry_after: float = 1.0,
         registry: MetricsRegistry | None = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        default_tenant: str | None = None,
     ):
         if max_queued_pixels is not None and max_queued_pixels < 1:
             raise ValueError(f"max_queued_pixels must be >= 1, got {max_queued_pixels}")
         if retry_after <= 0:
             raise ValueError(f"retry_after must be > 0, got {retry_after}")
-        self.service = service
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
         self.max_queued_pixels = max_queued_pixels
         self.retry_after = retry_after
-        self.registry = registry or service.registry
+        self.max_body_bytes = max_body_bytes
+        if isinstance(service, TenantRegistry):
+            self.tenants = service
+            self.service = None
+            self.default_tenant = default_tenant or DEFAULT_TENANT
+            self.registry = registry or service.metrics
+        else:
+            # Single-service form: adopt it as the default tenant so the
+            # legacy routes and the /v1 ones serve the same state.
+            self.service = service
+            self.registry = registry or service.registry
+            self.tenants = TenantRegistry(metrics=self.registry)
+            self.default_tenant = service.tenant
+            self.tenants.adopt(
+                service.tenant,
+                service,
+                config=TenantConfig(
+                    mode=service.mode,
+                    max_queued_pixels=max_queued_pixels,
+                    retry_after=retry_after,
+                ),
+            )
         self.m_requests = self.registry.counter(
             "goggles_http_requests_total",
-            "HTTP requests handled, by normalised route and status code.",
-            labelnames=("route", "status"),
+            "HTTP requests handled, by normalised route, status code, and tenant.",
+            labelnames=("route", "status", "tenant"),
         )
         self.m_request_seconds = self.registry.histogram(
             "goggles_http_request_seconds",
-            "HTTP request handling wall time, by normalised route.",
-            labelnames=("route",),
+            "HTTP request handling wall time, by normalised route and tenant.",
+            labelnames=("route", "tenant"),
         )
         self.m_shed = self.registry.counter(
             "goggles_http_shed_total",
-            "Submissions shed with 429 by the HTTP back-pressure bound.",
+            "Submissions shed with 429 by the HTTP back-pressure bound, by tenant.",
+            labelnames=("tenant",),
         )
         super().__init__(tuple(address), _Handler)
 
@@ -122,7 +244,7 @@ class LabelingHTTPServer(ThreadingHTTPServer):
 
 
 def serve_http(
-    service: LabelingService,
+    service: LabelingService | TenantRegistry,
     host: str = "127.0.0.1",
     port: int = 0,
     **kwargs: object,
@@ -159,18 +281,20 @@ def _parse_images(body: bytes, content_type: str) -> np.ndarray:
     return np.asarray(loaded, dtype=np.float64)
 
 
-def _route_of(method: str, path: str) -> str:
-    """Normalise a request path to a bounded route-label set."""
-    if method == "GET":
-        if path == "/healthz":
-            return "/healthz"
-        if path == "/metrics":
-            return "/metrics"
-        if path.startswith("/poll/"):
-            return "/poll"
-    elif method == "POST" and path == "/submit":
-        return "/submit"
-    return "other"
+def _check_batch(images: np.ndarray) -> np.ndarray:
+    if images.ndim != 4 or images.shape[0] == 0:
+        raise ValueError(f"expected a non-empty (M, C, H, W) batch, got shape {images.shape}")
+    return images
+
+
+def _registration_config(document: dict) -> TenantConfig:
+    """The TenantConfig encoded in a POST /v1/tenants body."""
+    fields = {}
+    for name in ("mode", "n_classes", "max_queued_pixels", "retry_after",
+                 "warm_start", "ticket_retention", "max_batch"):
+        if document.get(name) is not None:
+            fields[name] = document[name]
+    return TenantConfig(**fields)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -181,11 +305,61 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     # ------------------------------------------------------------------
+    # Dispatch: every verb funnels through the route table
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        route, match = match_route(method, split.path)
+        self._route_label = route.label if route is not None else "other"
+        self._tenant_label = ""  # set by tenant-scoped handlers
+        self._deprecated = route is not None and route.deprecated
+        self._trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
+        self._status_code = 0
+        started = time.monotonic()
+        try:
+            if route is None:
+                self._error(404, "unknown_route", f"no route {method} {split.path!r}")
+            else:
+                query = parse_qs(split.query)
+                getattr(self, route.handler)(match, query)
+        finally:
+            self.server.m_request_seconds.observe(
+                time.monotonic() - started, route=self._route_label, tenant=self._tenant_label
+            )
+            self.server.m_requests.inc(
+                route=self._route_label,
+                status=str(self._status_code or 500),
+                tenant=self._tenant_label,
+            )
+
+    def _match_tenant(self, match: re.Match | None) -> str:
+        """The tenant a route addresses (legacy routes -> the default)."""
+        groups = match.groupdict() if match is not None else {}
+        tenant_id = groups.get("tenant") or self.server.default_tenant
+        self._tenant_label = tenant_id
+        return tenant_id
+
+    # ------------------------------------------------------------------
     # Replies
     # ------------------------------------------------------------------
     def _reply(self, code: int, payload: dict, headers: dict[str, str] | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self._send(code, body, "application/json", headers)
+
+    def _error(self, code: int, error_code: str, message: str,
+               headers: dict[str, str] | None = None, **details: object) -> None:
+        """The uniform error envelope every error path answers with."""
+        envelope = {"code": error_code, "message": message, "trace_id": self._trace_id, **details}
+        self._reply(code, {"error": envelope}, headers)
 
     def _send(
         self,
@@ -198,111 +372,174 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", self._trace_id)
+        if self._deprecated:
+            self.send_header("Deprecation", "true")
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _timed(self, method: str, handler) -> None:
-        """Run a route handler, recording request count and wall time."""
-        route = _route_of(method, self.path)
-        self._status_code = 0
-        started = time.monotonic()
-        try:
-            handler()
-        finally:
-            self.server.m_request_seconds.observe(time.monotonic() - started, route=route)
-            self.server.m_requests.inc(route=route, status=str(self._status_code or 500))
-
-    # ------------------------------------------------------------------
-    # Routes
-    # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        self._timed("GET", self._get)
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        self._timed("POST", self._post)
-
-    def _get(self) -> None:
-        service = self.server.service
-        if self.path == "/healthz":
-            queued = service.queued_pixels
-            bound = self.server.max_queued_pixels
-            self._reply(
-                200,
-                {
-                    "status": "ok" if service.running else "stopped",
-                    "mode": service.mode,
-                    "corpus_size": service.corpus_size,
-                    "queued_pixels": queued,
-                    "max_queued_pixels": bound,
-                    "queue_fill": None if bound is None else round(queued / bound, 4),
-                    "tickets_outstanding": service.tickets_outstanding,
-                    "n_batches": service.n_batches,
-                    "n_labeled": service.n_labeled,
-                    "online": service.online_stats,
-                    "http": {
-                        "requests_total": int(self.server.m_requests.total()),
-                        "shed_total": int(self.server.m_shed.total()),
-                    },
-                },
+    def _read_body(self) -> bytes | None:
+        """The request body, or ``None`` after an already-sent 413."""
+        length = int(self.headers.get("Content-Length", "0") or 0)
+        if length > self.server.max_body_bytes:
+            self._error(
+                413, "payload_too_large",
+                f"request body of {length} bytes exceeds the {self.server.max_body_bytes}-byte bound",
+                max_body_bytes=self.server.max_body_bytes,
             )
-            return
-        if self.path == "/metrics":
-            body = self.server.registry.render().encode("utf-8")
-            self._send(200, body, "text/plain; version=0.0.4; charset=utf-8")
-            return
-        if self.path.startswith("/poll/"):
-            ticket = self.path[len("/poll/"):]
-            try:
-                status = service.poll(ticket)
-            except KeyError:
-                self._reply(404, {"error": f"unknown ticket {ticket!r}"})
+            return None
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    # Handlers (reached only through the route table)
+    # ------------------------------------------------------------------
+    def _handle_healthz(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
+        tenants = self.server.tenants
+        rows = {row["id"]: row for row in tenants.describe()}
+        wanted = query.get("tenant", [None])[0]
+        if wanted is not None:
+            row = rows.get(wanted)
+            if row is None:
+                self._error(404, "unknown_tenant", f"unknown tenant {wanted!r}")
                 return
-            self._reply(200, _status_payload(status))
+            self._tenant_label = wanted
+            self._reply(200, {"status": "ok" if row.get("running", True) else "stopped",
+                              "tenant": wanted, **row})
             return
-        self._reply(404, {"error": f"no route {self.path!r}"})
+        stopped = any(row["state"] == "active" and not row.get("running") for row in rows.values())
+        payload: dict = {"status": "stopped" if stopped else "ok"}
+        # Back-compat: the default tenant's queue-depth fields stay at
+        # the top level, exactly where single-tenant clients read them.
+        default = rows.get(self.server.default_tenant)
+        if default is not None and default["state"] == "active":
+            for key in ("mode", "corpus_size", "queued_pixels", "max_queued_pixels",
+                        "queue_fill", "tickets_outstanding", "n_batches", "n_labeled", "online"):
+                payload[key] = default.get(key)
+        payload["tenants"] = rows
+        payload["registry"] = {
+            "registered": len(rows),
+            "active": sum(1 for row in rows.values() if row["state"] == "active"),
+            "resident_bytes": tenants.resident_bytes(),
+            "memory_budget_bytes": tenants.memory_budget_bytes,
+        }
+        payload["http"] = {
+            "requests_total": int(self.server.m_requests.total()),
+            "shed_total": int(self.server.m_shed.total()),
+        }
+        self._reply(200, payload)
 
-    def _post(self) -> None:
-        if self.path != "/submit":
-            self._reply(404, {"error": f"no route {self.path!r}"})
+    def _handle_metrics(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
+        text = self.server.registry.render()
+        wanted = query.get("tenant", [None])[0]
+        if wanted is not None:
+            self._tenant_label = wanted
+            text = filter_exposition(text, tenant=wanted)
+        self._send(200, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8")
+
+    def _handle_tenants_list(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
+        self._reply(200, {"tenants": self.server.tenants.describe()})
+
+    def _handle_tenants_register(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
+        body = self._read_body()
+        if body is None:
             return
-        service = self.server.service
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            body = self.rfile.read(length)
-            images = _parse_images(body, self.headers.get("Content-Type", ""))
-            if images.ndim != 4 or images.shape[0] == 0:
-                raise ValueError(f"expected a non-empty (M, C, H, W) batch, got shape {images.shape}")
+            document = json.loads(body.decode("utf-8"))
+            if not isinstance(document, dict):
+                raise ValueError("body must be a JSON object")
+            tenant_id = document.get("tenant_id")
+            if not isinstance(tenant_id, str) or not tenant_id:
+                raise ValueError('body must carry a string "tenant_id"')
+            images = _check_batch(np.asarray(document["images"], dtype=np.float64))
+            dev = DevSet(
+                indices=np.asarray(document["dev_indices"], dtype=np.int64),
+                labels=np.asarray(document["dev_labels"], dtype=np.int64),
+            )
+            config = _registration_config(document)
+        except KeyError as error:
+            self._error(400, "bad_request", f"missing field {error.args[0]!r}")
+            return
         except Exception as error:  # noqa: BLE001 - malformed input is the client's fault
-            self._reply(400, {"error": f"{type(error).__name__}: {error}"})
+            self._error(400, "bad_request", f"{type(error).__name__}: {error}")
             return
-        trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
+        self._tenant_label = tenant_id
         try:
-            # The bound is enforced *inside* submit, under the service
-            # lock — concurrent handler threads cannot jointly overshoot.
-            ticket = service.submit(
-                images,
-                max_queued_pixels=self.server.max_queued_pixels,
-                trace_id=trace_id,
-            )
+            handle = self.server.tenants.register(tenant_id, images, dev, config)
+        except TenantExistsError:
+            self._error(409, "tenant_exists", f"tenant {tenant_id!r} is already registered")
+            return
+        except ValueError as error:
+            self._error(400, "bad_request", str(error))
+            return
+        self._reply(201, {"tenant": handle.describe(), "trace_id": self._trace_id})
+
+    def _handle_tenants_evict(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
+        assert match is not None
+        tenant_id = self._match_tenant(match)
+        forget = query.get("forget", ["false"])[0].lower() in ("1", "true", "yes")
+        try:
+            if forget:
+                self.server.tenants.remove(tenant_id)
+            else:
+                self.server.tenants.evict(tenant_id)
+        except UnknownTenantError:
+            self._error(404, "unknown_tenant", f"unknown tenant {tenant_id!r}")
+            return
+        self._reply(200, {"tenant": tenant_id, "state": "removed" if forget else "evicted"})
+
+    def _handle_submit(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
+        tenant_id = self._match_tenant(match)
+        tenants = self.server.tenants
+        try:
+            handle = tenants.get(tenant_id)
+        except UnknownTenantError:
+            self._error(404, "unknown_tenant", f"unknown tenant {tenant_id!r}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            images = _check_batch(_parse_images(body, self.headers.get("Content-Type", "")))
+        except Exception as error:  # noqa: BLE001 - malformed input is the client's fault
+            self._error(400, "bad_request", f"{type(error).__name__}: {error}")
+            return
+        try:
+            # The bound is enforced *inside* the tenant service's submit,
+            # under its lock — concurrent handler threads cannot jointly
+            # overshoot, and only this tenant's traffic is ever shed.
+            ticket = tenants.submit(tenant_id, images, trace_id=self._trace_id)
         except BackPressureError as error:
-            self.server.m_shed.inc()
-            self._reply(
-                429,
-                {
-                    "error": "labeling queue is full, retry later",
-                    "queued_pixels": error.queued_pixels,
-                    "max_queued_pixels": error.bound,
-                },
-                headers={"Retry-After": f"{self.server.retry_after:g}"},
+            self.server.m_shed.inc(tenant=tenant_id)
+            self._error(
+                429, "backpressure", "labeling queue is full, retry later",
+                headers={"Retry-After": f"{handle.config.retry_after:g}"},
+                queued_pixels=error.queued_pixels,
+                max_queued_pixels=error.bound,
             )
+            return
+        except UnknownTenantError:  # raced a concurrent remove
+            self._error(404, "unknown_tenant", f"unknown tenant {tenant_id!r}")
+            return
+        except TenantUnavailableError as error:
+            self._error(503, "tenant_unavailable", str(error))
             return
         except RuntimeError as error:  # not started / stopping
-            self._reply(503, {"error": str(error)})
+            self._error(503, "service_unavailable", str(error))
             return
-        self._reply(
-            202,
-            {"ticket": ticket, "trace_id": trace_id},
-            headers={"X-Trace-Id": trace_id},
-        )
+        self._reply(202, {"ticket": ticket, "tenant": tenant_id, "trace_id": self._trace_id})
+
+    def _handle_poll(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
+        assert match is not None
+        tenant_id = self._match_tenant(match)
+        ticket = match.group("ticket")
+        try:
+            status = self.server.tenants.poll(tenant_id, ticket)
+        except UnknownTenantError:
+            self._error(404, "unknown_tenant", f"unknown tenant {tenant_id!r}")
+            return
+        except KeyError:
+            self._error(404, "unknown_ticket", f"unknown ticket {ticket!r}")
+            return
+        self._reply(200, {**_status_payload(status), "tenant": tenant_id})

@@ -121,6 +121,11 @@ class LabelingService:
             see ENGINE.md, "Online stages").
         online: online-loop knobs for ``mode="online"``; defaults to
             ``goggles.config.online`` and then :class:`OnlineConfig`.
+        tenant: tenant id this service serves under.  Tickets are
+            namespaced ``<tenant>-t<counter>`` and every serving metric
+            carries the id as a ``tenant`` label, so a multi-tenant
+            process (:class:`~repro.serving.registry.TenantRegistry`)
+            can attribute queue depth, sheds, and latency per tenant.
     """
 
     def __init__(
@@ -134,6 +139,7 @@ class LabelingService:
         mode: str = "batch",
         online: OnlineConfig | None = None,
         registry: MetricsRegistry | None = None,
+        tenant: str = "default",
     ):
         if max_batch is not None and max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -141,6 +147,8 @@ class LabelingService:
             raise ValueError(f"mode must be one of {SERVICE_MODES}, got {mode!r}")
         if ticket_retention < 1:
             raise ValueError(f"ticket_retention must be >= 1, got {ticket_retention}")
+        if not tenant:
+            raise ValueError("tenant must be a non-empty id")
         if not goggles.config.keep_corpus_state:
             raise ValueError(
                 "LabelingService needs keep_corpus_state=True: incremental "
@@ -152,6 +160,7 @@ class LabelingService:
         self.warm_start = warm_start
         self.ticket_retention = ticket_retention
         self.mode = mode
+        self.tenant = tenant
         self._online_config = online
         self.session: OnlineSession | None = None
         self._cond = threading.Condition()
@@ -168,48 +177,61 @@ class LabelingService:
         self._init_metrics()
 
     def _init_metrics(self) -> None:
-        """Declare the serving metric family (see ENGINE.md catalogue)."""
+        """Declare the serving metric family (see ENGINE.md catalogue).
+
+        Every family carries a ``tenant`` label so one registry can
+        host many tenants' services without the series colliding.
+        """
         reg = self.registry
         self._m_submits = reg.counter(
-            "goggles_service_submits_total", "Submissions accepted by LabelingService.submit."
+            "goggles_service_submits_total", "Submissions accepted by LabelingService.submit.",
+            labelnames=("tenant",),
         )
         self._m_shed = reg.counter(
             "goggles_service_shed_total",
             "Submissions shed by the back-pressure bound (BackPressureError).",
+            labelnames=("tenant",),
         )
         self._m_batches = reg.counter(
-            "goggles_service_batches_total", "Coalesced batches executed, by mode.", labelnames=("mode",)
+            "goggles_service_batches_total", "Coalesced batches executed, by mode.",
+            labelnames=("mode", "tenant"),
         )
         self._m_labeled = reg.counter(
-            "goggles_service_labeled_rows_total", "Streamed rows labeled (seed corpus excluded)."
+            "goggles_service_labeled_rows_total", "Streamed rows labeled (seed corpus excluded).",
+            labelnames=("tenant",),
         )
         self._m_resolved = reg.counter(
             "goggles_service_tickets_resolved_total", "Tickets resolved, by final state.",
-            labelnames=("state",),
+            labelnames=("state", "tenant"),
         )
         self._m_expired = reg.counter(
             "goggles_service_tickets_expired_total",
             "Resolved tickets expired past ticket_retention.",
+            labelnames=("tenant",),
         )
         self._m_batch_seconds = reg.histogram(
             "goggles_service_batch_seconds",
             "Wall time of one coalesced labeling batch, by mode.",
-            labelnames=("mode",),
+            labelnames=("mode", "tenant"),
         )
         self._m_ticket_seconds = reg.histogram(
             "goggles_service_ticket_seconds",
             "Submit-to-resolution latency of individual tickets.",
+            labelnames=("tenant",),
         )
         # Queue-depth gauges read live service state at scrape time, so
-        # the hot path never updates them; a later service re-binds.
+        # the hot path never updates them; a later service for the same
+        # tenant re-binds its own series.
         reg.gauge(
             "goggles_service_queued_pixels",
             "Array elements of submissions queued or in flight.",
-        ).set_function(lambda: self.queued_pixels)
+            labelnames=("tenant",),
+        ).set_function(lambda: self.queued_pixels, tenant=self.tenant)
         reg.gauge(
             "goggles_service_tickets_outstanding",
             "Submitted tickets not yet resolved.",
-        ).set_function(lambda: self.tickets_outstanding)
+            labelnames=("tenant",),
+        ).set_function(lambda: self.tickets_outstanding, tenant=self.tenant)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -227,7 +249,8 @@ class LabelingService:
         if self.mode == "online":
             config = self._online_config or self.goggles.config.online or OnlineConfig()
             self.session = OnlineSession(
-                self.goggles, self.dev_set, result, config, registry=self.registry
+                self.goggles, self.dev_set, result, config,
+                registry=self.registry, tenant=self.tenant,
             )
         self._worker = threading.Thread(target=self._run, name="labeling-service-worker", daemon=True)
         self._worker.start()
@@ -325,17 +348,19 @@ class LabelingService:
                     s.images.size for s in self._queue if s.images is not None
                 )
                 if backlog + images.size > max_queued_pixels:
-                    self._m_shed.inc()
+                    self._m_shed.inc(tenant=self.tenant)
                     raise BackPressureError(backlog, images.size, max_queued_pixels)
             self._counter += 1
-            ticket = f"t{self._counter:06d}"
+            # Tenant-namespaced: a ticket id can never resolve under a
+            # different tenant's service, even with equal counters.
+            ticket = f"{self.tenant}-t{self._counter:06d}"
             submission = _Submission(
                 ticket=ticket, images=images, trace_id=trace_id, submitted_at=time.monotonic()
             )
             self._queue.append(submission)
             self._tickets[ticket] = submission
             self._cond.notify_all()
-        self._m_submits.inc()
+        self._m_submits.inc(tenant=self.tenant)
         return ticket
 
     def poll(self, ticket: str) -> TicketStatus:
@@ -405,14 +430,18 @@ class LabelingService:
                         images, self.dev_set, warm_start=self.warm_start
                     ).probabilistic_labels[-images.shape[0] :]
         except Exception as error:  # noqa: BLE001 - a bad batch must not kill the worker
-            self._m_batch_seconds.observe(time.perf_counter() - started, mode=self.mode)
-            self._m_batches.inc(mode=self.mode)
+            self._m_batch_seconds.observe(
+                time.perf_counter() - started, mode=self.mode, tenant=self.tenant
+            )
+            self._m_batches.inc(mode=self.mode, tenant=self.tenant)
             self._resolve(
                 batch,
                 [TicketStatus(ticket=s.ticket, state="failed", error=str(error)) for s in batch],
             )
             return
-        self._m_batch_seconds.observe(time.perf_counter() - started, mode=self.mode)
+        self._m_batch_seconds.observe(
+            time.perf_counter() - started, mode=self.mode, tenant=self.tenant
+        )
         offset = 0
         statuses = []
         for submission, rows in zip(batch, sizes):
@@ -427,8 +456,8 @@ class LabelingService:
         self._resolve(batch, statuses)
         self._n_batches += 1
         self._n_labeled += int(labels.shape[0])
-        self._m_batches.inc(mode=self.mode)
-        self._m_labeled.inc(int(labels.shape[0]))
+        self._m_batches.inc(mode=self.mode, tenant=self.tenant)
+        self._m_labeled.inc(int(labels.shape[0]), tenant=self.tenant)
 
     def _resolve(self, batch: list[_Submission], statuses: list[TicketStatus]) -> None:
         """Publish statuses, release the submitted pixels, expire old tickets."""
@@ -439,9 +468,9 @@ class LabelingService:
                 submission.images = None  # the corpus/state hold what is needed
                 submission.resolved.set()
                 self._resolved_order.append(submission.ticket)
-                self._m_resolved.inc(state=status.state)
+                self._m_resolved.inc(state=status.state, tenant=self.tenant)
                 if submission.submitted_at:
-                    self._m_ticket_seconds.observe(now - submission.submitted_at)
+                    self._m_ticket_seconds.observe(now - submission.submitted_at, tenant=self.tenant)
             while len(self._resolved_order) > self.ticket_retention:
                 self._tickets.pop(self._resolved_order.pop(0), None)
-                self._m_expired.inc()
+                self._m_expired.inc(tenant=self.tenant)

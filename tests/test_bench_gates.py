@@ -158,6 +158,46 @@ class TestServingGates:
         assert "baseline is a number" in capsys.readouterr().out
 
 
+class TestTenantGates:
+    """The ``tenants`` section rides the same key-name-driven rules as
+    ``load``/``smoke`` — per-tenant rows are gated on tail latency,
+    shed rate, reconciliation, and coverage."""
+
+    def test_tenant_shed_rate_increase_fails(self, tmp_path, capsys):
+        baseline = {"tenants": [{"tenant": "surface", "shed_rate": 0.0, "reconciled": True}]}
+        fresh = {"tenants": [{"tenant": "surface", "shed_rate": 0.5, "reconciled": True}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "shed rate rose" in capsys.readouterr().out
+
+    def test_tenant_p99_regression_fails(self, tmp_path, capsys):
+        baseline = {"tenants": [{"tenant": "cub", "e2e_p99_seconds": 0.20}]}
+        fresh = {"tenants": [{"tenant": "cub", "e2e_p99_seconds": 0.60}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "p99 latency regressed" in capsys.readouterr().out
+
+    def test_tenant_reconciled_flip_fails(self, tmp_path, capsys):
+        baseline = {"tenants": [{"tenant": "cub", "reconciled": True}]}
+        fresh = {"tenants": [{"tenant": "cub", "reconciled": False}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "flipped" in capsys.readouterr().out
+
+    def test_dropped_tenant_row_fails(self, tmp_path, capsys):
+        baseline = {"tenants": [
+            {"tenant": "surface", "shed_rate": 0.0},
+            {"tenant": "cub", "shed_rate": 0.0},
+        ]}
+        fresh = {"tenants": [{"tenant": "surface", "shed_rate": 0.0}]}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "coverage shrank" in capsys.readouterr().out
+
+    def test_matching_tenant_rows_pass(self, tmp_path):
+        document = {"tenants": [
+            {"tenant": "surface", "shed_rate": 0.0, "e2e_p99_seconds": 0.3, "reconciled": True},
+            {"tenant": "cub", "shed_rate": 0.0, "e2e_p99_seconds": 0.3, "reconciled": True},
+        ]}
+        assert _run_gate(tmp_path, document, document) == 0
+
+
 def _write_leg(root: Path, label: str, document: dict) -> None:
     leg = root / f"BENCH-inference-{label}"
     leg.mkdir(parents=True)

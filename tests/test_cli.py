@@ -126,6 +126,74 @@ class TestCli:
         out = capsys.readouterr().out
         assert "refit(s)" in out
 
+    def test_serve_tenant_flag_namespaces_tickets(self, capsys):
+        code = main([
+            "--n-per-class",
+            "8",
+            "--dev-per-class",
+            "2",
+            "serve",
+            "--dataset",
+            "surface",
+            "--stream-batch",
+            "4",
+            "--tenant",
+            "acme",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "acme-t" in out  # streamed tickets carry the tenant namespace
+
+    def test_metrics_tenant_filter(self, capsys):
+        from repro.obs import default_registry
+
+        counter = default_registry().counter(
+            "goggles_cli_test_total", "CLI filter probe.", labelnames=("tenant",)
+        )
+        counter.inc(tenant="acme")
+        counter.inc(tenant="other")
+        code = main(["metrics", "--tenant", "acme"])
+        assert code == 0
+        out = capsys.readouterr().out
+        samples = [line for line in out.splitlines() if not line.startswith("#")]
+        assert any('goggles_cli_test_total{tenant="acme"}' in line for line in samples)
+        assert all('tenant="acme"' in line for line in samples)
+
+    def test_tenants_command_lists_and_evicts(self, capsys, vgg, small_surface):
+        import numpy as np
+
+        from repro.core import GogglesConfig
+        from repro.datasets.base import DevSet
+        from repro.obs import MetricsRegistry
+        from repro.serving import TenantRegistry, serve_http
+
+        images = small_surface.images
+        n0 = images.shape[0] - 6
+        labels = small_surface.labels[:n0]
+        indices = np.concatenate([np.flatnonzero(labels == k)[:3] for k in range(2)])
+        dev = DevSet(indices=indices, labels=labels[indices])
+        config = GogglesConfig(n_classes=2, seed=0, top_z=3, layers=(1, 2), n_jobs=2)
+        registry = TenantRegistry(base_config=config, model=vgg, metrics=MetricsRegistry())
+        registry.register("acme", images[:n0], dev)
+        server = serve_http(registry)
+        try:
+            assert main(["tenants", "--url", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "acme" in out and "active" in out
+            assert main(["tenants", "--url", server.url, "--evict", "acme"]) == 0
+            assert "acme: evicted" in capsys.readouterr().out
+            assert main(["tenants", "--url", server.url, "--evict", "acme", "--forget"]) == 0
+            assert "acme: removed" in capsys.readouterr().out
+            assert main(["tenants", "--url", server.url]) == 0
+            assert "no tenants registered" in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            registry.close()
+
+    def test_tenants_forget_requires_evict(self):
+        with pytest.raises(SystemExit, match="--forget needs --evict"):
+            main(["tenants", "--url", "http://127.0.0.1:1", "--forget"])
+
     def test_serve_initial_fraction_validated(self):
         with pytest.raises(SystemExit, match="initial"):
             main([

@@ -181,7 +181,7 @@ class TestRoutes:
         body = json.dumps({"images": [1.0, 2.0]}).encode()
         code, payload, _ = _post(f"{server.url}/submit", body, "application/json")
         assert code == 400
-        assert "(M, C, H, W)" in payload["error"]
+        assert "(M, C, H, W)" in payload["error"]["message"]
 
 
 class TestBackPressure:
@@ -199,7 +199,7 @@ class TestBackPressure:
             )
             assert code == 429
             assert headers["Retry-After"] == "7"
-            assert payload["max_queued_pixels"] == 1
+            assert payload["error"]["max_queued_pixels"] == 1
             # healthz still serves; the bound is reported.
             _, health = _get(f"{server.url}/healthz")
             assert health["max_queued_pixels"] == 1
@@ -294,13 +294,13 @@ class TestObservability:
             # The status counter lands after the reply bytes go out, so a
             # fresh client read can race it by a hair — wait it out.
             deadline = time.monotonic() + 5.0
-            while counter.value(route="/healthz", status="200") < 1:
+            while counter.value(route="/healthz", status="200", tenant="") < 1:
                 assert time.monotonic() < deadline, "healthz request never counted"
                 time.sleep(0.01)
-            assert counter.value(route="/submit", status="202") == 1
-            assert counter.value(route="/healthz", status="200") == 1
+            assert counter.value(route="/submit", status="202", tenant="default") == 1
+            assert counter.value(route="/healthz", status="200", tenant="") == 1
             histogram = registry.get("goggles_http_request_seconds")
-            assert histogram.count(route="/submit") == 1
+            assert histogram.count(route="/submit", tenant="default") == 1
         finally:
             server.shutdown()
 
@@ -341,7 +341,7 @@ class TestObservability:
             assert registry.get("goggles_http_shed_total").total() == 3
             counter = registry.get("goggles_http_requests_total")
             deadline = time.monotonic() + 5.0
-            while counter.value(route="/submit", status="429") < 3:
+            while counter.value(route="/submit", status="429", tenant="default") < 3:
                 assert time.monotonic() < deadline, "429s never counted"
                 time.sleep(0.01)
             _, health = _get(f"{server.url}/healthz")
