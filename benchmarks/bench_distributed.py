@@ -15,6 +15,14 @@ Two benchmarks share the repo-root ``BENCH_distributed.json``:
   ``crossover`` section recording the smallest N where distributed ≤
   serial per worker count (or null).  The sweep also asserts the warm
   pool spawned **zero** new workers after its first run.
+* ``test_distributed_telemetry_reconciliation`` — the cluster-wide
+  telemetry contract: two *process* workers ship their
+  ``goggles_worker_shards_completed_total`` deltas over the wire, and
+  the sum of the merged per-worker series must reconcile **exactly**
+  with the coordinator queue's completed-shard count (telemetry rides
+  the same messages as the completion reports, so in a clean run the
+  books balance to the shard).  Written as the ``telemetry`` section,
+  with the shard queue-wait p99 gated like the serving latencies.
 """
 
 from __future__ import annotations
@@ -117,6 +125,87 @@ def test_distributed_vs_serial_bit_identical(benchmark, settings, record_result)
         f"  distributed {row['distributed_seconds']:.2f}s over {row['shards']} shards "
         f"({row['shards_completed']} completed, {row['shards_requeued']} requeued)\n"
         f"  affinity matrix and labels bit-identical to serial: {row['bit_identical']}\n"
+        f"trajectory artifact: {JSON_PATH.name}"
+    )
+
+
+@pytest.mark.benchmark(group="distributed")
+def test_distributed_telemetry_reconciliation(benchmark, settings, record_result):
+    """Worker-shipped telemetry must reconcile exactly with the queue.
+
+    Two spawned *process* workers each keep their own registry and ship
+    counter deltas piggybacked on their completion reports; the broker
+    merges each frame before applying the completions it rode with, so
+    when the run returns, the per-worker
+    ``goggles_worker_shards_completed_total`` series must sum to the
+    coordinator's completed-shard count — exactly, not approximately.
+    """
+    from repro.obs import MetricsRegistry
+
+    model = shared_model(settings)
+    dataset = make_dataset("surface", n_per_class=settings.n_per_class, seed=0)
+    dev = dataset.sample_dev_set(settings.dev_per_class, seed=0)
+    section: dict = {}
+
+    def measure() -> dict:
+        section.clear()
+        registry = MetricsRegistry()
+        start = time.perf_counter()
+        with WorkerPool(DistributedConfig(n_workers=N_WORKERS), registry=registry) as pool:
+            with Goggles(
+                GogglesConfig(n_classes=2, seed=0, executor="distributed"),
+                model=model,
+                coordinator=pool,
+            ) as goggles:
+                goggles.label(dataset.images, dev)
+                queue_stats = goggles.coordinator.queue.stats()
+        elapsed = time.perf_counter() - start
+
+        workers = registry.get("goggles_worker_shards_completed_total")
+        series = workers.series() if workers is not None else {}
+        shipped = int(sum(series.values()))
+        completed = int(queue_stats["completed"])
+        assert shipped == completed, (
+            f"worker-shipped completions ({shipped}) must reconcile exactly with "
+            f"the coordinator's completed-shard count ({completed}); series: {series}"
+        )
+
+        wait = registry.get("goggles_shard_queue_wait_seconds")
+        p99 = 0.0
+        if wait is not None:
+            for key in wait.raw_series():
+                quantile = wait.quantile(0.99, **dict(zip(wait.labelnames, key)))
+                if quantile is not None:
+                    p99 = max(p99, quantile)
+        merged = registry.get("goggles_telemetry_frames_merged_total")
+        section.update(
+            {
+                "n": dataset.n_examples,
+                "workers": N_WORKERS,
+                "seconds": round(elapsed, 4),
+                "shards_completed": completed,
+                "worker_shipped_completions": shipped,
+                "worker_series": {key[0]: int(value) for key, value in sorted(series.items())},
+                "reconciled": shipped == completed,
+                "telemetry_frames_merged": int(merged.total()) if merged is not None else 0,
+                "stragglers": int(queue_stats.get("stragglers", 0)),
+                "shard_queue_wait_p99_seconds": round(p99, 4),
+            }
+        )
+        return section
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    update_trajectory(JSON_PATH, "telemetry", measured)
+
+    record_result(
+        f"Distributed telemetry reconciliation (N={measured['n']}, "
+        f"{measured['workers']} process workers)\n"
+        f"  worker-shipped completions {measured['worker_shipped_completions']} "
+        f"== queue completed {measured['shards_completed']}: {measured['reconciled']}\n"
+        f"  per-worker series: {measured['worker_series']}\n"
+        f"  telemetry frames merged: {measured['telemetry_frames_merged']}, "
+        f"stragglers: {measured['stragglers']}, "
+        f"queue-wait p99: {measured['shard_queue_wait_p99_seconds']:.4f}s\n"
         f"trajectory artifact: {JSON_PATH.name}"
     )
 

@@ -41,6 +41,14 @@ pair.  Two classes of change fail the build:
   than ``--max-shed-increase`` (absolute, default 0.10) above its
   baseline: the service started refusing work it used to absorb.
 
+The ``telemetry`` section of ``BENCH_distributed.json`` (cluster-wide
+telemetry reconciliation) is gated by the rules above without any
+bespoke code: its ``reconciled`` flag — worker-shipped completion
+counters summing exactly to the coordinator's completed-shard count —
+is a correctness contract covered by the equality-flip rule, and its
+``shard_queue_wait_p99_seconds`` tail is covered by the
+``*_p99_seconds`` rule with the ``--min-latency-seconds`` floor.
+
 Structure is compared recursively; a fresh file may *add* keys or rows
 (new metrics, new worker counts), but dropping a baseline key or row
 fails — silently shrinking coverage must look like a regression, not a

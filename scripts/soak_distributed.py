@@ -11,6 +11,15 @@ the distributed result is still **bit-identical** to a serial reference
 run, and the run fails loudly if no lease was ever reassigned (i.e. the
 chaos did not actually bite).
 
+All rounds share one :class:`~repro.obs.MetricsRegistry`, so the
+telemetry shipped over the wire by the spawned process workers
+accumulates across rounds; the soak asserts the merged per-worker
+``goggles_worker_shards_completed_total`` series stay **monotone
+non-decreasing** round over round even while chaos steals leases
+(lost frames lose their completions too — totals may lag, never
+regress), and ``--metrics-dump PATH`` appends each round's merged
+registry exposition to a file CI uploads as an artifact.
+
 This is the scheduled (cron) CI soak job — deliberately outside the
 PR-blocking path, with its log uploaded as an artifact.  Locally::
 
@@ -30,6 +39,7 @@ from repro.core import Goggles, GogglesConfig
 from repro.datasets import make_dataset
 from repro.distributed import Coordinator, DistributedConfig
 from repro.nn.vgg import VGG16, VGGConfig
+from repro.obs import MetricsRegistry
 
 
 class LeaseThief(threading.Thread):
@@ -82,6 +92,13 @@ def main(argv: list[str] | None = None) -> int:
         default=6,
         help="retry budget per shard (headroom for chaos-induced expiries)",
     )
+    parser.add_argument(
+        "--metrics-dump",
+        default=None,
+        metavar="PATH",
+        help="append each round's merged registry (Prometheus text) to this file "
+        "(CI uploads it as an artifact)",
+    )
     args = parser.parse_args(argv)
 
     print(
@@ -90,6 +107,10 @@ def main(argv: list[str] | None = None) -> int:
         f"theft every {args.theft_interval}s"
     )
     model = VGG16(VGGConfig(seed=0))
+    # One registry across every round: worker-shipped telemetry merges
+    # into it cumulatively, so per-worker counters must only ever grow.
+    registry = MetricsRegistry()
+    previous_worker_totals: dict[tuple[str, ...], float] = {}
     total_thefts = 0
     total_requeued = 0
     for round_index in range(args.rounds):
@@ -105,7 +126,8 @@ def main(argv: list[str] | None = None) -> int:
                 lease_timeout=args.lease_timeout,
                 max_attempts=args.max_attempts,
                 run_timeout=900.0,
-            )
+            ),
+            registry=registry,
         )
         thief = LeaseThief(coordinator, interval=args.theft_interval)
         start = time.perf_counter()
@@ -139,6 +161,26 @@ def main(argv: list[str] | None = None) -> int:
         if stats["poisoned"]:
             print("FAIL: chaos exhausted a shard's retry budget (tune knobs)")
             return 1
+
+        if args.metrics_dump:
+            with open(args.metrics_dump, "a", encoding="utf-8") as dump:
+                dump.write(f"# soak round {round_index}\n{registry.render()}\n")
+        workers = registry.get("goggles_worker_shards_completed_total")
+        worker_totals = dict(workers.series()) if workers is not None else {}
+        for key, value in previous_worker_totals.items():
+            if worker_totals.get(key, 0.0) < value:
+                print(
+                    f"FAIL: worker-shipped counter regressed for {key}: "
+                    f"{value} -> {worker_totals.get(key, 0.0)} (counters must be "
+                    "monotone across rounds even under chaos)"
+                )
+                return 1
+        shipped = int(sum(worker_totals.values()))
+        print(
+            f"round {round_index}: merged worker-shipped completions now {shipped} "
+            f"across {len(worker_totals)} worker series (monotone ok)"
+        )
+        previous_worker_totals = worker_totals
 
     if total_thefts == 0 or total_requeued == 0:
         print(

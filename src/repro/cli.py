@@ -351,8 +351,12 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         url = args.url.rstrip("/") + "/metrics"
         if args.tenant:
             url += "?tenant=" + urllib.parse.quote(args.tenant)
-        with urllib.request.urlopen(url, timeout=args.timeout) as response:
-            sys.stdout.write(response.read().decode("utf-8"))
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except OSError as error:  # URLError/HTTPError/timeout/refused all land here
+            print(f"error: cannot scrape {url}: {error}", file=sys.stderr)
+            return 1
         return 0
     from repro.obs import default_registry, filter_exposition
 
@@ -360,6 +364,66 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.tenant:
         text = filter_exposition(text, tenant=args.tenant)
     sys.stdout.write(text)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render the cross-process span timeline of one trace id.
+
+    With ``--url`` the spans come from a running server's
+    ``GET /v1/traces/<id>``; without, from this process's span ring —
+    which, after a distributed run, already holds the worker-side spans
+    the telemetry merger re-recorded.  Exits non-zero when the trace is
+    unknown (spans may also have aged out of the bounded ring).
+    """
+    if args.url:
+        import urllib.error
+        import urllib.parse
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/v1/traces/" + urllib.parse.quote(args.trace_id)
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                spans = json.loads(response.read())["spans"]
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                print(f"error: no spans recorded for trace {args.trace_id!r}", file=sys.stderr)
+            else:
+                print(f"error: cannot fetch {url}: {error}", file=sys.stderr)
+            return 1
+        except OSError as error:
+            print(f"error: cannot fetch {url}: {error}", file=sys.stderr)
+            return 1
+    else:
+        from repro.obs import recent_spans
+
+        records = sorted(recent_spans(trace_id=args.trace_id), key=lambda r: r.started_at)
+        if not records:
+            print(
+                f"error: no spans recorded for trace {args.trace_id!r} "
+                "(wrong id, or the spans aged out of the ring)",
+                file=sys.stderr,
+            )
+            return 1
+        base = records[0].started_at
+        spans = [
+            {
+                "name": record.name,
+                "worker": record.worker,
+                "seconds": record.seconds,
+                "outcome": record.outcome,
+                "offset_seconds": max(record.started_at - base, 0.0),
+            }
+            for record in records
+        ]
+    print(f"trace {args.trace_id}: {len(spans)} span(s)")
+    print(f"{'offset':>10} {'duration':>10} {'location':<16} {'span':<28} outcome")
+    for entry in spans:
+        location = entry.get("worker") or "local"
+        print(
+            f"{entry['offset_seconds']:>9.3f}s {entry['seconds']:>9.3f}s "
+            f"{location:<16} {entry['name']:<28} {entry['outcome']}"
+        )
     return 0
 
 
@@ -635,6 +699,18 @@ def main(argv: list[str] | None = None) -> int:
         "<url>/metrics?tenant=... when --url is set)",
     )
     metrics.set_defaults(fn=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="render the span timeline of one trace id (local ring or a server's /v1/traces)"
+    )
+    trace.add_argument("trace_id", help="the trace id to follow (as echoed in X-Trace-Id)")
+    trace.add_argument(
+        "--url", default=None,
+        help="base URL of a running serve --http-port instance; fetches "
+        "<url>/v1/traces/<id> (default: read this process's span ring)",
+    )
+    trace.add_argument("--timeout", type=float, default=5.0, help="request timeout in seconds")
+    trace.set_defaults(fn=_cmd_trace)
 
     tenants = sub.add_parser(
         "tenants", help="list or evict the tenants of a running serve --http-port instance"

@@ -51,7 +51,13 @@ from repro.distributed.worker import (
     Worker,
     run_worker_process,
 )
-from repro.distributed.wire import WireFormatError, decode_arrays, encode_arrays
+from repro.distributed.wire import (
+    WireFormatError,
+    decode_arrays,
+    decode_telemetry,
+    encode_arrays,
+    encode_telemetry,
+)
 
 __all__ = [
     "DEFAULT_AUTHKEY",
@@ -74,8 +80,10 @@ __all__ = [
     "as_coordinator",
     "base_fit_task",
     "decode_arrays",
+    "decode_telemetry",
     "default_authkey",
     "encode_arrays",
+    "encode_telemetry",
     "execute_shard",
     "extraction_task",
     "load_shard_result",

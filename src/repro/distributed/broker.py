@@ -10,9 +10,18 @@ into :class:`~repro.distributed.queue.TaskQueue` calls:
     ("lease", worker_id)                     -> ("task", ShardTask) | ("idle",) | ("stop",)
     ("lease_many", worker_id, limit)         -> ("tasks", [ShardTask, ...]) | ("idle",) | ("stop",)
     ("result", worker_id, task_id, arrays[, seconds])  -> ("ok",)
-    ("report_many", worker_id, [(task_id, arrays, seconds), ...]) -> ("ok", n_accepted)
+    ("report_many", worker_id, [(task_id, arrays, seconds), ...][, telemetry]) -> ("ok", n_accepted)
     ("fail", worker_id, task_id, error_str)  -> ("ok",)
-    ("bye", worker_id)                       -> connection closed
+    ("bye", worker_id[, telemetry])          -> connection closed
+
+The optional trailing ``telemetry`` field (also accepted on
+``result-end``) is an encoded frame of worker-side registry deltas and
+span records (:func:`repro.distributed.wire.encode_telemetry`), merged
+into the coordinator's scrape registry by the attached
+:class:`~repro.obs.ship.TelemetryMerger` *before* the completions the
+same message carries — so worker-shipped counters reconcile exactly
+with coordinator-observed completions the moment a run unblocks.
+Malformed frames are counted and dropped, never failing the op.
 
 ``lease_many`` grants up to ``limit`` shards in one round-trip — the
 actual batch size is planned by the queue's shard autotuner toward a
@@ -26,7 +35,7 @@ stream* instead of one monolithic message::
 
     ("result-begin", worker_id, task_id, n_frames, total_bytes[, encoding])  (no reply)
     ("frame", worker_id, task_id, index, bytes)                    (no reply) ×n_frames
-    ("result-end", worker_id, task_id[, seconds]) -> ("ok",) | ("error", reason)
+    ("result-end", worker_id, task_id[, seconds[, telemetry]]) -> ("ok",) | ("error", reason)
 
 The optional ``encoding`` field selects how the reassembled blob is
 decoded: ``"pickle"`` (v1, the default when absent, kept for old
@@ -55,8 +64,8 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, Listener
 
 from repro.distributed.queue import TaskQueue
-from repro.distributed.wire import WireFormatError, decode_arrays
-from repro.obs import default_registry
+from repro.distributed.wire import WireFormatError, decode_arrays, decode_telemetry
+from repro.obs import TelemetryMerger, default_registry
 
 __all__ = ["Broker", "DEFAULT_PORT"]
 
@@ -92,8 +101,10 @@ class Broker:
         queue: TaskQueue,
         bind: tuple[str, int] = ("127.0.0.1", 0),
         authkey: str | bytes = "goggles-repro",
+        merger: TelemetryMerger | None = None,
     ):
         self.queue = queue
+        self.merger = merger
         self._authkey = authkey.encode() if isinstance(authkey, str) else bytes(authkey)
         self._listener = Listener(tuple(bind), authkey=self._authkey)
         self._closing = threading.Event()
@@ -105,6 +116,7 @@ class Broker:
         self.n_stream_errors = 0  # malformed streams turned into failures
         self.n_lease_batches = 0  # lease_many grants of more than one shard
         self.n_report_batches = 0  # report_many uploads received
+        self.n_telemetry_errors = 0  # undecodable/malformed telemetry frames
         # Process-wide Prometheus mirrors of the counters above (totals
         # across every broker this process has run).
         registry = default_registry()
@@ -122,6 +134,12 @@ class Broker:
         )
         self._m_report_batches = registry.counter(
             "goggles_broker_report_batches_total", "report_many uploads received."
+        )
+        self._m_telemetry_errors = (
+            merger.registry if merger is not None else registry
+        ).counter(
+            "goggles_broker_telemetry_errors_total",
+            "Telemetry frames dropped as undecodable or malformed.",
         )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="goggles-broker-accept", daemon=True
@@ -203,7 +221,13 @@ class Broker:
                     self.queue.complete(task_id, worker_id, arrays, seconds)
                     conn.send(("ok",))
                 elif op == "report_many":
-                    _, worker_id, reports = message
+                    _, worker_id, reports, *rest = message
+                    # Merge the piggybacked telemetry BEFORE the
+                    # completions it covers, so a caller unblocked by
+                    # the final complete() already sees the merged
+                    # worker counters (exact reconciliation).
+                    if rest:
+                        self._merge_telemetry(rest[0])
                     accepted = 0
                     for task_id, arrays, seconds in reports:
                         if self.queue.complete(
@@ -234,13 +258,17 @@ class Broker:
                         stream.n_frames = -1
                 elif op == "result-end":
                     _, worker_id, task_id, *rest = message
-                    seconds = float(rest[0]) if rest else None
+                    seconds = float(rest[0]) if rest and rest[0] is not None else None
+                    if len(rest) > 1:
+                        self._merge_telemetry(rest[1])
                     conn.send(self._finish_stream(streams, task_id, worker_id, seconds))
                 elif op == "fail":
                     _, worker_id, task_id, error = message
                     self.queue.fail(task_id, worker_id, error)
                     conn.send(("ok",))
                 elif op == "bye":
+                    if len(message) > 2:
+                        self._merge_telemetry(message[2])
                     break
                 else:
                     conn.send(("error", f"unknown op {op!r}"))
@@ -267,6 +295,26 @@ class Broker:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+
+    def _merge_telemetry(self, blob: object) -> None:
+        """Fold one piggybacked telemetry frame into the merger.
+
+        Telemetry is freight, never protocol: a malformed frame is
+        counted and dropped without failing the op it rode on, and a
+        broker with no merger ignores frames entirely.
+        """
+        if self.merger is None:
+            return
+        try:
+            if not isinstance(blob, (bytes, bytearray, memoryview)):
+                raise WireFormatError(
+                    f"telemetry field must be bytes, got {type(blob).__name__}"
+                )
+            self.merger.merge(decode_telemetry(blob))
+        except (WireFormatError, ValueError):
+            with self._lock:
+                self.n_telemetry_errors += 1
+            self._m_telemetry_errors.inc()
 
     def _finish_stream(
         self,

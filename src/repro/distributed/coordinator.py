@@ -30,6 +30,7 @@ actually labels.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import threading
@@ -58,7 +59,9 @@ from repro.distributed.worker import (
 )
 from repro.engine.cache import ArtifactCache
 from repro.nn.vgg import VGGConfig
-from repro.obs import default_registry
+from repro.obs import MetricsRegistry, TelemetryMerger, default_registry
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_AUTHKEY",
@@ -147,6 +150,14 @@ class DistributedConfig:
             results batch into ``report_many`` uploads.  0 streams
             everything.
         frame_bytes: frame size of a streamed result.
+        straggler_factor: a completed shard whose worker-measured
+            compute exceeded this multiple of the autotuner's EWMA
+            estimate for its kind is counted as a straggler
+            (``goggles_stragglers_total{kind}``) and logged with shard
+            id and worker.
+        close_join_timeout: seconds :meth:`Coordinator.close` waits for
+            each worker thread/process (and the broker's threads) to
+            join before giving up with a warning instead of hanging.
     """
 
     bind: str = "127.0.0.1:0"
@@ -162,6 +173,8 @@ class DistributedConfig:
     lease_target_seconds: float = 0.1
     stream_threshold: int = DEFAULT_STREAM_THRESHOLD
     frame_bytes: int = DEFAULT_FRAME_BYTES
+    straggler_factor: float = 4.0
+    close_join_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         parse_address(self.bind)  # fail fast on malformed addresses
@@ -184,6 +197,10 @@ class DistributedConfig:
             raise ValueError(f"stream_threshold must be >= 0, got {self.stream_threshold}")
         if self.frame_bytes < 1:
             raise ValueError(f"frame_bytes must be >= 1, got {self.frame_bytes}")
+        if self.straggler_factor <= 1.0:
+            raise ValueError(f"straggler_factor must be > 1, got {self.straggler_factor}")
+        if self.close_join_timeout <= 0:
+            raise ValueError(f"close_join_timeout must be > 0, got {self.close_join_timeout}")
 
 
 class Coordinator:
@@ -204,15 +221,23 @@ class Coordinator:
         *,
         cache: ArtifactCache | None = None,
         persistent: bool = False,
+        registry: MetricsRegistry | None = None,
     ):
         self.config = config or DistributedConfig()
         self.cache = cache
         self.persistent = bool(persistent)
+        self.registry = registry if registry is not None else default_registry()
         self.queue = TaskQueue(
             lease_timeout=self.config.lease_timeout,
             max_attempts=self.config.max_attempts,
             autotuner=ShardAutotuner(target_lease_seconds=self.config.lease_target_seconds),
+            registry=self.registry,
+            straggler_factor=self.config.straggler_factor,
         )
+        # Worker-shipped telemetry lands in the same registry /metrics
+        # scrapes, so goggles_worker_* families from spawned processes
+        # appear next to the coordinator-side ones.
+        self.merger = TelemetryMerger(self.registry)
         self._broker: Broker | None = None
         self._thread_workers: list[tuple[Worker, threading.Thread]] = []
         self._processes: list[multiprocessing.process.BaseProcess] = []
@@ -224,12 +249,15 @@ class Coordinator:
             "workers_spawned": 0,
             "cache_writebacks": 0,
         }
-        registry = default_registry()
-        self._m_spawned = registry.counter(
+        self._m_spawned = self.registry.counter(
             "goggles_pool_workers_spawned_total", "Local workers spawned by coordinators."
         )
-        self._m_writebacks = registry.counter(
+        self._m_writebacks = self.registry.counter(
             "goggles_pool_cache_writebacks_total", "Shard results written back into the artifact cache."
+        )
+        self._m_close_timeouts = self.registry.counter(
+            "goggles_pool_close_join_timeouts_total",
+            "Worker threads/processes that failed to join within close()'s timeout.",
         )
 
     @classmethod
@@ -279,7 +307,7 @@ class Coordinator:
             return self
         bind = parse_address(self.config.bind)
         require_safe_authkey(bind[0], self.config.authkey)
-        self._broker = Broker(self.queue, bind=bind, authkey=self.config.authkey)
+        self._broker = Broker(self.queue, bind=bind, authkey=self.config.authkey, merger=self.merger)
         for index in range(self.config.n_workers):
             self._spawn_worker(index)
         return self
@@ -300,6 +328,9 @@ class Coordinator:
                 lease_batch=self.config.lease_batch,
                 stream_threshold=self.config.stream_threshold,
                 frame_bytes=self.config.frame_bytes,
+                # In-thread workers share the coordinator's registry
+                # (and do NOT ship telemetry — that would double-count).
+                registry=self.registry,
             )
             thread = threading.Thread(target=worker.run, name=f"goggles-worker-{index}", daemon=True)
             thread.start()
@@ -345,16 +376,31 @@ class Coordinator:
         if self._closed:
             return
         self._closed = True
+        timeout = self.config.close_join_timeout
         for worker, _ in self._thread_workers:
             worker.stop()
         if self._broker is not None:
             self._broker.close()
         for worker, thread in self._thread_workers:
-            thread.join(timeout=5.0)
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                # Never hang a close: the thread is daemonic, so leak it
+                # loudly (counter + log) and move on — e.g. a worker
+                # blocked on a connect retry to a broker that died.
+                self._m_close_timeouts.inc()
+                logger.warning(
+                    "worker thread %s did not join within %.1fs on close; leaking daemon thread",
+                    thread.name, timeout,
+                )
         for process in self._processes:
             process.terminate()
-            process.join(timeout=5.0)
+            process.join(timeout=timeout)
             if process.is_alive():  # pragma: no cover - last resort
+                self._m_close_timeouts.inc()
+                logger.warning(
+                    "worker process %s (pid %s) did not join within %.1fs on close; killing",
+                    process.name, process.pid, timeout,
+                )
                 process.kill()
         self._thread_workers.clear()
         self._processes.clear()

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from repro.distributed.coordinator import Coordinator, DistributedConfig
 from repro.engine.cache import ArtifactCache
+from repro.obs import MetricsRegistry
 
 __all__ = ["WorkerPool", "as_coordinator"]
 
@@ -60,6 +61,8 @@ class WorkerPool:
         worker_mode: ``"process"`` or ``"thread"`` (shorthand only).
         cache: optional shared artifact cache mounted on the
             coordinator (and on thread workers).
+        registry: metrics registry for the session's telemetry (shard
+            timelines, merged worker counters); default process-wide.
     """
 
     def __init__(
@@ -69,6 +72,7 @@ class WorkerPool:
         n_workers: int = 2,
         worker_mode: str = "process",
         cache: ArtifactCache | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if config is None:
             config = DistributedConfig(n_workers=n_workers, worker_mode=worker_mode)
@@ -77,7 +81,7 @@ class WorkerPool:
                 "a WorkerPool exists to keep local workers warm; config.n_workers "
                 "must be >= 1 (use a bare Coordinator for external-worker sessions)"
             )
-        self._coordinator = Coordinator(config, cache=cache, persistent=True)
+        self._coordinator = Coordinator(config, cache=cache, persistent=True, registry=registry)
         self._closed = False
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ construction identical) result is accepted or ignored idempotently.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
@@ -25,9 +26,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.distributed.tasks import ShardTask
-from repro.obs import default_registry
+from repro.obs import MetricsRegistry, default_registry
 
 __all__ = ["PoisonShardError", "ShardAutotuner", "TaskQueue"]
+
+logger = logging.getLogger(__name__)
 
 
 class ShardAutotuner:
@@ -119,13 +122,21 @@ class PoisonShardError(RuntimeError):
 
 @dataclass
 class _Tracked:
-    """Book-keeping of one shard not yet completed."""
+    """Book-keeping of one shard not yet completed.
+
+    ``queued_at``/``leased_at`` are the shard's timeline: enqueue (or
+    most recent requeue) and most recent lease grant, on the queue's
+    clock.  Together with the worker-reported compute seconds they
+    decompose a shard's life into queue-wait / compute / transfer.
+    """
 
     task: ShardTask
     attempts: int = 0
     worker: str | None = None
     deadline: float | None = None
     errors: list[str] = field(default_factory=list)
+    queued_at: float | None = None
+    leased_at: float | None = None
 
     @property
     def leased(self) -> bool:
@@ -140,6 +151,16 @@ class TaskQueue:
             presumed dead and the shard is reassigned.
         max_attempts: lease grants per shard before it is poisoned.
         clock: monotonic time source (injectable for tests).
+        registry: metrics registry for the per-shard timeline
+            histograms and straggler counter (default: process-wide).
+        straggler_factor: a completed shard whose compute exceeded
+            ``straggler_factor ×`` the autotuner's EWMA estimate for
+            its kind (taken *before* folding in the new measurement) is
+            counted in ``goggles_stragglers_total{kind}`` and logged
+            with shard id and worker.
+        straggler_min_seconds: absolute floor below which a shard is
+            never a straggler (scheduler jitter on micro-shards is
+            noise, not a sick worker).
     """
 
     def __init__(
@@ -148,14 +169,21 @@ class TaskQueue:
         max_attempts: int = 3,
         clock: Callable[[], float] = time.monotonic,
         autotuner: ShardAutotuner | None = None,
+        registry: MetricsRegistry | None = None,
+        straggler_factor: float = 4.0,
+        straggler_min_seconds: float = 0.05,
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if straggler_factor <= 1.0:
+            raise ValueError(f"straggler_factor must be > 1, got {straggler_factor}")
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = int(max_attempts)
         self.autotuner = autotuner or ShardAutotuner()
+        self.straggler_factor = float(straggler_factor)
+        self.straggler_min_seconds = float(straggler_min_seconds)
         self._clock = clock
         self._cond = threading.Condition()
         self._tracked: dict[str, _Tracked] = {}
@@ -166,6 +194,33 @@ class TaskQueue:
         self.n_completed = 0
         self.n_requeued = 0
         self.n_failed = 0
+        self.n_stragglers = 0
+        registry = registry if registry is not None else default_registry()
+        self._m_queue_wait = registry.histogram(
+            "goggles_shard_queue_wait_seconds",
+            "Enqueue (or requeue) to lease grant, per shard, by kind.",
+            labelnames=("kind",),
+        )
+        self._m_compute = registry.histogram(
+            "goggles_shard_compute_seconds",
+            "Worker-measured compute seconds per completed shard, by kind.",
+            labelnames=("kind",),
+        )
+        self._m_transfer = registry.histogram(
+            "goggles_shard_transfer_seconds",
+            "Lease-to-report wall time minus worker compute (wire + scheduling), by kind.",
+            labelnames=("kind",),
+        )
+        self._m_stragglers = registry.counter(
+            "goggles_stragglers_total",
+            "Completed shards whose compute exceeded the straggler threshold, by kind.",
+            labelnames=("kind",),
+        )
+        self._m_completed = registry.counter(
+            "goggles_coordinator_shards_completed_total",
+            "Shards the coordinator accepted a completion for, by kind.",
+            labelnames=("kind",),
+        )
 
     # ------------------------------------------------------------------
     # Producer side (coordinator)
@@ -176,7 +231,7 @@ class TaskQueue:
             tid = task.task_id
             if tid in self._tracked or tid in self._results or tid in self._poisoned:
                 return False
-            self._tracked[tid] = _Tracked(task=task)
+            self._tracked[tid] = _Tracked(task=task, queued_at=self._clock())
             self._pending.append(tid)
             self._cond.notify_all()
             return True
@@ -269,6 +324,11 @@ class TaskQueue:
                 tracked.attempts += 1
                 tracked.worker = worker_id
                 tracked.deadline = now + self.lease_timeout
+                tracked.leased_at = now
+                if tracked.queued_at is not None:
+                    self._m_queue_wait.observe(
+                        max(now - tracked.queued_at, 0.0), kind=tracked.task.kind
+                    )
                 granted.append(tracked.task)
         return granted
 
@@ -281,14 +341,38 @@ class TaskQueue:
         shards are pure and content-addressed, so any completion is the
         right answer.  A late completion even rescues a poisoned shard.
         """
+        now = self._clock()
         with self._cond:
             tracked = self._tracked.pop(task_id, None)
             if tracked is None:
                 tracked = self._poisoned.pop(task_id, None)
                 if tracked is None:
                     return False  # already done or never known
+            kind = tracked.task.kind
             if seconds is not None:
-                self.autotuner.observe(tracked.task.kind, seconds)
+                # Straggler check against the estimate *before* this
+                # measurement folds in, or the straggler drags its own
+                # threshold up.
+                estimate = self.autotuner.estimate(kind)
+                threshold = max(
+                    self.straggler_factor * estimate if estimate is not None else float("inf"),
+                    self.straggler_min_seconds,
+                )
+                if estimate is not None and seconds > threshold:
+                    self.n_stragglers += 1
+                    self._m_stragglers.inc(kind=kind)
+                    logger.warning(
+                        "straggler shard %s (%s): %.3fs compute on worker %s "
+                        "(EWMA estimate %.3fs, factor %.1f)",
+                        task_id[:12], kind, seconds, worker_id, estimate, self.straggler_factor,
+                    )
+                self.autotuner.observe(kind, seconds)
+                self._m_compute.observe(max(float(seconds), 0.0), kind=kind)
+            if tracked.leased_at is not None:
+                elapsed = max(now - tracked.leased_at, 0.0)
+                overhead = elapsed - (seconds or 0.0)
+                self._m_transfer.observe(max(overhead, 0.0), kind=kind)
+            self._m_completed.inc(kind=kind)
             self._results[task_id] = result
             self.n_completed += 1
             self._cond.notify_all()
@@ -322,11 +406,13 @@ class TaskQueue:
         tid = tracked.task.task_id
         tracked.worker = None
         tracked.deadline = None
+        tracked.leased_at = None
         if tracked.attempts >= self.max_attempts:
             self._tracked.pop(tid, None)
             self._poisoned[tid] = tracked
         else:
             self.n_requeued += 1
+            tracked.queued_at = self._clock()  # wait clock restarts on requeue
             self._pending.append(tid)
         self._cond.notify_all()
 
@@ -349,4 +435,5 @@ class TaskQueue:
                 "requeued": self.n_requeued,
                 "failed": self.n_failed,
                 "poisoned": len(self._poisoned),
+                "stragglers": self.n_stragglers,
             }

@@ -46,6 +46,7 @@ from repro.engine.cache import ArtifactCache, hash_arrays, hash_params
 from repro.engine.features import iter_batches
 from repro.engine.tiling import tile_bounds
 from repro.nn.vgg import VGG16, VGGConfig
+from repro.obs import current_trace_id
 
 __all__ = [
     "ShardTask",
@@ -81,11 +82,20 @@ class ShardTask:
         kind: ``"similarity"`` or ``"base-fit"``.
         payload: everything the worker needs — numpy arrays plus plain
             picklable parameters.  Shipped over the connection verbatim.
+        trace_id: the submitting request's trace id, captured from the
+            planning context at build time.  **Not** part of the content
+            address (two requests computing the same shard share one
+            task id, result, and cache entry) and excluded from
+            equality — it is observability freight, never compute
+            input.  The worker re-installs it around the shard's
+            execution so worker-side spans stitch into the submitting
+            request's timeline.
     """
 
     task_id: str
     kind: str
     payload: dict = field(repr=False)
+    trace_id: str | None = field(default=None, repr=False, compare=False)
 
 
 # ----------------------------------------------------------------------
@@ -108,6 +118,7 @@ def extraction_task(vgg_config: VGGConfig, images: np.ndarray, layers: tuple[int
         task_id=task_id,
         kind="extraction",
         payload={"images": images, "vgg": vgg_config, "layers": layers},
+        trace_id=current_trace_id(),
     )
 
 
@@ -137,6 +148,7 @@ def similarity_task(prototypes: np.ndarray, vectors: np.ndarray) -> ShardTask:
         task_id=task_id,
         kind="similarity",
         payload={"prototypes": prototypes, "vectors": shipped, "transposed": transposed},
+        trace_id=current_trace_id(),
     )
 
 
@@ -164,6 +176,7 @@ def base_fit_task(
             "function_index": int(function_index),
             "init": init,
         },
+        trace_id=current_trace_id(),
     )
 
 

@@ -33,17 +33,22 @@ like a short v1 stream — never a completion.
 
 from __future__ import annotations
 
+import json
 import struct
 from typing import Iterable, Iterator
 
 import numpy as np
 
 __all__ = [
+    "TELEMETRY_MAGIC",
+    "TELEMETRY_VERSION",
     "WIRE_MAGIC",
     "WIRE_VERSION",
     "WireFormatError",
+    "decode_telemetry",
     "encode_arrays",
     "decode_arrays",
+    "encode_telemetry",
     "encoded_nbytes",
     "iter_frames",
 ]
@@ -51,6 +56,10 @@ __all__ = [
 #: First bytes of every v2 payload (GOGGLES Wire).
 WIRE_MAGIC = b"GGLW"
 WIRE_VERSION = 2
+
+#: First bytes of every telemetry frame (GOGGLES Telemetry).
+TELEMETRY_MAGIC = b"GGLT"
+TELEMETRY_VERSION = 1
 
 # Header layout (all little-endian):
 #   magic(4s) version(u16) n_entries(u16)
@@ -145,6 +154,56 @@ def iter_frames(buffers: Iterable[bytes | memoryview], frame_bytes: int) -> Iter
                 pending, pending_len = [], 0
     if pending:
         yield memoryview(b"".join(pending))
+
+
+# Telemetry frames: magic(4s) version(u16) then UTF-8 JSON.  Telemetry
+# rides as an *optional trailing field* on existing v2 ops
+# (``report_many`` / ``result-end`` / ``bye``) — v1 peers never see it,
+# and a broker that predates it ignores extra fields via ``*rest``
+# unpacking.  JSON (never pickle) keeps the same no-executable-bytes
+# guarantee as the array payloads.
+_TELEMETRY_PREAMBLE = struct.Struct("<4sH")
+
+#: Ceiling on a telemetry frame so a corrupt peer cannot make the
+#: broker parse an arbitrarily large JSON document.
+_MAX_TELEMETRY_BYTES = 4 * 1024 * 1024
+
+
+def encode_telemetry(payload: dict) -> bytes:
+    """Serialise one telemetry payload (a JSON-able dict) to bytes."""
+    if not isinstance(payload, dict):
+        raise WireFormatError(f"telemetry payload must be a dict, got {type(payload).__name__}")
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(f"telemetry payload is not JSON-able: {error}") from None
+    if len(body) > _MAX_TELEMETRY_BYTES:
+        raise WireFormatError(
+            f"telemetry frame of {len(body)} bytes exceeds the {_MAX_TELEMETRY_BYTES} limit"
+        )
+    return _TELEMETRY_PREAMBLE.pack(TELEMETRY_MAGIC, TELEMETRY_VERSION) + body
+
+
+def decode_telemetry(blob: bytes | bytearray | memoryview) -> dict:
+    """Decode one telemetry frame; raises :class:`WireFormatError`."""
+    view = memoryview(blob).cast("B") if not isinstance(blob, (bytes, bytearray)) else blob
+    data = bytes(view)
+    if len(data) < _TELEMETRY_PREAMBLE.size:
+        raise WireFormatError(f"telemetry frame of {len(data)} bytes is shorter than the preamble")
+    if len(data) > _TELEMETRY_PREAMBLE.size + _MAX_TELEMETRY_BYTES:
+        raise WireFormatError(f"telemetry frame of {len(data)} bytes exceeds the size limit")
+    magic, version = _TELEMETRY_PREAMBLE.unpack_from(data, 0)
+    if magic != TELEMETRY_MAGIC:
+        raise WireFormatError(f"bad telemetry magic {bytes(magic)!r} (expected {TELEMETRY_MAGIC!r})")
+    if version != TELEMETRY_VERSION:
+        raise WireFormatError(f"unsupported telemetry version {version} (expected {TELEMETRY_VERSION})")
+    try:
+        payload = json.loads(data[_TELEMETRY_PREAMBLE.size:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireFormatError(f"undecodable telemetry body: {error}") from None
+    if not isinstance(payload, dict):
+        raise WireFormatError(f"telemetry body must be a JSON object, got {type(payload).__name__}")
+    return payload
 
 
 def _read(blob: memoryview, offset: int, n: int, what: str) -> tuple[memoryview, int]:

@@ -49,7 +49,7 @@ import numpy as np
 from repro.distributed import wire
 from repro.distributed.tasks import ShardTask, execute_shard
 from repro.engine.cache import ArtifactCache
-from repro.obs import default_registry
+from repro.obs import MetricsRegistry, TelemetryShipper, default_registry, span, trace_context
 
 __all__ = [
     "DEFAULT_STREAM_THRESHOLD",
@@ -96,6 +96,14 @@ class Worker:
             the result is streamed as framed sub-messages; 0 streams
             every result, a huge value keeps everything single-message.
         frame_bytes: chunk size of a streamed result blob.
+        registry: metrics registry the worker instruments (default: the
+            process-wide one; in-thread workers get the coordinator's).
+        ship_telemetry: piggyback registry deltas + fresh span records
+            on outgoing v2 reports (``report_many`` / ``result-end`` /
+            ``bye``) so the coordinator can merge them into its scrape
+            registry.  On for spawned worker processes, off for
+            in-thread workers (which already share the coordinator's
+            registry — shipping would double-count).
     """
 
     _instances = 0
@@ -114,6 +122,8 @@ class Worker:
         retry_delay: float = 0.25,
         stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
         frame_bytes: int = DEFAULT_FRAME_BYTES,
+        registry: MetricsRegistry | None = None,
+        ship_telemetry: bool = False,
     ):
         if poll_interval <= 0:
             raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
@@ -143,18 +153,30 @@ class Worker:
         self.tasks_failed = 0
         self.results_streamed = 0
         self.results_batched = 0  # results reported via report_many
-        # Prometheus mirrors.  Note these land in *this* worker's process
-        # registry: visible when workers run in-thread, per-process when
-        # they are spawned (each worker process scrapes its own).
-        registry = default_registry()
-        self._m_completed = registry.counter(
-            "goggles_worker_tasks_completed_total", "Shards computed successfully by workers."
+        # Prometheus mirrors, keyed by the worker's own id.  In-thread
+        # workers write them straight into the coordinator's registry;
+        # spawned workers write their own process registry and (with
+        # ``ship_telemetry``) ship deltas for the coordinator to merge —
+        # the ``worker`` label makes both paths land as distinct series
+        # of the same families.
+        self._registry = registry if registry is not None else default_registry()
+        self._m_completed = self._registry.counter(
+            "goggles_worker_shards_completed_total",
+            "Shards computed successfully, by worker.",
+            labelnames=("worker",),
         )
-        self._m_failed = registry.counter(
-            "goggles_worker_tasks_failed_total", "Shards that raised during worker compute."
+        self._m_failed = self._registry.counter(
+            "goggles_worker_shards_failed_total",
+            "Shards that raised during worker compute, by worker.",
+            labelnames=("worker",),
         )
-        self._m_streamed = registry.counter(
-            "goggles_worker_results_streamed_total", "Large results streamed as framed buffers."
+        self._m_streamed = self._registry.counter(
+            "goggles_worker_results_streamed_total",
+            "Large results streamed as framed buffers, by worker.",
+            labelnames=("worker",),
+        )
+        self._shipper = (
+            TelemetryShipper(self.worker_id, self._registry) if ship_telemetry else None
         )
         self.idle_polls = 0
         self._idle_streak = 0
@@ -193,6 +215,16 @@ class Worker:
         self.idle_polls += 1
         return base * self._rng.uniform(0.5, 1.0)
 
+    def _telemetry_blob(self) -> bytes | None:
+        """The next encoded telemetry frame, or ``None`` (idle/off/v1)."""
+        if self._shipper is None or not self._v2_ops:
+            return None
+        try:
+            payload = self._shipper.collect()
+            return wire.encode_telemetry(payload) if payload is not None else None
+        except wire.WireFormatError:  # pragma: no cover - defensive: never block reports
+            return None
+
     def _request_lease(self, conn: Connection) -> tuple:
         """One lease round-trip: batched v2 op, v1 fallback for old brokers."""
         if self._v2_ops:
@@ -227,17 +259,32 @@ class Worker:
             conn.send(("result-begin", self.worker_id, task.task_id, n_frames, total))
         for index, frame in enumerate(wire.iter_frames(buffers, self.frame_bytes)):
             conn.send(("frame", self.worker_id, task.task_id, index, bytes(frame)))
+        self.results_streamed += 1
+        self._m_streamed.inc(worker=self.worker_id)
         if self._v2_ops:
-            conn.send(("result-end", self.worker_id, task.task_id, seconds))
+            blob = self._telemetry_blob()
+            if blob is not None:
+                conn.send(("result-end", self.worker_id, task.task_id, seconds, blob))
+            else:
+                conn.send(("result-end", self.worker_id, task.task_id, seconds))
         else:
             conn.send(("result-end", self.worker_id, task.task_id))
         conn.recv()  # ack; ("error", ...) means the broker burned a retry
-        self.results_streamed += 1
-        self._m_streamed.inc()
 
     def _flush_reports(self, conn: Connection, reports: list[tuple[str, dict, float]]) -> None:
-        """Upload a batch of small results in one ``report_many``."""
-        conn.send(("report_many", self.worker_id, reports))
+        """Upload a batch of small results in one ``report_many``.
+
+        The telemetry frame (registry deltas + fresh spans) rides the
+        same message, so the counters covering these completions are
+        merged atomically with them — lost together or applied
+        together, which is what keeps worker/coordinator counts in
+        exact reconciliation.
+        """
+        blob = self._telemetry_blob()
+        if blob is not None:
+            conn.send(("report_many", self.worker_id, reports, blob))
+        else:
+            conn.send(("report_many", self.worker_id, reports))
         reply = conn.recv()
         if reply[0] == "error":
             # Old broker: replay each result through the v1 op.
@@ -261,16 +308,21 @@ class Worker:
         for task in tasks:
             started = time.perf_counter()
             try:
-                arrays = execute_shard(task, cache=self.cache)
+                # Install the submitting request's trace id around the
+                # compute, so the shard's span record carries it and the
+                # shipped telemetry stitches into that request's
+                # timeline on the coordinator.
+                with trace_context(task.trace_id), span(f"shard.{task.kind}", self._registry):
+                    arrays = execute_shard(task, cache=self.cache)
             except Exception as error:  # noqa: BLE001 - report, don't die
                 self.tasks_failed += 1
-                self._m_failed.inc()
+                self._m_failed.inc(worker=self.worker_id)
                 conn.send(("fail", self.worker_id, task.task_id, f"{type(error).__name__}: {error}"))
                 conn.recv()
                 continue
             seconds = time.perf_counter() - started
             self.tasks_completed += 1
-            self._m_completed.inc()
+            self._m_completed.inc(worker=self.worker_id)
             # Size gate on the raw byte footprint — cheap to compute and
             # within a constant of the encoded size.
             nbytes = sum(int(np.asarray(value).nbytes) for value in arrays.values())
@@ -318,7 +370,13 @@ class Worker:
                 break
         if conn is not None:
             try:
-                conn.send(("bye", self.worker_id))
+                # Final telemetry (e.g. failure counters with no report
+                # to ride on) leaves with the goodbye.
+                blob = self._telemetry_blob()
+                if blob is not None:
+                    conn.send(("bye", self.worker_id, blob))
+                else:
+                    conn.send(("bye", self.worker_id))
             except (EOFError, OSError, BrokenPipeError):
                 pass
             conn.close()
@@ -353,4 +411,5 @@ def run_worker_process(
         poll_interval=poll_interval,
         poll_interval_max=poll_interval_max,
         lease_batch=lease_batch,
+        ship_telemetry=True,  # a spawned process' registry is otherwise unreachable
     ).run()

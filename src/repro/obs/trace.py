@@ -38,7 +38,10 @@ __all__ = [
     "current_trace_id",
     "new_trace_id",
     "recent_spans",
+    "record_span",
     "span",
+    "span_mark",
+    "spans_since",
     "trace_context",
 ]
 
@@ -49,16 +52,27 @@ _TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar("goggles_
 _RING_CAPACITY = 512
 _ring: deque["SpanRecord"] = deque(maxlen=_RING_CAPACITY)
 _ring_lock = threading.Lock()
+#: Spans ever recorded in this process (never decremented — the ring
+#: forgets, the counter does not, so shippers can detect missed spans).
+_ring_total = 0
 
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One finished span: what ran, under which trace, for how long."""
+    """One finished span: what ran, under which trace, for how long.
+
+    ``started_at`` is wall-clock (``time.time()``) so spans recorded in
+    different processes order into one timeline; ``worker`` is filled
+    by the telemetry merger when a span arrives from a remote worker
+    (``None`` for spans recorded in this process).
+    """
 
     name: str
     trace_id: str | None
     seconds: float
     outcome: str  # "ok" or "error"
+    started_at: float = 0.0
+    worker: str | None = None
 
 
 def new_trace_id() -> str:
@@ -101,6 +115,7 @@ def span(name: str, registry: MetricsRegistry | None = None):
         labelnames=("span", "outcome"),
     )
     start = time.perf_counter()
+    started_at = time.time()
     outcome = "ok"
     try:
         yield
@@ -110,9 +125,51 @@ def span(name: str, registry: MetricsRegistry | None = None):
     finally:
         seconds = time.perf_counter() - start
         histogram.observe(seconds, span=name, outcome=outcome)
-        record = SpanRecord(name=name, trace_id=_TRACE_ID.get(), seconds=seconds, outcome=outcome)
-        with _ring_lock:
-            _ring.append(record)
+        record_span(
+            SpanRecord(
+                name=name,
+                trace_id=_TRACE_ID.get(),
+                seconds=seconds,
+                outcome=outcome,
+                started_at=started_at,
+            )
+        )
+
+
+def record_span(record: SpanRecord) -> None:
+    """Append an already-finished span to the ring buffer.
+
+    The telemetry merger uses this to re-record spans shipped from
+    worker processes into the coordinator's ring, so
+    :func:`recent_spans` (and the trace CLI / HTTP endpoint reading it)
+    sees one cross-process timeline.
+    """
+    global _ring_total
+    with _ring_lock:
+        _ring.append(record)
+        _ring_total += 1
+
+
+def span_mark() -> int:
+    """An opaque high-water mark for :func:`spans_since`."""
+    with _ring_lock:
+        return _ring_total
+
+
+def spans_since(mark: int) -> tuple[list[SpanRecord], int]:
+    """Spans recorded after ``mark``, oldest first, plus the new mark.
+
+    If more spans were recorded than the ring holds, the overflow is
+    lost (the ring is bounded by design) — the caller still advances
+    past it.  This is the worker shipper's read path: each telemetry
+    frame carries exactly the spans since the previous frame.
+    """
+    with _ring_lock:
+        new = _ring_total - mark
+        if new <= 0:
+            return [], _ring_total
+        records = list(_ring)[-min(new, len(_ring)):]
+        return records, _ring_total
 
 
 def recent_spans(name: str | None = None, trace_id: str | None = None) -> list[SpanRecord]:

@@ -28,9 +28,15 @@ The ``/v1`` API:
   bit-identically).  ``?forget=true`` removes the registration too.
 * ``GET /healthz`` — per-tenant queue/drift sections plus the legacy
   top-level default-tenant fields; ``?tenant=<id>`` narrows to one
-  tenant's section.
+  tenant's section.  When the registry carries distributed telemetry
+  (merged worker counters, shard timelines) a ``distributed`` section
+  summarises it.
 * ``GET /metrics`` — Prometheus text exposition; ``?tenant=<id>``
   keeps only that tenant's series.
+* ``GET /v1/traces/<trace-id>`` — the cross-process span timeline of
+  one trace, assembled from the in-process span ring (worker-side
+  spans land there through the telemetry merger); 404
+  ``unknown_trace`` when no span carries the id.
 
 **Error envelope**: every error path answers JSON
 ``{"error": {"code", "message", "trace_id", ...}}`` with the request's
@@ -65,7 +71,7 @@ from urllib.parse import parse_qs, urlsplit
 import numpy as np
 
 from repro.datasets.base import DevSet
-from repro.obs import MetricsRegistry, filter_exposition, new_trace_id
+from repro.obs import MetricsRegistry, filter_exposition, new_trace_id, recent_spans
 from repro.serving.registry import (
     DEFAULT_TENANT,
     TenantConfig,
@@ -97,6 +103,12 @@ class Route(NamedTuple):
 ROUTES: tuple[Route, ...] = (
     Route("GET", re.compile(r"^/healthz$"), "/healthz", "_handle_healthz"),
     Route("GET", re.compile(r"^/metrics$"), "/metrics", "_handle_metrics"),
+    Route(
+        "GET",
+        re.compile(r"^/v1/traces/(?P<trace>[^/]+)$"),
+        "/v1/traces/{id}",
+        "_handle_trace",
+    ),
     Route("GET", re.compile(r"^/v1/tenants$"), "/v1/tenants", "_handle_tenants_list"),
     Route("POST", re.compile(r"^/v1/tenants$"), "/v1/tenants", "_handle_tenants_register"),
     Route(
@@ -287,6 +299,37 @@ def _check_batch(images: np.ndarray) -> np.ndarray:
     return images
 
 
+def _distributed_summary(registry: MetricsRegistry) -> dict | None:
+    """The ``/healthz`` section summarising merged distributed telemetry.
+
+    Present only when the registry carries distributed series (a
+    coordinator or :class:`~repro.distributed.pool.WorkerPool` sharing
+    the server's registry); ``None`` keeps the section out of
+    single-process deployments' payloads.
+    """
+    workers = registry.get("goggles_worker_shards_completed_total")
+    coordinator = registry.get("goggles_coordinator_shards_completed_total")
+    if workers is None and coordinator is None:
+        return None
+    section: dict = {}
+    if workers is not None:
+        series = workers.series()
+        section["workers"] = {key[0]: int(value) for key, value in sorted(series.items())}
+        section["worker_shards_completed_total"] = int(sum(series.values()))
+    if coordinator is not None:
+        section["coordinator_shards_completed_total"] = int(coordinator.total())
+    for field, name in (
+        ("stragglers_total", "goggles_stragglers_total"),
+        ("telemetry_frames_merged_total", "goggles_telemetry_frames_merged_total"),
+        ("telemetry_frames_skipped_total", "goggles_telemetry_frames_skipped_total"),
+        ("telemetry_merge_conflicts_total", "goggles_telemetry_merge_conflicts_total"),
+    ):
+        metric = registry.get(name)
+        if metric is not None:
+            section[field] = int(metric.total())
+    return section
+
+
 def _registration_config(document: dict) -> TenantConfig:
     """The TenantConfig encoded in a POST /v1/tenants body."""
     fields = {}
@@ -428,6 +471,9 @@ class _Handler(BaseHTTPRequestHandler):
             "requests_total": int(self.server.m_requests.total()),
             "shed_total": int(self.server.m_shed.total()),
         }
+        distributed = _distributed_summary(self.server.registry)
+        if distributed is not None:
+            payload["distributed"] = distributed
         self._reply(200, payload)
 
     def _handle_metrics(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
@@ -437,6 +483,27 @@ class _Handler(BaseHTTPRequestHandler):
             self._tenant_label = wanted
             text = filter_exposition(text, tenant=wanted)
         self._send(200, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8")
+
+    def _handle_trace(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
+        assert match is not None
+        trace_id = match.group("trace")
+        records = sorted(recent_spans(trace_id=trace_id), key=lambda r: r.started_at)
+        if not records:
+            self._error(404, "unknown_trace", f"no spans recorded for trace {trace_id!r}")
+            return
+        base = records[0].started_at
+        spans = [
+            {
+                "name": record.name,
+                "worker": record.worker,
+                "seconds": record.seconds,
+                "outcome": record.outcome,
+                "started_at": record.started_at,
+                "offset_seconds": max(record.started_at - base, 0.0),
+            }
+            for record in records
+        ]
+        self._reply(200, {"trace_id": trace_id, "spans": spans})
 
     def _handle_tenants_list(self, match: re.Match | None, query: dict[str, list[str]]) -> None:
         self._reply(200, {"tenants": self.server.tenants.describe()})

@@ -158,6 +158,50 @@ class TestServingGates:
         assert "baseline is a number" in capsys.readouterr().out
 
 
+class TestTelemetryGates:
+    """The distributed ``telemetry`` section rides the same
+    key-name-driven rules: the exact-reconciliation flag is a
+    correctness contract (bool-flip rule) and the shard queue-wait p99
+    is gated like the serving tails."""
+
+    def test_reconciliation_flip_fails(self, tmp_path, capsys):
+        baseline = {"telemetry": {"reconciled": True, "shard_queue_wait_p99_seconds": 0.1}}
+        fresh = {"telemetry": {"reconciled": False, "shard_queue_wait_p99_seconds": 0.1}}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "flipped" in capsys.readouterr().out
+
+    def test_queue_wait_p99_regression_fails(self, tmp_path, capsys):
+        baseline = {"telemetry": {"reconciled": True, "shard_queue_wait_p99_seconds": 0.2}}
+        fresh = {"telemetry": {"reconciled": True, "shard_queue_wait_p99_seconds": 0.4}}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "p99 latency regressed" in capsys.readouterr().out
+
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = {
+            "telemetry": {
+                "reconciled": True,
+                "shard_queue_wait_p99_seconds": 0.2,
+                "shards_completed": 40,
+                "stragglers": 0,
+            }
+        }
+        fresh = {
+            "telemetry": {
+                "reconciled": True,
+                "shard_queue_wait_p99_seconds": 0.22,
+                "shards_completed": 52,  # informational, not gated
+                "stragglers": 2,
+            }
+        }
+        assert _run_gate(tmp_path, baseline, fresh) == 0
+
+    def test_dropped_telemetry_section_fails(self, tmp_path, capsys):
+        baseline = {"telemetry": {"reconciled": True}}
+        fresh = {}
+        assert _run_gate(tmp_path, baseline, fresh) == 1
+        assert "missing from fresh run" in capsys.readouterr().out
+
+
 class TestTenantGates:
     """The ``tenants`` section rides the same key-name-driven rules as
     ``load``/``smoke`` — per-tenant rows are gated on tail latency,

@@ -256,3 +256,75 @@ class TestDistributedCli:
     def test_cache_info_requires_cache_dir(self):
         with pytest.raises(SystemExit, match="cache-dir"):
             main(["cache-info"])
+
+
+class TestMetricsAndTrace:
+    def test_metrics_unreachable_url_exits_nonzero_with_one_line(self, capsys):
+        # Port 1 is never listening; must not traceback, must not exit 0.
+        code = main(["metrics", "--url", "http://127.0.0.1:1", "--timeout", "0.5"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        errors = [line for line in captured.err.splitlines() if line]
+        assert len(errors) == 1
+        assert errors[0].startswith("error: cannot scrape")
+
+    def test_trace_renders_local_timeline(self, capsys):
+        from repro.obs import MetricsRegistry, clear_spans, new_trace_id, span, trace_context
+
+        clear_spans()
+        trace_id = new_trace_id()
+        registry = MetricsRegistry()
+        with trace_context(trace_id):
+            with span("http.submit", registry):
+                pass
+            with span("service.batch", registry):
+                pass
+        code = main(["trace", trace_id])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert trace_id in out and "2 span(s)" in out
+        assert "http.submit" in out and "service.batch" in out
+        assert "local" in out  # spans recorded in-process have no worker
+
+    def test_trace_unknown_id_exits_nonzero(self, capsys):
+        from repro.obs import clear_spans
+
+        clear_spans()
+        code = main(["trace", "no-such-trace"])
+        assert code == 1
+        assert "no spans recorded" in capsys.readouterr().err
+
+    def test_trace_against_server(self, capsys):
+        from repro.obs import (
+            MetricsRegistry,
+            clear_spans,
+            new_trace_id,
+            record_span,
+            span,
+            trace_context,
+        )
+        from repro.obs.trace import SpanRecord
+        from repro.serving import TenantRegistry, serve_http
+
+        clear_spans()
+        trace_id = new_trace_id()
+        with trace_context(trace_id), span("http.submit", MetricsRegistry()):
+            pass
+        # A merged worker-side span joins the same timeline.
+        record_span(
+            SpanRecord(
+                name="shard.base-fit", trace_id=trace_id, seconds=0.5,
+                outcome="ok", started_at=0.0, worker="worker-7",
+            )
+        )
+        server = serve_http(TenantRegistry(metrics=MetricsRegistry()))
+        try:
+            code = main(["trace", trace_id, "--url", server.url])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "shard.base-fit" in out and "worker-7" in out
+            assert main(["trace", "missing", "--url", server.url]) == 1
+            assert "no spans recorded" in capsys.readouterr().err
+        finally:
+            server.shutdown()

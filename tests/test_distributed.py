@@ -177,6 +177,103 @@ class TestTaskQueue:
 
 
 # ----------------------------------------------------------------------
+# Per-shard timelines and straggler detection
+# ----------------------------------------------------------------------
+class TestShardTimelines:
+    def test_queue_wait_compute_transfer_decomposition(self):
+        from repro.obs import MetricsRegistry
+
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        queue = TaskQueue(lease_timeout=60.0, clock=clock, registry=registry)
+        task = make_task()
+        queue.add(task)  # enqueued at t=0
+        clock.now = 2.0
+        assert queue.lease("w1") is not None  # waited 2s in the queue
+        clock.now = 5.0  # 3s lease-to-report, of which 1s was compute
+        assert queue.complete(task.task_id, "w1", {"best": np.zeros(1)}, seconds=1.0)
+        kind = task.kind
+        assert registry.get("goggles_shard_queue_wait_seconds").sum(kind=kind) == pytest.approx(2.0)
+        assert registry.get("goggles_shard_compute_seconds").sum(kind=kind) == pytest.approx(1.0)
+        assert registry.get("goggles_shard_transfer_seconds").sum(kind=kind) == pytest.approx(2.0)
+        assert registry.get("goggles_coordinator_shards_completed_total").value(kind=kind) == 1
+
+    def test_requeue_restarts_the_wait_clock(self):
+        from repro.obs import MetricsRegistry
+
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        queue = TaskQueue(lease_timeout=1.0, max_attempts=3, clock=clock, registry=registry)
+        task = make_task()
+        queue.add(task)
+        assert queue.lease("dead") is not None  # waits 0s
+        clock.now = 10.0  # lease expires; requeued at t=10 by the reap
+        assert queue.lease("w2") is not None
+        wait = registry.get("goggles_shard_queue_wait_seconds")
+        # Two grants: 0s for the first, ~0s for the second (requeue at
+        # reap time) — not the 10s the shard existed.
+        assert wait.count(kind=task.kind) == 2
+        assert wait.sum(kind=task.kind) == pytest.approx(0.0)
+
+    def test_straggler_detected_against_prior_estimate(self, caplog):
+        import logging
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        queue = TaskQueue(
+            registry=registry, straggler_factor=4.0, straggler_min_seconds=0.05
+        )
+        kind = None
+        # Calibrate the EWMA with healthy shards well above the floor.
+        for index in range(4):
+            task = make_task(index)
+            kind = task.kind
+            queue.add(task)
+            queue.lease("w1")
+            queue.complete(task.task_id, "w1", {"best": np.zeros(1)}, seconds=0.1)
+        assert queue.n_stragglers == 0
+        slow = make_task(99)
+        queue.add(slow)
+        queue.lease("w-sick")
+        with caplog.at_level(logging.WARNING, logger="repro.distributed.queue"):
+            queue.complete(slow.task_id, "w-sick", {"best": np.zeros(1)}, seconds=5.0)
+        assert queue.n_stragglers == 1
+        assert registry.get("goggles_stragglers_total").value(kind=kind) == 1
+        assert queue.stats()["stragglers"] == 1
+        assert any(
+            "straggler" in record.message and "w-sick" in record.getMessage()
+            for record in caplog.records
+        )
+
+    def test_straggler_does_not_raise_its_own_threshold(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        queue = TaskQueue(registry=registry, straggler_factor=4.0)
+        first = make_task(0)
+        queue.add(first)
+        queue.lease("w1")
+        # First-ever measurement: no prior estimate, never a straggler.
+        queue.complete(first.task_id, "w1", {"best": np.zeros(1)}, seconds=50.0)
+        assert queue.n_stragglers == 0
+
+    def test_micro_shard_jitter_below_floor_is_not_a_straggler(self):
+        from repro.obs import MetricsRegistry
+
+        queue = TaskQueue(
+            registry=MetricsRegistry(), straggler_factor=2.0, straggler_min_seconds=0.5
+        )
+        for index, seconds in enumerate((0.001, 0.001, 0.02)):
+            task = make_task(index)
+            queue.add(task)
+            queue.lease("w1")
+            # 0.02s is 20x the EWMA but under the absolute floor.
+            queue.complete(task.task_id, "w1", {"best": np.zeros(1)}, seconds=seconds)
+        assert queue.n_stragglers == 0
+
+
+# ----------------------------------------------------------------------
 # Planner and task execution (no cluster)
 # ----------------------------------------------------------------------
 class TestPlannerAndTasks:
@@ -593,6 +690,47 @@ class TestEndToEnd:
             results = coordinator.fit_base_models(random_affinity, config)
         lp = np.concatenate([r.responsibilities for r in results], axis=1)
         np.testing.assert_array_equal(lp, lp_serial)
+
+    def test_trace_id_propagates_to_process_worker_spans(self, random_affinity):
+        """A submit's trace id crosses the wire: shards planned inside a
+        trace context carry the id to the spawned worker *process*, whose
+        ``shard.*`` spans ship back and stitch into the local ring."""
+        from repro.obs import MetricsRegistry, clear_spans, new_trace_id, recent_spans, trace_context
+
+        clear_spans()
+        trace_id = new_trace_id()
+        config = HierarchicalConfig(n_classes=2, seed=0)
+        with Coordinator(
+            DistributedConfig(n_workers=1, worker_mode="process", run_timeout=120.0),
+            registry=MetricsRegistry(),
+        ) as coordinator:
+            with trace_context(trace_id):
+                coordinator.fit_base_models(random_affinity, config)
+        records = recent_spans(trace_id=trace_id)
+        shard_spans = [r for r in records if r.name.startswith("shard.")]
+        assert shard_spans, "no worker-side shard spans arrived for the traced submit"
+        assert all(r.name == "shard.base-fit" for r in shard_spans)
+        assert all(r.outcome == "ok" for r in shard_spans)
+        # Merged spans are attributed to the worker that ran them.
+        assert all(r.worker for r in shard_spans)
+
+    def test_trace_id_propagates_to_thread_worker_spans(self, random_affinity):
+        """Thread workers record spans directly (no shipping): same
+        stitched timeline contract as process mode."""
+        from repro.obs import MetricsRegistry, clear_spans, new_trace_id, recent_spans, trace_context
+
+        clear_spans()
+        trace_id = new_trace_id()
+        config = HierarchicalConfig(n_classes=2, seed=0)
+        with thread_cluster(2) as coordinator:
+            assert coordinator.registry is not None
+            with trace_context(trace_id):
+                coordinator.fit_base_models(random_affinity, config)
+        shard_spans = [
+            r for r in recent_spans(trace_id=trace_id) if r.name.startswith("shard.")
+        ]
+        assert shard_spans
+        assert all(r.name == "shard.base-fit" for r in shard_spans)
 
     def test_affinity_engine_closes_own_coordinator(self, sim_data):
         """A lazily self-created session is owned and closed by the engine."""

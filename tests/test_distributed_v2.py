@@ -461,6 +461,49 @@ class TestWorkerPool:
             assert pool.started
             assert pool.workers_spawned == 1
 
+    def test_close_does_not_hang_on_stuck_worker_thread(self):
+        """close() bounds every join: a thread that never exits is leaked
+        loudly (counter + warning) instead of hanging the caller."""
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        coordinator = Coordinator(
+            DistributedConfig(n_workers=0, close_join_timeout=0.2), registry=registry
+        )
+
+        class StuckWorker:
+            def stop(self) -> None:
+                pass
+
+        halt = threading.Event()
+        stuck = threading.Thread(target=halt.wait, name="stuck-worker", daemon=True)
+        stuck.start()
+        coordinator._thread_workers.append((StuckWorker(), stuck))
+        start = time.perf_counter()
+        coordinator.close()
+        assert time.perf_counter() - start < 5.0
+        assert registry.get("goggles_pool_close_join_timeouts_total").total() == 1
+        halt.set()
+        stuck.join(timeout=5.0)
+
+    def test_pool_close_survives_dead_broker(self):
+        """Closing a pool whose broker already died returns promptly —
+        the workers' joins are bounded by close_join_timeout."""
+        from repro.obs import MetricsRegistry
+
+        pool = WorkerPool(
+            DistributedConfig(
+                n_workers=1, worker_mode="thread", close_join_timeout=1.0
+            ),
+            registry=MetricsRegistry(),
+        )
+        pool.warm_up()
+        pool.as_coordinator()._broker.close()  # broker dies behind the pool's back
+        start = time.perf_counter()
+        pool.close()
+        assert time.perf_counter() - start < 30.0
+        assert not pool.started or pool._coordinator._closed
+
 
 # ----------------------------------------------------------------------
 # Coordinator restart recovery

@@ -1,0 +1,375 @@
+"""Telemetry shipping: delta codec, shipper/merger, wire frame codec."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.distributed import WireFormatError, decode_telemetry, encode_telemetry
+from repro.obs import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    TelemetryMerger,
+    TelemetryShipper,
+    capture_registry,
+    clear_spans,
+    delta_snapshot,
+    recent_spans,
+    span,
+    span_from_payload,
+    span_mark,
+    span_to_payload,
+    spans_since,
+    trace_context,
+)
+from repro.obs.trace import SpanRecord
+
+
+def _ship_all(name: str, labelnames: tuple[str, ...]) -> bool:
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Delta codec
+# ---------------------------------------------------------------------------
+class TestDeltaCodec:
+    def test_counter_delta_ships_only_changes(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", "help", labelnames=("kind",))
+        c.inc(3, kind="a")
+        c.inc(1, kind="b")
+        baseline = capture_registry(registry)
+        c.inc(2, kind="a")  # only "a" moves
+        snapshot = delta_snapshot(
+            capture_registry(registry), baseline, source="w0", seq=1
+        )
+        assert list(snapshot.counters) == ["t_total"]
+        series = dict((tuple(key), value) for key, value in snapshot.counters["t_total"]["series"])
+        assert series == {("a",): 2.0}
+
+    def test_empty_delta_is_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total").inc(5)
+        baseline = capture_registry(registry)
+        snapshot = delta_snapshot(
+            capture_registry(registry), baseline, source="w0", seq=1
+        )
+        assert snapshot.is_empty()
+
+    def test_gauge_ships_last_write_and_skips_stable_nan(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("t_gauge")
+        g.set(math.nan)
+        baseline = capture_registry(registry)
+        snapshot = delta_snapshot(
+            capture_registry(registry), baseline, source="w0", seq=1
+        )
+        assert snapshot.is_empty()  # NaN -> NaN is not a change
+        g.set(7.5)
+        snapshot = delta_snapshot(
+            capture_registry(registry), baseline, source="w0", seq=2
+        )
+        series = dict((tuple(key), value) for key, value in snapshot.gauges["t_gauge"]["series"])
+        assert series == {(): 7.5}
+
+    def test_histogram_ships_raw_bucket_deltas(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        baseline = capture_registry(registry)
+        h.observe(5.0)
+        h.observe(100.0)
+        snapshot = delta_snapshot(
+            capture_registry(registry), baseline, source="w0", seq=1
+        )
+        entry = snapshot.histograms["t_seconds"]
+        assert entry["buckets"] == [1.0, 10.0]
+        ((key, sample),) = entry["series"]
+        assert tuple(key) == ()
+        assert sample["counts"] == [0, 1, 1]  # raw per-bucket deltas incl +Inf
+        assert sample["sum"] == pytest.approx(105.0)
+
+    def test_snapshot_payload_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", labelnames=("worker",)).inc(4, worker="w0")
+        registry.histogram("t_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = delta_snapshot(
+            capture_registry(registry), {"counters": {}, "gauges": {}, "histograms": {}},
+            source="w0", seq=3,
+        )
+        rebuilt = RegistrySnapshot.from_payload(snapshot.to_payload())
+        assert rebuilt.source == "w0"
+        assert rebuilt.seq == 3
+        assert set(rebuilt.counters) == {"t_total"}
+        assert set(rebuilt.histograms) == {"t_seconds"}
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda payload: payload.pop("source"),
+            lambda payload: payload.update(seq=0),
+            lambda payload: payload.update(version=99),
+            lambda payload: payload.update(counters=[]),
+        ],
+    )
+    def test_malformed_payload_rejected(self, mutate):
+        payload = RegistrySnapshot(source="w0", seq=1).to_payload()
+        mutate(payload)
+        with pytest.raises(ValueError):
+            RegistrySnapshot.from_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# Histogram helpers the telemetry path leans on
+# ---------------------------------------------------------------------------
+class TestHistogramHelpers:
+    def test_add_raw_merges_elementwise(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.add_raw([1, 0, 2], 42.0)
+        counts = h.bucket_counts()
+        assert counts[1.0] == 2
+        assert counts[math.inf] == 4
+        assert h.sum() == pytest.approx(42.5)
+
+    def test_add_raw_rejects_wrong_shape(self):
+        h = MetricsRegistry().histogram("t_seconds", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.add_raw([1], 0.0)  # needs len(buckets) + 1 slots
+
+    def test_quantile_upper_bound_semantics(self):
+        h = MetricsRegistry().histogram("t_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            h.observe(value)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) == 10.0
+        assert h.quantile(0.0) == 0.1
+
+    def test_quantile_empty_and_bad_q(self):
+        h = MetricsRegistry().histogram("t_seconds", buckets=(1.0,))
+        assert h.quantile(0.99) is None
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+# ---------------------------------------------------------------------------
+# Shipper
+# ---------------------------------------------------------------------------
+class TestTelemetryShipper:
+    def setup_method(self):
+        clear_spans()
+
+    def test_idle_worker_ships_nothing(self):
+        registry = MetricsRegistry()
+        shipper = TelemetryShipper("w0", registry, family_filter=_ship_all, ship_spans=False)
+        assert shipper.collect() is None
+        assert shipper.seq == 0
+
+    def test_collect_advances_seq_and_baseline(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", labelnames=("worker",))
+        shipper = TelemetryShipper("w0", registry, ship_spans=False)
+        c.inc(2, worker="w0")
+        first = shipper.collect()
+        assert first is not None
+        assert first["snapshot"]["seq"] == 1
+        assert shipper.collect() is None  # baseline advanced: no new delta
+        c.inc(1, worker="w0")
+        second = shipper.collect()
+        assert second["snapshot"]["seq"] == 2
+        series = dict(
+            (tuple(key), value)
+            for key, value in second["snapshot"]["counters"]["t_total"]["series"]
+        )
+        assert series == {("w0",): 1.0}
+
+    def test_default_filter_keeps_worker_families_only(self):
+        registry = MetricsRegistry()
+        registry.counter("t_worker_total", labelnames=("worker",)).inc(worker="w0")
+        registry.counter("t_private_total").inc(5)
+        shipper = TelemetryShipper("w0", registry, ship_spans=False)
+        registry.counter("t_worker_total", labelnames=("worker",)).inc(worker="w0")
+        registry.counter("t_private_total").inc()
+        payload = shipper.collect()
+        assert set(payload["snapshot"]["counters"]) == {"t_worker_total"}
+
+    def test_spans_ship_once_each(self):
+        registry = MetricsRegistry()
+        shipper = TelemetryShipper("w0", registry, family_filter=_ship_all)
+        with trace_context("trace-1"), span("shard.base-fit", registry):
+            pass
+        payload = shipper.collect()
+        assert [entry["name"] for entry in payload["spans"]] == ["shard.base-fit"]
+        assert payload["spans"][0]["trace_id"] == "trace-1"
+        assert shipper.collect() is None  # span mark advanced
+
+
+# ---------------------------------------------------------------------------
+# Merger
+# ---------------------------------------------------------------------------
+class TestTelemetryMerger:
+    def setup_method(self):
+        clear_spans()
+
+    def _frame(self, worker_registry: MetricsRegistry, source: str, **kwargs) -> dict:
+        shipper = TelemetryShipper(source, worker_registry, family_filter=_ship_all, **kwargs)
+        # Re-capture from an empty baseline so the whole registry ships.
+        shipper._baseline = capture_registry(MetricsRegistry())
+        return shipper.collect()
+
+    def test_worker_labeled_family_merges_as_is(self):
+        worker_registry = MetricsRegistry()
+        worker_registry.counter(
+            "goggles_worker_shards_completed_total", labelnames=("worker",)
+        ).inc(3, worker="w0")
+        scrape = MetricsRegistry()
+        merger = TelemetryMerger(scrape)
+        assert merger.merge(self._frame(worker_registry, "w0", ship_spans=False))
+        merged = scrape.get("goggles_worker_shards_completed_total")
+        assert merged.labelnames == ("worker",)
+        assert merged.value(worker="w0") == 3
+
+    def test_unlabeled_family_gets_worker_label_appended(self):
+        worker_registry = MetricsRegistry()
+        worker_registry.counter("t_total", labelnames=("kind",)).inc(2, kind="x")
+        scrape = MetricsRegistry()
+        merger = TelemetryMerger(scrape)
+        merger.merge(self._frame(worker_registry, "w7", ship_spans=False))
+        merged = scrape.get("t_total")
+        assert merged.labelnames == ("kind", "worker")
+        assert merged.value(kind="x", worker="w7") == 2
+
+    def test_duplicate_seq_is_idempotent(self):
+        worker_registry = MetricsRegistry()
+        worker_registry.counter("t_total", labelnames=("worker",)).inc(5, worker="w0")
+        frame = self._frame(worker_registry, "w0", ship_spans=False)
+        scrape = MetricsRegistry()
+        merger = TelemetryMerger(scrape)
+        assert merger.merge(frame) is True
+        assert merger.merge(frame) is False  # replayed delivery
+        assert scrape.get("t_total").value(worker="w0") == 5
+        assert merger.m_merged.total() == 1
+        assert merger.m_skipped.total() == 1
+
+    def test_registration_conflict_skips_family_and_counts(self):
+        worker_registry = MetricsRegistry()
+        worker_registry.counter("t_metric", labelnames=("worker",)).inc(worker="w0")
+        scrape = MetricsRegistry()
+        scrape.gauge("t_metric")  # local registration with a clashing type
+        merger = TelemetryMerger(scrape)
+        assert merger.merge(self._frame(worker_registry, "w0", ship_spans=False))
+        assert merger.m_conflicts.value(metric="t_metric") == 1
+
+    def test_histogram_bucket_mismatch_is_a_conflict(self):
+        worker_registry = MetricsRegistry()
+        worker_registry.histogram(
+            "t_seconds", labelnames=("worker",), buckets=(1.0, 2.0)
+        ).observe(0.5, worker="w0")
+        scrape = MetricsRegistry()
+        scrape.histogram("t_seconds", labelnames=("worker",), buckets=(5.0,))
+        merger = TelemetryMerger(scrape)
+        merger.merge(self._frame(worker_registry, "w0", ship_spans=False))
+        assert merger.m_conflicts.value(metric="t_seconds") == 1
+        assert scrape.get("t_seconds").count(worker="w0") == 0
+
+    def test_histogram_merges_raw_buckets(self):
+        worker_registry = MetricsRegistry()
+        h = worker_registry.histogram("t_seconds", labelnames=("worker",), buckets=(1.0,))
+        h.observe(0.5, worker="w0")
+        h.observe(3.0, worker="w0")
+        scrape = MetricsRegistry()
+        merger = TelemetryMerger(scrape)
+        merger.merge(self._frame(worker_registry, "w0", ship_spans=False))
+        merged = scrape.get("t_seconds")
+        assert merged.count(worker="w0") == 2
+        assert merged.sum(worker="w0") == pytest.approx(3.5)
+
+    def test_shipped_spans_land_in_local_ring_with_worker(self):
+        worker_registry = MetricsRegistry()
+        frame = {
+            "snapshot": RegistrySnapshot(source="w3", seq=1).to_payload(),
+            "spans": [
+                span_to_payload(
+                    SpanRecord(
+                        name="shard.similarity", trace_id="trace-9",
+                        seconds=0.25, outcome="ok", started_at=123.0,
+                    )
+                )
+            ],
+        }
+        merger = TelemetryMerger(MetricsRegistry())
+        assert merger.merge(frame)
+        (record,) = recent_spans(trace_id="trace-9")
+        assert record.name == "shard.similarity"
+        assert record.worker == "w3"
+        assert record.started_at == 123.0
+
+    def test_malformed_payload_raises(self):
+        merger = TelemetryMerger(MetricsRegistry())
+        with pytest.raises(ValueError):
+            merger.merge("not a dict")
+        with pytest.raises(ValueError):
+            merger.merge({"snapshot": {"version": 1}})
+
+
+# ---------------------------------------------------------------------------
+# Span payload validation and ring marks
+# ---------------------------------------------------------------------------
+class TestSpanPlumbing:
+    def setup_method(self):
+        clear_spans()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {"name": "", "outcome": "ok"},
+            {"name": "x", "outcome": "maybe"},
+            {"name": "x", "outcome": "ok", "trace_id": 7},
+            {"name": "x", "outcome": "ok", "seconds": "soon"},
+        ],
+    )
+    def test_bad_span_payload_rejected(self, payload):
+        with pytest.raises(ValueError):
+            span_from_payload(payload)
+
+    def test_spans_since_reads_only_fresh_spans(self):
+        registry = MetricsRegistry()
+        with span("first", registry):
+            pass
+        mark = span_mark()
+        records, mark = spans_since(mark)
+        assert records == []
+        with span("second", registry):
+            pass
+        records, _ = spans_since(mark)
+        assert [record.name for record in records] == ["second"]
+
+
+# ---------------------------------------------------------------------------
+# Wire frame codec
+# ---------------------------------------------------------------------------
+class TestTelemetryWireCodec:
+    def test_round_trip(self):
+        payload = {"snapshot": RegistrySnapshot(source="w0", seq=1).to_payload(), "spans": []}
+        assert decode_telemetry(encode_telemetry(payload)) == payload
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(WireFormatError):
+            encode_telemetry(["not", "a", "dict"])
+
+    def test_rejects_bad_magic_and_truncation(self):
+        blob = encode_telemetry({"spans": []})
+        with pytest.raises(WireFormatError):
+            decode_telemetry(b"XXXX" + blob[4:])
+        with pytest.raises(WireFormatError):
+            decode_telemetry(blob[:3])
+
+    def test_rejects_unpicklable_junk_json(self):
+        preamble = encode_telemetry({"a": 1})[:6]
+        with pytest.raises(WireFormatError):
+            decode_telemetry(preamble + b"[1, 2")  # broken JSON body
+        with pytest.raises(WireFormatError):
+            decode_telemetry(preamble + b"[1, 2]")  # valid JSON, wrong shape
